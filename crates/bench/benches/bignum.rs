@@ -1,0 +1,90 @@
+//! Microbenchmarks for the bignum substrate: the primitive costs that
+//! determine the whole protocol's profile (the paper's bottleneck is one
+//! `r^N mod N²` per database element).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pps_bignum::{Montgomery, Uint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_uint(rng: &mut StdRng, bits: usize) -> Uint {
+    Uint::random_bits_exact(rng, bits)
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("uint_mul");
+    for bits in [512usize, 1024, 2048, 4096] {
+        let a = random_uint(&mut rng, bits);
+        let b = random_uint(&mut rng, bits);
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| &a * &b);
+        });
+    }
+    g.finish();
+}
+
+fn bench_div(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut g = c.benchmark_group("uint_div_rem");
+    for bits in [512usize, 1024, 2048] {
+        let a = random_uint(&mut rng, 2 * bits);
+        let b = random_uint(&mut rng, bits);
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| a.div_rem(&b).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut g = c.benchmark_group("montgomery_pow");
+    g.sample_size(20);
+    for bits in [512usize, 1024, 2048] {
+        let mut n = random_uint(&mut rng, bits);
+        n.set_bit(0, true);
+        let ctx = Montgomery::new(n.clone()).unwrap();
+        let base = random_uint(&mut rng, bits - 1);
+        let exp = random_uint(&mut rng, bits - 1);
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| ctx.pow(&base, &exp).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_modpow_small_exponent(c: &mut Criterion) {
+    // The server's per-element cost: ciphertext^x with a 32-bit exponent.
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut n = random_uint(&mut rng, 1024);
+    n.set_bit(0, true);
+    let ctx = Montgomery::new(n).unwrap();
+    let base = random_uint(&mut rng, 1023);
+    let exp = Uint::from_u64(rng.gen::<u32>() as u64);
+    c.bench_function("montgomery_pow_32bit_exp_1024bit_mod", |b| {
+        b.iter(|| ctx.pow(&base, &exp).unwrap());
+    });
+}
+
+fn bench_prime_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prime_generation");
+    g.sample_size(10);
+    for bits in [128usize, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, &bits| {
+            let mut rng = StdRng::seed_from_u64(5);
+            bench.iter(|| Uint::generate_prime(&mut rng, bits).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mul,
+    bench_div,
+    bench_modpow,
+    bench_modpow_small_exponent,
+    bench_prime_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Garbled-circuit comparator benchmarks: garbling/evaluation throughput
+//! and the end-to-end selected-sum cost that the §2 comparison tables
+//! report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pps_crypto::PaillierKeypair;
+use pps_gc::{evaluate, garble, run_gc_selected_sum, selected_sum_circuit, Label};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_garble(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gc_garble_selected_sum");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        let (circuit, _) = selected_sum_circuit(n, 32);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| garble(&circuit, &mut rng));
+        });
+    }
+    g.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gc_evaluate_selected_sum");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        let (circuit, _) = selected_sum_circuit(n, 32);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (garbled, secrets) = garble(&circuit, &mut rng);
+        let values: Vec<u64> = (0..n as u64).collect();
+        let gv = pps_gc::pack_selected_sum_garbler_values(&values, 32, &circuit);
+        let gl = secrets.garbler_input_labels(&circuit, &gv).unwrap();
+        let el: Vec<Label> = (0..n)
+            .map(|i| secrets.evaluator_input_pair(&circuit, i).select(i % 2 == 0))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| evaluate(&circuit, &garbled, &gl, &el).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let kp = PaillierKeypair::generate(512, &mut rng).unwrap();
+    let mut g = c.benchmark_group("gc_end_to_end_32bit");
+    g.sample_size(10);
+    for n in [8usize, 32] {
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 32)).collect();
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut inner = StdRng::seed_from_u64(4);
+            b.iter(|| run_gc_selected_sum(&values, &bits, 32, &kp, &mut inner).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_garble, bench_evaluate, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! End-to-end protocol benchmarks: every variant on a fixed small
+//! workload, so regressions in any layer show up in one place.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pps_protocol::{
+    run_basic, run_batched, run_combined, run_multiclient, run_plain_baseline, run_preprocessed,
+    Database, Selection, SumClient,
+};
+use pps_stats::{private_moments, Wants};
+use pps_transport::LinkProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 200;
+const KEY_BITS: usize = 512;
+
+struct Fixture {
+    db: Database,
+    sel: Selection,
+    client: SumClient,
+    rng: StdRng,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = StdRng::seed_from_u64(2004);
+    let db = Database::random_32bit(N, &mut rng).unwrap();
+    let sel = Selection::random(N, 0.5, &mut rng).unwrap();
+    let client = SumClient::generate(KEY_BITS, &mut rng).unwrap();
+    Fixture {
+        db,
+        sel,
+        client,
+        rng,
+    }
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut f = fixture();
+    let mut g = c.benchmark_group("protocol_variants_n200_512bit");
+    g.sample_size(10);
+
+    g.bench_function("basic", |b| {
+        b.iter(|| {
+            run_basic(
+                &f.db,
+                &f.sel,
+                &f.client,
+                LinkProfile::gigabit_lan(),
+                &mut f.rng,
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function("batched_100", |b| {
+        b.iter(|| {
+            run_batched(
+                &f.db,
+                &f.sel,
+                &f.client,
+                LinkProfile::gigabit_lan(),
+                100,
+                &mut f.rng,
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function("preprocessed", |b| {
+        b.iter(|| {
+            run_preprocessed(
+                &f.db,
+                &f.sel,
+                &f.client,
+                LinkProfile::gigabit_lan(),
+                &mut f.rng,
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function("combined", |b| {
+        b.iter(|| {
+            run_combined(
+                &f.db,
+                &f.sel,
+                &f.client,
+                LinkProfile::gigabit_lan(),
+                100,
+                &mut f.rng,
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function("plain_baseline", |b| {
+        b.iter(|| run_plain_baseline(&f.db, &f.sel, LinkProfile::gigabit_lan()).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_multiclient(c: &mut Criterion) {
+    let mut f = fixture();
+    let mut g = c.benchmark_group("multiclient_n200_512bit");
+    g.sample_size(10);
+    for k in [2usize, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                run_multiclient(
+                    &f.db,
+                    &f.sel,
+                    k,
+                    KEY_BITS,
+                    LinkProfile::gigabit_lan(),
+                    &mut f.rng,
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_stats_layer(c: &mut Criterion) {
+    let mut f = fixture();
+    let mut g = c.benchmark_group("stats_n200_512bit");
+    g.sample_size(10);
+    g.bench_function("sum_only", |b| {
+        b.iter(|| {
+            pps_stats::run_stats_query(
+                &f.db,
+                &f.sel,
+                &f.client,
+                LinkProfile::gigabit_lan(),
+                Wants::sum_only(),
+                &mut f.rng,
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function("full_moments", |b| {
+        b.iter(|| {
+            private_moments(
+                &f.db,
+                &f.sel,
+                &f.client,
+                LinkProfile::gigabit_lan(),
+                &mut f.rng,
+            )
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Linearity check: basic protocol across n.
+    let mut rng = StdRng::seed_from_u64(5);
+    let client = SumClient::generate(KEY_BITS, &mut rng).unwrap();
+    let mut g = c.benchmark_group("protocol_scaling_basic");
+    g.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let db = Database::random_32bit(n, &mut rng).unwrap();
+        let sel = Selection::random(n, 0.5, &mut rng).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut inner_rng = StdRng::seed_from_u64(6);
+            b.iter(|| {
+                run_basic(
+                    &db,
+                    &sel,
+                    &client,
+                    LinkProfile::gigabit_lan(),
+                    &mut inner_rng,
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_variants,
+    bench_multiclient,
+    bench_stats_layer,
+    bench_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Command-line driver for the figure harness.
+//!
+//! ```sh
+//! cargo run --release -p pps-bench --bin figures -- all
+//! cargo run --release -p pps-bench --bin figures -- fig2 fig3
+//! cargo run --release -p pps-bench --bin figures -- --full fig2   # paper-scale n sweep
+//! PPS_NS=100,500 cargo run --release -p pps-bench --bin figures -- fig4
+//! ```
+//!
+//! Every figure prints measured times on this machine plus a calibrated
+//! "paper-scale" column; see EXPERIMENTS.md for the paper-vs-measured
+//! discussion.
+
+use std::time::Instant;
+
+use pps_bench::figures::{self, Harness};
+
+/// Default database sizes (kept modest so `all` finishes in ~2 minutes).
+const DEFAULT_NS: &[usize] = &[500, 1000, 2500, 5000];
+/// `--full` sweep: the paper's 10,000–100,000 range.
+const FULL_NS: &[usize] = &[10_000, 25_000, 50_000, 100_000];
+/// The GC comparator is orders of magnitude heavier per element.
+const SMC_NS: &[usize] = &[8, 16, 32, 64, 128];
+
+const USAGE: &str = "usage: figures [--full] [--key-bits B] [fig2|fig3|fig4|fig5|fig6|fig7|fig9|smc|baselines|batch|futurework|pir|all]...
+env: PPS_NS=comma,separated,sizes overrides the sweep";
+
+fn parse_env_ns() -> Option<Vec<usize>> {
+    let raw = std::env::var("PPS_NS").ok()?;
+    let ns: Vec<usize> = raw
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    (!ns.is_empty()).then_some(ns)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut full = false;
+    let mut key_bits = 512usize;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--key-bits" => {
+                key_bits = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".into());
+    }
+
+    let ns = parse_env_ns().unwrap_or_else(|| {
+        if full {
+            FULL_NS.to_vec()
+        } else {
+            DEFAULT_NS.to_vec()
+        }
+    });
+    let smc_ns = parse_env_ns().unwrap_or_else(|| SMC_NS.to_vec());
+
+    println!(
+        "figure harness: key = {key_bits} bits, n sweep = {ns:?} (paper: 512-bit keys, n up to 100,000)"
+    );
+    println!("generating keypair and calibrating…");
+    let start = Instant::now();
+    let mut h = Harness::new(key_bits, 0x5d4c_2004);
+    println!(
+        "ready in {:.1}s (calibration factor: {:.1}x slower at 2004 P-III speeds)\n",
+        start.elapsed().as_secs_f64(),
+        h.paper_model.cpu_slowdown
+    );
+
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    let mut ran = 0;
+    let mut emit = |t: pps_bench::table::FigureTable| {
+        println!("{}", t.render());
+        ran += 1;
+    };
+
+    if want("fig2") {
+        emit(figures::fig2(&mut h, &ns));
+    }
+    if want("fig3") {
+        emit(figures::fig3(&mut h, &ns));
+    }
+    if want("fig4") {
+        emit(figures::fig4(&mut h, &ns));
+    }
+    if want("fig5") {
+        emit(figures::fig5(&mut h, &ns));
+    }
+    if want("fig6") {
+        emit(figures::fig6(&mut h, &ns));
+    }
+    if want("fig7") {
+        emit(figures::fig7(&mut h, &ns));
+    }
+    if want("fig9") {
+        emit(figures::fig9(&mut h, &ns));
+    }
+    if want("smc") {
+        emit(figures::smc(&mut h, &smc_ns));
+    }
+    if want("baselines") {
+        emit(figures::baselines(&mut h, &ns));
+    }
+    if want("pir") {
+        emit(figures::pir(&mut h, &ns));
+    }
+    if want("futurework") {
+        let n = *ns.last().expect("non-empty sweep");
+        emit(figures::futurework(&mut h, n));
+    }
+    if want("batch") {
+        let n = *ns.last().expect("non-empty sweep");
+        emit(figures::ablation_batch(
+            &mut h,
+            n,
+            pps_transport::LinkProfile::gigabit_lan(),
+        ));
+        emit(figures::ablation_batch(
+            &mut h,
+            n,
+            pps_transport::LinkProfile::modem_56k(),
+        ));
+    }
+
+    if ran == 0 {
+        eprintln!("unknown figure name(s): {wanted:?}\n{USAGE}");
+        std::process::exit(2);
+    }
+    println!(
+        "done: {ran} figure(s) in {:.1}s total",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,17 @@
+//! # pps-bench
+//!
+//! The figure-regeneration harness for the SDM/VLDB 2004 reproduction.
+//!
+//! [`figures`] contains one function per results figure in the paper
+//! (Figs. 2–7 and 9, plus the §2 general-SMC comparison and a baseline
+//! table); each executes the corresponding experiment and returns a
+//! printable [`table::FigureTable`]. The `figures` binary
+//! (`cargo run -p pps-bench --release --bin figures -- all`) drives them
+//! from the command line; Criterion microbenchmarks live under
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod table;

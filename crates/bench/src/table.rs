@@ -1,0 +1,115 @@
+//! Plain-text result tables for the figure harness.
+
+use std::fmt::Write as _;
+
+/// A printable result table: one per reproduced figure.
+#[derive(Clone, Debug)]
+pub struct FigureTable {
+    /// Figure identifier and caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper comparison, etc.).
+    pub notes: Vec<String>,
+}
+
+impl FigureTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        FigureTable {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count disagrees with the header (harness bug).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "table arity");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, &w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, &w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds with 3 decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a duration in (fractional) minutes, the paper's unit.
+pub fn minutes(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() / 60.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = FigureTable::new("Fig. X", &["n", "time"]);
+        t.row(vec!["1000".into(), "2.5".into()]);
+        t.row(vec!["100000".into(), "250.0".into()]);
+        t.note("shape matches");
+        let r = t.render();
+        assert!(r.contains("Fig. X"));
+        assert!(r.contains("100000"));
+        assert!(r.contains("note: shape matches"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = FigureTable::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+        assert_eq!(minutes(Duration::from_secs(90)), "1.50");
+    }
+}

@@ -1,0 +1,182 @@
+//! Barrett reduction: fast reduction modulo a fixed modulus of **any**
+//! parity.
+//!
+//! [`Montgomery`](crate::Montgomery) is the workhorse for Paillier's odd
+//! moduli, but it cannot handle even moduli and pays conversion costs for
+//! one-shot reductions. A [`Barrett`] context precomputes
+//! `μ = ⌊4^k / n⌋` (where `k` is the bit length of `n`) and reduces any
+//! `x < n²` with two multiplications and at most two subtractions — the
+//! classic HAC Algorithm 14.42. The ablation benches compare the three
+//! strategies (division, Barrett, Montgomery) on protocol-shaped
+//! workloads.
+
+use crate::error::BignumError;
+use crate::uint::Uint;
+
+/// Precomputed context for Barrett reduction modulo a fixed `n >= 3`.
+#[derive(Clone, Debug)]
+pub struct Barrett {
+    n: Uint,
+    /// `μ = ⌊ 2^(2·shift) / n ⌋`.
+    mu: Uint,
+    /// Bit length of `n`.
+    shift: usize,
+}
+
+impl Barrett {
+    /// Builds a context for `n >= 2` (odd or even).
+    ///
+    /// # Errors
+    /// [`BignumError::InvalidModulus`] for `n < 2`.
+    pub fn new(n: Uint) -> Result<Self, BignumError> {
+        if n.bit_len() < 2 {
+            return Err(BignumError::InvalidModulus("Barrett modulus must be >= 2"));
+        }
+        let shift = n.bit_len();
+        let mu = (&Uint::one().shl(2 * shift) / &n).clone();
+        Ok(Barrett { n, mu, shift })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Uint {
+        &self.n
+    }
+
+    /// Reduces `x mod n` for any `x < n²` (larger inputs fall back to
+    /// division).
+    pub fn reduce(&self, x: &Uint) -> Uint {
+        if x < &self.n {
+            return x.clone();
+        }
+        if x.bit_len() > 2 * self.shift {
+            // Outside the Barrett precondition; exact division fallback.
+            return x.rem_of(&self.n).expect("n >= 2");
+        }
+        // q ≈ ⌊x / n⌋ computed as ((x >> (shift-1)) · μ) >> (shift+1).
+        let q = (&x.shr(self.shift - 1) * &self.mu).shr(self.shift + 1);
+        let mut r = x
+            .checked_sub(&(&q * &self.n))
+            .expect("Barrett estimate never exceeds the true quotient");
+        // The estimate is off by at most 2.
+        while r >= self.n {
+            r = &r - &self.n;
+        }
+        r
+    }
+
+    /// `(a · b) mod n` for reduced operands.
+    pub fn mul(&self, a: &Uint, b: &Uint) -> Uint {
+        self.reduce(&(a * b))
+    }
+
+    /// `base^exp mod n` by square-and-multiply with Barrett reduction —
+    /// the even-modulus counterpart of
+    /// [`Montgomery::pow`](crate::Montgomery::pow).
+    pub fn pow(&self, base: &Uint, exp: &Uint) -> Uint {
+        if self.n.is_one() {
+            return Uint::zero();
+        }
+        let base = self.reduce(base);
+        if exp.is_zero() {
+            return Uint::one();
+        }
+        let mut acc = Uint::one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mul(&acc, &base);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rejects_tiny_moduli() {
+        assert!(Barrett::new(Uint::zero()).is_err());
+        assert!(Barrett::new(Uint::one()).is_err());
+        assert!(Barrett::new(Uint::from_u64(2)).is_ok());
+    }
+
+    #[test]
+    fn reduce_matches_division_small() {
+        for n in [2u64, 3, 10, 97, 256, 1_000_003] {
+            let ctx = Barrett::new(Uint::from_u64(n)).unwrap();
+            for x in [0u128, 1, 5, 1000, (n as u128) * (n as u128) - 1] {
+                let got = ctx.reduce(&Uint::from_u128(x));
+                assert_eq!(got, Uint::from_u128(x % n as u128), "x={x} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_matches_division_random_large() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..50 {
+            let bits = rng.gen_range(65..512);
+            let n = Uint::random_bits_exact(&mut rng, bits);
+            if n.bit_len() < 2 {
+                continue;
+            }
+            let ctx = Barrett::new(n.clone()).unwrap();
+            // x uniform below n².
+            let x = Uint::random_below(&mut rng, &n.square()).unwrap();
+            assert_eq!(ctx.reduce(&x), x.rem_of(&n).unwrap());
+        }
+    }
+
+    #[test]
+    fn even_modulus_supported() {
+        // The case Montgomery cannot do.
+        let n = Uint::from_u64(1 << 20);
+        let ctx = Barrett::new(n.clone()).unwrap();
+        let x = Uint::from_u128(0xdead_beef_cafe_babe);
+        assert_eq!(ctx.reduce(&x), x.rem_of(&n).unwrap());
+        assert_eq!(
+            ctx.pow(&Uint::from_u64(3), &Uint::from_u64(40)),
+            Uint::from_u64(3).mod_pow(&Uint::from_u64(40), &n).unwrap()
+        );
+    }
+
+    #[test]
+    fn pow_matches_generic_and_montgomery() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let mut n = Uint::random_bits_exact(&mut rng, 256);
+        n.set_bit(0, true); // odd, so Montgomery is comparable
+        let barrett = Barrett::new(n.clone()).unwrap();
+        let mont = crate::Montgomery::new(n.clone()).unwrap();
+        for _ in 0..10 {
+            let base = Uint::random_below(&mut rng, &n).unwrap();
+            let exp = Uint::random_below_bits(&mut rng, 64);
+            let b = barrett.pow(&base, &exp);
+            assert_eq!(b, base.mod_pow(&exp, &n).unwrap());
+            assert_eq!(b, mont.pow(&base, &exp).unwrap());
+        }
+    }
+
+    #[test]
+    fn oversized_input_fallback() {
+        let n = Uint::from_u64(1_000_003);
+        let ctx = Barrett::new(n.clone()).unwrap();
+        // x far above n²: exercises the division fallback.
+        let x = Uint::one().shl(300);
+        assert_eq!(ctx.reduce(&x), x.rem_of(&n).unwrap());
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let ctx = Barrett::new(Uint::from_u64(97)).unwrap();
+        assert_eq!(ctx.pow(&Uint::from_u64(5), &Uint::zero()), Uint::one());
+        assert_eq!(ctx.pow(&Uint::zero(), &Uint::from_u64(9)), Uint::zero());
+        assert_eq!(
+            ctx.pow(&Uint::from_u64(96), &Uint::from_u64(2)),
+            Uint::one()
+        );
+    }
+}

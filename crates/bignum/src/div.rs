@@ -1,0 +1,219 @@
+//! Division and remainder for [`Uint`] via Knuth's Algorithm D
+//! (TAOCP Vol. 2, §4.3.1).
+
+use std::ops::{Div, Rem};
+
+use crate::error::BignumError;
+use crate::uint::Uint;
+
+impl Uint {
+    /// Computes `(self / divisor, self % divisor)`.
+    ///
+    /// # Errors
+    /// Returns [`BignumError::DivisionByZero`] when `divisor == 0`.
+    pub fn div_rem(&self, divisor: &Uint) -> Result<(Uint, Uint), BignumError> {
+        if divisor.is_zero() {
+            return Err(BignumError::DivisionByZero);
+        }
+        if self < divisor {
+            return Ok((Uint::zero(), self.clone()));
+        }
+        if divisor.limbs().len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs()[0])?;
+            return Ok((q, Uint::from_u64(r)));
+        }
+        Ok(knuth_d(self, divisor))
+    }
+
+    /// `self % modulus`, as a convenience over [`Uint::div_rem`].
+    ///
+    /// # Errors
+    /// Returns [`BignumError::DivisionByZero`] when `modulus == 0`.
+    pub fn rem_of(&self, modulus: &Uint) -> Result<Uint, BignumError> {
+        Ok(self.div_rem(modulus)?.1)
+    }
+}
+
+/// Knuth Algorithm D for divisors of at least two limbs.
+///
+/// Preconditions: `divisor.limbs().len() >= 2`, `dividend >= divisor`.
+fn knuth_d(dividend: &Uint, divisor: &Uint) -> (Uint, Uint) {
+    // D1: normalize so that the top divisor limb has its high bit set.
+    let shift = divisor
+        .limbs()
+        .last()
+        .expect("divisor >= 2 limbs")
+        .leading_zeros() as usize;
+    let u = dividend.shl(shift);
+    let v = divisor.shl(shift);
+    let n = v.limbs().len();
+    let mut un: Vec<u64> = u.limbs().to_vec();
+    // Ensure an extra high limb for the first iteration's window.
+    un.push(0);
+    let m = un.len() - 1 - n; // number of quotient limbs - 1
+    let vn = v.limbs();
+    let v_top = vn[n - 1];
+    let v_next = vn[n - 2];
+
+    let mut q = vec![0u64; m + 1];
+
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two limbs of the current window.
+        let numer = (un[j + n] as u128) << 64 | un[j + n - 1] as u128;
+        let mut qhat = numer / v_top as u128;
+        let mut rhat = numer % v_top as u128;
+        // Refine: at most two corrections bring q̂ within 1 of the truth.
+        while qhat >> 64 != 0 || qhat * v_next as u128 > (rhat << 64 | un[j + n - 2] as u128) {
+            qhat -= 1;
+            rhat += v_top as u128;
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+
+        // D4: multiply-and-subtract the window by q̂·v.
+        let mut borrow: i128 = 0;
+        let mut carry: u128 = 0;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + carry;
+            carry = p >> 64;
+            let t = un[j + i] as i128 - (p as u64) as i128 + borrow;
+            un[j + i] = t as u64;
+            borrow = t >> 64; // arithmetic shift: 0 or -1
+        }
+        let t = un[j + n] as i128 - carry as i128 + borrow;
+        un[j + n] = t as u64;
+
+        // D5/D6: if we over-subtracted (probability ~2/2^64), add back.
+        if t < 0 {
+            qhat -= 1;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let (s1, c1) = un[j + i].overflowing_add(vn[i]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                un[j + i] = s2;
+                carry = (c1 as u64) + (c2 as u64);
+            }
+            un[j + n] = un[j + n].wrapping_add(carry);
+        }
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = Uint::from_limbs(un[..n].to_vec()).shr(shift);
+    (Uint::from_limbs(q), rem)
+}
+
+impl Div<&Uint> for &Uint {
+    type Output = Uint;
+
+    /// Panics on division by zero; use [`Uint::div_rem`] to handle it.
+    fn div(self, rhs: &Uint) -> Uint {
+        self.div_rem(rhs).expect("division by zero").0
+    }
+}
+
+impl Rem<&Uint> for &Uint {
+    type Output = Uint;
+
+    /// Panics on division by zero; use [`Uint::div_rem`] to handle it.
+    fn rem(self, rhs: &Uint) -> Uint {
+        self.div_rem(rhs).expect("division by zero").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_uint(rng: &mut StdRng, limbs: usize) -> Uint {
+        Uint::from_limbs((0..limbs).map(|_| rng.gen()).collect())
+    }
+
+    #[test]
+    fn div_by_zero_is_error() {
+        assert!(Uint::one().div_rem(&Uint::zero()).is_err());
+    }
+
+    #[test]
+    fn small_cases() {
+        let (q, r) = Uint::from_u64(17).div_rem(&Uint::from_u64(5)).unwrap();
+        assert_eq!((q, r), (Uint::from_u64(3), Uint::from_u64(2)));
+        let (q, r) = Uint::from_u64(4).div_rem(&Uint::from_u64(5)).unwrap();
+        assert_eq!((q, r), (Uint::zero(), Uint::from_u64(4)));
+        let (q, r) = Uint::from_u64(5).div_rem(&Uint::from_u64(5)).unwrap();
+        assert_eq!((q, r), (Uint::one(), Uint::zero()));
+    }
+
+    #[test]
+    fn u128_oracle() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let a: u128 = rng.gen();
+            let b: u128 = rng.gen::<u128>() >> (rng.gen_range(0..100));
+            if b == 0 {
+                continue;
+            }
+            let (q, r) = Uint::from_u128(a).div_rem(&Uint::from_u128(b)).unwrap();
+            assert_eq!(q, Uint::from_u128(a / b), "a={a} b={b}");
+            assert_eq!(r, Uint::from_u128(a % b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_random_large() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..100 {
+            let a_limbs = rng.gen_range(1..20);
+            let b_limbs = rng.gen_range(1..12);
+            let a = random_uint(&mut rng, a_limbs);
+            let b = random_uint(&mut rng, b_limbs);
+            if b.is_zero() {
+                continue;
+            }
+            let (q, r) = a.div_rem(&b).unwrap();
+            assert!(r < b, "remainder must be < divisor");
+            assert_eq!(&(&q * &b) + &r, a, "q*b + r must reconstruct a");
+        }
+    }
+
+    #[test]
+    fn hard_case_requiring_correction() {
+        // Dividend crafted so the initial q̂ over-estimates and the
+        // add-back branch (step D6) executes: v has small second limb.
+        let v = Uint::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        let u = &(&v * &Uint::from_limbs(vec![u64::MAX, u64::MAX]))
+            + &Uint::from_limbs(vec![0, 0x7fff_ffff_ffff_ffff]);
+        let (q, r) = u.div_rem(&v).unwrap();
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = Uint::from_hex("fedcba9876543210fedcba9876543210").unwrap();
+        let a = &b * &Uint::from_u64(1_000_003);
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert_eq!(q, Uint::from_u64(1_000_003));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn operators() {
+        let a = Uint::from_u64(100);
+        let b = Uint::from_u64(7);
+        assert_eq!(&a / &b, Uint::from_u64(14));
+        assert_eq!(&a % &b, Uint::from_u64(2));
+    }
+
+    #[test]
+    fn power_of_two_divisors_match_shift() {
+        let a = Uint::from_hex("123456789abcdef0123456789abcdef0123456789").unwrap();
+        for k in [1usize, 64, 65, 130] {
+            let d = Uint::one().shl(k);
+            assert_eq!(&a / &d, a.shr(k), "k={k}");
+        }
+    }
+}

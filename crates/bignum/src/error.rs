@@ -1,0 +1,83 @@
+//! Error type for bignum operations.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::Uint`] arithmetic and codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BignumError {
+    /// Division or reduction by zero.
+    DivisionByZero,
+    /// Subtraction result would be negative.
+    Underflow,
+    /// A modular inverse does not exist (operand and modulus share a
+    /// factor).
+    NoInverse,
+    /// The modulus was invalid for the requested operation (e.g. an even
+    /// modulus passed to a Montgomery context, or modulus < 2).
+    InvalidModulus(&'static str),
+    /// A value did not fit the requested fixed-width encoding.
+    ValueTooLarge {
+        /// Bits required by the value.
+        bits: usize,
+        /// Bits available in the target encoding.
+        capacity_bits: usize,
+    },
+    /// A non-digit character was encountered while parsing.
+    InvalidDigit(char),
+    /// An empty string was passed to a parser.
+    Empty,
+    /// Requested a random value from an empty range (`low >= high`).
+    EmptyRange,
+    /// Prime generation exhausted its iteration budget.
+    PrimeGenerationFailed {
+        /// Requested prime size.
+        bits: usize,
+    },
+}
+
+impl fmt::Display for BignumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DivisionByZero => write!(f, "division by zero"),
+            Self::Underflow => write!(f, "unsigned subtraction underflow"),
+            Self::NoInverse => write!(f, "modular inverse does not exist"),
+            Self::InvalidModulus(why) => write!(f, "invalid modulus: {why}"),
+            Self::ValueTooLarge {
+                bits,
+                capacity_bits,
+            } => {
+                write!(
+                    f,
+                    "value needs {bits} bits but encoding holds {capacity_bits}"
+                )
+            }
+            Self::InvalidDigit(c) => write!(f, "invalid digit {c:?}"),
+            Self::Empty => write!(f, "empty numeric string"),
+            Self::EmptyRange => write!(f, "empty sampling range"),
+            Self::PrimeGenerationFailed { bits } => {
+                write!(f, "failed to generate a {bits}-bit prime within budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BignumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(BignumError::DivisionByZero.to_string(), "division by zero");
+        assert!(BignumError::ValueTooLarge {
+            bits: 72,
+            capacity_bits: 64
+        }
+        .to_string()
+        .contains("72"));
+        assert!(BignumError::InvalidModulus("even")
+            .to_string()
+            .contains("even"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Plain (non-Montgomery) modular arithmetic on [`Uint`].
+//!
+//! These routines reduce via [`Uint::div_rem`]; they are correct for any
+//! modulus. Hot paths (Paillier encryption/decryption, the server's
+//! homomorphic product) should prefer [`crate::Montgomery`], which requires
+//! an odd modulus but is several times faster for repeated operations.
+
+use crate::error::BignumError;
+use crate::uint::Uint;
+
+impl Uint {
+    /// `(self + rhs) mod m`. Operands need not be reduced.
+    ///
+    /// # Errors
+    /// Returns [`BignumError::DivisionByZero`] when `m == 0`.
+    pub fn mod_add(&self, rhs: &Uint, m: &Uint) -> Result<Uint, BignumError> {
+        (self + rhs).rem_of(m)
+    }
+
+    /// `(self - rhs) mod m`, well-defined even when `rhs > self`.
+    ///
+    /// # Errors
+    /// Returns [`BignumError::DivisionByZero`] when `m == 0`.
+    pub fn mod_sub(&self, rhs: &Uint, m: &Uint) -> Result<Uint, BignumError> {
+        let a = self.rem_of(m)?;
+        let b = rhs.rem_of(m)?;
+        if a >= b {
+            Ok(&a - &b)
+        } else {
+            Ok(&(&a + m) - &b)
+        }
+    }
+
+    /// `(self * rhs) mod m`.
+    ///
+    /// # Errors
+    /// Returns [`BignumError::DivisionByZero`] when `m == 0`.
+    pub fn mod_mul(&self, rhs: &Uint, m: &Uint) -> Result<Uint, BignumError> {
+        (self * rhs).rem_of(m)
+    }
+
+    /// `(-self) mod m`, i.e. the additive inverse of `self mod m`.
+    ///
+    /// # Errors
+    /// Returns [`BignumError::DivisionByZero`] when `m == 0`.
+    pub fn mod_neg(&self, m: &Uint) -> Result<Uint, BignumError> {
+        let r = self.rem_of(m)?;
+        if r.is_zero() {
+            Ok(r)
+        } else {
+            Ok(m - &r)
+        }
+    }
+
+    /// `self^exp mod m` by square-and-multiply (left-to-right binary).
+    ///
+    /// Works for any modulus, including even ones; use
+    /// [`crate::Montgomery::pow`] for odd moduli in hot paths.
+    ///
+    /// # Errors
+    /// Returns [`BignumError::InvalidModulus`] when `m < 2`.
+    pub fn mod_pow(&self, exp: &Uint, m: &Uint) -> Result<Uint, BignumError> {
+        if m.is_zero() {
+            return Err(BignumError::InvalidModulus("modulus is zero"));
+        }
+        if m.is_one() {
+            return Ok(Uint::zero());
+        }
+        let base = self.rem_of(m)?;
+        if exp.is_zero() {
+            return Ok(Uint::one());
+        }
+        let mut acc = Uint::one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = acc.mod_mul(&acc, m)?;
+            if exp.bit(i) {
+                acc = acc.mod_mul(&base, m)?;
+            }
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> Uint {
+        Uint::from_u64(v)
+    }
+
+    #[test]
+    fn mod_add_wraps() {
+        let m = u(97);
+        assert_eq!(u(90).mod_add(&u(10), &m).unwrap(), u(3));
+        assert_eq!(u(0).mod_add(&u(0), &m).unwrap(), u(0));
+        // Unreduced operands are accepted.
+        assert_eq!(u(1000).mod_add(&u(1000), &m).unwrap(), u(2000 % 97));
+    }
+
+    #[test]
+    fn mod_sub_handles_negative_difference() {
+        let m = u(97);
+        assert_eq!(u(5).mod_sub(&u(10), &m).unwrap(), u(92));
+        assert_eq!(u(10).mod_sub(&u(5), &m).unwrap(), u(5));
+        assert_eq!(u(10).mod_sub(&u(10), &m).unwrap(), u(0));
+    }
+
+    #[test]
+    fn mod_neg_inverse_property() {
+        let m = u(101);
+        for v in [0u64, 1, 50, 100, 1000] {
+            let n = u(v).mod_neg(&m).unwrap();
+            assert_eq!(u(v).mod_add(&n, &m).unwrap(), u(0), "v={v}");
+        }
+    }
+
+    #[test]
+    fn mod_pow_small_oracle() {
+        let m = u(1_000_000_007);
+        // 3^45 mod p computed independently.
+        let mut expect = 1u64;
+        for _ in 0..45 {
+            expect = expect * 3 % 1_000_000_007;
+        }
+        assert_eq!(u(3).mod_pow(&u(45), &m).unwrap(), u(expect));
+    }
+
+    #[test]
+    fn mod_pow_edge_cases() {
+        let m = u(97);
+        assert_eq!(u(5).mod_pow(&u(0), &m).unwrap(), u(1));
+        assert_eq!(u(0).mod_pow(&u(5), &m).unwrap(), u(0));
+        assert_eq!(u(5).mod_pow(&u(1), &m).unwrap(), u(5));
+        // Modulus one collapses everything to zero.
+        assert_eq!(u(5).mod_pow(&u(5), &u(1)).unwrap(), u(0));
+        assert!(u(5).mod_pow(&u(5), &u(0)).is_err());
+    }
+
+    #[test]
+    fn mod_pow_even_modulus() {
+        // Montgomery cannot do this; the generic path must.
+        let m = u(100);
+        assert_eq!(u(7).mod_pow(&u(4), &m).unwrap(), u(7 * 7 * 7 * 7 % 100));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let p = u(65_537);
+        for a in [2u64, 3, 65_000] {
+            assert_eq!(u(a).mod_pow(&u(65_536), &p).unwrap(), u(1), "a={a}");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Montgomery modular arithmetic context.
+//!
+//! A [`Montgomery`] context precomputes everything needed for fast repeated
+//! multiplication and exponentiation modulo a fixed **odd** modulus `n`:
+//! the Montgomery radix `R = 2^(64·k)` (where `k` is the limb count of
+//! `n`), `R² mod n` for conversions, and `n' = -n⁻¹ mod 2^64` for the REDC
+//! step. This is the workhorse behind Paillier encryption (`r^N mod N²`),
+//! the server's homomorphic product, and primality testing.
+//!
+//! # Examples
+//!
+//! ```
+//! use pps_bignum::{Montgomery, Uint};
+//!
+//! let n = Uint::from_u64(97);
+//! let ctx = Montgomery::new(n).unwrap();
+//! let r = ctx.pow(&Uint::from_u64(5), &Uint::from_u64(96)).unwrap();
+//! assert_eq!(r, Uint::one()); // Fermat
+//! ```
+
+use crate::error::BignumError;
+use crate::uint::Uint;
+
+/// Window size (bits) for fixed-window exponentiation.
+const WINDOW_BITS: usize = 4;
+
+/// Precomputed context for arithmetic modulo a fixed odd modulus.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    /// The modulus; odd, >= 3.
+    n: Uint,
+    /// Limb count of `n`; `R = 2^(64 * limbs)`.
+    limbs: usize,
+    /// `-n⁻¹ mod 2^64`.
+    n_prime: u64,
+    /// `R mod n` (the Montgomery form of 1).
+    r_mod_n: Uint,
+    /// `R² mod n`, used to convert into Montgomery form.
+    r2_mod_n: Uint,
+}
+
+/// A value held in Montgomery form with respect to some context.
+///
+/// Thin wrapper to keep ordinary and Montgomery representations from being
+/// mixed accidentally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontElem(Uint);
+
+impl Montgomery {
+    /// Builds a context for the odd modulus `n >= 3`.
+    ///
+    /// # Errors
+    /// Returns [`BignumError::InvalidModulus`] for even or tiny moduli.
+    pub fn new(n: Uint) -> Result<Self, BignumError> {
+        if n.is_even() {
+            return Err(BignumError::InvalidModulus(
+                "Montgomery modulus must be odd",
+            ));
+        }
+        if n.bit_len() < 2 {
+            return Err(BignumError::InvalidModulus(
+                "Montgomery modulus must be >= 3",
+            ));
+        }
+        let limbs = n.limbs().len();
+        let n0 = n.limbs()[0];
+        let n_prime = inv_mod_2_64(n0).wrapping_neg();
+        let r = Uint::one().shl(limbs * 64);
+        let r_mod_n = r.rem_of(&n)?;
+        let r2_mod_n = r_mod_n.mod_mul(&r_mod_n, &n)?;
+        Ok(Montgomery {
+            n,
+            limbs,
+            n_prime,
+            r_mod_n,
+            r2_mod_n,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Uint {
+        &self.n
+    }
+
+    /// Converts an ordinary value (reduced mod `n` first) into Montgomery
+    /// form.
+    pub fn to_mont(&self, v: &Uint) -> MontElem {
+        let reduced = v.rem_of(&self.n).expect("modulus != 0");
+        MontElem(self.redc_mul(&reduced, &self.r2_mod_n))
+    }
+
+    /// Converts back from Montgomery form to an ordinary value in `[0, n)`.
+    pub fn from_mont(&self, v: &MontElem) -> Uint {
+        self.redc_mul(&v.0, &Uint::one())
+    }
+
+    /// The Montgomery form of 1.
+    pub fn one(&self) -> MontElem {
+        MontElem(self.r_mod_n.clone())
+    }
+
+    /// Montgomery product of two elements.
+    pub fn mul(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        MontElem(self.redc_mul(&a.0, &b.0))
+    }
+
+    /// Montgomery square.
+    pub fn square(&self, a: &MontElem) -> MontElem {
+        MontElem(self.redc_mul(&a.0, &a.0))
+    }
+
+    /// `base^exp mod n` using 4-bit fixed-window exponentiation.
+    ///
+    /// # Errors
+    /// Propagates reduction errors (none in practice for a valid context).
+    pub fn pow(&self, base: &Uint, exp: &Uint) -> Result<Uint, BignumError> {
+        let m = self.pow_mont(&self.to_mont(base), exp);
+        Ok(self.from_mont(&m))
+    }
+
+    /// Exponentiation with a base already in Montgomery form; the result
+    /// stays in Montgomery form. Useful when chaining many operations.
+    pub fn pow_mont(&self, base: &MontElem, exp: &Uint) -> MontElem {
+        if exp.is_zero() {
+            return self.one();
+        }
+        // Precompute base^0 .. base^(2^w - 1).
+        let table_len = 1usize << WINDOW_BITS;
+        let mut table = Vec::with_capacity(table_len);
+        table.push(self.one());
+        table.push(base.clone());
+        for i in 2..table_len {
+            table.push(self.mul(&table[i - 1], base));
+        }
+
+        let bits = exp.bit_len();
+        let top_window = bits.div_ceil(WINDOW_BITS);
+        let mut acc = self.one();
+        let mut started = false;
+        for w in (0..top_window).rev() {
+            if started {
+                for _ in 0..WINDOW_BITS {
+                    acc = self.square(&acc);
+                }
+            }
+            let mut digit = 0usize;
+            for b in 0..WINDOW_BITS {
+                let bit_index = w * WINDOW_BITS + b;
+                if exp.bit(bit_index) {
+                    digit |= 1 << b;
+                }
+            }
+            if digit != 0 {
+                acc = if started {
+                    self.mul(&acc, &table[digit])
+                } else {
+                    table[digit].clone()
+                };
+                started = true;
+            } else if started {
+                // Nothing to multiply for an all-zero window.
+            }
+        }
+        if !started {
+            self.one()
+        } else {
+            acc
+        }
+    }
+
+    /// Core REDC: computes `a·b·R⁻¹ mod n` for `a, b < n`.
+    ///
+    /// Implementation: full product then `limbs` rounds of single-limb
+    /// Montgomery reduction (the "coarsely integrated" form, simple and
+    /// fast enough for <= 4096-bit operands).
+    fn redc_mul(&self, a: &Uint, b: &Uint) -> Uint {
+        let k = self.limbs;
+        // t = a * b, laid out in a fixed 2k+1 buffer.
+        let mut t = vec![0u64; 2 * k + 1];
+        for (i, &al) in a.limbs().iter().enumerate() {
+            if al == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &bl) in b.limbs().iter().enumerate() {
+                let p = al as u128 * bl as u128 + t[i + j] as u128 + carry as u128;
+                t[i + j] = p as u64;
+                carry = (p >> 64) as u64;
+            }
+            let mut idx = i + b.limbs().len();
+            while carry != 0 {
+                let (s, c) = t[idx].overflowing_add(carry);
+                t[idx] = s;
+                carry = c as u64;
+                idx += 1;
+            }
+        }
+
+        let nl = self.n.limbs();
+        for i in 0..k {
+            let m = t[i].wrapping_mul(self.n_prime);
+            if m == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &njl) in nl.iter().enumerate() {
+                let p = m as u128 * njl as u128 + t[i + j] as u128 + carry as u128;
+                t[i + j] = p as u64;
+                carry = (p >> 64) as u64;
+            }
+            let mut idx = i + nl.len();
+            while carry != 0 {
+                let (s, c) = t[idx].overflowing_add(carry);
+                t[idx] = s;
+                carry = c as u64;
+                idx += 1;
+            }
+        }
+
+        let mut out = Uint::from_limbs(t[k..].to_vec());
+        if out >= self.n {
+            out = &out - &self.n;
+        }
+        out
+    }
+}
+
+/// Inverse of an odd `x` modulo 2^64, by Newton–Hensel lifting
+/// (5 iterations double the valid bits from 5 to 64+).
+fn inv_mod_2_64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct to 3 bits (x * x ≡ 1 mod 8 for odd x)
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn inv_mod_2_64_correct() {
+        for x in [1u64, 3, 5, 0xdead_beef | 1, u64::MAX] {
+            assert_eq!(x.wrapping_mul(inv_mod_2_64(x)), 1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(Montgomery::new(Uint::from_u64(10)).is_err());
+        assert!(Montgomery::new(Uint::zero()).is_err());
+        assert!(Montgomery::new(Uint::one()).is_err());
+        assert!(Montgomery::new(Uint::from_u64(3)).is_ok());
+    }
+
+    #[test]
+    fn to_from_mont_round_trip() {
+        let n = Uint::from_decimal("100000000000000000000000000000000000133").unwrap();
+        let ctx = Montgomery::new(n.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let v = Uint::from_u128(rng.gen::<u128>()).rem_of(&n).unwrap();
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&v)), v);
+        }
+    }
+
+    #[test]
+    fn mul_matches_generic() {
+        let n = Uint::from_decimal("170141183460469231731687303715884105727").unwrap(); // 2^127-1
+        let ctx = Montgomery::new(n.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..50 {
+            let a = Uint::from_u128(rng.gen()).rem_of(&n).unwrap();
+            let b = Uint::from_u128(rng.gen()).rem_of(&n).unwrap();
+            let got = ctx.from_mont(&ctx.mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            assert_eq!(got, a.mod_mul(&b, &n).unwrap());
+        }
+    }
+
+    #[test]
+    fn pow_matches_generic() {
+        let n = Uint::from_u64(1_000_000_007);
+        let ctx = Montgomery::new(n.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let base = Uint::from_u64(rng.gen());
+            let exp = Uint::from_u64(rng.gen::<u64>() >> rng.gen_range(0..60));
+            assert_eq!(
+                ctx.pow(&base, &exp).unwrap(),
+                base.mod_pow(&exp, &n).unwrap(),
+                "base={base} exp={exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let n = Uint::from_u64(97);
+        let ctx = Montgomery::new(n).unwrap();
+        assert_eq!(
+            ctx.pow(&Uint::from_u64(5), &Uint::zero()).unwrap(),
+            Uint::one()
+        );
+        assert_eq!(
+            ctx.pow(&Uint::zero(), &Uint::from_u64(5)).unwrap(),
+            Uint::zero()
+        );
+        assert_eq!(
+            ctx.pow(&Uint::from_u64(5), &Uint::one()).unwrap(),
+            Uint::from_u64(5)
+        );
+        assert_eq!(
+            ctx.pow(&Uint::from_u64(96), &Uint::from_u64(2)).unwrap(),
+            Uint::one()
+        );
+    }
+
+    #[test]
+    fn pow_large_modulus() {
+        // 512-bit odd modulus: exercise the multi-limb REDC path used by
+        // Paillier with the paper's key size.
+        let n = Uint::from_hex(
+            "f3e9c1a75b20d4886e5a09f1c3b7d2594a6e8b0c7d1f2a3b4c5d6e7f8091a2b3\
+             c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f708192a3b4c5d6e7f8091a2b5",
+        )
+        .unwrap();
+        let ctx = Montgomery::new(n.clone()).unwrap();
+        let base = Uint::from_u64(0xabcdef);
+        let exp = Uint::from_u64(65_537);
+        assert_eq!(
+            ctx.pow(&base, &exp).unwrap(),
+            base.mod_pow(&exp, &n).unwrap()
+        );
+    }
+
+    #[test]
+    fn pow_mont_chaining() {
+        let n = Uint::from_u64(101);
+        let ctx = Montgomery::new(n).unwrap();
+        // (3^5)^2 == 3^10 via chained Montgomery ops.
+        let b = ctx.to_mont(&Uint::from_u64(3));
+        let p5 = ctx.pow_mont(&b, &Uint::from_u64(5));
+        let p10 = ctx.pow_mont(&b, &Uint::from_u64(10));
+        assert_eq!(ctx.mul(&p5, &p5), p10);
+    }
+}

@@ -1,0 +1,188 @@
+//! Multiplication for [`Uint`]: schoolbook for small operands, Karatsuba
+//! above [`KARATSUBA_THRESHOLD`] limbs.
+
+use std::ops::{Mul, MulAssign};
+
+use crate::uint::Uint;
+
+/// Operand size (in limbs) above which Karatsuba is used.
+///
+/// Below this, the O(n²) schoolbook loop wins on constant factors; 512-bit
+/// Paillier ciphertext arithmetic (16 limbs for N²) stays in the schoolbook
+/// regime, while 2048-bit keys benefit from Karatsuba.
+pub const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Schoolbook product of limb slices into a fresh vector.
+fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &al) in a.iter().enumerate() {
+        if al == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bl) in b.iter().enumerate() {
+            let t = al as u128 * bl as u128 + out[i + j] as u128 + carry as u128;
+            out[i + j] = t as u64;
+            carry = (t >> 64) as u64;
+        }
+        out[i + b.len()] = carry;
+    }
+    out
+}
+
+/// Karatsuba recursion on [`Uint`] values.
+fn karatsuba(a: &Uint, b: &Uint) -> Uint {
+    let n = a.limbs().len().min(b.limbs().len());
+    if n < KARATSUBA_THRESHOLD {
+        return Uint::from_limbs(schoolbook(a.limbs(), b.limbs()));
+    }
+    let half = n / 2;
+    let split = |u: &Uint| -> (Uint, Uint) {
+        let limbs = u.limbs();
+        let lo = Uint::from_limbs(limbs[..half.min(limbs.len())].to_vec());
+        let hi = if limbs.len() > half {
+            Uint::from_limbs(limbs[half..].to_vec())
+        } else {
+            Uint::zero()
+        };
+        (lo, hi)
+    };
+    let (a0, a1) = split(a);
+    let (b0, b1) = split(b);
+
+    let z0 = karatsuba(&a0, &b0);
+    let z2 = karatsuba(&a1, &b1);
+    let (da, _sa) = a1.abs_diff(&a0);
+    let (db, _sb) = b1.abs_diff(&b0);
+    let neg_mid = _sa != _sb;
+    let zmid = karatsuba(&da, &db);
+    // z1 = a1*b0 + a0*b1 = z0 + z2 - sign*(a1-a0)(b1-b0)
+    let z1 = if neg_mid {
+        // (a1-a0)(b1-b0) < 0 so z1 = z0 + z2 + |mid|
+        &(&z0 + &z2) + &zmid
+    } else {
+        (&z0 + &z2)
+            .checked_sub(&zmid)
+            .expect("Karatsuba middle term cannot exceed z0 + z2")
+    };
+
+    let shift = half * 64;
+    &(&z2.shl(2 * shift) + &z1.shl(shift)) + &z0
+}
+
+impl Uint {
+    /// `self * self`, slightly cheaper to call than `self * self` in hot
+    /// code and clearer at call sites.
+    pub fn square(&self) -> Uint {
+        self * self
+    }
+}
+
+impl Mul<&Uint> for &Uint {
+    type Output = Uint;
+
+    fn mul(self, rhs: &Uint) -> Uint {
+        if self.is_zero() || rhs.is_zero() {
+            return Uint::zero();
+        }
+        if self.limbs().len().min(rhs.limbs().len()) >= KARATSUBA_THRESHOLD {
+            karatsuba(self, rhs)
+        } else {
+            Uint::from_limbs(schoolbook(self.limbs(), rhs.limbs()))
+        }
+    }
+}
+
+impl Mul<Uint> for Uint {
+    type Output = Uint;
+
+    fn mul(self, rhs: Uint) -> Uint {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&Uint> for Uint {
+    fn mul_assign(&mut self, rhs: &Uint) {
+        *self = &*self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_uint(rng: &mut StdRng, limbs: usize) -> Uint {
+        Uint::from_limbs((0..limbs).map(|_| rng.gen()).collect())
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(&Uint::from_u64(6) * &Uint::from_u64(7), Uint::from_u64(42));
+        assert_eq!(&Uint::zero() * &Uint::from_u64(7), Uint::zero());
+        assert_eq!(&Uint::one() * &Uint::from_u64(7), Uint::from_u64(7));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [
+            (u64::MAX as u128, u64::MAX as u128),
+            (0x1234_5678_9abc_def0, 0xfedc_ba98_7654_3210),
+            (1u128 << 63, 3),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                &Uint::from_u128(a) * &Uint::from_u128(b),
+                Uint::from_u128(a * b)
+            );
+        }
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let a = Uint::from_hex("deadbeefcafebabe1234567890abcdef").unwrap();
+        assert_eq!(a.square(), &a * &a);
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for limbs in [
+            KARATSUBA_THRESHOLD,
+            KARATSUBA_THRESHOLD + 3,
+            2 * KARATSUBA_THRESHOLD + 1,
+        ] {
+            for _ in 0..5 {
+                let a = random_uint(&mut rng, limbs);
+                let b = random_uint(&mut rng, limbs);
+                let fast = karatsuba(&a, &b);
+                let slow = Uint::from_limbs(schoolbook(a.limbs(), b.limbs()));
+                assert_eq!(fast, slow, "limbs = {limbs}");
+            }
+        }
+    }
+
+    #[test]
+    fn karatsuba_unbalanced_operands() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random_uint(&mut rng, 3 * KARATSUBA_THRESHOLD);
+        let b = random_uint(&mut rng, KARATSUBA_THRESHOLD);
+        assert_eq!(
+            karatsuba(&a, &b),
+            Uint::from_limbs(schoolbook(a.limbs(), b.limbs()))
+        );
+    }
+
+    #[test]
+    fn distributive_law() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_uint(&mut rng, 10);
+        let b = random_uint(&mut rng, 10);
+        let c = random_uint(&mut rng, 10);
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+}

@@ -1,0 +1,164 @@
+//! Random [`Uint`] sampling helpers.
+
+use rand::RngCore;
+
+use crate::error::BignumError;
+use crate::uint::Uint;
+
+impl Uint {
+    /// Samples a uniform integer with exactly `bits` significant bits
+    /// (the top bit is forced to 1), e.g. for prime candidates.
+    ///
+    /// `bits == 0` returns zero.
+    pub fn random_bits_exact(rng: &mut dyn RngCore, bits: usize) -> Uint {
+        if bits == 0 {
+            return Uint::zero();
+        }
+        let mut v = Self::random_below_bits(rng, bits);
+        v.set_bit(bits - 1, true);
+        v
+    }
+
+    /// Samples a uniform integer in `[0, 2^bits)`.
+    pub fn random_below_bits(rng: &mut dyn RngCore, bits: usize) -> Uint {
+        if bits == 0 {
+            return Uint::zero();
+        }
+        let limbs = bits.div_ceil(64);
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+        let top_bits = bits % 64;
+        if top_bits != 0 {
+            v[limbs - 1] &= (1u64 << top_bits) - 1;
+        }
+        Uint::from_limbs(v)
+    }
+
+    /// Samples a uniform integer in `[0, bound)` by rejection.
+    ///
+    /// # Errors
+    /// Returns [`BignumError::EmptyRange`] when `bound == 0`.
+    pub fn random_below(rng: &mut dyn RngCore, bound: &Uint) -> Result<Uint, BignumError> {
+        if bound.is_zero() {
+            return Err(BignumError::EmptyRange);
+        }
+        let bits = bound.bit_len();
+        // Expected < 2 iterations: each draw lands below `bound` with
+        // probability >= 1/2 since bound has `bits` bits.
+        loop {
+            let candidate = Self::random_below_bits(rng, bits);
+            if &candidate < bound {
+                return Ok(candidate);
+            }
+        }
+    }
+
+    /// Samples a uniform integer in `[low, high)`.
+    ///
+    /// # Errors
+    /// Returns [`BignumError::EmptyRange`] when `low >= high`.
+    pub fn random_range(
+        rng: &mut dyn RngCore,
+        low: &Uint,
+        high: &Uint,
+    ) -> Result<Uint, BignumError> {
+        if low >= high {
+            return Err(BignumError::EmptyRange);
+        }
+        let span = high - low;
+        Ok(low + &Self::random_below(rng, &span)?)
+    }
+
+    /// Samples a uniform element of the multiplicative group `Z*_n`,
+    /// i.e. a value in `[1, n)` coprime to `n`.
+    ///
+    /// # Errors
+    /// Returns [`BignumError::EmptyRange`] when `n < 2`.
+    pub fn random_coprime(rng: &mut dyn RngCore, n: &Uint) -> Result<Uint, BignumError> {
+        if n.bit_len() < 2 {
+            return Err(BignumError::EmptyRange);
+        }
+        loop {
+            let candidate = Self::random_range(rng, &Uint::one(), n)?;
+            if candidate.gcd(n).is_one() {
+                return Ok(candidate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_bits() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for bits in [1usize, 5, 63, 64, 65, 512] {
+            let v = Uint::random_bits_exact(&mut rng, bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+        assert!(Uint::random_bits_exact(&mut rng, 0).is_zero());
+    }
+
+    #[test]
+    fn below_bits_bound() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let v = Uint::random_below_bits(&mut rng, 10);
+            assert!(v < Uint::from_u64(1024));
+        }
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let bound = Uint::from_u64(1000);
+        for _ in 0..200 {
+            assert!(Uint::random_below(&mut rng, &bound).unwrap() < bound);
+        }
+        assert!(Uint::random_below(&mut rng, &Uint::zero()).is_err());
+    }
+
+    #[test]
+    fn random_below_covers_range() {
+        // With bound 3 and 300 draws, all residues should appear.
+        let mut rng = StdRng::seed_from_u64(14);
+        let bound = Uint::from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            let v = Uint::random_below(&mut rng, &bound)
+                .unwrap()
+                .to_u64()
+                .unwrap();
+            seen[v as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn random_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let low = Uint::from_u64(100);
+        let high = Uint::from_u64(110);
+        for _ in 0..100 {
+            let v = Uint::random_range(&mut rng, &low, &high).unwrap();
+            assert!(v >= low && v < high);
+        }
+        assert!(Uint::random_range(&mut rng, &high, &low).is_err());
+        assert!(Uint::random_range(&mut rng, &low, &low).is_err());
+    }
+
+    #[test]
+    fn random_coprime_is_coprime() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let n = Uint::from_u64(720); // plenty of small factors
+        for _ in 0..50 {
+            let v = Uint::random_coprime(&mut rng, &n).unwrap();
+            assert!(v.gcd(&n).is_one());
+            assert!(!v.is_zero() && v < n);
+        }
+        assert!(Uint::random_coprime(&mut rng, &Uint::one()).is_err());
+    }
+}

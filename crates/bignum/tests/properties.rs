@@ -1,0 +1,209 @@
+//! Property-based tests for `pps-bignum`: ring axioms against a `u128`
+//! oracle, division reconstruction, modular-arithmetic laws, and codec
+//! round trips over arbitrary-size operands.
+
+use pps_bignum::{crt_combine, Montgomery, Uint};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary Uint of up to `max_limbs` limbs.
+fn uint(max_limbs: usize) -> impl Strategy<Value = Uint> {
+    prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(Uint::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // --- u128 oracle: every operation must agree with native arithmetic ---
+
+    #[test]
+    fn add_oracle(a in any::<u64>(), b in any::<u64>()) {
+        let sum = &Uint::from_u64(a) + &Uint::from_u64(b);
+        prop_assert_eq!(sum, Uint::from_u128(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_oracle(a in any::<u64>(), b in any::<u64>()) {
+        let prod = &Uint::from_u64(a) * &Uint::from_u64(b);
+        prop_assert_eq!(prod, Uint::from_u128(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_oracle(a in any::<u128>(), b in 1..=u128::MAX) {
+        let (q, r) = Uint::from_u128(a).div_rem(&Uint::from_u128(b)).unwrap();
+        prop_assert_eq!(q, Uint::from_u128(a / b));
+        prop_assert_eq!(r, Uint::from_u128(a % b));
+    }
+
+    #[test]
+    fn sub_oracle(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let diff = &Uint::from_u128(hi) - &Uint::from_u128(lo);
+        prop_assert_eq!(diff, Uint::from_u128(hi - lo));
+    }
+
+    // --- ring axioms on large operands ---
+
+    #[test]
+    fn add_commutes(a in uint(12), b in uint(12)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in uint(8), b in uint(8), c in uint(8)) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in uint(10), b in uint(10)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associates(a in uint(5), b in uint(5), c in uint(5)) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn distributivity(a in uint(6), b in uint(6), c in uint(6)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn add_identity(a in uint(12)) {
+        prop_assert_eq!(&a + &Uint::zero(), a.clone());
+        prop_assert_eq!(&a * &Uint::one(), a);
+    }
+
+    // --- division reconstruction on large operands ---
+
+    #[test]
+    fn div_rem_reconstructs(a in uint(16), b in uint(9)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    // --- shifts are multiplication/division by powers of two ---
+
+    #[test]
+    fn shl_is_mul_pow2(a in uint(6), k in 0usize..200) {
+        prop_assert_eq!(a.shl(k), &a * &Uint::one().shl(k));
+    }
+
+    #[test]
+    fn shl_shr_round_trip(a in uint(6), k in 0usize..200) {
+        prop_assert_eq!(a.shl(k).shr(k), a);
+    }
+
+    // --- codecs round-trip ---
+
+    #[test]
+    fn bytes_round_trip(a in uint(10)) {
+        prop_assert_eq!(Uint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_round_trip(a in uint(10)) {
+        prop_assert_eq!(Uint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_round_trip(a in uint(6)) {
+        prop_assert_eq!(Uint::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    // --- gcd laws ---
+
+    #[test]
+    fn gcd_divides_both(a in uint(6), b in uint(6)) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.rem_of(&g).unwrap().is_zero());
+            prop_assert!(b.rem_of(&g).unwrap().is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn gcd_lcm_product(a in 1u64.., b in 1u64..) {
+        let (a, b) = (Uint::from_u64(a), Uint::from_u64(b));
+        prop_assert_eq!(&a.gcd(&b) * &a.lcm(&b), &a * &b);
+    }
+
+    // --- modular arithmetic laws ---
+
+    #[test]
+    fn mod_add_matches_oracle(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        let got = Uint::from_u64(a).mod_add(&Uint::from_u64(b), &Uint::from_u64(m)).unwrap();
+        prop_assert_eq!(got, Uint::from_u128((a as u128 + b as u128) % m as u128));
+    }
+
+    #[test]
+    fn mod_sub_then_add_cancels(a in any::<u64>(), b in any::<u64>(), m in 2u64..) {
+        let m = Uint::from_u64(m);
+        let a = Uint::from_u64(a);
+        let b = Uint::from_u64(b);
+        let d = a.mod_sub(&b, &m).unwrap();
+        prop_assert_eq!(d.mod_add(&b, &m).unwrap(), a.rem_of(&m).unwrap());
+    }
+
+    #[test]
+    fn mod_pow_small_exponent_oracle(a in any::<u32>(), e in 0u32..12, m in 2u64..) {
+        let m_big = Uint::from_u64(m);
+        let got = Uint::from_u64(a as u64).mod_pow(&Uint::from_u64(e as u64), &m_big).unwrap();
+        let mut expect = 1u128;
+        for _ in 0..e {
+            expect = expect * (a as u128 % m as u128) % m as u128;
+        }
+        prop_assert_eq!(got, Uint::from_u128(expect));
+    }
+
+    // --- Montgomery agrees with the generic path ---
+
+    #[test]
+    fn montgomery_pow_matches_generic(
+        base in uint(5),
+        exp in uint(2),
+        m in uint(5),
+    ) {
+        prop_assume!(m.is_odd() && m.bit_len() >= 2);
+        let ctx = Montgomery::new(m.clone()).unwrap();
+        prop_assert_eq!(ctx.pow(&base, &exp).unwrap(), base.mod_pow(&exp, &m).unwrap());
+    }
+
+    #[test]
+    fn montgomery_mul_matches_generic(a in uint(5), b in uint(5), m in uint(5)) {
+        prop_assume!(m.is_odd() && m.bit_len() >= 2);
+        let ctx = Montgomery::new(m.clone()).unwrap();
+        let got = ctx.from_mont(&ctx.mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        prop_assert_eq!(got, a.mod_mul(&b, &m).unwrap());
+    }
+
+    // --- inverse really inverts ---
+
+    #[test]
+    fn mod_inverse_multiplies_to_one(a in uint(4), m in uint(4)) {
+        prop_assume!(m.bit_len() >= 2);
+        if let Ok(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!(a.mod_mul(&inv, &m).unwrap(), Uint::one());
+        } else {
+            prop_assert!(!a.gcd(&m).is_one());
+        }
+    }
+
+    // --- CRT reconstructs ---
+
+    #[test]
+    fn crt_reconstructs(x in any::<u64>(), p in 2u64..50_000, q in 2u64..50_000) {
+        let (p, q) = (Uint::from_u64(p), Uint::from_u64(q));
+        prop_assume!(p.gcd(&q).is_one());
+        let x = Uint::from_u64(x).rem_of(&(&p * &q)).unwrap();
+        let got = crt_combine(
+            &[x.rem_of(&p).unwrap(), x.rem_of(&q).unwrap()],
+            &[p, q],
+        ).unwrap();
+        prop_assert_eq!(got, x);
+    }
+}

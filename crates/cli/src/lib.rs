@@ -1,0 +1,561 @@
+//! # pps-cli
+//!
+//! A deployable command-line tool for the private selected-sum protocol
+//! over real TCP:
+//!
+//! ```sh
+//! # Terminal 1 — a server over a value file (one u64 per line):
+//! pps serve --data salaries.txt --listen 127.0.0.1:7070
+//!
+//! # Terminal 2 — a private query for rows 1, 4 and 6:
+//! pps query --addr 127.0.0.1:7070 --select 1,4,6 --key-bits 512
+//!
+//! # Key management:
+//! pps keygen --bits 2048 --out client.key
+//! pps query --addr 127.0.0.1:7070 --select 0,2 --key client.key
+//! ```
+//!
+//! The binary is a thin `main`; everything here is library code so the
+//! argument parser, file loader, and both endpoints are unit- and
+//! integration-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::net::TcpListener;
+use std::path::Path;
+
+use pps_crypto::{PaillierKeypair, PaillierSecretKey};
+use pps_protocol::messages::{SizeReply, SizeRequest};
+use pps_protocol::{FoldStrategy, IndexSource, Selection, ServerSession, SumClient};
+use pps_transport::{TcpWire, Wire};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exit-style error for the CLI: message for stderr plus a process code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Parsed command.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// Serve a database over TCP.
+    Serve {
+        /// Value file path (one u64 per line), or None with `random`.
+        data: Option<String>,
+        /// Generate this many random 32-bit values instead of a file.
+        random: Option<usize>,
+        /// Listen address.
+        listen: String,
+        /// Serve at most this many sessions, then exit (None = forever).
+        max_sessions: Option<usize>,
+        /// Server fold strategy.
+        fold: FoldStrategy,
+    },
+    /// Issue one private selected-sum query.
+    Query {
+        /// Server address.
+        addr: String,
+        /// Selected row indices.
+        select: Vec<usize>,
+        /// Key size for an ephemeral key.
+        key_bits: usize,
+        /// Path to a stored secret key (overrides `key_bits`).
+        key_file: Option<String>,
+        /// Batch size for streaming.
+        batch: usize,
+    },
+    /// Generate and store a keypair.
+    Keygen {
+        /// Modulus size.
+        bits: usize,
+        /// Output path for the secret key bytes.
+        out: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+pps — private selected-sum queries over TCP
+
+USAGE:
+  pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K] [--fold incremental|multiexp]
+  pps query  --addr ADDR --select i,j,k [--key-bits B | --key FILE] [--batch SIZE]
+  pps keygen --bits B --out FILE
+  pps help
+";
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+/// [`CliError`] with usage text for any malformed invocation.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    let mut opts: Vec<(String, Option<String>)> = Vec::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let k = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| CliError::usage(format!("unexpected argument {}\n{USAGE}", rest[i])))?;
+        let v = rest
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .map(|v| v.to_string());
+        i += 1 + v.is_some() as usize;
+        opts.push((k.to_string(), v));
+    }
+    let get = |name: &str| {
+        opts.iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.clone())
+    };
+
+    match sub {
+        "serve" => {
+            let data = get("data");
+            let random = get("random")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| CliError::usage("bad --random"))
+                })
+                .transpose()?;
+            if data.is_some() == random.is_some() {
+                return Err(CliError::usage(format!(
+                    "serve needs exactly one of --data or --random\n{USAGE}"
+                )));
+            }
+            let fold = match get("fold").as_deref() {
+                None | Some("incremental") => FoldStrategy::Incremental,
+                Some("multiexp") => FoldStrategy::MultiExp,
+                Some(other) => {
+                    return Err(CliError::usage(format!("unknown fold strategy {other}")))
+                }
+            };
+            Ok(Command::Serve {
+                data,
+                random,
+                listen: get("listen").unwrap_or_else(|| "127.0.0.1:7070".into()),
+                max_sessions: get("max-sessions")
+                    .map(|v| v.parse().map_err(|_| CliError::usage("bad --max-sessions")))
+                    .transpose()?,
+                fold,
+            })
+        }
+        "query" => {
+            let addr = get("addr").ok_or_else(|| CliError::usage("query needs --addr"))?;
+            let select = get("select")
+                .ok_or_else(|| CliError::usage("query needs --select i,j,k"))?
+                .split(',')
+                .map(|s| s.trim().parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|_| CliError::usage("bad --select list"))?;
+            if select.is_empty() {
+                return Err(CliError::usage("--select must name at least one row"));
+            }
+            let key_bits = get("key-bits")
+                .map(|v| v.parse().map_err(|_| CliError::usage("bad --key-bits")))
+                .transpose()?
+                .unwrap_or(pps_crypto::DEFAULT_KEY_BITS);
+            let batch = get("batch")
+                .map(|v| v.parse().map_err(|_| CliError::usage("bad --batch")))
+                .transpose()?
+                .unwrap_or(100);
+            if batch == 0 {
+                return Err(CliError::usage("--batch must be positive"));
+            }
+            Ok(Command::Query {
+                addr,
+                select,
+                key_bits,
+                key_file: get("key"),
+                batch,
+            })
+        }
+        "keygen" => {
+            let bits = get("bits")
+                .ok_or_else(|| CliError::usage("keygen needs --bits"))?
+                .parse()
+                .map_err(|_| CliError::usage("bad --bits"))?;
+            let out = get("out").ok_or_else(|| CliError::usage("keygen needs --out"))?;
+            Ok(Command::Keygen { bits, out })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError::usage(format!("unknown command {other}\n{USAGE}"))),
+    }
+}
+
+/// Loads a value file: one unsigned integer per line; blank lines and
+/// `#` comments ignored.
+///
+/// # Errors
+/// [`CliError`] on I/O failure or unparseable lines.
+pub fn load_values(path: &Path) -> Result<Vec<u64>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))?;
+    let mut values = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v = line.parse::<u64>().map_err(|_| {
+            CliError::runtime(format!(
+                "{}:{}: not a u64: {line:?}",
+                path.display(),
+                lineno + 1
+            ))
+        })?;
+        values.push(v);
+    }
+    if values.is_empty() {
+        return Err(CliError::runtime(format!("{}: no values", path.display())));
+    }
+    Ok(values)
+}
+
+/// Runs the server: accepts connections, serves one protocol session per
+/// connection. Returns after `max_sessions` sessions (or never).
+///
+/// # Errors
+/// [`CliError`] on bind failure; per-session errors are logged to stderr
+/// and do not kill the server.
+pub fn run_server(
+    values: Vec<u64>,
+    listen: &str,
+    max_sessions: Option<usize>,
+    fold: FoldStrategy,
+    log: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let db = pps_protocol::Database::new(values)
+        .map_err(|e| CliError::runtime(format!("bad database: {e}")))?;
+    let listener = TcpListener::bind(listen)
+        .map_err(|e| CliError::runtime(format!("cannot bind {listen}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let _ = writeln!(log, "serving {} rows on {local}", db.len());
+
+    let mut served = 0usize;
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = writeln!(log, "accept error: {e}");
+                continue;
+            }
+        };
+        let mut wire = TcpWire::new(stream);
+        let mut session = ServerSession::with_fold(&db, fold);
+        let result: Result<(), Box<dyn std::error::Error>> = (|| {
+            while !session.is_done() {
+                let frame = wire.recv()?;
+                if let Some(reply) = session.on_frame(&frame)? {
+                    wire.send(reply)?;
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                let _ = writeln!(
+                    log,
+                    "session {}: folded {} indices in {:?}",
+                    served + 1,
+                    session.stats().folded,
+                    session.stats().compute
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(log, "session {} failed: {e}", served + 1);
+            }
+        }
+        served += 1;
+        if max_sessions.is_some_and(|m| served >= m) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Result of one CLI query.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The private sum.
+    pub sum: u128,
+    /// Database size discovered from the server.
+    pub n: usize,
+    /// Rows requested.
+    pub selected: usize,
+    /// Bytes sent / received.
+    pub bytes: (usize, usize),
+}
+
+/// Runs one query against a listening server.
+///
+/// # Errors
+/// [`CliError`] on connection, key, or protocol failure.
+pub fn run_query(
+    addr: &str,
+    select: &[usize],
+    key_bits: usize,
+    key_file: Option<&Path>,
+    batch: usize,
+    rng: &mut StdRng,
+) -> Result<QueryOutcome, CliError> {
+    let client = match key_file {
+        Some(path) => {
+            let bytes = std::fs::read(path)
+                .map_err(|e| CliError::runtime(format!("cannot read key: {e}")))?;
+            SumClient::new(
+                PaillierSecretKey::keypair_from_bytes(&bytes)
+                    .map_err(|e| CliError::runtime(format!("bad key file: {e}")))?,
+            )
+        }
+        None => SumClient::generate(key_bits, rng)
+            .map_err(|e| CliError::runtime(format!("keygen failed: {e}")))?,
+    };
+
+    let mut wire =
+        TcpWire::connect(addr).map_err(|e| CliError::runtime(format!("connect: {e}")))?;
+
+    // Discover the database size.
+    wire.send(
+        SizeRequest
+            .encode()
+            .map_err(|e| CliError::runtime(e.to_string()))?,
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let reply = wire.recv().map_err(|e| CliError::runtime(e.to_string()))?;
+    let n = SizeReply::decode(&reply)
+        .map_err(|e| CliError::runtime(e.to_string()))?
+        .n as usize;
+
+    let selection = Selection::from_indices(n, select)
+        .map_err(|e| CliError::runtime(format!("bad selection: {e}")))?;
+
+    let mut source = IndexSource::Fresh(rng);
+    client
+        .send_query(&mut wire, &selection, batch, &mut source)
+        .map_err(|e| CliError::runtime(format!("query failed: {e}")))?;
+    let (sum, _) = client
+        .receive_result(&mut wire)
+        .map_err(|e| CliError::runtime(format!("result failed: {e}")))?;
+    let sum = sum
+        .to_u128()
+        .ok_or_else(|| CliError::runtime("sum exceeds 128 bits".to_string()))?;
+    let stats = wire.stats();
+    Ok(QueryOutcome {
+        sum,
+        n,
+        selected: select.len(),
+        bytes: (stats.payload_bytes_sent, stats.payload_bytes_received),
+    })
+}
+
+/// Generates a keypair and writes the secret bytes to `out`.
+///
+/// # Errors
+/// [`CliError`] on keygen or I/O failure.
+pub fn run_keygen(bits: usize, out: &Path, rng: &mut StdRng) -> Result<(), CliError> {
+    let kp = PaillierKeypair::generate(bits, rng)
+        .map_err(|e| CliError::runtime(format!("keygen failed: {e}")))?;
+    std::fs::write(out, kp.secret.to_bytes())
+        .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", out.display())))?;
+    Ok(())
+}
+
+/// Entry point shared by `main` and the integration tests.
+///
+/// # Errors
+/// [`CliError`] carrying the process exit code.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    match parse_args(args)? {
+        Command::Help => {
+            let _ = out.write_all(USAGE.as_bytes());
+            Ok(())
+        }
+        Command::Keygen { bits, out: path } => {
+            let mut rng = StdRng::from_entropy();
+            run_keygen(bits, Path::new(&path), &mut rng)?;
+            let _ = writeln!(out, "wrote {bits}-bit secret key to {path}");
+            Ok(())
+        }
+        Command::Serve {
+            data,
+            random,
+            listen,
+            max_sessions,
+            fold,
+        } => {
+            let values = match (data, random) {
+                (Some(path), None) => load_values(Path::new(&path))?,
+                (None, Some(n)) => {
+                    let mut rng = StdRng::from_entropy();
+                    (0..n)
+                        .map(|_| rand::Rng::gen::<u32>(&mut rng) as u64)
+                        .collect()
+                }
+                _ => unreachable!("parse_args enforces exactly one source"),
+            };
+            run_server(values, &listen, max_sessions, fold, out)
+        }
+        Command::Query {
+            addr,
+            select,
+            key_bits,
+            key_file,
+            batch,
+        } => {
+            let mut rng = StdRng::from_entropy();
+            let outcome = run_query(
+                &addr,
+                &select,
+                key_bits,
+                key_file.as_deref().map(Path::new),
+                batch,
+                &mut rng,
+            )?;
+            let _ = writeln!(
+                out,
+                "private sum of {} selected rows (of {}): {}",
+                outcome.selected, outcome.n, outcome.sum
+            );
+            let _ = writeln!(
+                out,
+                "traffic: {} B up, {} B down",
+                outcome.bytes.0, outcome.bytes.1
+            );
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_serve() {
+        let c = parse_args(&args(
+            "serve --random 100 --listen 0.0.0.0:9 --fold multiexp",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                data: None,
+                random: Some(100),
+                listen: "0.0.0.0:9".into(),
+                max_sessions: None,
+                fold: FoldStrategy::MultiExp,
+            }
+        );
+        assert!(parse_args(&args("serve")).is_err(), "needs a data source");
+        assert!(
+            parse_args(&args("serve --data f --random 5")).is_err(),
+            "not both"
+        );
+        assert!(parse_args(&args("serve --random 5 --fold bogus")).is_err());
+    }
+
+    #[test]
+    fn parse_query() {
+        let c = parse_args(&args(
+            "query --addr 1.2.3.4:5 --select 1,2,3 --key-bits 512",
+        ))
+        .unwrap();
+        match c {
+            Command::Query {
+                addr,
+                select,
+                key_bits,
+                key_file,
+                batch,
+            } => {
+                assert_eq!(addr, "1.2.3.4:5");
+                assert_eq!(select, vec![1, 2, 3]);
+                assert_eq!(key_bits, 512);
+                assert_eq!(key_file, None);
+                assert_eq!(batch, 100);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("query --select 1")).is_err(), "needs addr");
+        assert!(
+            parse_args(&args("query --addr a:1")).is_err(),
+            "needs select"
+        );
+        assert!(parse_args(&args("query --addr a:1 --select x")).is_err());
+        assert!(parse_args(&args("query --addr a:1 --select 1 --batch 0")).is_err());
+    }
+
+    #[test]
+    fn parse_keygen_and_help() {
+        let c = parse_args(&args("keygen --bits 256 --out k.bin")).unwrap();
+        assert_eq!(
+            c,
+            Command::Keygen {
+                bits: 256,
+                out: "k.bin".into()
+            }
+        );
+        assert!(parse_args(&args("keygen --bits x --out k")).is_err());
+        assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert!(parse_args(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn load_values_parses_and_validates() {
+        let dir = std::env::temp_dir().join("pps-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("values.txt");
+        std::fs::write(&path, "# comment\n10\n\n 20 \n30\n").unwrap();
+        assert_eq!(load_values(&path).unwrap(), vec![10, 20, 30]);
+
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "10\nnope\n").unwrap();
+        assert!(load_values(&bad).is_err());
+
+        let empty = dir.join("empty.txt");
+        std::fs::write(&empty, "# nothing\n").unwrap();
+        assert!(load_values(&empty).is_err());
+
+        assert!(load_values(Path::new("/definitely/not/here")).is_err());
+    }
+}

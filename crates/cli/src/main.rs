@@ -1,0 +1,10 @@
+//! `pps` binary entry point: parse, dispatch, exit with the right code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = pps_cli::run(&args, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(e.code);
+    }
+}

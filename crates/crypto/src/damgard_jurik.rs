@@ -1,0 +1,510 @@
+//! The Damgård–Jurik generalization of Paillier (PKC 2001).
+//!
+//! Paillier works modulo `N²` with plaintext space `Z_N`; Damgård–Jurik
+//! works modulo `N^{s+1}` with plaintext space `Z_{N^s}` for any `s ≥ 1`
+//! (`s = 1` *is* Paillier). The same additive homomorphism holds, so the
+//! selected-sum protocol's message-space ceiling — the `SumOverflow`
+//! guard in `pps-protocol` — can be lifted arbitrarily without changing
+//! the key: a 512-bit `N` at `s = 4` carries 2048-bit sums.
+//!
+//! * Encryption: `E(m; r) = (1+N)^m · r^{N^s} mod N^{s+1}`.
+//! * Decryption: with `d ≡ 1 (mod N^s)`, `d ≡ 0 (mod λ)`, compute
+//!   `c^d = (1+N)^m mod N^{s+1}` and extract `m` with Damgård–Jurik's
+//!   recursive discrete-log algorithm for the `(1+N)` subgroup.
+//!
+//! The `(1+N)^m` power itself is computed by binomial expansion
+//! (`Σ_{k≤s} C(m,k) N^k`), not exponentiation — the same trick that makes
+//! `g = N+1` Paillier fast.
+
+use std::sync::Arc;
+
+use pps_bignum::{Montgomery, Uint};
+use rand::RngCore;
+
+use crate::error::CryptoError;
+
+/// Maximum supported exponent `s` (each level multiplies ciphertext and
+/// compute cost; beyond ~8 you want a bigger `N` instead).
+pub const MAX_S: usize = 8;
+
+/// The public half of a Damgård–Jurik key: everything derivable from
+/// `(N, s)`. This is what travels to servers; it cannot decrypt.
+pub struct DjPublicKey {
+    inner: Arc<DjInner>,
+}
+
+/// A Damgård–Jurik keypair for a fixed `s`.
+pub struct DamgardJurik {
+    public: DjPublicKey,
+    /// Decryption exponent `d = λ·(λ⁻¹ mod N^s)` — the secret.
+    d: Uint,
+}
+
+struct DjInner {
+    /// The RSA modulus `N = p·q`.
+    n: Uint,
+    /// The exponent `s`.
+    s: usize,
+    /// `N^s` — the plaintext modulus.
+    n_s: Uint,
+    /// `N^{s+1}` — the ciphertext modulus.
+    n_s1: Uint,
+    /// Montgomery context over `N^{s+1}`.
+    mont: Montgomery,
+    /// `N^k` for `k = 0..=s+1`, cached.
+    n_pows: Vec<Uint>,
+    /// `(k!)⁻¹ mod N^j` lookups are derived from `k!` cached here.
+    factorials: Vec<Uint>,
+}
+
+impl DamgardJurik {
+    /// Builds an instance from two distinct primes and the exponent `s`.
+    ///
+    /// # Errors
+    /// [`CryptoError::KeyGeneration`] for invalid primes or `s`.
+    pub fn from_primes(p: Uint, q: Uint, s: usize) -> Result<Self, CryptoError> {
+        if s == 0 || s > MAX_S {
+            return Err(CryptoError::KeyGeneration(format!(
+                "s must be in 1..={MAX_S}"
+            )));
+        }
+        if p == q {
+            return Err(CryptoError::KeyGeneration("p == q".into()));
+        }
+        let n = &p * &q;
+        let mut n_pows = vec![Uint::one()];
+        for _ in 0..=s {
+            let next = n_pows.last().expect("non-empty") * &n;
+            n_pows.push(next);
+        }
+        let n_s = n_pows[s].clone();
+        let n_s1 = n_pows[s + 1].clone();
+        let mont =
+            Montgomery::new(n_s1.clone()).map_err(|e| CryptoError::KeyGeneration(e.to_string()))?;
+
+        let p1 = &p - &Uint::one();
+        let q1 = &q - &Uint::one();
+        let lambda = p1.lcm(&q1);
+        let lambda_inv = lambda
+            .mod_inverse(&n_s)
+            .map_err(|_| CryptoError::KeyGeneration("gcd(λ, N) != 1".into()))?;
+        let d = &lambda * &lambda_inv;
+
+        let mut factorials = vec![Uint::one()];
+        for k in 1..=s as u64 {
+            let next = factorials.last().expect("non-empty").mul_u64(k);
+            factorials.push(next);
+        }
+
+        let public = DjPublicKey {
+            inner: Arc::new(DjInner {
+                n,
+                s,
+                n_s,
+                n_s1,
+                mont,
+                n_pows,
+                factorials,
+            }),
+        };
+        Ok(DamgardJurik { public, d })
+    }
+
+    /// Generates fresh primes for a modulus of `modulus_bits` and the
+    /// exponent `s`.
+    ///
+    /// # Errors
+    /// As [`DamgardJurik::from_primes`].
+    pub fn generate(
+        modulus_bits: usize,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self, CryptoError> {
+        loop {
+            let p = Uint::generate_prime(rng, modulus_bits / 2)
+                .map_err(|e| CryptoError::KeyGeneration(e.to_string()))?;
+            let q = Uint::generate_prime(rng, modulus_bits - modulus_bits / 2)
+                .map_err(|e| CryptoError::KeyGeneration(e.to_string()))?;
+            if p == q {
+                continue;
+            }
+            match Self::from_primes(p, q, s) {
+                Ok(kp) => return Ok(kp),
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// The public half (safe to ship to servers).
+    pub fn public(&self) -> &DjPublicKey {
+        &self.public
+    }
+
+    /// The RSA modulus `N`.
+    pub fn n(&self) -> &Uint {
+        self.public.n()
+    }
+
+    /// The exponent `s`.
+    pub fn s(&self) -> usize {
+        self.public.s()
+    }
+
+    /// The plaintext modulus `N^s`.
+    pub fn plaintext_modulus(&self) -> &Uint {
+        self.public.plaintext_modulus()
+    }
+
+    /// Convenience delegator to [`DjPublicKey::encrypt`].
+    ///
+    /// # Errors
+    /// As the public-key method.
+    pub fn encrypt(&self, m: &Uint, rng: &mut dyn RngCore) -> Result<DjCiphertext, CryptoError> {
+        self.public.encrypt(m, rng)
+    }
+
+    /// Convenience delegator to [`DjPublicKey::add`].
+    ///
+    /// # Errors
+    /// As the public-key method.
+    pub fn add(&self, a: &DjCiphertext, b: &DjCiphertext) -> Result<DjCiphertext, CryptoError> {
+        self.public.add(a, b)
+    }
+
+    /// Convenience delegator to [`DjPublicKey::mul_plain`].
+    ///
+    /// # Errors
+    /// As the public-key method.
+    pub fn mul_plain(&self, a: &DjCiphertext, k: &Uint) -> Result<DjCiphertext, CryptoError> {
+        self.public.mul_plain(a, k)
+    }
+
+    /// Ciphertext width in bytes (`N^{s+1}`).
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.public.ciphertext_bytes()
+    }
+
+    /// Decrypts.
+    ///
+    /// # Errors
+    /// [`CryptoError::InvalidCiphertext`] for values outside the group.
+    pub fn decrypt(&self, c: &DjCiphertext) -> Result<Uint, CryptoError> {
+        let inner = &self.public.inner;
+        if c.0.is_zero() || !c.0.gcd(&inner.n).is_one() {
+            return Err(CryptoError::InvalidCiphertext("not in Z*_{N^{s+1}}"));
+        }
+        // c^d = (1+N)^m mod N^{s+1}.
+        let a = inner.mont.pow(&c.0, &self.d)?;
+        self.public.dlog_one_plus_n(&a)
+    }
+}
+
+impl DjPublicKey {
+    /// Reconstructs a public key from `(N, s)` — how a server
+    /// materializes it from the wire.
+    ///
+    /// # Errors
+    /// [`CryptoError::Decode`] for invalid parameters.
+    pub fn from_modulus(n: Uint, s: usize) -> Result<Self, CryptoError> {
+        if s == 0 || s > MAX_S {
+            return Err(CryptoError::Decode("s out of range"));
+        }
+        if n.is_even() || n.bit_len() < 16 {
+            return Err(CryptoError::Decode("bad modulus"));
+        }
+        let mut n_pows = vec![Uint::one()];
+        for _ in 0..=s {
+            let next = n_pows.last().expect("non-empty") * &n;
+            n_pows.push(next);
+        }
+        let n_s = n_pows[s].clone();
+        let n_s1 = n_pows[s + 1].clone();
+        let mont =
+            Montgomery::new(n_s1.clone()).map_err(|_| CryptoError::Decode("modulus unusable"))?;
+        let mut factorials = vec![Uint::one()];
+        for k in 1..=s as u64 {
+            let next = factorials.last().expect("non-empty").mul_u64(k);
+            factorials.push(next);
+        }
+        Ok(DjPublicKey {
+            inner: Arc::new(DjInner {
+                n,
+                s,
+                n_s,
+                n_s1,
+                mont,
+                n_pows,
+                factorials,
+            }),
+        })
+    }
+
+    /// The RSA modulus `N`.
+    pub fn n(&self) -> &Uint {
+        &self.inner.n
+    }
+
+    /// The exponent `s`.
+    pub fn s(&self) -> usize {
+        self.inner.s
+    }
+
+    /// The plaintext modulus `N^s`.
+    pub fn plaintext_modulus(&self) -> &Uint {
+        &self.inner.n_s
+    }
+
+    /// `(1 + N)^m mod N^{s+1}` by binomial expansion:
+    /// `Σ_{k=0}^{s} C(m, k)·N^k` (higher terms vanish mod `N^{s+1}`).
+    fn one_plus_n_pow(&self, m: &Uint) -> Result<Uint, CryptoError> {
+        let inner = &self.inner;
+        let mut acc = Uint::one();
+        // C(m, k) = m·(m−1)·…·(m−k+1) / k!, computed exactly then
+        // reduced; we build the falling factorial mod N^{s+1} and divide
+        // by k! via modular inverse (k! is coprime to N).
+        let mut falling = Uint::one();
+        for k in 1..=inner.s {
+            // falling *= (m - (k-1)) mod N^{s+1}; m is reduced mod N^s so
+            // the subtraction could underflow — do it modularly.
+            let term = m.mod_sub(&Uint::from_u64((k - 1) as u64), &inner.n_s1)?;
+            falling = falling.mod_mul(&term, &inner.n_s1)?;
+            let k_fact_inv = inner.factorials[k]
+                .mod_inverse(&inner.n_s1)
+                .map_err(|_| CryptoError::KeyGeneration("k! not invertible".into()))?;
+            let binom = falling.mod_mul(&k_fact_inv, &inner.n_s1)?;
+            let contribution = binom.mod_mul(&inner.n_pows[k], &inner.n_s1)?;
+            acc = acc.mod_add(&contribution, &inner.n_s1)?;
+        }
+        Ok(acc)
+    }
+
+    /// Encrypts `m ∈ [0, N^s)`.
+    ///
+    /// # Errors
+    /// [`CryptoError::PlaintextOutOfRange`] beyond the plaintext space.
+    pub fn encrypt(&self, m: &Uint, rng: &mut dyn RngCore) -> Result<DjCiphertext, CryptoError> {
+        let inner = &self.inner;
+        if m >= &inner.n_s {
+            return Err(CryptoError::PlaintextOutOfRange);
+        }
+        let r = Uint::random_coprime(rng, &inner.n)?;
+        let r_ns = inner.mont.pow(&r, &inner.n_s)?;
+        let gm = self.one_plus_n_pow(m)?;
+        Ok(DjCiphertext(gm.mod_mul(&r_ns, &inner.n_s1)?))
+    }
+
+    /// Damgård–Jurik's algorithm: given `a = (1+N)^m mod N^{s+1}`,
+    /// recovers `m mod N^s`.
+    fn dlog_one_plus_n(&self, a: &Uint) -> Result<Uint, CryptoError> {
+        let inner = &self.inner;
+        let mut m = Uint::zero();
+        for j in 1..=inner.s {
+            let n_j = &inner.n_pows[j];
+            let n_j1 = &inner.n_pows[j + 1];
+            // t1 = L(a mod N^{j+1}) = ((a mod N^{j+1}) − 1) / N.
+            let a_red = a.rem_of(n_j1)?;
+            let minus1 = a_red
+                .checked_sub(&Uint::one())
+                .map_err(|_| CryptoError::InvalidCiphertext("dlog input is zero"))?;
+            let (mut t1, rem) = minus1.div_rem(&inner.n)?;
+            if !rem.is_zero() {
+                return Err(CryptoError::InvalidCiphertext("dlog input not ≡ 1 mod N"));
+            }
+            t1 = t1.rem_of(n_j)?;
+            // Subtract the higher binomial contributions of the current
+            // estimate: t1 −= C(m, k)·N^{k−1} for k = 2..=j.
+            let mut t2 = m.clone();
+            let mut i_run = m.clone();
+            for k in 2..=j {
+                // i_run = m − (k − 1); build falling factorial mod N^j.
+                i_run = i_run.mod_sub(&Uint::one(), n_j)?;
+                t2 = t2.mod_mul(&i_run, n_j)?;
+                let k_fact_inv = inner.factorials[k]
+                    .mod_inverse(n_j)
+                    .map_err(|_| CryptoError::KeyGeneration("k! not invertible".into()))?;
+                let binom = t2.mod_mul(&k_fact_inv, n_j)?;
+                let sub = binom.mod_mul(&inner.n_pows[k - 1], n_j)?;
+                t1 = t1.mod_sub(&sub, n_j)?;
+                // Restore t2 to the raw falling factorial (undo the k!
+                // division for the next round).
+                t2 = binom.mod_mul(&inner.factorials[k], n_j)?;
+            }
+            m = t1;
+        }
+        Ok(m)
+    }
+
+    /// Homomorphic addition.
+    ///
+    /// # Errors
+    /// Propagates bignum errors.
+    pub fn add(&self, a: &DjCiphertext, b: &DjCiphertext) -> Result<DjCiphertext, CryptoError> {
+        Ok(DjCiphertext(a.0.mod_mul(&b.0, &self.inner.n_s1)?))
+    }
+
+    /// Homomorphic scalar multiplication (`E(m)^k = E(m·k)`).
+    ///
+    /// # Errors
+    /// Propagates bignum errors.
+    pub fn mul_plain(&self, a: &DjCiphertext, k: &Uint) -> Result<DjCiphertext, CryptoError> {
+        Ok(DjCiphertext(self.inner.mont.pow(&a.0, k)?))
+    }
+
+    /// Ciphertext width in bytes (`N^{s+1}`).
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.inner.n_s1.bit_len().div_ceil(8)
+    }
+}
+
+impl Clone for DamgardJurik {
+    fn clone(&self) -> Self {
+        DamgardJurik {
+            public: self.public.clone(),
+            d: self.d.clone(),
+        }
+    }
+}
+
+impl Clone for DjPublicKey {
+    fn clone(&self) -> Self {
+        DjPublicKey {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A Damgård–Jurik ciphertext (element of `Z*_{N^{s+1}}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DjCiphertext(Uint);
+
+impl DjCiphertext {
+    /// The raw group element.
+    pub fn raw(&self) -> &Uint {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(s: usize) -> DamgardJurik {
+        let mut rng = StdRng::seed_from_u64(2001 + s as u64);
+        DamgardJurik::generate(128, s, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn s1_round_trip() {
+        let kp = keypair(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for m in [0u64, 1, 42, u64::MAX] {
+            let ct = kp.encrypt(&Uint::from_u64(m), &mut rng).unwrap();
+            assert_eq!(kp.decrypt(&ct).unwrap(), Uint::from_u64(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn s2_and_s3_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in [2usize, 3] {
+            let kp = keypair(s);
+            // Plaintexts wider than N (impossible for plain Paillier).
+            let wide = Uint::random_below(&mut rng, kp.plaintext_modulus()).unwrap();
+            let ct = kp.encrypt(&wide, &mut rng).unwrap();
+            assert_eq!(kp.decrypt(&ct).unwrap(), wide, "s={s}");
+        }
+    }
+
+    #[test]
+    fn plaintext_space_is_n_to_the_s() {
+        let kp = keypair(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        // N ≤ m < N² must round-trip (beyond base Paillier).
+        let beyond_n = kp.n() + &Uint::from_u64(12345);
+        let ct = kp.encrypt(&beyond_n, &mut rng).unwrap();
+        assert_eq!(kp.decrypt(&ct).unwrap(), beyond_n);
+        // m ≥ N² is rejected.
+        assert!(matches!(
+            kp.encrypt(kp.plaintext_modulus(), &mut rng),
+            Err(CryptoError::PlaintextOutOfRange)
+        ));
+    }
+
+    #[test]
+    fn additive_homomorphism_across_n_boundary() {
+        // The whole point: sums that would wrap Z_N stay exact in Z_{N²}.
+        let kp = keypair(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = kp.n() - &Uint::one(); // N − 1
+        let b = kp.n().clone(); // N
+        let ea = kp.encrypt(&a, &mut rng).unwrap();
+        let eb = kp.encrypt(&b, &mut rng).unwrap();
+        let sum = kp.add(&ea, &eb).unwrap();
+        assert_eq!(kp.decrypt(&sum).unwrap(), &a + &b, "2N − 1 > N survives");
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let kp = keypair(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Uint::from_u64(1_000_000);
+        let ct = kp.encrypt(&m, &mut rng).unwrap();
+        let prod = kp.mul_plain(&ct, &Uint::from_u64(1_000_000_007)).unwrap();
+        assert_eq!(
+            kp.decrypt(&prod).unwrap(),
+            Uint::from_u128(1_000_000u128 * 1_000_000_007)
+        );
+    }
+
+    #[test]
+    fn s1_interoperates_with_paillier() {
+        // Same primes, s = 1: identical scheme.
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = Uint::generate_prime(&mut rng, 64).unwrap();
+        let q = Uint::generate_prime(&mut rng, 64).unwrap();
+        let paillier = crate::paillier::PaillierKeypair::from_primes(p.clone(), q.clone()).unwrap();
+        let dj = DamgardJurik::from_primes(p, q, 1).unwrap();
+
+        let m = Uint::from_u64(31337);
+        let dj_ct = dj.encrypt(&m, &mut rng).unwrap();
+        // A DJ s=1 ciphertext is a valid Paillier ciphertext.
+        let as_paillier = paillier.public.validate(dj_ct.raw()).unwrap();
+        assert_eq!(paillier.secret.decrypt(&as_paillier).unwrap(), m);
+    }
+
+    #[test]
+    fn ciphertext_width_scales_with_s() {
+        let k1 = keypair(1);
+        let k3 = keypair(3);
+        assert!(k3.ciphertext_bytes() > k1.ciphertext_bytes());
+        // Width ≈ (s+1)·|N|.
+        let per_level = k3.ciphertext_bytes() as f64 / 4.0;
+        assert!((per_level - 16.0).abs() < 2.0, "per level {per_level}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Uint::generate_prime(&mut rng, 64).unwrap();
+        let q = Uint::generate_prime(&mut rng, 64).unwrap();
+        assert!(DamgardJurik::from_primes(p.clone(), p.clone(), 2).is_err());
+        assert!(DamgardJurik::from_primes(p.clone(), q.clone(), 0).is_err());
+        assert!(DamgardJurik::from_primes(p, q, MAX_S + 1).is_err());
+        let kp = keypair(2);
+        assert!(kp.decrypt(&DjCiphertext(Uint::zero())).is_err());
+        assert!(kp.decrypt(&DjCiphertext(kp.n().clone())).is_err());
+    }
+
+    #[test]
+    fn many_random_round_trips() {
+        let kp = keypair(3);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let m = Uint::random_below(&mut rng, kp.plaintext_modulus()).unwrap();
+            let ct = kp.encrypt(&m, &mut rng).unwrap();
+            assert_eq!(kp.decrypt(&ct).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for cryptographic operations.
+
+use std::fmt;
+
+use pps_bignum::BignumError;
+
+/// Errors surfaced by the Paillier cryptosystem and related primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Key generation failed (prime generation exhausted its budget or
+    /// parameters were invalid).
+    KeyGeneration(String),
+    /// Requested key size is below the supported minimum.
+    KeyTooSmall {
+        /// Requested modulus size in bits.
+        bits: usize,
+        /// Smallest supported modulus size.
+        min_bits: usize,
+    },
+    /// The plaintext is outside the message space `[0, N)`.
+    PlaintextOutOfRange,
+    /// The ciphertext is not a valid element of `Z*_{N²}`.
+    InvalidCiphertext(&'static str),
+    /// A ciphertext produced under a different public key was supplied.
+    KeyMismatch,
+    /// A precomputed-encryption pool ran dry.
+    PoolExhausted {
+        /// Which pool ("zero", "one", or "randomizer").
+        pool: &'static str,
+    },
+    /// An underlying bignum operation failed.
+    Bignum(BignumError),
+    /// Byte-level decoding of a key or ciphertext failed.
+    Decode(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::KeyGeneration(why) => write!(f, "key generation failed: {why}"),
+            Self::KeyTooSmall { bits, min_bits } => {
+                write!(f, "key size {bits} below minimum {min_bits} bits")
+            }
+            Self::PlaintextOutOfRange => write!(f, "plaintext outside message space [0, N)"),
+            Self::InvalidCiphertext(why) => write!(f, "invalid ciphertext: {why}"),
+            Self::KeyMismatch => write!(f, "ciphertext was produced under a different key"),
+            Self::PoolExhausted { pool } => write!(f, "precomputed {pool} pool exhausted"),
+            Self::Bignum(e) => write!(f, "bignum error: {e}"),
+            Self::Decode(why) => write!(f, "decode error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Bignum(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BignumError> for CryptoError {
+    fn from(e: BignumError) -> Self {
+        Self::Bignum(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CryptoError::from(BignumError::DivisionByZero);
+        assert!(e.to_string().contains("division by zero"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&CryptoError::KeyMismatch).is_none());
+        assert!(CryptoError::PoolExhausted { pool: "zero" }
+            .to_string()
+            .contains("zero"));
+    }
+}

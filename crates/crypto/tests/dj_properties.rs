@@ -1,0 +1,84 @@
+//! Property tests for the Damgård–Jurik generalization: round trips and
+//! homomorphic identities over the *extended* plaintext space `Z_{N^s}`,
+//! which plain Paillier cannot represent.
+
+use std::sync::OnceLock;
+
+use pps_bignum::Uint;
+use pps_crypto::DamgardJurik;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn keypair_s2() -> &'static DamgardJurik {
+    static KP: OnceLock<DamgardJurik> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xd7);
+        DamgardJurik::generate(128, 2, &mut rng).unwrap()
+    })
+}
+
+fn keypair_s3() -> &'static DamgardJurik {
+    static KP: OnceLock<DamgardJurik> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xd8);
+        DamgardJurik::generate(128, 3, &mut rng).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn round_trip_s2(m in any::<u128>(), seed in any::<u64>()) {
+        let kp = keypair_s2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Uint::from_u128(m).rem_of(kp.plaintext_modulus()).unwrap();
+        let ct = kp.encrypt(&m, &mut rng).unwrap();
+        prop_assert_eq!(kp.decrypt(&ct).unwrap(), m);
+    }
+
+    #[test]
+    fn round_trip_wide_plaintexts_s3(seed in any::<u64>()) {
+        // Sample plaintexts uniformly over the FULL Z_{N³} space.
+        let kp = keypair_s3();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Uint::random_below(&mut rng, kp.plaintext_modulus()).unwrap();
+        let ct = kp.encrypt(&m, &mut rng).unwrap();
+        prop_assert_eq!(kp.decrypt(&ct).unwrap(), m);
+    }
+
+    #[test]
+    fn additive_homomorphism_s2(a in any::<u128>(), b in any::<u128>(), seed in any::<u64>()) {
+        let kp = keypair_s2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (Uint::from_u128(a), Uint::from_u128(b));
+        let ea = kp.encrypt(&a, &mut rng).unwrap();
+        let eb = kp.encrypt(&b, &mut rng).unwrap();
+        let sum = kp.add(&ea, &eb).unwrap();
+        // 2·u128 always fits Z_{N²} for a 128-bit N.
+        prop_assert_eq!(kp.decrypt(&sum).unwrap(), &a + &b);
+    }
+
+    #[test]
+    fn scalar_homomorphism_s2(m in any::<u64>(), k in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair_s2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = kp.encrypt(&Uint::from_u64(m), &mut rng).unwrap();
+        let prod = kp.mul_plain(&ct, &Uint::from_u64(k)).unwrap();
+        prop_assert_eq!(
+            kp.decrypt(&prod).unwrap(),
+            Uint::from_u128(m as u128 * k as u128)
+        );
+    }
+
+    #[test]
+    fn randomized_ciphertexts_differ(m in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair_s2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Uint::from_u64(m);
+        let c1 = kp.encrypt(&m, &mut rng).unwrap();
+        let c2 = kp.encrypt(&m, &mut rng).unwrap();
+        prop_assert_ne!(c1, c2);
+    }
+}

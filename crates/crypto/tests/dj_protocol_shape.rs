@@ -1,0 +1,102 @@
+//! Integration test: the selected-sum *computation* under Damgård–Jurik,
+//! demonstrating the message-space headroom the extension buys.
+//!
+//! With base Paillier the protocol refuses any configuration whose
+//! worst-case sum could reach `N` (the `SumOverflow` guard) — e.g. a few
+//! very large weighted values under a small key. The same computation at
+//! `s = 2` has a `N²`-sized plaintext space and goes through exactly.
+
+use pps_bignum::Uint;
+use pps_crypto::{DamgardJurik, PaillierKeypair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The server fold `Π E(Iᵢ)^{xᵢ}` executed under both schemes on the
+/// same plaintext data; DJ must agree wherever Paillier is in range.
+#[test]
+fn dj_selected_sum_matches_paillier_in_range() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let p = Uint::generate_prime(&mut rng, 64).unwrap();
+    let q = Uint::generate_prime(&mut rng, 64).unwrap();
+    let paillier = PaillierKeypair::from_primes(p.clone(), q.clone()).unwrap();
+    let dj = DamgardJurik::from_primes(p, q, 2).unwrap();
+
+    let data = [100u64, 250, 4_000, 8, 77];
+    let select = [1u64, 0, 1, 1, 0];
+
+    // Paillier path.
+    let mut acc_p = paillier.public.identity();
+    for (x, i) in data.iter().zip(&select) {
+        let e = paillier.public.encrypt_u64(*i, &mut rng).unwrap();
+        let term = paillier.public.mul_plain(&e, &Uint::from_u64(*x)).unwrap();
+        acc_p = paillier.public.add(&acc_p, &term).unwrap();
+    }
+    let sum_p = paillier.secret.decrypt(&acc_p).unwrap();
+
+    // DJ path: same fold shape at s = 2.
+    let mut acc_d = None;
+    for (x, i) in data.iter().zip(&select) {
+        let e = dj.encrypt(&Uint::from_u64(*i), &mut rng).unwrap();
+        let term = dj.mul_plain(&e, &Uint::from_u64(*x)).unwrap();
+        acc_d = Some(match acc_d {
+            None => term,
+            Some(a) => dj.add(&a, &term).unwrap(),
+        });
+    }
+    let sum_d = dj.decrypt(&acc_d.unwrap()).unwrap();
+
+    assert_eq!(sum_p, sum_d);
+    assert_eq!(sum_p.to_u64(), Some(100 + 4_000 + 8));
+}
+
+/// The headroom case: a weighted sum that EXCEEDS the base modulus `N`
+/// (Paillier would silently wrap; the protocol layer refuses it) is
+/// exact under `s = 2`.
+#[test]
+fn dj_carries_sums_beyond_the_base_modulus() {
+    let mut rng = StdRng::seed_from_u64(2);
+    // Tiny 64-bit modulus so exceeding N is easy.
+    let p = Uint::generate_prime(&mut rng, 32).unwrap();
+    let q = Uint::generate_prime(&mut rng, 32).unwrap();
+    let n = &p * &q;
+    let dj = DamgardJurik::from_primes(p, q, 2).unwrap();
+
+    // A "weighted value" bigger than N itself (as a plaintext), summed
+    // three times: total ≈ 3(N + 5) > N, exact only in Z_{N²}.
+    let big = n.add_u64(5);
+    let mut acc = None;
+    for _ in 0..3 {
+        let e = dj.encrypt(&big, &mut rng).unwrap();
+        acc = Some(match acc {
+            None => e,
+            Some(a) => dj.add(&a, &e).unwrap(),
+        });
+    }
+    let total = dj.decrypt(&acc.unwrap()).unwrap();
+    let expected = big.mul_u64(3);
+    assert!(expected > n, "the point: the sum exceeds the base modulus");
+    assert_eq!(total, expected);
+}
+
+/// Server-side public key reconstruction: a DJ server needs only (N, s)
+/// from the wire, like the Paillier server needs only N.
+#[test]
+fn dj_public_key_from_modulus_interoperates() {
+    use pps_crypto::DjPublicKey;
+    let mut rng = StdRng::seed_from_u64(3);
+    let dj = DamgardJurik::generate(128, 2, &mut rng).unwrap();
+    let server_side = DjPublicKey::from_modulus(dj.n().clone(), 2).unwrap();
+
+    // Server-side encryption (e.g. blinding) decrypts under the client key.
+    let ct = server_side.encrypt(&Uint::from_u64(777), &mut rng).unwrap();
+    assert_eq!(dj.decrypt(&ct).unwrap(), Uint::from_u64(777));
+
+    // And server-side homomorphic ops on client ciphertexts work.
+    let a = dj.encrypt(&Uint::from_u64(40), &mut rng).unwrap();
+    let b = server_side.mul_plain(&a, &Uint::from_u64(10)).unwrap();
+    assert_eq!(dj.decrypt(&b).unwrap(), Uint::from_u64(400));
+
+    // Bad parameters rejected.
+    assert!(DjPublicKey::from_modulus(Uint::from_u64(4), 2).is_err());
+    assert!(DjPublicKey::from_modulus(dj.n().clone(), 0).is_err());
+}

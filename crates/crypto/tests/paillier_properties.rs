@@ -1,0 +1,120 @@
+//! Property-based tests for the Paillier implementation: the homomorphic
+//! identities the selected-sum protocol relies on, over random plaintexts.
+//!
+//! A single 128-bit keypair is generated once (key generation dominates
+//! runtime) and shared across all cases.
+
+use std::sync::OnceLock;
+
+use pps_bignum::Uint;
+use pps_crypto::PaillierKeypair;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn keypair() -> &'static PaillierKeypair {
+    static KP: OnceLock<PaillierKeypair> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xdecaf);
+        PaillierKeypair::generate(128, &mut rng).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip(m in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = kp.public.encrypt_u64(m, &mut rng).unwrap();
+        prop_assert_eq!(kp.secret.decrypt(&ct).unwrap(), Uint::from_u64(m));
+    }
+
+    #[test]
+    fn additive_homomorphism(a in any::<u64>(), b in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ea = kp.public.encrypt_u64(a, &mut rng).unwrap();
+        let eb = kp.public.encrypt_u64(b, &mut rng).unwrap();
+        let sum = kp.public.add(&ea, &eb).unwrap();
+        let expect = Uint::from_u128(a as u128 + b as u128);
+        prop_assert_eq!(kp.secret.decrypt(&sum).unwrap(), expect);
+    }
+
+    #[test]
+    fn scalar_homomorphism(a in any::<u32>(), k in any::<u32>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ea = kp.public.encrypt_u64(a as u64, &mut rng).unwrap();
+        let prod = kp.public.mul_plain(&ea, &Uint::from_u64(k as u64)).unwrap();
+        let expect = Uint::from_u128(a as u128 * k as u128);
+        prop_assert_eq!(kp.secret.decrypt(&prod).unwrap(), expect);
+    }
+
+    #[test]
+    fn add_plain_matches_add(a in any::<u64>(), k in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ea = kp.public.encrypt_u64(a, &mut rng).unwrap();
+        let via_plain = kp.public.add_plain(&ea, &Uint::from_u64(k)).unwrap();
+        let ek = kp.public.encrypt_u64(k, &mut rng).unwrap();
+        let via_ct = kp.public.add(&ea, &ek).unwrap();
+        prop_assert_eq!(
+            kp.secret.decrypt(&via_plain).unwrap(),
+            kp.secret.decrypt(&via_ct).unwrap()
+        );
+    }
+
+    #[test]
+    fn dot_product_identity(
+        xs in prop::collection::vec(any::<u32>(), 1..12),
+        sel in prop::collection::vec(any::<bool>(), 12),
+        seed in any::<u64>(),
+    ) {
+        // Π E(I_i)^{x_i} = E(Σ I_i·x_i): the protocol's core identity.
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = kp.public.identity();
+        let mut expect: u128 = 0;
+        for (i, &x) in xs.iter().enumerate() {
+            let bit = sel[i % sel.len()];
+            let e_i = kp.public.encrypt_u64(bit as u64, &mut rng).unwrap();
+            let term = kp.public.mul_plain(&e_i, &Uint::from_u64(x as u64)).unwrap();
+            acc = kp.public.add(&acc, &term).unwrap();
+            if bit {
+                expect += x as u128;
+            }
+        }
+        prop_assert_eq!(kp.secret.decrypt(&acc).unwrap(), Uint::from_u128(expect));
+    }
+
+    #[test]
+    fn rerandomization_unlinkable_same_plaintext(m in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = kp.public.encrypt_u64(m, &mut rng).unwrap();
+        let rr = kp.public.rerandomize(&ct, &mut rng).unwrap();
+        prop_assert_ne!(&rr, &ct);
+        prop_assert_eq!(kp.secret.decrypt(&rr).unwrap(), Uint::from_u64(m));
+    }
+
+    #[test]
+    fn signed_decode_negation(m in 1u64..=u64::MAX, seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = kp.public.encrypt_u64(m, &mut rng).unwrap();
+        let neg = kp.public.neg(&ct).unwrap();
+        prop_assert_eq!(kp.secret.decrypt_signed(&neg).unwrap(), -(m as i128));
+    }
+
+    #[test]
+    fn ciphertext_codec_round_trip(m in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = kp.public.encrypt_u64(m, &mut rng).unwrap();
+        let bytes = ct.to_bytes(&kp.public).unwrap();
+        let back = pps_crypto::Ciphertext::from_bytes(&bytes, &kp.public).unwrap();
+        prop_assert_eq!(kp.secret.decrypt(&back).unwrap(), Uint::from_u64(m));
+    }
+}

@@ -1,0 +1,3 @@
+//! Integration-test host crate: the tests live in the repository-root
+//! `tests/` directory and span every workspace crate. See the `[[test]]`
+//! entries in this crate's manifest.

@@ -1,0 +1,323 @@
+//! Circuit construction: wire allocation, adders, muxes, and the
+//! selected-sum circuit compiler.
+
+use crate::circuit::{Circuit, Gate, GateOp, WireId};
+
+/// Incrementally builds a [`Circuit`] in topological order.
+#[derive(Default)]
+pub struct CircuitBuilder {
+    circuit: Circuit,
+    /// Lazily created constant-false wire (a garbler input fixed to 0).
+    const_false: Option<WireId>,
+}
+
+impl CircuitBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_wire(&mut self) -> WireId {
+        let w = self.circuit.wire_count;
+        self.circuit.wire_count += 1;
+        w
+    }
+
+    /// Allocates one garbler (server) input wire.
+    pub fn garbler_input(&mut self) -> WireId {
+        let w = self.fresh_wire();
+        self.circuit.garbler_inputs.push(w);
+        w
+    }
+
+    /// Allocates one evaluator (client) input wire.
+    pub fn evaluator_input(&mut self) -> WireId {
+        let w = self.fresh_wire();
+        self.circuit.evaluator_inputs.push(w);
+        w
+    }
+
+    /// Allocates `n` garbler input wires (LSB-first for numbers).
+    pub fn garbler_inputs(&mut self, n: usize) -> Vec<WireId> {
+        (0..n).map(|_| self.garbler_input()).collect()
+    }
+
+    /// Allocates `n` evaluator input wires.
+    pub fn evaluator_inputs(&mut self, n: usize) -> Vec<WireId> {
+        (0..n).map(|_| self.evaluator_input()).collect()
+    }
+
+    /// A wire that always carries 0. Implemented as an extra garbler
+    /// input the runtime pins to `false` (see
+    /// [`CircuitBuilder::constant_wire_values`]).
+    pub fn const_false(&mut self) -> WireId {
+        if let Some(w) = self.const_false {
+            return w;
+        }
+        let w = self.garbler_input();
+        self.const_false = Some(w);
+        w
+    }
+
+    /// Number of trailing constant garbler inputs the runtime must pin
+    /// (0 or 1), and their values.
+    pub fn constant_wire_values(&self) -> Vec<bool> {
+        if self.const_false.is_some() {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn gate(&mut self, op: GateOp, a: WireId, b: WireId) -> WireId {
+        let out = self.fresh_wire();
+        self.circuit.gates.push(Gate { op, a, b, out });
+        out
+    }
+
+    /// `a AND b`.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(GateOp::And, a, b)
+    }
+
+    /// `a OR b`.
+    pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(GateOp::Or, a, b)
+    }
+
+    /// `a XOR b`.
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(GateOp::Xor, a, b)
+    }
+
+    /// One-bit full adder; returns `(sum, carry_out)`.
+    pub fn full_adder(&mut self, a: WireId, b: WireId, carry_in: WireId) -> (WireId, WireId) {
+        let axb = self.xor(a, b);
+        let sum = self.xor(axb, carry_in);
+        let t1 = self.and(axb, carry_in);
+        let t2 = self.and(a, b);
+        let carry = self.or(t1, t2);
+        (sum, carry)
+    }
+
+    /// Ripple-carry addition of two little-endian numbers of equal width;
+    /// returns `width + 1` result bits (the top bit is the carry).
+    ///
+    /// # Panics
+    /// Panics on width mismatch (builder bug).
+    pub fn add(&mut self, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len(), "adder operand widths must match");
+        let mut carry = self.const_false();
+        let mut out = Vec::with_capacity(a.len() + 1);
+        for (&ai, &bi) in a.iter().zip(b.iter()) {
+            let (s, c) = self.full_adder(ai, bi, carry);
+            out.push(s);
+            carry = c;
+        }
+        out.push(carry);
+        out
+    }
+
+    /// Zero-extends `bits` to `width` using the constant-false wire.
+    pub fn zero_extend(&mut self, bits: &[WireId], width: usize) -> Vec<WireId> {
+        let mut out = bits.to_vec();
+        let zero = self.const_false();
+        while out.len() < width {
+            out.push(zero);
+        }
+        out.truncate(width);
+        out
+    }
+
+    /// Bitwise AND of a number with a single select bit:
+    /// `select ? value : 0` (a 1-bit mux against zero).
+    pub fn gate_by_bit(&mut self, value: &[WireId], select: WireId) -> Vec<WireId> {
+        value.iter().map(|&v| self.and(v, select)).collect()
+    }
+
+    /// Two-way mux: `select ? a : b`, per-bit
+    /// `b XOR (select AND (a XOR b))`.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn mux(&mut self, select: WireId, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len(), "mux operand widths must match");
+        a.iter()
+            .zip(b.iter())
+            .map(|(&ai, &bi)| {
+                let d = self.xor(ai, bi);
+                let g = self.and(d, select);
+                self.xor(g, bi)
+            })
+            .collect()
+    }
+
+    /// Marks wires as circuit outputs (LSB-first for numbers).
+    pub fn outputs(&mut self, wires: &[WireId]) {
+        self.circuit.outputs.extend_from_slice(wires);
+    }
+
+    /// Finalizes the circuit.
+    pub fn build(self) -> Circuit {
+        self.circuit
+    }
+}
+
+/// The selected-sum circuit: the garbler (server) supplies `n` values of
+/// `value_bits` bits; the evaluator (client) supplies `n` selection bits.
+/// Output: `Σ I_i·x_i` in `value_bits + ⌈log₂ n⌉` bits.
+///
+/// Also returns the accumulator width.
+pub fn selected_sum_circuit(n: usize, value_bits: usize) -> (Circuit, usize) {
+    assert!(n > 0 && value_bits > 0, "empty selected-sum circuit");
+    let acc_bits = value_bits + (usize::BITS - (n - 1).leading_zeros()) as usize;
+    let acc_bits = acc_bits.max(value_bits + 1);
+
+    let mut b = CircuitBuilder::new();
+    // Input order: all server values first (row-major), then client bits.
+    let values: Vec<Vec<WireId>> = (0..n).map(|_| b.garbler_inputs(value_bits)).collect();
+    let selects: Vec<WireId> = (0..n).map(|_| b.evaluator_input()).collect();
+
+    let mut acc = {
+        let gated = b.gate_by_bit(&values[0], selects[0]);
+        b.zero_extend(&gated, acc_bits)
+    };
+    for i in 1..n {
+        let gated = b.gate_by_bit(&values[i], selects[i]);
+        let wide = b.zero_extend(&gated, acc_bits);
+        let sum = b.add(&acc, &wide);
+        acc = sum[..acc_bits].to_vec(); // truncate: acc_bits suffices by construction
+    }
+    b.outputs(&acc);
+    // The constant wire (if allocated) is a trailing garbler input pinned
+    // to false; `pack_selected_sum_garbler_values` appends it.
+    let consts = b.constant_wire_values();
+    debug_assert!(consts.len() <= 1);
+    (b.build(), acc_bits)
+}
+
+/// Packs plaintext garbler values for [`selected_sum_circuit`]:
+/// `n` numbers (LSB-first bits each) followed by the pinned constant
+/// wires in allocation order.
+pub fn pack_selected_sum_garbler_values(
+    values: &[u64],
+    value_bits: usize,
+    circuit: &Circuit,
+) -> Vec<bool> {
+    let mut out = Vec::with_capacity(circuit.garbler_inputs.len());
+    for &v in values {
+        for i in 0..value_bits {
+            out.push((v >> i) & 1 == 1);
+        }
+    }
+    // Remaining garbler inputs are pinned constants (false).
+    while out.len() < circuit.garbler_inputs.len() {
+        out.push(false);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::bits_to_u128;
+
+    #[test]
+    fn full_adder_truth_table() {
+        for a in [false, true] {
+            for bb in [false, true] {
+                for c in [false, true] {
+                    let mut builder = CircuitBuilder::new();
+                    let wa = builder.garbler_input();
+                    let wb = builder.garbler_input();
+                    let wc = builder.garbler_input();
+                    let (s, co) = builder.full_adder(wa, wb, wc);
+                    builder.outputs(&[s, co]);
+                    let circ = builder.build();
+                    let out = circ.eval_plain(&[a, bb, c], &[]);
+                    let expect = a as u8 + bb as u8 + c as u8;
+                    assert_eq!(out[0], expect & 1 == 1);
+                    assert_eq!(out[1], expect >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_adder_exhaustive_4bit() {
+        for x in 0u64..16 {
+            for y in 0u64..16 {
+                let mut b = CircuitBuilder::new();
+                let wx = b.garbler_inputs(4);
+                let wy = b.garbler_inputs(4);
+                let sum = b.add(&wx, &wy);
+                b.outputs(&sum);
+                let consts = b.constant_wire_values();
+                let c = b.build();
+                let mut gv: Vec<bool> = (0..4).map(|i| (x >> i) & 1 == 1).collect();
+                gv.extend((0..4).map(|i| (y >> i) & 1 == 1));
+                gv.extend(consts);
+                let out = c.eval_plain(&gv, &[]);
+                assert_eq!(bits_to_u128(&out), (x + y) as u128, "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        for sel in [false, true] {
+            let mut b = CircuitBuilder::new();
+            let s = b.evaluator_input();
+            let a = b.garbler_inputs(3);
+            let c = b.garbler_inputs(3);
+            let m = b.mux(s, &a, &c);
+            b.outputs(&m);
+            let circ = b.build();
+            // a = 0b101, c = 0b010.
+            let gv = vec![true, false, true, false, true, false];
+            let out = circ.eval_plain(&gv, &[sel]);
+            let expect = if sel { 0b101 } else { 0b010 };
+            assert_eq!(bits_to_u128(&out), expect);
+        }
+    }
+
+    #[test]
+    fn selected_sum_circuit_plain_eval() {
+        let values = [9u64, 3, 14, 7];
+        let selects = [true, false, true, true];
+        let (circuit, acc_bits) = selected_sum_circuit(4, 4);
+        let gv = pack_selected_sum_garbler_values(&values, 4, &circuit);
+        let out = circuit.eval_plain(&gv, selects.as_ref());
+        assert_eq!(out.len(), acc_bits);
+        assert_eq!(bits_to_u128(&out), 9 + 14 + 7);
+    }
+
+    #[test]
+    fn selected_sum_max_values_no_overflow() {
+        // All-ones values, all selected: the accumulator must hold n·(2^w−1).
+        let n = 8;
+        let w = 3;
+        let values = vec![7u64; n];
+        let (circuit, _) = selected_sum_circuit(n, w);
+        let gv = pack_selected_sum_garbler_values(&values, w, &circuit);
+        let out = circuit.eval_plain(&gv, &vec![true; n]);
+        assert_eq!(bits_to_u128(&out), (7 * n) as u128);
+    }
+
+    #[test]
+    fn selected_sum_nothing_selected() {
+        let (circuit, _) = selected_sum_circuit(5, 8);
+        let gv = pack_selected_sum_garbler_values(&[200, 100, 50, 25, 255], 8, &circuit);
+        let out = circuit.eval_plain(&gv, &[false; 5]);
+        assert_eq!(bits_to_u128(&out), 0);
+    }
+
+    #[test]
+    fn gate_counts_scale_linearly() {
+        let (c8, _) = selected_sum_circuit(8, 8);
+        let (c16, _) = selected_sum_circuit(16, 8);
+        // Doubling n roughly doubles the gate count (linear circuit).
+        let ratio = c16.gates.len() as f64 / c8.gates.len() as f64;
+        assert!((1.8..2.3).contains(&ratio), "ratio={ratio}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the garbled-circuit engine.
+
+use std::fmt;
+
+use pps_crypto::CryptoError;
+
+/// Errors surfaced while garbling, transferring, or evaluating circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcError {
+    /// Input value/label count did not match the circuit.
+    InputArity {
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// Evaluation failed structurally (corrupted circuit or tables).
+    Evaluation(&'static str),
+    /// Oblivious-transfer failure.
+    Ot(&'static str),
+    /// Underlying cryptographic failure.
+    Crypto(CryptoError),
+    /// Invalid circuit parameters.
+    Config(String),
+}
+
+impl fmt::Display for GcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InputArity { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+            Self::Evaluation(why) => write!(f, "evaluation failed: {why}"),
+            Self::Ot(why) => write!(f, "oblivious transfer failed: {why}"),
+            Self::Crypto(e) => write!(f, "crypto error: {e}"),
+            Self::Config(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for GcError {
+    fn from(e: CryptoError) -> Self {
+        Self::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(GcError::InputArity {
+            expected: 3,
+            got: 1
+        }
+        .to_string()
+        .contains('3'));
+        assert!(GcError::Ot("too wide").to_string().contains("too wide"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Free-XOR garbling (Kolesnikov–Schneider 2008) — an ablation against
+//! the classic 4-row-per-gate scheme in [`crate::garble`].
+//!
+//! A single global secret offset `Δ` (with its color bit forced to 1)
+//! relates every wire's labels: `L₁ = L₀ ⊕ Δ`. XOR gates then cost
+//! *nothing* — the evaluator just XORs the input labels — and only
+//! AND/OR gates ship tables. The selected-sum circuit is XOR-heavy
+//! (adders are ~60 % XOR), so the ablation bench shows a proportional
+//! drop in garbled-table bytes and garbling time. The 2004-era Fairplay
+//! used the classic scheme; free-XOR is the single most impactful
+//! improvement published since, which is what makes it the interesting
+//! design-choice ablation here.
+
+use rand::RngCore;
+
+use crate::circuit::{Circuit, GateOp};
+use crate::error::GcError;
+use crate::garble::{row_key, GarbledGate, GarblerSecrets, Label, WirePair, LABEL_LEN};
+
+/// A free-XOR garbled circuit: tables only for non-XOR gates, in gate
+/// order.
+pub struct FreeXorCircuit {
+    /// Tables for AND/OR gates, in circuit order (XOR gates skipped).
+    pub tables: Vec<GarbledGate>,
+    /// Decode bits (color of each output wire's 0-label).
+    pub output_decode: Vec<bool>,
+}
+
+impl FreeXorCircuit {
+    /// Serialized size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.tables.len() * 4 * LABEL_LEN + self.output_decode.len().div_ceil(8)
+    }
+}
+
+fn random_label(rng: &mut dyn RngCore) -> Label {
+    let mut b = [0u8; LABEL_LEN];
+    rng.fill_bytes(&mut b);
+    Label(b)
+}
+
+/// Garbles with the free-XOR optimization.
+pub fn garble_free_xor(
+    circuit: &Circuit,
+    rng: &mut dyn RngCore,
+) -> (FreeXorCircuit, GarblerSecrets) {
+    // Global delta with color bit 1 (so L0/L1 colors always differ).
+    let mut delta = random_label(rng);
+    delta.0[LABEL_LEN - 1] |= 1;
+
+    let pair_from_zero = |zero: Label| WirePair {
+        zero,
+        one: zero.xor(&delta.0),
+    };
+
+    let mut wires: Vec<Option<WirePair>> = vec![None; circuit.wire_count];
+    for &w in circuit
+        .garbler_inputs
+        .iter()
+        .chain(&circuit.evaluator_inputs)
+    {
+        wires[w] = Some(pair_from_zero(random_label(rng)));
+    }
+
+    let mut tables = Vec::new();
+    for (gi, gate) in circuit.gates.iter().enumerate() {
+        let a = wires[gate.a].expect("topological order");
+        let b = wires[gate.b].expect("topological order");
+        match gate.op {
+            GateOp::Xor => {
+                // Free: L0_out = L0_a ⊕ L0_b; deltas cancel pairwise.
+                let zero = a.zero.xor(&b.zero.0);
+                wires[gate.out] = Some(pair_from_zero(zero));
+            }
+            GateOp::And | GateOp::Or => {
+                let out = pair_from_zero(random_label(rng));
+                wires[gate.out] = Some(out);
+                let mut rows = [[0u8; LABEL_LEN]; 4];
+                for va in [false, true] {
+                    for vb in [false, true] {
+                        let la = a.select(va);
+                        let lb = b.select(vb);
+                        let lo = out.select(gate.op.eval(va, vb));
+                        let idx = ((la.color() as usize) << 1) | lb.color() as usize;
+                        rows[idx] = lo.xor(&row_key(&la, &lb, gi)).0;
+                    }
+                }
+                tables.push(GarbledGate { rows });
+            }
+        }
+    }
+
+    let output_decode = circuit
+        .outputs
+        .iter()
+        .map(|&w| wires[w].expect("output wire garbled").zero.color())
+        .collect();
+
+    let secrets = GarblerSecrets {
+        wires: wires
+            .into_iter()
+            .map(|w| w.expect("every wire garbled"))
+            .collect(),
+    };
+    (
+        FreeXorCircuit {
+            tables,
+            output_decode,
+        },
+        secrets,
+    )
+}
+
+/// Evaluates a free-XOR garbled circuit.
+///
+/// # Errors
+/// [`GcError::InputArity`] / [`GcError::Evaluation`] as in the classic
+/// evaluator.
+pub fn evaluate_free_xor(
+    circuit: &Circuit,
+    garbled: &FreeXorCircuit,
+    garbler_labels: &[Label],
+    evaluator_labels: &[Label],
+) -> Result<Vec<bool>, GcError> {
+    if garbler_labels.len() != circuit.garbler_inputs.len()
+        || evaluator_labels.len() != circuit.evaluator_inputs.len()
+    {
+        return Err(GcError::InputArity {
+            expected: circuit.garbler_inputs.len() + circuit.evaluator_inputs.len(),
+            got: garbler_labels.len() + evaluator_labels.len(),
+        });
+    }
+    let expected_tables = circuit.gates.iter().filter(|g| g.op != GateOp::Xor).count();
+    if garbled.tables.len() != expected_tables {
+        return Err(GcError::Evaluation("table count mismatch"));
+    }
+
+    let mut labels: Vec<Option<Label>> = vec![None; circuit.wire_count];
+    for (&w, &l) in circuit.garbler_inputs.iter().zip(garbler_labels) {
+        labels[w] = Some(l);
+    }
+    for (&w, &l) in circuit.evaluator_inputs.iter().zip(evaluator_labels) {
+        labels[w] = Some(l);
+    }
+
+    let mut next_table = 0usize;
+    for (gi, gate) in circuit.gates.iter().enumerate() {
+        let la = labels[gate.a].ok_or(GcError::Evaluation("unset gate input"))?;
+        let lb = labels[gate.b].ok_or(GcError::Evaluation("unset gate input"))?;
+        let out = match gate.op {
+            GateOp::Xor => la.xor(&lb.0),
+            GateOp::And | GateOp::Or => {
+                let idx = ((la.color() as usize) << 1) | lb.color() as usize;
+                let row = &garbled.tables[next_table].rows[idx];
+                next_table += 1;
+                Label(*row).xor(&row_key(&la, &lb, gi))
+            }
+        };
+        labels[gate.out] = Some(out);
+    }
+
+    circuit
+        .outputs
+        .iter()
+        .zip(garbled.output_decode.iter())
+        .map(|(&w, &decode)| {
+            let l = labels[w].ok_or(GcError::Evaluation("unset output wire"))?;
+            Ok(l.color() ^ decode)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{pack_selected_sum_garbler_values, selected_sum_circuit, CircuitBuilder};
+    use crate::circuit::bits_to_u128;
+    use crate::garble::garble;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_fx(circuit: &Circuit, gv: &[bool], ev: &[bool], rng: &mut StdRng) -> Vec<bool> {
+        let (garbled, secrets) = garble_free_xor(circuit, rng);
+        let gl = secrets.garbler_input_labels(circuit, gv).unwrap();
+        let el: Vec<Label> = ev
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| secrets.evaluator_input_pair(circuit, i).select(v))
+            .collect();
+        evaluate_free_xor(circuit, &garbled, &gl, &el).unwrap()
+    }
+
+    #[test]
+    fn single_gates_all_inputs() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for op in [GateOp::And, GateOp::Or, GateOp::Xor] {
+            for a in [false, true] {
+                for bv in [false, true] {
+                    let mut b = CircuitBuilder::new();
+                    let wa = b.garbler_input();
+                    let wb = b.evaluator_input();
+                    let out = match op {
+                        GateOp::And => b.and(wa, wb),
+                        GateOp::Or => b.or(wa, wb),
+                        GateOp::Xor => b.xor(wa, wb),
+                    };
+                    b.outputs(&[out]);
+                    let c = b.build();
+                    assert_eq!(run_fx(&c, &[a], &[bv], &mut rng), vec![op.eval(a, bv)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_classic_garbling_on_selected_sum() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let (circuit, _) = selected_sum_circuit(6, 8);
+        let values = [10u64, 250, 3, 77, 128, 9];
+        let gv = pack_selected_sum_garbler_values(&values, 8, &circuit);
+        for _ in 0..3 {
+            let sel: Vec<bool> = (0..6).map(|_| rng.gen()).collect();
+
+            let fx = run_fx(&circuit, &gv, &sel, &mut rng);
+            let (classic, secrets) = garble(&circuit, &mut rng);
+            let gl = secrets.garbler_input_labels(&circuit, &gv).unwrap();
+            let el: Vec<Label> = sel
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| secrets.evaluator_input_pair(&circuit, i).select(v))
+                .collect();
+            let cl = crate::garble::evaluate(&circuit, &classic, &gl, &el).unwrap();
+
+            assert_eq!(fx, cl);
+            assert_eq!(fx, circuit.eval_plain(&gv, &sel));
+        }
+    }
+
+    #[test]
+    fn table_bytes_shrink_by_xor_fraction() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let (circuit, _) = selected_sum_circuit(16, 16);
+        let (classic, _) = garble(&circuit, &mut rng);
+        let (fx, _) = garble_free_xor(&circuit, &mut rng);
+        let nonlinear = circuit.nonlinear_gates();
+        let total = circuit.gates.len();
+        assert!(fx.wire_size() < classic.wire_size());
+        // Exact accounting: fx tables = nonlinear gates only.
+        assert_eq!(fx.tables.len(), nonlinear);
+        let expect_ratio = nonlinear as f64 / total as f64;
+        let actual_ratio = fx.tables.len() as f64 / total as f64;
+        assert!((actual_ratio - expect_ratio).abs() < 1e-9);
+        // Adders are XOR-heavy: at least a third of the tables vanish.
+        assert!(actual_ratio < 0.67, "xor fraction too low: {actual_ratio}");
+    }
+
+    #[test]
+    fn selected_sum_value_correct() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let (circuit, _) = selected_sum_circuit(5, 10);
+        let values = [1000u64, 2, 512, 77, 300];
+        let gv = pack_selected_sum_garbler_values(&values, 10, &circuit);
+        let sel = [true, false, true, false, true];
+        let out = run_fx(&circuit, &gv, &sel, &mut rng);
+        assert_eq!(bits_to_u128(&out), 1000 + 512 + 300);
+    }
+
+    #[test]
+    fn arity_and_table_count_checked() {
+        let mut rng = StdRng::seed_from_u64(65);
+        let mut b = CircuitBuilder::new();
+        let wa = b.garbler_input();
+        let wb = b.evaluator_input();
+        let o = b.and(wa, wb);
+        b.outputs(&[o]);
+        let c = b.build();
+        let (garbled, _) = garble_free_xor(&c, &mut rng);
+        assert!(evaluate_free_xor(&c, &garbled, &[], &[]).is_err());
+        let empty = FreeXorCircuit {
+            tables: vec![],
+            output_decode: vec![false],
+        };
+        let l = Label([0; LABEL_LEN]);
+        assert!(evaluate_free_xor(&c, &empty, &[l], &[l]).is_err());
+    }
+}

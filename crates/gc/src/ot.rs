@@ -1,0 +1,156 @@
+//! 1-of-2 oblivious transfer from additively homomorphic encryption.
+//!
+//! The receiver (GC evaluator) holds a choice bit `b` and a Paillier
+//! keypair; the sender (GC garbler) holds two messages `m₀, m₁` (wire
+//! labels). The receiver sends `E(b)`; the sender replies with a
+//! rerandomized `E(b)^(m₁−m₀) · E(m₀) = E(b·(m₁−m₀) + m₀) = E(m_b)`.
+//!
+//! Security (semi-honest): the sender sees only a semantically secure
+//! encryption of `b`; the receiver decrypts exactly `m_b` and, because
+//! the reply is a fresh-looking encryption of a single value, learns
+//! nothing about `m_{1−b}`. Messages must fit the plaintext space —
+//! 128-bit labels under ≥512-bit keys always do.
+
+use pps_bignum::Uint;
+use pps_crypto::{Ciphertext, PaillierKeypair, PaillierPublicKey};
+use rand::RngCore;
+
+use crate::error::GcError;
+use crate::garble::{Label, WirePair, LABEL_LEN};
+
+/// The receiver's first move: an encryption of the choice bit.
+pub struct OtRequest {
+    /// `E(b)` under the receiver's key.
+    pub encrypted_choice: Ciphertext,
+}
+
+/// Builds OT requests for a vector of choice bits.
+///
+/// # Errors
+/// Propagates encryption failures.
+pub fn ot_request(
+    keypair: &PaillierKeypair,
+    bits: &[bool],
+    rng: &mut dyn RngCore,
+) -> Result<Vec<OtRequest>, GcError> {
+    bits.iter()
+        .map(|&b| {
+            let ct = keypair.public.encrypt(&Uint::from_u64(b as u64), rng)?;
+            Ok(OtRequest {
+                encrypted_choice: ct,
+            })
+        })
+        .collect()
+}
+
+/// The sender's reply for one transfer: `E(m_b)`.
+pub struct OtReply {
+    /// Encrypted selected message.
+    pub ciphertext: Ciphertext,
+}
+
+/// Sender side: answers one request with the label pair `(m₀, m₁)`.
+///
+/// # Errors
+/// Propagates homomorphic-operation failures.
+pub fn ot_reply(
+    key: &PaillierPublicKey,
+    request: &OtRequest,
+    pair: &WirePair,
+    rng: &mut dyn RngCore,
+) -> Result<OtReply, GcError> {
+    // Labels must embed losslessly in the plaintext space: a 128-bit
+    // label needs N > 2^128, i.e. a key of at least 136 bits.
+    if key.key_bits() <= LABEL_LEN * 8 {
+        return Err(GcError::Ot("Paillier key too small to carry wire labels"));
+    }
+    let m0 = Uint::from_bytes_be(&pair.zero.0);
+    let m1 = Uint::from_bytes_be(&pair.one.0);
+    // d = (m1 - m0) mod N.
+    let d = m1
+        .mod_sub(&m0, key.n())
+        .map_err(pps_crypto::CryptoError::from)?;
+    let scaled = key.mul_plain(&request.encrypted_choice, &d)?;
+    let shifted = key.add_plain(&scaled, &m0)?;
+    // Rerandomize so the reply's randomness is independent of E(b)'s.
+    let fresh = key.rerandomize(&shifted, rng)?;
+    Ok(OtReply { ciphertext: fresh })
+}
+
+/// Receiver side: decrypts one reply into the chosen label.
+///
+/// # Errors
+/// [`GcError::Ot`] if the decrypted value does not fit a label (sender
+/// misbehavior outside the semi-honest model).
+pub fn ot_receive(keypair: &PaillierKeypair, reply: &OtReply) -> Result<Label, GcError> {
+    let m = keypair.secret.decrypt(&reply.ciphertext)?;
+    let bytes = m
+        .to_bytes_be_padded(LABEL_LEN)
+        .map_err(|_| GcError::Ot("transferred message exceeds label width"))?;
+    let mut out = [0u8; LABEL_LEN];
+    out.copy_from_slice(&bytes);
+    Ok(Label(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(rng: &mut StdRng) -> PaillierKeypair {
+        PaillierKeypair::generate(192, rng).unwrap()
+    }
+
+    fn random_pair(rng: &mut StdRng) -> WirePair {
+        // Build via the garbler on a 1-wire circuit to reuse the private
+        // constructor path.
+        use crate::builder::CircuitBuilder;
+        let mut b = CircuitBuilder::new();
+        let w = b.evaluator_input();
+        b.outputs(&[w]);
+        let c = b.build();
+        let (_, secrets) = crate::garble::garble(&c, rng);
+        secrets.evaluator_input_pair(&c, 0)
+    }
+
+    #[test]
+    fn transfers_chosen_label() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let kp = keypair(&mut rng);
+        let pair = random_pair(&mut rng);
+        for b in [false, true] {
+            let reqs = ot_request(&kp, &[b], &mut rng).unwrap();
+            let reply = ot_reply(&kp.public, &reqs[0], &pair, &mut rng).unwrap();
+            let got = ot_receive(&kp, &reply).unwrap();
+            assert_eq!(got, pair.select(b), "b={b}");
+        }
+    }
+
+    #[test]
+    fn batch_transfers() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let kp = keypair(&mut rng);
+        let bits = [true, false, false, true, true];
+        let pairs: Vec<WirePair> = (0..bits.len()).map(|_| random_pair(&mut rng)).collect();
+        let reqs = ot_request(&kp, &bits, &mut rng).unwrap();
+        for ((req, pair), &b) in reqs.iter().zip(&pairs).zip(&bits) {
+            let reply = ot_reply(&kp.public, req, pair, &mut rng).unwrap();
+            assert_eq!(ot_receive(&kp, &reply).unwrap(), pair.select(b));
+        }
+    }
+
+    #[test]
+    fn replies_are_rerandomized() {
+        // Two replies to the same request with the same pair must differ
+        // as ciphertexts (unlinkability for the receiver's traffic).
+        let mut rng = StdRng::seed_from_u64(23);
+        let kp = keypair(&mut rng);
+        let pair = random_pair(&mut rng);
+        let reqs = ot_request(&kp, &[true], &mut rng).unwrap();
+        let r1 = ot_reply(&kp.public, &reqs[0], &pair, &mut rng).unwrap();
+        let r2 = ot_reply(&kp.public, &reqs[0], &pair, &mut rng).unwrap();
+        assert_ne!(r1.ciphertext, r2.ciphertext);
+        assert_eq!(ot_receive(&kp, &r1).unwrap(), ot_receive(&kp, &r2).unwrap());
+    }
+}

@@ -1,0 +1,230 @@
+//! End-to-end garbled-circuit selected sum, with cost accounting.
+//!
+//! This is the general-SMC comparison point of the paper's §2: Yao's
+//! protocol computes the same selected sum with *no* homomorphic
+//! structure, at the price of a garbled table per gate (linear in `n` in
+//! table bytes, but with enormous constants) and one oblivious transfer
+//! per client input bit. The paper cites Fairplay [14] needing "at least
+//! 15 minutes for a database of only 1,000 elements" [16]; [`GcReport`]
+//! lets the figure harness reproduce that qualitative gap against the
+//! homomorphic protocol.
+
+use std::time::{Duration, Instant};
+
+use pps_crypto::PaillierKeypair;
+use rand::RngCore;
+
+use crate::builder::{pack_selected_sum_garbler_values, selected_sum_circuit};
+use crate::circuit::bits_to_u128;
+use crate::error::GcError;
+use crate::garble::{evaluate, garble, Label, LABEL_LEN};
+use crate::ot::{ot_receive, ot_reply, ot_request};
+
+/// Cost breakdown of one garbled-circuit execution.
+#[derive(Clone, Debug)]
+pub struct GcReport {
+    /// Database size.
+    pub n: usize,
+    /// Bits per database value.
+    pub value_bits: usize,
+    /// Total gates in the circuit.
+    pub gates: usize,
+    /// Time the server spent garbling.
+    pub garble_time: Duration,
+    /// Time spent on all oblivious transfers (both sides).
+    pub ot_time: Duration,
+    /// Time the client spent evaluating.
+    pub eval_time: Duration,
+    /// Bytes of garbled tables + decode info shipped server → client.
+    pub table_bytes: usize,
+    /// Bytes of garbler input labels shipped server → client.
+    pub garbler_label_bytes: usize,
+    /// Bytes of OT traffic (requests + replies, both directions).
+    pub ot_bytes: usize,
+    /// The computed selected sum.
+    pub result: u128,
+}
+
+impl GcReport {
+    /// Total compute time across both parties.
+    pub fn total_time(&self) -> Duration {
+        self.garble_time + self.ot_time + self.eval_time
+    }
+
+    /// Total protocol bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.table_bytes + self.garbler_label_bytes + self.ot_bytes
+    }
+}
+
+/// Runs Yao's protocol for the selected sum: server holds `values`
+/// (each < 2^`value_bits`), client holds `selection` bits.
+///
+/// `ot_keypair` is the client's Paillier keypair used for the label OTs
+/// (key generation is excluded from the timing, matching how the paper
+/// accounts session setup).
+///
+/// # Errors
+/// Configuration errors (empty input, oversized values), plus any
+/// garbling/OT/evaluation failure.
+pub fn run_gc_selected_sum(
+    values: &[u64],
+    selection: &[bool],
+    value_bits: usize,
+    ot_keypair: &PaillierKeypair,
+    rng: &mut dyn RngCore,
+) -> Result<GcReport, GcError> {
+    if values.is_empty() || values.len() != selection.len() {
+        return Err(GcError::Config(
+            "values/selection must be non-empty and equal-length".into(),
+        ));
+    }
+    if value_bits == 0 || value_bits > 63 {
+        return Err(GcError::Config("value_bits must be in 1..=63".into()));
+    }
+    if let Some(&v) = values.iter().find(|&&v| v >> value_bits != 0) {
+        return Err(GcError::Config(format!(
+            "value {v} exceeds {value_bits} bits"
+        )));
+    }
+
+    let n = values.len();
+    let (circuit, _acc_bits) = selected_sum_circuit(n, value_bits);
+
+    // --- Server: garble and prepare its input labels. ---
+    let start = Instant::now();
+    let (garbled, secrets) = garble(&circuit, rng);
+    let gv = pack_selected_sum_garbler_values(values, value_bits, &circuit);
+    let garbler_labels = secrets.garbler_input_labels(&circuit, &gv)?;
+    let garble_time = start.elapsed();
+
+    // --- OT: client fetches one label per selection bit. ---
+    let start = Instant::now();
+    let requests = ot_request(ot_keypair, selection, rng)?;
+    let mut evaluator_labels: Vec<Label> = Vec::with_capacity(n);
+    let mut ot_bytes = 0usize;
+    let ct_bytes = ot_keypair.public.ciphertext_bytes();
+    for (i, req) in requests.iter().enumerate() {
+        let pair = secrets.evaluator_input_pair(&circuit, i);
+        let reply = ot_reply(&ot_keypair.public, req, &pair, rng)?;
+        evaluator_labels.push(ot_receive(ot_keypair, &reply)?);
+        ot_bytes += 2 * ct_bytes; // request + reply
+    }
+    let ot_time = start.elapsed();
+
+    // --- Client: evaluate the garbled circuit. ---
+    let start = Instant::now();
+    let out_bits = evaluate(&circuit, &garbled, &garbler_labels, &evaluator_labels)?;
+    let eval_time = start.elapsed();
+
+    let result = bits_to_u128(&out_bits);
+
+    // Correctness oracle.
+    let expected: u128 = values
+        .iter()
+        .zip(selection)
+        .filter(|(_, &s)| s)
+        .map(|(&v, _)| v as u128)
+        .sum();
+    if result != expected {
+        return Err(GcError::Evaluation(
+            "garbled result disagrees with plaintext oracle",
+        ));
+    }
+
+    Ok(GcReport {
+        n,
+        value_bits,
+        gates: circuit.gates.len(),
+        garble_time,
+        ot_time,
+        eval_time,
+        table_bytes: garbled.wire_size(),
+        garbler_label_bytes: garbler_labels.len() * LABEL_LEN,
+        ot_bytes,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn keypair(rng: &mut StdRng) -> PaillierKeypair {
+        PaillierKeypair::generate(192, rng).unwrap()
+    }
+
+    #[test]
+    fn small_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let kp = keypair(&mut rng);
+        let values = [9u64, 3, 14, 7];
+        let selection = [true, false, true, true];
+        let r = run_gc_selected_sum(&values, &selection, 4, &kp, &mut rng).unwrap();
+        assert_eq!(r.result, 30);
+        assert!(r.gates > 0);
+        assert!(r.table_bytes >= r.gates * 4 * LABEL_LEN);
+    }
+
+    #[test]
+    fn random_instances_match_oracle() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let kp = keypair(&mut rng);
+        for _ in 0..5 {
+            let n = rng.gen_range(1..10);
+            let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..256)).collect();
+            let selection: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let r = run_gc_selected_sum(&values, &selection, 8, &kp, &mut rng).unwrap();
+            let expect: u128 = values
+                .iter()
+                .zip(&selection)
+                .filter(|(_, &s)| s)
+                .map(|(&v, _)| v as u128)
+                .sum();
+            assert_eq!(r.result, expect);
+        }
+    }
+
+    #[test]
+    fn nothing_and_everything_selected() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let kp = keypair(&mut rng);
+        let values = [5u64, 6, 7];
+        let none = run_gc_selected_sum(&values, &[false; 3], 3, &kp, &mut rng).unwrap();
+        assert_eq!(none.result, 0);
+        let all = run_gc_selected_sum(&values, &[true; 3], 3, &kp, &mut rng).unwrap();
+        assert_eq!(all.result, 18);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let kp = keypair(&mut rng);
+        assert!(run_gc_selected_sum(&[], &[], 4, &kp, &mut rng).is_err());
+        assert!(run_gc_selected_sum(&[1], &[true, false], 4, &kp, &mut rng).is_err());
+        assert!(
+            run_gc_selected_sum(&[16], &[true], 4, &kp, &mut rng).is_err(),
+            "16 needs 5 bits"
+        );
+        assert!(run_gc_selected_sum(&[1], &[true], 0, &kp, &mut rng).is_err());
+        assert!(run_gc_selected_sum(&[1], &[true], 64, &kp, &mut rng).is_err());
+    }
+
+    #[test]
+    fn cost_scales_linearly_in_n() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let kp = keypair(&mut rng);
+        let v8: Vec<u64> = (0..8).collect();
+        let v16: Vec<u64> = (0..16).collect();
+        let r8 = run_gc_selected_sum(&v8, &[true; 8], 8, &kp, &mut rng).unwrap();
+        let r16 = run_gc_selected_sum(&v16, &[true; 16], 8, &kp, &mut rng).unwrap();
+        let ratio = r16.table_bytes as f64 / r8.table_bytes as f64;
+        assert!(
+            (1.7..2.4).contains(&ratio),
+            "table bytes should scale ~linearly, ratio={ratio}"
+        );
+        assert_eq!(r16.ot_bytes, 2 * r8.ot_bytes);
+    }
+}

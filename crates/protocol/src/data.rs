@@ -1,0 +1,328 @@
+//! Server-side databases and client-side selections.
+
+use pps_bignum::Uint;
+use rand::Rng;
+use rand::RngCore;
+
+use crate::error::ProtocolError;
+
+/// The server's database: `n` numbers. The paper uses 32-bit values; we
+/// store `u64` and record the value bound for overflow analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Database {
+    values: Vec<u64>,
+    /// Exclusive upper bound on the values (e.g. `2^32`).
+    bound: u64,
+}
+
+impl Database {
+    /// Wraps explicit values, computing the bound from the maximum.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Config`] for an empty database.
+    pub fn new(values: Vec<u64>) -> Result<Self, ProtocolError> {
+        if values.is_empty() {
+            return Err(ProtocolError::Config("database must not be empty".into()));
+        }
+        let max = *values.iter().max().expect("non-empty");
+        Ok(Database {
+            values,
+            bound: max.saturating_add(1),
+        })
+    }
+
+    /// Generates `n` uniform random values in `[0, bound)` — the paper's
+    /// workload is `n` 32-bit numbers (`bound = 2^32`).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Config`] for `n == 0` or `bound == 0`.
+    pub fn random(n: usize, bound: u64, rng: &mut dyn RngCore) -> Result<Self, ProtocolError> {
+        if n == 0 {
+            return Err(ProtocolError::Config("database must not be empty".into()));
+        }
+        if bound == 0 {
+            return Err(ProtocolError::Config("value bound must be positive".into()));
+        }
+        let values = (0..n).map(|_| rng.gen_range(0..bound)).collect();
+        Ok(Database { values, bound })
+    }
+
+    /// The paper's exact workload: `n` 32-bit values.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Config`] for `n == 0`.
+    pub fn random_32bit(n: usize, rng: &mut dyn RngCore) -> Result<Self, ProtocolError> {
+        Self::random(n, 1 << 32, rng)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Row values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Exclusive value bound.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// A database holding the squares of this one's values — the server
+    /// side of private variance (Σx² uses the same index vector).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Config`] if any square overflows `u64`.
+    pub fn squared(&self) -> Result<Self, ProtocolError> {
+        let values = self
+            .values
+            .iter()
+            .map(|&v| {
+                v.checked_mul(v)
+                    .ok_or_else(|| ProtocolError::Config(format!("{v}² overflows u64")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Database::new(values)
+    }
+
+    /// Plaintext oracle: the true weighted sum for `selection`, used by
+    /// tests and reports.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Config`] on length mismatch.
+    pub fn oracle_sum(&self, selection: &Selection) -> Result<u128, ProtocolError> {
+        if selection.len() != self.len() {
+            return Err(ProtocolError::Config(format!(
+                "selection length {} != database length {}",
+                selection.len(),
+                self.len()
+            )));
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(selection.weights())
+            .map(|(&x, &w)| x as u128 * w as u128)
+            .sum())
+    }
+}
+
+/// The client's private selection: one weight per database row.
+///
+/// Weights of 0/1 give the paper's selected sum; larger integer weights
+/// give weighted sums ("integer weights in some larger range could be
+/// used to produce a weighted sum", §2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selection {
+    weights: Vec<u64>,
+}
+
+impl Selection {
+    /// A 0/1 selection from booleans.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        Selection {
+            weights: bits.iter().map(|&b| b as u64).collect(),
+        }
+    }
+
+    /// A 0/1 selection choosing the given row indices out of `n`.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Config`] for out-of-range indices.
+    pub fn from_indices(n: usize, indices: &[usize]) -> Result<Self, ProtocolError> {
+        let mut weights = vec![0u64; n];
+        for &i in indices {
+            if i >= n {
+                return Err(ProtocolError::Config(format!(
+                    "index {i} out of range 0..{n}"
+                )));
+            }
+            weights[i] = 1;
+        }
+        Ok(Selection { weights })
+    }
+
+    /// An arbitrary integer-weighted selection.
+    pub fn weighted(weights: Vec<u64>) -> Self {
+        Selection { weights }
+    }
+
+    /// A uniformly random 0/1 selection with inclusion probability `p`.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Config`] for `p` outside `[0, 1]`.
+    pub fn random(n: usize, p: f64, rng: &mut dyn RngCore) -> Result<Self, ProtocolError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ProtocolError::Config(
+                "selection probability must be in [0,1]".into(),
+            ));
+        }
+        Ok(Selection {
+            weights: (0..n).map(|_| (rng.gen::<f64>() < p) as u64).collect(),
+        })
+    }
+
+    /// Number of weights (must equal the database length).
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True iff zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Number of rows with nonzero weight (the paper's `m`).
+    pub fn selected_count(&self) -> usize {
+        self.weights.iter().filter(|&&w| w != 0).count()
+    }
+
+    /// Largest weight (1 for 0/1 selections).
+    pub fn max_weight(&self) -> u64 {
+        self.weights.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Checks that the worst-case sum `n · max_value · max_weight` fits the
+/// Paillier message space with headroom; the protocol refuses to run
+/// otherwise (database privacy gives the client *no* way to detect
+/// wraparound).
+pub fn check_message_space(
+    db: &Database,
+    selection: &Selection,
+    modulus: &Uint,
+) -> Result<(), ProtocolError> {
+    let worst = (db.len() as u128)
+        .checked_mul(db.bound() as u128)
+        .and_then(|v| v.checked_mul(selection.max_weight().max(1) as u128));
+    let needed_bits = match worst {
+        Some(w) => Uint::from_u128(w).bit_len(),
+        None => 129,
+    };
+    // One bit of headroom below N.
+    let available_bits = modulus.bit_len().saturating_sub(1);
+    if needed_bits > available_bits {
+        return Err(ProtocolError::SumOverflow {
+            needed_bits,
+            available_bits,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn database_construction() {
+        let db = Database::new(vec![5, 10, 3]).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.bound(), 11);
+        assert!(Database::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn random_database_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let db = Database::random(1000, 50, &mut rng).unwrap();
+        assert!(db.values().iter().all(|&v| v < 50));
+        assert!(Database::random(0, 50, &mut rng).is_err());
+        assert!(Database::random(10, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_32bit_matches_paper_workload() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let db = Database::random_32bit(100, &mut rng).unwrap();
+        assert_eq!(db.bound(), 1 << 32);
+        assert!(db.values().iter().all(|&v| v < (1 << 32)));
+    }
+
+    #[test]
+    fn squared_database() {
+        let db = Database::new(vec![2, 3, 4]).unwrap();
+        assert_eq!(db.squared().unwrap().values(), &[4, 9, 16]);
+        let huge = Database::new(vec![u64::MAX]).unwrap();
+        assert!(huge.squared().is_err());
+    }
+
+    #[test]
+    fn selection_constructors() {
+        let s = Selection::from_bits(&[true, false, true]);
+        assert_eq!(s.weights(), &[1, 0, 1]);
+        assert_eq!(s.selected_count(), 2);
+
+        let s = Selection::from_indices(5, &[0, 4]).unwrap();
+        assert_eq!(s.weights(), &[1, 0, 0, 0, 1]);
+        assert!(Selection::from_indices(5, &[5]).is_err());
+
+        let s = Selection::weighted(vec![0, 7, 2]);
+        assert_eq!(s.max_weight(), 7);
+    }
+
+    #[test]
+    fn random_selection_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Selection::random(10_000, 0.25, &mut rng).unwrap();
+        let frac = s.selected_count() as f64 / 10_000.0;
+        assert!((0.2..0.3).contains(&frac), "frac={frac}");
+        assert!(Selection::random(10, 1.5, &mut rng).is_err());
+        assert_eq!(
+            Selection::random(10, 0.0, &mut rng)
+                .unwrap()
+                .selected_count(),
+            0
+        );
+        assert_eq!(
+            Selection::random(10, 1.0, &mut rng)
+                .unwrap()
+                .selected_count(),
+            10
+        );
+    }
+
+    #[test]
+    fn oracle_sum() {
+        let db = Database::new(vec![10, 20, 30, 40]).unwrap();
+        let s = Selection::from_bits(&[true, false, true, false]);
+        assert_eq!(db.oracle_sum(&s).unwrap(), 40);
+        let w = Selection::weighted(vec![1, 2, 3, 4]);
+        assert_eq!(db.oracle_sum(&w).unwrap(), 10 + 40 + 90 + 160);
+        let short = Selection::from_bits(&[true]);
+        assert!(db.oracle_sum(&short).is_err());
+    }
+
+    #[test]
+    fn message_space_check() {
+        let db = Database::new(vec![u32::MAX as u64; 4]).unwrap();
+        let s = Selection::from_bits(&[true; 4]);
+        // 128-bit modulus: plenty for 4 × 2^32.
+        let big = Uint::one().shl(128);
+        assert!(check_message_space(&db, &s, &big).is_ok());
+        // 34-bit modulus: 4 × 2^32 ≈ 2^34 needs 35 bits > 33 available.
+        let small = Uint::one().shl(34);
+        assert!(matches!(
+            check_message_space(&db, &s, &small),
+            Err(ProtocolError::SumOverflow { .. })
+        ));
+        // Huge weights overflow too: 4 · 2^32 · (2^64−1) ≈ 2^98 needs
+        // more than the 89 bits a 90-bit modulus offers.
+        let w = Selection::weighted(vec![u64::MAX; 4]);
+        assert!(check_message_space(&db, &w, &Uint::one().shl(90)).is_err());
+    }
+}

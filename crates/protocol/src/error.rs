@@ -1,0 +1,87 @@
+//! Error type for protocol execution.
+
+use std::fmt;
+
+use pps_crypto::CryptoError;
+use pps_transport::TransportError;
+
+/// Errors surfaced while running a protocol variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Underlying cryptographic failure.
+    Crypto(CryptoError),
+    /// Underlying transport failure.
+    Transport(TransportError),
+    /// Configuration rejected before execution (empty database, batch
+    /// size zero, selection length mismatch, ...).
+    Config(String),
+    /// The plaintext sum could overflow the Paillier message space for
+    /// this combination of database bound, weights, and key size.
+    SumOverflow {
+        /// Bits needed for the worst-case sum.
+        needed_bits: usize,
+        /// Bits available in the message space.
+        available_bits: usize,
+    },
+    /// A peer violated the protocol state machine.
+    UnexpectedMessage(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Crypto(e) => write!(f, "crypto error: {e}"),
+            Self::Transport(e) => write!(f, "transport error: {e}"),
+            Self::Config(why) => write!(f, "invalid configuration: {why}"),
+            Self::SumOverflow {
+                needed_bits,
+                available_bits,
+            } => write!(
+                f,
+                "worst-case sum needs {needed_bits} bits but message space has {available_bits}"
+            ),
+            Self::UnexpectedMessage(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Crypto(e) => Some(e),
+            Self::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for ProtocolError {
+    fn from(e: CryptoError) -> Self {
+        Self::Crypto(e)
+    }
+}
+
+impl From<TransportError> for ProtocolError {
+    fn from(e: TransportError) -> Self {
+        Self::Transport(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: ProtocolError = TransportError::Disconnected.into();
+        assert!(e.to_string().contains("disconnected"));
+        let e: ProtocolError = CryptoError::KeyMismatch.into();
+        assert!(e.to_string().contains("different key"));
+        assert!(ProtocolError::SumOverflow {
+            needed_bits: 600,
+            available_bits: 512
+        }
+        .to_string()
+        .contains("600"));
+    }
+}

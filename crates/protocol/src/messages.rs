@@ -1,0 +1,591 @@
+//! Protocol messages and their byte-exact wire codecs.
+//!
+//! Every message serializes to a [`Frame`] so the transport layer counts
+//! the same bytes a real deployment would ship. Ciphertexts are encoded
+//! fixed-width (the width of `N²`), exactly as the OpenSSL-based
+//! implementation in the paper would have sent them.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pps_bignum::Uint;
+use pps_crypto::{Ciphertext, PaillierPublicKey};
+use pps_transport::{Frame, TransportError};
+
+/// Frame type discriminants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgType {
+    /// Client → server: session setup (public key, element count, batch
+    /// size).
+    Hello = 1,
+    /// Client → server: a batch of encrypted index weights.
+    IndexBatch = 2,
+    /// Server → client: the homomorphic product (encrypted sum).
+    Product = 3,
+    /// Client → server (non-private baseline): plaintext indices.
+    PlainIndices = 4,
+    /// Server → client (non-private baseline): plaintext sum.
+    PlainSum = 5,
+    /// Server → client (download-all baseline): raw database values.
+    Dump = 6,
+    /// Client ↔ client (multi-client phase 2): running blinded sum.
+    RingPartial = 7,
+    /// Client → clients (multi-client phase 2): final combined sum.
+    RingTotal = 8,
+    /// Client → server: database-size discovery (empty payload).
+    SizeRequest = 9,
+    /// Server → client: database size as a u64.
+    SizeReply = 10,
+}
+
+impl MsgType {
+    fn from_u8(v: u8) -> Result<Self, TransportError> {
+        Ok(match v {
+            1 => Self::Hello,
+            2 => Self::IndexBatch,
+            3 => Self::Product,
+            4 => Self::PlainIndices,
+            5 => Self::PlainSum,
+            6 => Self::Dump,
+            7 => Self::RingPartial,
+            8 => Self::RingTotal,
+            9 => Self::SizeRequest,
+            10 => Self::SizeReply,
+            _ => return Err(TransportError::Malformed("unknown message type")),
+        })
+    }
+}
+
+/// Session setup sent by the client before streaming encrypted indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Paillier modulus `N` (the public key under `g = N + 1`).
+    pub modulus: Uint,
+    /// Total number of index weights that will follow.
+    pub total: u64,
+    /// Number of indices per [`IndexBatch`].
+    pub batch_size: u32,
+}
+
+impl Hello {
+    /// Encodes to a frame: `[modulus_len u16][modulus][total u64][batch u32]`.
+    ///
+    /// # Errors
+    /// Propagates frame-size errors (cannot occur for real keys).
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        let m = self.modulus.to_bytes_be();
+        let mut buf = BytesMut::with_capacity(2 + m.len() + 12);
+        buf.put_u16(m.len() as u16);
+        buf.put_slice(&m);
+        buf.put_u64(self.total);
+        buf.put_u32(self.batch_size);
+        Frame::new(MsgType::Hello as u8, buf.freeze())
+    }
+
+    /// Decodes from a frame payload.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on truncation or trailing bytes.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::Hello)?;
+        let mut p = frame.payload.clone();
+        if p.remaining() < 2 {
+            return Err(TransportError::Malformed("hello truncated"));
+        }
+        let mlen = p.get_u16() as usize;
+        if p.remaining() < mlen + 12 {
+            return Err(TransportError::Malformed("hello truncated"));
+        }
+        let modulus = Uint::from_bytes_be(&p.copy_to_bytes(mlen));
+        let total = p.get_u64();
+        let batch_size = p.get_u32();
+        if p.has_remaining() {
+            return Err(TransportError::Malformed("hello trailing bytes"));
+        }
+        Ok(Hello {
+            modulus,
+            total,
+            batch_size,
+        })
+    }
+}
+
+/// A batch of fixed-width encrypted index weights.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexBatch {
+    /// Ciphertexts `E(I_i)` for a contiguous range of indices.
+    pub ciphertexts: Vec<Ciphertext>,
+}
+
+impl IndexBatch {
+    /// Encodes to a frame: `[count u32][ct bytes fixed-width]…`.
+    ///
+    /// # Errors
+    /// Frame-size errors for absurdly large batches.
+    pub fn encode(&self, key: &PaillierPublicKey) -> Result<Frame, TransportError> {
+        let w = key.ciphertext_bytes();
+        let mut buf = BytesMut::with_capacity(4 + w * self.ciphertexts.len());
+        buf.put_u32(self.ciphertexts.len() as u32);
+        for ct in &self.ciphertexts {
+            let bytes = ct
+                .to_bytes(key)
+                .map_err(|_| TransportError::Malformed("ciphertext wider than key"))?;
+            buf.put_slice(&bytes);
+        }
+        Frame::new(MsgType::IndexBatch as u8, buf.freeze())
+    }
+
+    /// Decodes and *validates* each ciphertext (membership in `Z*_{N²}`).
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on truncation or invalid group
+    /// elements — a careful server must reject these rather than fold
+    /// them into its product.
+    pub fn decode(frame: &Frame, key: &PaillierPublicKey) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::IndexBatch)?;
+        let mut p = frame.payload.clone();
+        if p.remaining() < 4 {
+            return Err(TransportError::Malformed("batch truncated"));
+        }
+        let count = p.get_u32() as usize;
+        let w = key.ciphertext_bytes();
+        if p.remaining() != count * w {
+            return Err(TransportError::Malformed("batch length mismatch"));
+        }
+        let mut ciphertexts = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bytes = p.copy_to_bytes(w);
+            let ct = Ciphertext::from_bytes(&bytes, key)
+                .map_err(|_| TransportError::Malformed("invalid ciphertext in batch"))?;
+            ciphertexts.push(ct);
+        }
+        Ok(IndexBatch { ciphertexts })
+    }
+}
+
+/// The server's reply: one ciphertext holding the (possibly blinded)
+/// encrypted sum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Product {
+    /// `E(Σ I_i·x_i)` (plus blinding in the multi-client protocol).
+    pub ciphertext: Ciphertext,
+}
+
+impl Product {
+    /// Encodes to a frame of one fixed-width ciphertext.
+    ///
+    /// # Errors
+    /// Frame-size errors (cannot occur for real keys).
+    pub fn encode(&self, key: &PaillierPublicKey) -> Result<Frame, TransportError> {
+        let bytes = self
+            .ciphertext
+            .to_bytes(key)
+            .map_err(|_| TransportError::Malformed("ciphertext wider than key"))?;
+        Frame::new(MsgType::Product as u8, bytes)
+    }
+
+    /// Decodes and validates.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on length or validity failures.
+    pub fn decode(frame: &Frame, key: &PaillierPublicKey) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::Product)?;
+        let ct = Ciphertext::from_bytes(&frame.payload, key)
+            .map_err(|_| TransportError::Malformed("invalid product ciphertext"))?;
+        Ok(Product { ciphertext: ct })
+    }
+}
+
+/// Plaintext index list — the trivial non-private baseline (§2): the
+/// client reveals exactly which rows it wants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlainIndices {
+    /// Selected row indices.
+    pub indices: Vec<u64>,
+}
+
+impl PlainIndices {
+    /// Encodes as `[count u32][index u64]…`.
+    ///
+    /// # Errors
+    /// Frame-size errors for absurd counts.
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        let mut buf = BytesMut::with_capacity(4 + 8 * self.indices.len());
+        buf.put_u32(self.indices.len() as u32);
+        for &i in &self.indices {
+            buf.put_u64(i);
+        }
+        Frame::new(MsgType::PlainIndices as u8, buf.freeze())
+    }
+
+    /// Decodes.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on truncation.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::PlainIndices)?;
+        let mut p = frame.payload.clone();
+        if p.remaining() < 4 {
+            return Err(TransportError::Malformed("indices truncated"));
+        }
+        let count = p.get_u32() as usize;
+        if p.remaining() != count * 8 {
+            return Err(TransportError::Malformed("indices length mismatch"));
+        }
+        Ok(PlainIndices {
+            indices: (0..count).map(|_| p.get_u64()).collect(),
+        })
+    }
+}
+
+/// Plaintext sum reply for the non-private baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlainSum {
+    /// The sum of the requested rows.
+    pub sum: u128,
+}
+
+impl PlainSum {
+    /// Encodes as 16 big-endian bytes.
+    ///
+    /// # Errors
+    /// None in practice.
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        Frame::new(MsgType::PlainSum as u8, self.sum.to_be_bytes().to_vec())
+    }
+
+    /// Decodes.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on wrong length.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::PlainSum)?;
+        let b: [u8; 16] = frame.payload[..]
+            .try_into()
+            .map_err(|_| TransportError::Malformed("plain sum wrong length"))?;
+        Ok(PlainSum {
+            sum: u128::from_be_bytes(b),
+        })
+    }
+}
+
+/// Full database dump — the other trivial baseline (§2): the server
+/// reveals everything and the client sums locally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dump {
+    /// All database values.
+    pub values: Vec<u64>,
+}
+
+impl Dump {
+    /// Encodes as `[count u32][value u64]…`.
+    ///
+    /// # Errors
+    /// [`TransportError::FrameTooLarge`] for databases beyond the frame
+    /// cap (~8M values).
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        let mut buf = BytesMut::with_capacity(4 + 8 * self.values.len());
+        buf.put_u32(self.values.len() as u32);
+        for &v in &self.values {
+            buf.put_u64(v);
+        }
+        Frame::new(MsgType::Dump as u8, buf.freeze())
+    }
+
+    /// Decodes.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on truncation.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::Dump)?;
+        let mut p = frame.payload.clone();
+        if p.remaining() < 4 {
+            return Err(TransportError::Malformed("dump truncated"));
+        }
+        let count = p.get_u32() as usize;
+        if p.remaining() != count * 8 {
+            return Err(TransportError::Malformed("dump length mismatch"));
+        }
+        Ok(Dump {
+            values: (0..count).map(|_| p.get_u64()).collect(),
+        })
+    }
+}
+
+/// Running blinded sum passed around the client ring in phase 2 of the
+/// multi-client protocol (§3.5). Values are residues modulo the shared
+/// blinding modulus `M`, encoded as variable-width `Uint`s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingPartial {
+    /// Running total `Σ_{j<=i} (P_j + R_j) mod M`.
+    pub running: Uint,
+}
+
+impl RingPartial {
+    /// Encodes as `[len u16][bytes]`.
+    ///
+    /// # Errors
+    /// None for values below the frame cap.
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        Frame::new(MsgType::RingPartial as u8, encode_uint(&self.running))
+    }
+
+    /// Decodes.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on truncation.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::RingPartial)?;
+        Ok(RingPartial {
+            running: decode_uint(&frame.payload)?,
+        })
+    }
+}
+
+/// Final unblinded total broadcast by the last ring client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingTotal {
+    /// `Σ P_i mod M` — the true selected sum.
+    pub total: Uint,
+}
+
+impl RingTotal {
+    /// Encodes as `[len u16][bytes]`.
+    ///
+    /// # Errors
+    /// None for values below the frame cap.
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        Frame::new(MsgType::RingTotal as u8, encode_uint(&self.total))
+    }
+
+    /// Decodes.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on truncation.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::RingTotal)?;
+        Ok(RingTotal {
+            total: decode_uint(&frame.payload)?,
+        })
+    }
+}
+
+/// Database-size discovery, for clients (e.g. the CLI) that connect
+/// without prior knowledge of `n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SizeRequest;
+
+impl SizeRequest {
+    /// Encodes (empty payload).
+    ///
+    /// # Errors
+    /// None in practice.
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        Frame::new(MsgType::SizeRequest as u8, Vec::new())
+    }
+
+    /// Decodes.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on a non-empty payload.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::SizeRequest)?;
+        if !frame.payload.is_empty() {
+            return Err(TransportError::Malformed("size request carries no payload"));
+        }
+        Ok(SizeRequest)
+    }
+}
+
+/// Reply to [`SizeRequest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SizeReply {
+    /// Number of database rows.
+    pub n: u64,
+}
+
+impl SizeReply {
+    /// Encodes as 8 big-endian bytes.
+    ///
+    /// # Errors
+    /// None in practice.
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        Frame::new(MsgType::SizeReply as u8, self.n.to_be_bytes().to_vec())
+    }
+
+    /// Decodes.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on wrong length.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::SizeReply)?;
+        let b: [u8; 8] = frame.payload[..]
+            .try_into()
+            .map_err(|_| TransportError::Malformed("size reply wrong length"))?;
+        Ok(SizeReply {
+            n: u64::from_be_bytes(b),
+        })
+    }
+}
+
+fn encode_uint(v: &Uint) -> Bytes {
+    let b = v.to_bytes_be();
+    let mut buf = BytesMut::with_capacity(2 + b.len());
+    buf.put_u16(b.len() as u16);
+    buf.put_slice(&b);
+    buf.freeze()
+}
+
+fn decode_uint(payload: &Bytes) -> Result<Uint, TransportError> {
+    let mut p = payload.clone();
+    if p.remaining() < 2 {
+        return Err(TransportError::Malformed("uint truncated"));
+    }
+    let len = p.get_u16() as usize;
+    if p.remaining() != len {
+        return Err(TransportError::Malformed("uint length mismatch"));
+    }
+    Ok(Uint::from_bytes_be(&p.copy_to_bytes(len)))
+}
+
+fn expect_type(frame: &Frame, want: MsgType) -> Result<(), TransportError> {
+    let got = MsgType::from_u8(frame.msg_type)?;
+    if got != want {
+        return Err(TransportError::Malformed("unexpected message type"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_crypto::PaillierKeypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> PaillierKeypair {
+        let mut rng = StdRng::seed_from_u64(77);
+        PaillierKeypair::generate(128, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn hello_round_trip() {
+        let kp = key();
+        let h = Hello {
+            modulus: kp.public.n().clone(),
+            total: 100_000,
+            batch_size: 100,
+        };
+        let f = h.encode().unwrap();
+        assert_eq!(Hello::decode(&f).unwrap(), h);
+    }
+
+    #[test]
+    fn hello_truncation_rejected() {
+        let kp = key();
+        let h = Hello {
+            modulus: kp.public.n().clone(),
+            total: 5,
+            batch_size: 1,
+        };
+        let f = h.encode().unwrap();
+        for cut in [0usize, 1, 5, f.payload.len() - 1] {
+            let bad = Frame::new(MsgType::Hello as u8, f.payload.slice(..cut)).unwrap();
+            assert!(Hello::decode(&bad).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn index_batch_round_trip() {
+        let kp = key();
+        let mut rng = StdRng::seed_from_u64(78);
+        let cts: Vec<_> = (0..5)
+            .map(|i| kp.public.encrypt_u64(i % 2, &mut rng).unwrap())
+            .collect();
+        let b = IndexBatch {
+            ciphertexts: cts.clone(),
+        };
+        let f = b.encode(&kp.public).unwrap();
+        let back = IndexBatch::decode(&f, &kp.public).unwrap();
+        assert_eq!(back.ciphertexts, cts);
+        // Wire size: 4-byte count + fixed-width ciphertexts.
+        assert_eq!(f.payload.len(), 4 + 5 * kp.public.ciphertext_bytes());
+    }
+
+    #[test]
+    fn index_batch_invalid_ciphertext_rejected() {
+        let kp = key();
+        let w = kp.public.ciphertext_bytes();
+        // count = 1, ciphertext bytes all zero (0 is not in Z*_{N²}).
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_slice(&vec![0u8; w]);
+        let f = Frame::new(MsgType::IndexBatch as u8, buf.freeze()).unwrap();
+        assert!(IndexBatch::decode(&f, &kp.public).is_err());
+    }
+
+    #[test]
+    fn index_batch_length_mismatch_rejected() {
+        let kp = key();
+        let mut buf = BytesMut::new();
+        buf.put_u32(2); // claims two, provides zero
+        let f = Frame::new(MsgType::IndexBatch as u8, buf.freeze()).unwrap();
+        assert!(IndexBatch::decode(&f, &kp.public).is_err());
+    }
+
+    #[test]
+    fn product_round_trip() {
+        let kp = key();
+        let mut rng = StdRng::seed_from_u64(79);
+        let ct = kp.public.encrypt_u64(4242, &mut rng).unwrap();
+        let p = Product { ciphertext: ct };
+        let f = p.encode(&kp.public).unwrap();
+        assert_eq!(Product::decode(&f, &kp.public).unwrap(), p);
+    }
+
+    #[test]
+    fn plain_messages_round_trip() {
+        let pi = PlainIndices {
+            indices: vec![3, 1, 4, 1, 5],
+        };
+        assert_eq!(PlainIndices::decode(&pi.encode().unwrap()).unwrap(), pi);
+        let ps = PlainSum { sum: u128::MAX - 7 };
+        assert_eq!(PlainSum::decode(&ps.encode().unwrap()).unwrap(), ps);
+        let d = Dump {
+            values: (0..100).collect(),
+        };
+        assert_eq!(Dump::decode(&d.encode().unwrap()).unwrap(), d);
+    }
+
+    #[test]
+    fn ring_messages_round_trip() {
+        let rp = RingPartial {
+            running: Uint::from_u128(0xdead_beef_cafe),
+        };
+        assert_eq!(RingPartial::decode(&rp.encode().unwrap()).unwrap(), rp);
+        let rt = RingTotal {
+            total: Uint::zero(),
+        };
+        assert_eq!(RingTotal::decode(&rt.encode().unwrap()).unwrap(), rt);
+    }
+
+    #[test]
+    fn size_messages_round_trip() {
+        let req = SizeRequest;
+        assert_eq!(SizeRequest::decode(&req.encode().unwrap()).unwrap(), req);
+        let rep = SizeReply { n: 123_456 };
+        assert_eq!(SizeReply::decode(&rep.encode().unwrap()).unwrap(), rep);
+        // Payload discipline.
+        let bad = Frame::new(MsgType::SizeRequest as u8, vec![1u8]).unwrap();
+        assert!(SizeRequest::decode(&bad).is_err());
+        let bad = Frame::new(MsgType::SizeReply as u8, vec![1u8; 3]).unwrap();
+        assert!(SizeReply::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let ps = PlainSum { sum: 1 }.encode().unwrap();
+        assert!(PlainIndices::decode(&ps).is_err());
+        let weird = Frame::new(99, Vec::new()).unwrap();
+        assert!(Hello::decode(&weird).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Perturbation-based approximate private sums — the paper's stated
+//! future work (§4: "methods that give up some quantifiable amount of
+//! privacy in order to achieve significant performance improvements")
+//! and the other branch of the field it surveys in §1 ("those that use
+//! perturbation, which provide weaker privacy properties, but allow much
+//! more efficient solutions").
+//!
+//! Mechanism: **randomized response** on the index vector. The client
+//! flips each selection bit with probability `p` and sends the perturbed
+//! bits *in plaintext*; the server returns the perturbed selected sum
+//! `S̃` and the database total `T`; the client debiases:
+//!
+//! ```text
+//! E[S̃] = (1 − p)·S + p·(T − S)   ⇒   Ŝ = (S̃ − p·T) / (1 − 2p)
+//! ```
+//!
+//! Privacy is quantifiable as local differential privacy: each bit's
+//! report satisfies ε-LDP with `ε = ln((1 − p)/p)`. Performance is
+//! dramatic — no cryptography at all — at the price of approximation
+//! error with standard deviation `≈ √(n·p(1−p))·max_x / (1 − 2p)` and a
+//! weaker (plausible-deniability) privacy notion, which is exactly the
+//! trade the paper proposes to investigate.
+
+use std::time::Instant;
+
+use pps_transport::{LinkProfile, SimLink, Wire};
+use rand::Rng;
+use rand::RngCore;
+
+use crate::data::{Database, Selection};
+use crate::error::ProtocolError;
+use crate::messages::{PlainIndices, PlainSum};
+use crate::server::ServerSession;
+
+/// Result of one randomized-response run.
+#[derive(Clone, Debug)]
+pub struct PerturbedReport {
+    /// Database size.
+    pub n: usize,
+    /// Flip probability `p`.
+    pub flip_probability: f64,
+    /// The per-bit local-DP parameter `ε = ln((1−p)/p)`.
+    pub epsilon: f64,
+    /// Debiased estimate of the selected sum.
+    pub estimate: f64,
+    /// True selected sum (oracle; for error reporting only).
+    pub true_sum: u128,
+    /// `|estimate − true| / max(true, 1)`.
+    pub relative_error: f64,
+    /// A-priori standard deviation of the estimator.
+    pub predicted_std_dev: f64,
+    /// Wall-clock client+server compute (no cryptography).
+    pub compute: std::time::Duration,
+    /// Simulated communication time.
+    pub comm: std::time::Duration,
+    /// Total bytes on the wire.
+    pub bytes: usize,
+}
+
+/// Converts a local-DP budget ε into the flip probability
+/// `p = 1/(1 + e^ε)`.
+pub fn flip_probability_for_epsilon(epsilon: f64) -> f64 {
+    1.0 / (1.0 + epsilon.exp())
+}
+
+/// Runs the randomized-response protocol: perturbed plaintext bits up,
+/// perturbed sum + database total down, client-side debiasing.
+///
+/// `epsilon` is the per-bit local-DP budget; smaller ε = stronger
+/// plausible deniability = noisier estimate. `epsilon = ∞` degenerates
+/// to the non-private plain-indices baseline.
+///
+/// # Errors
+/// Configuration and transport failures; `epsilon` must be positive and
+/// finite, and the selection must be 0/1.
+pub fn run_randomized_response(
+    db: &Database,
+    selection: &Selection,
+    epsilon: f64,
+    link: LinkProfile,
+    rng: &mut dyn RngCore,
+) -> Result<PerturbedReport, ProtocolError> {
+    if selection.len() != db.len() {
+        return Err(ProtocolError::Config(
+            "selection/database length mismatch".into(),
+        ));
+    }
+    if selection.max_weight() > 1 {
+        return Err(ProtocolError::Config(
+            "randomized response needs a 0/1 selection".into(),
+        ));
+    }
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(ProtocolError::Config(
+            "epsilon must be positive and finite".into(),
+        ));
+    }
+    let p = flip_probability_for_epsilon(epsilon);
+
+    let (mut cw, mut sw) = SimLink::pair(link);
+
+    // --- Client: perturb and send plaintext indices. ---
+    let start = Instant::now();
+    let perturbed: Vec<u64> = selection
+        .weights()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &w)| {
+            let bit = (w == 1) ^ (rng.gen::<f64>() < p);
+            bit.then_some(i as u64)
+        })
+        .collect();
+    let mut compute = start.elapsed();
+    cw.send(PlainIndices { indices: perturbed }.encode()?)?;
+
+    // --- Server: perturbed selected sum, plus the database total the
+    // debiasing needs. ---
+    let mut server = ServerSession::new(db);
+    let frame = sw.recv()?;
+    let start = Instant::now();
+    let reply = server
+        .on_frame(&frame)?
+        .ok_or(ProtocolError::UnexpectedMessage("server produced no sum"))?;
+    let total: u128 = db.values().iter().map(|&v| v as u128).sum();
+    compute += start.elapsed();
+    sw.send(reply)?;
+    sw.send(PlainSum { sum: total }.encode()?)?;
+
+    // --- Client: debias. ---
+    let perturbed_sum = PlainSum::decode(&cw.recv()?)?.sum;
+    let total = PlainSum::decode(&cw.recv()?)?.sum;
+    let start = Instant::now();
+    let estimate = (perturbed_sum as f64 - p * total as f64) / (1.0 - 2.0 * p);
+    compute += start.elapsed();
+
+    let true_sum = db.oracle_sum(selection)?;
+    let relative_error = (estimate - true_sum as f64).abs() / (true_sum.max(1) as f64);
+    // Each bit flips independently; a flip of bit i moves the perturbed
+    // sum by ±x_i, so Var(S̃) = p(1−p)·Σ x_i², scaled by the debiasing
+    // factor 1/(1−2p).
+    let var: f64 = db
+        .values()
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        * p
+        * (1.0 - p)
+        / ((1.0 - 2.0 * p) * (1.0 - 2.0 * p));
+    let stats = cw.stats();
+    Ok(PerturbedReport {
+        n: db.len(),
+        flip_probability: p,
+        epsilon,
+        estimate,
+        true_sum,
+        relative_error,
+        predicted_std_dev: var.sqrt(),
+        compute,
+        comm: cw.virtual_elapsed(),
+        bytes: stats.payload_bytes_sent + stats.payload_bytes_received,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, seed: u64) -> (Database, Selection, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = Database::random(n, 1000, &mut rng).unwrap();
+        let sel = Selection::random(n, 0.5, &mut rng).unwrap();
+        (db, sel, rng)
+    }
+
+    #[test]
+    fn epsilon_to_probability() {
+        // ε → ∞: never flip; ε = 0 would mean p = 1/2 (pure noise).
+        assert!(flip_probability_for_epsilon(20.0) < 1e-8);
+        assert!((flip_probability_for_epsilon(0.0) - 0.5).abs() < 1e-12);
+        // ln(3) gives the classic warner p = 1/4.
+        assert!((flip_probability_for_epsilon(3.0f64.ln()) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_is_unbiased_over_runs() {
+        let (db, sel, mut rng) = setup(400, 42);
+        let true_sum = db.oracle_sum(&sel).unwrap() as f64;
+        let runs = 30;
+        let mean_estimate: f64 = (0..runs)
+            .map(|_| {
+                run_randomized_response(&db, &sel, 2.0, LinkProfile::gigabit_lan(), &mut rng)
+                    .unwrap()
+                    .estimate
+            })
+            .sum::<f64>()
+            / runs as f64;
+        // The mean of 30 estimates should land within ~3 predicted
+        // standard errors of the truth.
+        let one =
+            run_randomized_response(&db, &sel, 2.0, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        let se = one.predicted_std_dev / (runs as f64).sqrt();
+        assert!(
+            (mean_estimate - true_sum).abs() < 3.5 * se,
+            "mean {mean_estimate} vs true {true_sum} (se {se})"
+        );
+    }
+
+    #[test]
+    fn high_epsilon_is_nearly_exact() {
+        let (db, sel, mut rng) = setup(300, 43);
+        let r =
+            run_randomized_response(&db, &sel, 15.0, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        // p ≈ 3e-7: a flip among 300 bits is overwhelmingly unlikely.
+        assert!(r.relative_error < 1e-3, "rel err {}", r.relative_error);
+    }
+
+    #[test]
+    fn lower_epsilon_means_more_predicted_noise() {
+        let (db, sel, mut rng) = setup(200, 44);
+        let tight =
+            run_randomized_response(&db, &sel, 4.0, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        let loose =
+            run_randomized_response(&db, &sel, 0.5, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        assert!(loose.predicted_std_dev > 3.0 * tight.predicted_std_dev);
+        assert!(loose.flip_probability > tight.flip_probability);
+    }
+
+    #[test]
+    fn vastly_cheaper_than_crypto() {
+        // The whole point of the trade: no modular exponentiation.
+        let (db, sel, mut rng) = setup(300, 45);
+        let r =
+            run_randomized_response(&db, &sel, 1.0, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        assert!(r.compute.as_millis() < 50, "compute {:?}", r.compute);
+        // Bytes: 8 per (perturbed) index + two sums, vs 64+ per index for
+        // Paillier at the smallest supported key.
+        assert!(r.bytes < 16 * db.len() + 64);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (db, sel, mut rng) = setup(10, 46);
+        for eps in [0.0, -1.0, f64::INFINITY, f64::NAN] {
+            assert!(
+                run_randomized_response(&db, &sel, eps, LinkProfile::gigabit_lan(), &mut rng)
+                    .is_err()
+            );
+        }
+        let weighted = Selection::weighted(vec![2; 10]);
+        assert!(
+            run_randomized_response(&db, &weighted, 1.0, LinkProfile::gigabit_lan(), &mut rng)
+                .is_err()
+        );
+        let short = Selection::from_bits(&[true; 3]);
+        assert!(
+            run_randomized_response(&db, &short, 1.0, LinkProfile::gigabit_lan(), &mut rng)
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Adversarial-input property tests for the protocol message decoders:
+//! every decoder must return a clean error (never panic, never
+//! mis-decode) on arbitrary byte soup — this is the surface a malicious
+//! peer controls.
+
+use pps_bignum::Uint;
+use pps_protocol::messages::{
+    Dump, Hello, IndexBatch, PlainIndices, PlainSum, Product, RingPartial, RingTotal, SizeReply,
+    SizeRequest,
+};
+use pps_protocol::ServerSession;
+use pps_transport::Frame;
+use proptest::prelude::*;
+
+fn key() -> &'static pps_crypto::PaillierPublicKey {
+    use std::sync::OnceLock;
+    static KEY: OnceLock<pps_crypto::PaillierPublicKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xfa22);
+        pps_crypto::PaillierKeypair::generate(128, &mut rng)
+            .unwrap()
+            .public
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decoders_never_panic(
+        msg_type in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let frame = Frame::new(msg_type, payload).unwrap();
+        // Any Result is acceptable; a panic is the bug.
+        let _ = Hello::decode(&frame);
+        let _ = IndexBatch::decode(&frame, key());
+        let _ = Product::decode(&frame, key());
+        let _ = PlainIndices::decode(&frame);
+        let _ = PlainSum::decode(&frame);
+        let _ = Dump::decode(&frame);
+        let _ = RingPartial::decode(&frame);
+        let _ = RingTotal::decode(&frame);
+        let _ = SizeRequest::decode(&frame);
+        let _ = SizeReply::decode(&frame);
+    }
+
+    #[test]
+    fn server_session_never_panics_on_garbage(
+        frames in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..128)),
+            1..8,
+        ),
+    ) {
+        let db = pps_protocol::Database::new(vec![1, 2, 3, 4]).unwrap();
+        let mut session = ServerSession::new(&db);
+        for (t, p) in frames {
+            let frame = Frame::new(t, p).unwrap();
+            // Errors are fine and expected; panics are not. Stop at the
+            // first error, as a real server would hang up.
+            if session.on_frame(&frame).is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn hello_decode_encode_fixpoint(
+        modulus_bytes in prop::collection::vec(any::<u8>(), 1..64),
+        total in any::<u64>(),
+        batch in any::<u32>(),
+    ) {
+        let modulus = Uint::from_bytes_be(&modulus_bytes);
+        prop_assume!(!modulus.is_zero());
+        let h = Hello { modulus, total, batch_size: batch };
+        let f = h.encode().unwrap();
+        prop_assert_eq!(Hello::decode(&f).unwrap(), h);
+    }
+
+    #[test]
+    fn truncated_hello_rejected(
+        total in any::<u64>(),
+        cut in 0usize..20,
+    ) {
+        let h = Hello { modulus: Uint::from_u64(12345), total, batch_size: 1 };
+        let f = h.encode().unwrap();
+        prop_assume!(cut < f.payload.len());
+        let bad = Frame::new(f.msg_type, f.payload.slice(..cut)).unwrap();
+        prop_assert!(Hello::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn plain_indices_round_trip(indices in prop::collection::vec(any::<u64>(), 0..64)) {
+        let m = PlainIndices { indices };
+        let f = m.encode().unwrap();
+        prop_assert_eq!(PlainIndices::decode(&f).unwrap(), m);
+    }
+
+    #[test]
+    fn ring_values_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..48)) {
+        let v = Uint::from_bytes_be(&bytes);
+        let p = RingPartial { running: v.clone() };
+        prop_assert_eq!(RingPartial::decode(&p.encode().unwrap()).unwrap().running, v.clone());
+        let t = RingTotal { total: v.clone() };
+        prop_assert_eq!(RingTotal::decode(&t.encode().unwrap()).unwrap().total, v);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the statistics layer.
+
+use std::fmt;
+
+use pps_protocol::ProtocolError;
+
+/// Errors surfaced by private statistics queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// Underlying protocol failure.
+    Protocol(ProtocolError),
+    /// Query configuration rejected.
+    Config(String),
+    /// A decrypted aggregate disagreed with the plaintext oracle.
+    Mismatch {
+        /// Which aggregate.
+        aggregate: &'static str,
+        /// Decrypted value.
+        got: u128,
+        /// Oracle value.
+        expected: u128,
+    },
+    /// A ratio statistic was requested over an empty selection.
+    EmptySelection,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+            Self::Config(why) => write!(f, "invalid statistics query: {why}"),
+            Self::Mismatch {
+                aggregate,
+                got,
+                expected,
+            } => {
+                write!(f, "{aggregate} mismatch: got {got}, expected {expected}")
+            }
+            Self::EmptySelection => write!(f, "statistic undefined over an empty selection"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for StatsError {
+    fn from(e: ProtocolError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+impl From<pps_transport::TransportError> for StatsError {
+    fn from(e: pps_transport::TransportError) -> Self {
+        Self::Protocol(ProtocolError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = StatsError::Mismatch {
+            aggregate: "sum",
+            got: 1,
+            expected: 2,
+        };
+        assert!(e.to_string().contains("sum mismatch"));
+        assert!(StatsError::EmptySelection.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # pps-stats
+//!
+//! Private statistics over a remote database, built on the selected-sum
+//! protocol of `pps-protocol`. The paper's §1 motivates private sums
+//! exactly because they "immediately yield private solutions for
+//! computing means, variances, and weighted averages"; this crate is that
+//! statistics layer:
+//!
+//! * [`run_stats_query`] — one pass of encrypted indices, any subset of
+//!   {count, sum, sum-of-squares} computed server-side against the same
+//!   ciphertexts;
+//! * [`private_moments`] — count + sum + sum² in one query, from which
+//!   [`StatsReport::mean`], [`StatsReport::variance`], and
+//!   [`StatsReport::std_dev`] derive;
+//! * [`private_weighted_mean`] — integer-weighted averages.
+//!
+//! # Example
+//!
+//! ```
+//! use pps_protocol::{Database, Selection, SumClient};
+//! use pps_stats::private_moments;
+//! use pps_transport::LinkProfile;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let db = Database::new(vec![170, 180, 160, 175]).unwrap();   // heights
+//! let cohort = Selection::from_indices(4, &[0, 1, 3]).unwrap(); // private cohort
+//! let client = SumClient::generate(128, &mut rng).unwrap();
+//!
+//! let r = private_moments(&db, &cohort, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+//! assert_eq!(r.mean(), Some(175.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod paired;
+mod query;
+mod report;
+
+pub use error::StatsError;
+pub use paired::{private_paired_moments, PairedDatabase, PairedReport};
+pub use query::{private_moments, private_weighted_mean, run_stats_query, Wants};
+pub use report::{StatsReport, StatsTimings};

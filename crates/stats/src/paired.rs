@@ -1,0 +1,364 @@
+//! Private bivariate statistics: covariance and Pearson correlation of
+//! two server-side columns over a private selection.
+//!
+//! The same single pass of encrypted indices yields six aggregates — the
+//! server folds the received `E(I_i)` against six plaintext value
+//! vectors (1, x, y, x², y², x·y) — from which covariance and correlation
+//! derive:
+//!
+//! ```text
+//! cov(x, y) = E[xy] − E[x]·E[y]
+//! corr(x, y) = cov(x, y) / (σ_x · σ_y)
+//! ```
+//!
+//! This is the natural next statistic after the paper's means and
+//! variances, with the identical privacy structure.
+
+use std::time::Duration;
+
+use pps_protocol::{Database, ProtocolError, Selection, ServerSession, SumClient};
+use pps_transport::{Frame, LinkProfile, SimLink, TransportError, Wire};
+use rand::RngCore;
+
+use crate::error::StatsError;
+use crate::report::StatsTimings;
+
+/// Two aligned columns held by the server.
+pub struct PairedDatabase {
+    x: Database,
+    y: Database,
+}
+
+impl PairedDatabase {
+    /// Wraps two equal-length columns.
+    ///
+    /// # Errors
+    /// [`StatsError::Config`] on length mismatch or empty columns;
+    /// values must keep all products within `u64`.
+    pub fn new(x: Vec<u64>, y: Vec<u64>) -> Result<Self, StatsError> {
+        if x.len() != y.len() {
+            return Err(StatsError::Config(format!(
+                "column lengths differ: {} vs {}",
+                x.len(),
+                y.len()
+            )));
+        }
+        for (&a, &b) in x.iter().zip(&y) {
+            if a.checked_mul(b).is_none()
+                || a.checked_mul(a).is_none()
+                || b.checked_mul(b).is_none()
+            {
+                return Err(StatsError::Config(format!("product {a}·{b} overflows u64")));
+            }
+        }
+        Ok(PairedDatabase {
+            x: Database::new(x)?,
+            y: Database::new(y)?,
+        })
+    }
+
+    /// Rows per column.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True iff empty (cannot happen by construction).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The x column.
+    pub fn x(&self) -> &Database {
+        &self.x
+    }
+
+    /// The y column.
+    pub fn y(&self) -> &Database {
+        &self.y
+    }
+}
+
+/// Decrypted bivariate aggregates and derived statistics.
+#[derive(Clone, Debug)]
+pub struct PairedReport {
+    /// `Σ I_i` — selected count.
+    pub count: u128,
+    /// `Σ I_i·x_i`.
+    pub sum_x: u128,
+    /// `Σ I_i·y_i`.
+    pub sum_y: u128,
+    /// `Σ I_i·x_i²`.
+    pub sum_xx: u128,
+    /// `Σ I_i·y_i²`.
+    pub sum_yy: u128,
+    /// `Σ I_i·x_i·y_i`.
+    pub sum_xy: u128,
+    /// Execution breakdown.
+    pub timings: StatsTimings,
+}
+
+impl PairedReport {
+    /// Population covariance; `None` for an empty selection.
+    pub fn covariance(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as f64;
+        let mean_x = self.sum_x as f64 / n;
+        let mean_y = self.sum_y as f64 / n;
+        Some(self.sum_xy as f64 / n - mean_x * mean_y)
+    }
+
+    /// Population variance of the x column over the selection.
+    pub fn variance_x(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as f64;
+        let mean = self.sum_x as f64 / n;
+        Some((self.sum_xx as f64 / n - mean * mean).max(0.0))
+    }
+
+    /// Population variance of the y column over the selection.
+    pub fn variance_y(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as f64;
+        let mean = self.sum_y as f64 / n;
+        Some((self.sum_yy as f64 / n - mean * mean).max(0.0))
+    }
+
+    /// Pearson correlation; `None` when either variance is zero or the
+    /// selection is empty.
+    pub fn correlation(&self) -> Option<f64> {
+        let cov = self.covariance()?;
+        let sx = self.variance_x()?.sqrt();
+        let sy = self.variance_y()?.sqrt();
+        if sx == 0.0 || sy == 0.0 {
+            return None;
+        }
+        Some((cov / (sx * sy)).clamp(-1.0, 1.0))
+    }
+}
+
+/// Runs the six-aggregate bivariate query: one pass of encrypted indices,
+/// six homomorphic products, six decryptions.
+///
+/// # Errors
+/// Configuration, crypto, and transport failures; any aggregate that
+/// disagrees with the plaintext oracle.
+pub fn private_paired_moments(
+    db: &PairedDatabase,
+    selection: &Selection,
+    client: &SumClient,
+    link: LinkProfile,
+    rng: &mut dyn RngCore,
+) -> Result<PairedReport, StatsError> {
+    if selection.len() != db.len() {
+        return Err(StatsError::Config(
+            "selection/database length mismatch".into(),
+        ));
+    }
+    if selection.max_weight() > 1 {
+        return Err(StatsError::Config(
+            "bivariate moments need a 0/1 selection".into(),
+        ));
+    }
+
+    // The six value vectors the server folds against.
+    let ones = Database::new(vec![1u64; db.len()])?;
+    let xx = db.x.squared()?;
+    let yy = db.y.squared()?;
+    let xy = Database::new(
+        db.x.values()
+            .iter()
+            .zip(db.y.values())
+            .map(|(&a, &b)| a * b) // checked at construction
+            .collect(),
+    )?;
+    let vectors: [(&'static str, &Database); 6] = [
+        ("count", &ones),
+        ("sum_x", &db.x),
+        ("sum_y", &db.y),
+        ("sum_xx", &xx),
+        ("sum_yy", &yy),
+        ("sum_xy", &xy),
+    ];
+    for (_, v) in &vectors {
+        pps_protocol::check_message_space(v, selection, client.keypair().public.n())?;
+    }
+
+    let (mut cw, mut sw) = SimLink::pair(link);
+
+    let mut source = pps_protocol::IndexSource::Fresh(rng);
+    let send_stats = client.send_query(&mut cw, selection, selection.len(), &mut source)?;
+
+    // Server captures the index frames once, replays per aggregate.
+    let mut captured: Vec<Frame> = Vec::new();
+    loop {
+        match sw.recv() {
+            Ok(f) => captured.push(f),
+            Err(TransportError::Empty) => break,
+            Err(e) => return Err(ProtocolError::from(e).into()),
+        }
+    }
+
+    let mut server_compute = Duration::ZERO;
+    let mut results = [0u128; 6];
+    let mut decrypt = Duration::ZERO;
+    for (slot, (name, database)) in vectors.iter().enumerate() {
+        let mut session = ServerSession::new(database);
+        let mut reply = None;
+        for f in &captured {
+            if let Some(r) = session.on_frame(f)? {
+                reply = Some(r);
+            }
+        }
+        server_compute += session.stats().compute;
+        let frame = reply.ok_or_else(|| StatsError::Config("no product produced".into()))?;
+        sw.send(frame)?;
+        let frame = cw.recv().map_err(ProtocolError::from)?;
+        let (value, d) = client.decrypt_product(&frame)?;
+        decrypt += d;
+        let v = value
+            .to_u128()
+            .ok_or_else(|| StatsError::Config("aggregate exceeds 128 bits".into()))?;
+        let expected = database.oracle_sum(selection)?;
+        if v != expected {
+            return Err(StatsError::Mismatch {
+                aggregate: name,
+                got: v,
+                expected,
+            });
+        }
+        results[slot] = v;
+    }
+
+    let wire = cw.stats();
+    Ok(PairedReport {
+        count: results[0],
+        sum_x: results[1],
+        sum_y: results[2],
+        sum_xx: results[3],
+        sum_yy: results[4],
+        sum_xy: results[5],
+        timings: StatsTimings {
+            client_encrypt: send_stats.encrypt,
+            server_compute,
+            comm: cw.virtual_elapsed(),
+            client_decrypt: decrypt,
+            bytes_to_server: wire.payload_bytes_sent,
+            bytes_to_client: wire.payload_bytes_received,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn client() -> (SumClient, StdRng) {
+        let mut rng = StdRng::seed_from_u64(1313);
+        (SumClient::generate(192, &mut rng).unwrap(), rng)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(PairedDatabase::new(vec![1, 2], vec![1]).is_err());
+        assert!(PairedDatabase::new(vec![], vec![]).is_err());
+        assert!(
+            PairedDatabase::new(vec![u64::MAX], vec![2]).is_err(),
+            "product overflow"
+        );
+        let db = PairedDatabase::new(vec![1, 2], vec![3, 4]).unwrap();
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn perfectly_correlated_columns() {
+        // y = 2x → correlation exactly 1.
+        let x = vec![1u64, 2, 3, 4, 5, 6];
+        let y: Vec<u64> = x.iter().map(|&v| 2 * v).collect();
+        let db = PairedDatabase::new(x, y).unwrap();
+        let sel = Selection::from_bits(&[true; 6]);
+        let (c, mut rng) = client();
+        let r =
+            private_paired_moments(&db, &sel, &c, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        assert!((r.correlation().unwrap() - 1.0).abs() < 1e-9);
+        assert!(r.covariance().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn covariance_matches_plaintext() {
+        let x = vec![3u64, 7, 1, 9, 4];
+        let y = vec![10u64, 2, 8, 5, 6];
+        let db = PairedDatabase::new(x.clone(), y.clone()).unwrap();
+        let sel = Selection::from_bits(&[true, false, true, true, false]);
+        let (c, mut rng) = client();
+        let r =
+            private_paired_moments(&db, &sel, &c, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+
+        // Plaintext oracle over the selected rows {0, 2, 3}.
+        let xs = [3.0f64, 1.0, 9.0];
+        let ys = [10.0f64, 8.0, 5.0];
+        let mx = xs.iter().sum::<f64>() / 3.0;
+        let my = ys.iter().sum::<f64>() / 3.0;
+        let cov = xs
+            .iter()
+            .zip(&ys)
+            .map(|(a, b)| (a - mx) * (b - my))
+            .sum::<f64>()
+            / 3.0;
+        assert!((r.covariance().unwrap() - cov).abs() < 1e-9);
+        assert_eq!(r.count, 3);
+    }
+
+    #[test]
+    fn constant_column_has_no_correlation() {
+        let db = PairedDatabase::new(vec![5, 5, 5], vec![1, 2, 3]).unwrap();
+        let sel = Selection::from_bits(&[true; 3]);
+        let (c, mut rng) = client();
+        let r =
+            private_paired_moments(&db, &sel, &c, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        assert_eq!(r.variance_x(), Some(0.0));
+        assert!(r.correlation().is_none());
+    }
+
+    #[test]
+    fn empty_selection() {
+        let db = PairedDatabase::new(vec![1, 2], vec![3, 4]).unwrap();
+        let sel = Selection::from_bits(&[false, false]);
+        let (c, mut rng) = client();
+        let r =
+            private_paired_moments(&db, &sel, &c, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        assert_eq!(r.count, 0);
+        assert!(r.covariance().is_none());
+        assert!(r.correlation().is_none());
+    }
+
+    #[test]
+    fn weighted_selection_rejected() {
+        let db = PairedDatabase::new(vec![1, 2], vec![3, 4]).unwrap();
+        let sel = Selection::weighted(vec![2, 0]);
+        let (c, mut rng) = client();
+        assert!(
+            private_paired_moments(&db, &sel, &c, LinkProfile::gigabit_lan(), &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn one_upstream_pass_for_six_aggregates() {
+        let db = PairedDatabase::new(vec![1, 2, 3, 4], vec![4, 3, 2, 1]).unwrap();
+        let sel = Selection::from_bits(&[true; 4]);
+        let (c, mut rng) = client();
+        let r =
+            private_paired_moments(&db, &sel, &c, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        let w = c.keypair().public.ciphertext_bytes();
+        // Upstream: hello + 4 ciphertexts (one pass). Downstream: 6 products.
+        assert!(r.timings.bytes_to_server < 5 * w + 200);
+        assert!(r.timings.bytes_to_client >= 6 * w);
+    }
+}

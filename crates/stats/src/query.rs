@@ -1,0 +1,401 @@
+//! Private statistics queries.
+//!
+//! The paper motivates private selected sums because they "immediately
+//! yield private solutions for computing means, variances, and weighted
+//! averages" (§1). This module realizes that: the client sends its
+//! encrypted selection vector **once**, and the server folds the same
+//! ciphertexts against several value vectors — the data `x`, its squares
+//! `x²`, and the all-ones vector — returning one encrypted aggregate per
+//! requested moment. From `Σ I_i`, `Σ I_i·x_i`, and `Σ I_i·x_i²` the
+//! client derives count, sum, mean, variance, and standard deviation of
+//! the selected rows; integer weights give weighted sums and means.
+//!
+//! Privacy: the server sees only semantically secure ciphertexts (client
+//! privacy); the client learns exactly the requested aggregates and
+//! nothing else about individual rows (database privacy) — though note
+//! that, as in the paper, the *combination* of aggregates reveals what it
+//! reveals (e.g. count + sum of a single row reveals that row; inference
+//! control is out of scope here as there).
+
+use std::time::{Duration, Instant};
+
+use pps_protocol::{Database, ProtocolError, Selection, ServerSession, SumClient};
+use pps_transport::{Frame, LinkProfile, SimLink, TransportError, Wire};
+use rand::RngCore;
+
+use crate::error::StatsError;
+use crate::report::{StatsReport, StatsTimings};
+
+/// Which aggregates a query requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Wants {
+    /// `Σ I_i` — the selected-row count.
+    pub count: bool,
+    /// `Σ I_i·x_i` — the selected sum.
+    pub sum: bool,
+    /// `Σ I_i·x_i²` — the selected sum of squares (enables variance).
+    pub sum_squares: bool,
+}
+
+impl Wants {
+    /// Everything needed for mean/variance/std-dev.
+    pub fn all() -> Self {
+        Wants {
+            count: true,
+            sum: true,
+            sum_squares: true,
+        }
+    }
+
+    /// Just the sum (the paper's core experiment).
+    pub fn sum_only() -> Self {
+        Wants {
+            count: false,
+            sum: true,
+            sum_squares: false,
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.count || self.sum || self.sum_squares
+    }
+}
+
+/// Executes one private statistics query over a simulated link.
+///
+/// Protocol: the client streams `Hello` + encrypted index batches exactly
+/// as in the base protocol; the server replays the captured index frames
+/// through one [`ServerSession`] per requested aggregate (reusing the
+/// *same* received ciphertexts — no extra upstream communication) and
+/// returns one `Product` per aggregate, in a fixed order (count, sum,
+/// sum of squares).
+///
+/// # Errors
+/// Configuration, crypto, and transport failures; any decrypted aggregate
+/// that disagrees with the plaintext oracle.
+pub fn run_stats_query(
+    db: &Database,
+    selection: &Selection,
+    client: &SumClient,
+    link: LinkProfile,
+    wants: Wants,
+    rng: &mut dyn RngCore,
+) -> Result<StatsReport, StatsError> {
+    if !wants.any() {
+        return Err(StatsError::Config("query requests no aggregates".into()));
+    }
+    if selection.len() != db.len() {
+        return Err(StatsError::Config(format!(
+            "selection length {} != database length {}",
+            selection.len(),
+            db.len()
+        )));
+    }
+    // Value vectors per aggregate.
+    let ones = Database::new(vec![1u64; db.len()])?;
+    let squared = if wants.sum_squares {
+        Some(db.squared()?)
+    } else {
+        None
+    };
+
+    // Message-space guard for the largest vector in play.
+    pps_protocol::check_message_space(db, selection, client.keypair().public.n())?;
+    if let Some(sq) = &squared {
+        pps_protocol::check_message_space(sq, selection, client.keypair().public.n())?;
+    }
+
+    let (mut cw, mut sw) = SimLink::pair(link.clone());
+
+    // Client: one pass of encrypted indices.
+    let mut source = pps_protocol::IndexSource::Fresh(rng);
+    let send_stats = client.send_query(&mut cw, selection, selection.len(), &mut source)?;
+
+    // Server: capture the frames, replay through one session per
+    // aggregate. The replay consumes no additional client bandwidth.
+    let mut captured: Vec<Frame> = Vec::new();
+    loop {
+        match sw.recv() {
+            Ok(f) => captured.push(f),
+            Err(TransportError::Empty) => break,
+            Err(e) => return Err(ProtocolError::from(e).into()),
+        }
+    }
+
+    let mut server_compute = Duration::ZERO;
+    let mut run_session = |database: &Database| -> Result<Frame, StatsError> {
+        let mut session = ServerSession::new(database);
+        let mut reply = None;
+        for f in &captured {
+            if let Some(r) = session.on_frame(f)? {
+                reply = Some(r);
+            }
+        }
+        server_compute += session.stats().compute;
+        reply.ok_or_else(|| StatsError::Config("session produced no product".into()))
+    };
+
+    let mut replies: Vec<(&'static str, Frame)> = Vec::new();
+    if wants.count {
+        replies.push(("count", run_session(&ones)?));
+    }
+    if wants.sum {
+        replies.push(("sum", run_session(db)?));
+    }
+    if let Some(sq) = &squared {
+        replies.push(("sum_squares", run_session(sq)?));
+    }
+    for (_, f) in &replies {
+        sw.send(f.clone())?;
+    }
+
+    // Client: decrypt each aggregate.
+    let mut decrypt = Duration::ZERO;
+    let mut count = None;
+    let mut sum = None;
+    let mut sum_squares = None;
+    for (name, _) in &replies {
+        let frame = cw.recv().map_err(ProtocolError::from)?;
+        let (value, d) = client.decrypt_product(&frame)?;
+        decrypt += d;
+        let v = value
+            .to_u128()
+            .ok_or_else(|| StatsError::Config("aggregate exceeds 128 bits".into()))?;
+        match *name {
+            "count" => count = Some(v),
+            "sum" => sum = Some(v),
+            "sum_squares" => sum_squares = Some(v),
+            _ => unreachable!("fixed aggregate set"),
+        }
+    }
+
+    // Oracle verification.
+    let verify_start = Instant::now();
+    if let Some(c) = count {
+        let expect = selection.weights().iter().map(|&w| w as u128).sum::<u128>();
+        if c != expect {
+            return Err(StatsError::Mismatch {
+                aggregate: "count",
+                got: c,
+                expected: expect,
+            });
+        }
+    }
+    if let Some(s) = sum {
+        let expect = db.oracle_sum(selection)?;
+        if s != expect {
+            return Err(StatsError::Mismatch {
+                aggregate: "sum",
+                got: s,
+                expected: expect,
+            });
+        }
+    }
+    if let Some(sq) = sum_squares {
+        let expect = squared
+            .as_ref()
+            .expect("squared db exists when sum_squares requested")
+            .oracle_sum(selection)?;
+        if sq != expect {
+            return Err(StatsError::Mismatch {
+                aggregate: "sum_squares",
+                got: sq,
+                expected: expect,
+            });
+        }
+    }
+    let _ = verify_start.elapsed();
+
+    let wire = cw.stats();
+    Ok(StatsReport::new(
+        count,
+        sum,
+        sum_squares,
+        StatsTimings {
+            client_encrypt: send_stats.encrypt,
+            server_compute,
+            comm: cw.virtual_elapsed(),
+            client_decrypt: decrypt,
+            bytes_to_server: wire.payload_bytes_sent,
+            bytes_to_client: wire.payload_bytes_received,
+        },
+    ))
+}
+
+/// Convenience: full `Wants::all()` query returning mean/variance-capable
+/// report.
+///
+/// # Errors
+/// As [`run_stats_query`].
+pub fn private_moments(
+    db: &Database,
+    selection: &Selection,
+    client: &SumClient,
+    link: LinkProfile,
+    rng: &mut dyn RngCore,
+) -> Result<StatsReport, StatsError> {
+    run_stats_query(db, selection, client, link, Wants::all(), rng)
+}
+
+/// Private weighted mean `Σ w_i·x_i / Σ w_i` for integer weights: two
+/// aggregates from one pass of encrypted weights.
+///
+/// # Errors
+/// As [`run_stats_query`]; division by zero total weight.
+pub fn private_weighted_mean(
+    db: &Database,
+    weights: &Selection,
+    client: &SumClient,
+    link: LinkProfile,
+    rng: &mut dyn RngCore,
+) -> Result<f64, StatsError> {
+    let report = run_stats_query(
+        db,
+        weights,
+        client,
+        link,
+        Wants {
+            count: true,
+            sum: true,
+            sum_squares: false,
+        },
+        rng,
+    )?;
+    let total_weight = report.count.expect("count requested");
+    if total_weight == 0 {
+        return Err(StatsError::EmptySelection);
+    }
+    Ok(report.sum.expect("sum requested") as f64 / total_weight as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Database, Selection, SumClient, StdRng) {
+        let mut rng = StdRng::seed_from_u64(2004);
+        let db = Database::new(vec![2, 4, 6, 8, 10, 12]).unwrap();
+        let sel = Selection::from_bits(&[true, false, true, false, true, false]);
+        let client = SumClient::generate(128, &mut rng).unwrap();
+        (db, sel, client, rng)
+    }
+
+    #[test]
+    fn moments_query() {
+        let (db, sel, client, mut rng) = setup();
+        let r = private_moments(&db, &sel, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        // Selected: 2, 6, 10.
+        assert_eq!(r.count, Some(3));
+        assert_eq!(r.sum, Some(18));
+        assert_eq!(r.sum_squares, Some(4 + 36 + 100));
+        assert_eq!(r.mean().unwrap(), 6.0);
+        // Population variance of {2,6,10}: ((16+0+16)/3) = 32/3.
+        let var = r.variance().unwrap();
+        assert!((var - 32.0 / 3.0).abs() < 1e-9, "var={var}");
+        assert!((r.std_dev().unwrap() - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_only_query() {
+        let (db, sel, client, mut rng) = setup();
+        let r = run_stats_query(
+            &db,
+            &sel,
+            &client,
+            LinkProfile::gigabit_lan(),
+            Wants::sum_only(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(r.sum, Some(18));
+        assert_eq!(r.count, None);
+        assert!(r.mean().is_none(), "mean needs count");
+    }
+
+    #[test]
+    fn single_upstream_pass_many_aggregates() {
+        // The defining property: requesting 3 aggregates costs the same
+        // upstream bytes as requesting 1 (indices sent once).
+        let (db, sel, client, mut rng) = setup();
+        let one = run_stats_query(
+            &db,
+            &sel,
+            &client,
+            LinkProfile::gigabit_lan(),
+            Wants::sum_only(),
+            &mut rng,
+        )
+        .unwrap();
+        let three =
+            private_moments(&db, &sel, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        assert_eq!(one.timings.bytes_to_server, three.timings.bytes_to_server);
+        assert!(three.timings.bytes_to_client > one.timings.bytes_to_client);
+    }
+
+    #[test]
+    fn weighted_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let db = Database::new(vec![10, 20, 30]).unwrap();
+        let client = SumClient::generate(128, &mut rng).unwrap();
+        let w = Selection::weighted(vec![1, 2, 1]);
+        let m =
+            private_weighted_mean(&db, &w, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        // (10 + 40 + 30) / 4 = 20.
+        assert!((m - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_selection_weighted_mean_fails() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let db = Database::new(vec![10, 20]).unwrap();
+        let client = SumClient::generate(128, &mut rng).unwrap();
+        let w = Selection::weighted(vec![0, 0]);
+        assert!(matches!(
+            private_weighted_mean(&db, &w, &client, LinkProfile::gigabit_lan(), &mut rng),
+            Err(StatsError::EmptySelection)
+        ));
+    }
+
+    #[test]
+    fn config_errors() {
+        let (db, _, client, mut rng) = setup();
+        let short = Selection::from_bits(&[true]);
+        assert!(run_stats_query(
+            &db,
+            &short,
+            &client,
+            LinkProfile::gigabit_lan(),
+            Wants::all(),
+            &mut rng
+        )
+        .is_err());
+        let sel = Selection::from_bits(&[true; 6]);
+        let none = Wants {
+            count: false,
+            sum: false,
+            sum_squares: false,
+        };
+        assert!(run_stats_query(
+            &db,
+            &sel,
+            &client,
+            LinkProfile::gigabit_lan(),
+            none,
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn full_selection_mean_matches_plain_mean() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let db = Database::random(50, 1000, &mut rng).unwrap();
+        let client = SumClient::generate(128, &mut rng).unwrap();
+        let all = Selection::from_bits(&[true; 50]);
+        let r = private_moments(&db, &all, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        let plain_mean = db.values().iter().map(|&v| v as f64).sum::<f64>() / db.len() as f64;
+        assert!((r.mean().unwrap() - plain_mean).abs() < 1e-9);
+    }
+}

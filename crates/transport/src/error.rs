@@ -1,0 +1,58 @@
+//! Error type for transports.
+
+use std::fmt;
+
+/// Errors surfaced by wires, codecs, and link models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer endpoint hung up (channel closed / endpoint dropped).
+    Disconnected,
+    /// Receive called with no queued message on a non-blocking wire.
+    Empty,
+    /// A frame exceeded the maximum encodable size.
+    FrameTooLarge {
+        /// Attempted frame size.
+        size: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// A frame failed structural validation on decode.
+    Malformed(&'static str),
+    /// A link-model parameter was invalid (e.g. zero bandwidth).
+    InvalidProfile(&'static str),
+    /// An OS-level socket error (TCP transport only).
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Disconnected => write!(f, "peer disconnected"),
+            Self::Empty => write!(f, "no message queued"),
+            Self::FrameTooLarge { size, max } => {
+                write!(f, "frame of {size} bytes exceeds maximum {max}")
+            }
+            Self::Malformed(why) => write!(f, "malformed frame: {why}"),
+            Self::InvalidProfile(why) => write!(f, "invalid link profile: {why}"),
+            Self::Io(why) => write!(f, "socket error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            TransportError::Disconnected.to_string(),
+            "peer disconnected"
+        );
+        assert!(TransportError::FrameTooLarge { size: 10, max: 5 }
+            .to_string()
+            .contains("10"));
+    }
+}

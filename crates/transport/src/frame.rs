@@ -1,0 +1,178 @@
+//! Wire framing: a minimal length-prefixed message format.
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! +--------+--------+----------------+-----------------+
+//! | magic  | type   | payload length | payload         |
+//! | u16    | u8     | u32            | length bytes    |
+//! +--------+--------+----------------+-----------------+
+//! ```
+//!
+//! The magic word catches stream desynchronization; the type byte is
+//! interpreted by the protocol layer.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::TransportError;
+
+/// Frame magic word ("PS" for private statistics).
+pub const FRAME_MAGIC: u16 = 0x5053;
+
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 2 + 1 + 4;
+
+/// Maximum payload size (64 MiB) — far above any protocol message; guards
+/// against corrupt length fields allocating unbounded memory.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// A framed message: a protocol-defined type byte plus opaque payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol-defined message discriminant.
+    pub msg_type: u8,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Builds a frame from a type byte and payload.
+    ///
+    /// # Errors
+    /// [`TransportError::FrameTooLarge`] above [`MAX_PAYLOAD`].
+    pub fn new(msg_type: u8, payload: impl Into<Bytes>) -> Result<Self, TransportError> {
+        let payload = payload.into();
+        if payload.len() > MAX_PAYLOAD {
+            return Err(TransportError::FrameTooLarge {
+                size: payload.len(),
+                max: MAX_PAYLOAD,
+            });
+        }
+        Ok(Frame { msg_type, payload })
+    }
+
+    /// Total encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u16(FRAME_MAGIC);
+        buf.put_u8(self.msg_type);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes one frame from the front of `buf`, consuming it.
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on bad magic;
+    /// [`TransportError::FrameTooLarge`] on an oversized length field.
+    pub fn decode(buf: &mut BytesMut) -> Result<Option<Frame>, TransportError> {
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = u16::from_be_bytes([buf[0], buf[1]]);
+        if magic != FRAME_MAGIC {
+            return Err(TransportError::Malformed("bad magic"));
+        }
+        let len = u32::from_be_bytes([buf[3], buf[4], buf[5], buf[6]]) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(TransportError::FrameTooLarge {
+                size: len,
+                max: MAX_PAYLOAD,
+            });
+        }
+        if buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        buf.advance(2);
+        let msg_type = buf.get_u8();
+        buf.advance(4);
+        let payload = buf.split_to(len).freeze();
+        Ok(Some(Frame { msg_type, payload }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let f = Frame::new(7, vec![1u8, 2, 3]).unwrap();
+        let mut buf = BytesMut::from(&f.encode()[..]);
+        let back = Frame::decode(&mut buf).unwrap().unwrap();
+        assert_eq!(back, f);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let f = Frame::new(0, Vec::new()).unwrap();
+        assert_eq!(f.encoded_len(), HEADER_LEN);
+        let mut buf = BytesMut::from(&f.encode()[..]);
+        assert_eq!(Frame::decode(&mut buf).unwrap().unwrap(), f);
+    }
+
+    #[test]
+    fn partial_input_needs_more() {
+        let f = Frame::new(1, vec![9u8; 10]).unwrap();
+        let encoded = f.encode();
+        for cut in 0..encoded.len() {
+            let mut buf = BytesMut::from(&encoded[..cut]);
+            assert_eq!(Frame::decode(&mut buf).unwrap(), None, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let a = Frame::new(1, vec![1u8]).unwrap();
+        let b = Frame::new(2, vec![2u8, 2]).unwrap();
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&a.encode());
+        buf.extend_from_slice(&b.encode());
+        assert_eq!(Frame::decode(&mut buf).unwrap().unwrap(), a);
+        assert_eq!(Frame::decode(&mut buf).unwrap().unwrap(), b);
+        assert_eq!(Frame::decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let f = Frame::new(1, vec![0u8; 4]).unwrap();
+        let mut bytes = f.encode().to_vec();
+        bytes[0] ^= 0xff;
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(
+            Frame::decode(&mut buf),
+            Err(TransportError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut bytes = Frame::new(1, vec![0u8; 1]).unwrap().encode().to_vec();
+        // Corrupt the length field to a huge value.
+        bytes[3..7].copy_from_slice(&(u32::MAX).to_be_bytes());
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(
+            Frame::decode(&mut buf),
+            Err(TransportError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn too_large_payload_rejected_at_build() {
+        // Construct a Bytes of MAX_PAYLOAD + 1 zeros without allocating
+        // twice: use a single vec.
+        let big = vec![0u8; MAX_PAYLOAD + 1];
+        assert!(matches!(
+            Frame::new(0, big),
+            Err(TransportError::FrameTooLarge { .. })
+        ));
+    }
+}

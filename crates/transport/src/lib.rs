@@ -1,0 +1,35 @@
+//! # pps-transport
+//!
+//! Network substrate for the privacy-preserving statistics workspace.
+//!
+//! The paper's experiments ran over two physical media we cannot
+//! reproduce — a 2004 HPC cluster switch and a Chicago↔Hoboken 56 Kbps
+//! dial-up modem — so communication is **simulated**. This crate provides:
+//!
+//! * [`LinkProfile`] — analytic models of the paper's media (plus custom
+//!   ones): message delivery time = latency + bytes·8/bandwidth;
+//! * [`Frame`] — a minimal length-prefixed wire format with byte-exact
+//!   accounting, so the communication component of every figure reflects
+//!   real serialized protocol bytes;
+//! * [`Wire`] with two implementations: [`SimLink`] (in-memory, virtual
+//!   clock, sequential orchestration) and [`ChannelWire`] (crossbeam
+//!   channels, real threads);
+//! * [`pipeline_makespan`] — flow-shop makespan model for the §3.2
+//!   batching/pipelining experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod frame;
+mod pipeline;
+mod profile;
+mod tcp;
+mod wire;
+
+pub use error::TransportError;
+pub use frame::{Frame, FRAME_MAGIC, HEADER_LEN, MAX_PAYLOAD};
+pub use pipeline::{pipeline_makespan, uniform_pipeline_makespan};
+pub use profile::LinkProfile;
+pub use tcp::TcpWire;
+pub use wire::{ChannelWire, SimLink, TrafficStats, Wire};

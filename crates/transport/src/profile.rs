@@ -1,0 +1,179 @@
+//! Link profiles: analytic models of the paper's two communication media.
+//!
+//! The original experiments ran on (a) a high-performance cluster whose
+//! nodes were joined by a 64 Gbps switch (short distance, §3.1 Fig. 2) and
+//! (b) a 56 Kbps dial-up modem between Chicago and Hoboken (long distance,
+//! Fig. 3). Neither testbed is reproducible, so communication is
+//! **simulated**: a [`LinkProfile`] computes the virtual wall-clock cost of
+//! moving bytes — `per-message latency + bytes · 8 / bandwidth` — which
+//! preserves exactly the property the paper investigates (how the
+//! communication component scales against the computation components).
+
+use std::time::Duration;
+
+use crate::error::TransportError;
+
+/// An analytic point-to-point link model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkProfile {
+    /// Human-readable name used in reports ("56Kbps dial-up").
+    pub name: &'static str,
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation latency added to every message.
+    pub latency: Duration,
+    /// Fixed framing/protocol overhead added to every message, in bytes
+    /// (models TCP/IP + PPP or Ethernet headers).
+    pub per_message_overhead_bytes: usize,
+}
+
+impl LinkProfile {
+    /// The paper's short-distance medium: cluster nodes on a
+    /// high-performance switch ("64Gbps bandwidth switch", §3.3).
+    pub fn cluster_switch() -> Self {
+        LinkProfile {
+            name: "64Gbps cluster switch",
+            bandwidth_bps: 64e9,
+            latency: Duration::from_micros(5),
+            per_message_overhead_bytes: 66,
+        }
+    }
+
+    /// A commodity gigabit LAN ("high-performance gigabit network
+    /// switch", §3.1) — the medium of Figs. 2, 4, 5, 7.
+    pub fn gigabit_lan() -> Self {
+        LinkProfile {
+            name: "gigabit LAN",
+            bandwidth_bps: 1e9,
+            latency: Duration::from_micros(100),
+            per_message_overhead_bytes: 66,
+        }
+    }
+
+    /// The paper's long-distance medium: a 56 Kbps dial-up modem between
+    /// Chicago, IL and Hoboken, NJ (Figs. 3, 6). Latency reflects a
+    /// cross-country PSTN path.
+    pub fn modem_56k() -> Self {
+        LinkProfile {
+            name: "56Kbps dial-up",
+            bandwidth_bps: 56e3,
+            latency: Duration::from_millis(150),
+            per_message_overhead_bytes: 48,
+        }
+    }
+
+    /// A link with custom parameters.
+    ///
+    /// # Errors
+    /// [`TransportError::InvalidProfile`] for non-positive bandwidth.
+    pub fn custom(
+        name: &'static str,
+        bandwidth_bps: f64,
+        latency: Duration,
+        per_message_overhead_bytes: usize,
+    ) -> Result<Self, TransportError> {
+        if bandwidth_bps <= 0.0 || bandwidth_bps.is_nan() || !bandwidth_bps.is_finite() {
+            return Err(TransportError::InvalidProfile(
+                "bandwidth must be positive and finite",
+            ));
+        }
+        Ok(LinkProfile {
+            name,
+            bandwidth_bps,
+            latency,
+            per_message_overhead_bytes,
+        })
+    }
+
+    /// Pure serialization (transmission) time for `bytes` payload bytes,
+    /// excluding latency and per-message overhead.
+    pub fn serialization_time(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+
+    /// Total virtual time to deliver one message of `payload_bytes`:
+    /// latency + (payload + overhead) serialization.
+    pub fn message_time(&self, payload_bytes: usize) -> Duration {
+        self.latency + self.serialization_time(payload_bytes + self.per_message_overhead_bytes)
+    }
+
+    /// Total virtual time for a sequence of messages of the given payload
+    /// sizes, sent back-to-back (latencies are *not* overlapped: the
+    /// sequential protocol waits on each).
+    pub fn sequence_time(&self, payload_sizes: &[usize]) -> Duration {
+        payload_sizes.iter().map(|&b| self.message_time(b)).sum()
+    }
+
+    /// Virtual time for a bulk transfer of `total_bytes` split into
+    /// `messages` messages, with latency counted once (streaming transfer
+    /// over an established connection — the model for one direction of a
+    /// pipelined batch flow).
+    pub fn stream_time(&self, total_bytes: usize, messages: usize) -> Duration {
+        self.latency
+            + self.serialization_time(total_bytes + messages * self.per_message_overhead_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_profiles_sane() {
+        assert!(
+            LinkProfile::cluster_switch().bandwidth_bps > LinkProfile::gigabit_lan().bandwidth_bps
+        );
+        assert!(LinkProfile::gigabit_lan().bandwidth_bps > LinkProfile::modem_56k().bandwidth_bps);
+        assert!(LinkProfile::modem_56k().latency > LinkProfile::gigabit_lan().latency);
+    }
+
+    #[test]
+    fn custom_validation() {
+        assert!(LinkProfile::custom("x", 0.0, Duration::ZERO, 0).is_err());
+        assert!(LinkProfile::custom("x", -5.0, Duration::ZERO, 0).is_err());
+        assert!(LinkProfile::custom("x", f64::INFINITY, Duration::ZERO, 0).is_err());
+        assert!(LinkProfile::custom("x", 9600.0, Duration::ZERO, 0).is_ok());
+    }
+
+    #[test]
+    fn serialization_time_is_linear() {
+        let p = LinkProfile::modem_56k();
+        let t1 = p.serialization_time(7000); // 56000 bits => 1 s at 56 kbps
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-9);
+        let t2 = p.serialization_time(14_000);
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_time_includes_latency_and_overhead() {
+        let p = LinkProfile::custom("t", 8000.0, Duration::from_millis(100), 10).unwrap();
+        // 90 payload + 10 overhead = 100 bytes = 800 bits = 0.1 s, + 0.1 s latency.
+        let t = p.message_time(90);
+        assert!((t.as_secs_f64() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_scale_modem_transfer() {
+        // 100,000 Paillier ciphertexts of 128 bytes over 56 Kbps:
+        // ≈ 12.8 MB ≈ 1830 s of pure serialization — matching the paper's
+        // observation that modem communication takes tens of minutes.
+        let p = LinkProfile::modem_56k();
+        let t = p.stream_time(100_000 * 128, 100_000 / 100);
+        let minutes = t.as_secs_f64() / 60.0;
+        assert!(
+            minutes > 25.0 && minutes < 45.0,
+            "modem minutes = {minutes}"
+        );
+    }
+
+    #[test]
+    fn sequence_vs_stream_latency_counting() {
+        let p = LinkProfile::modem_56k();
+        let seq = p.sequence_time(&[100, 100, 100]);
+        let stream = p.stream_time(300, 3);
+        // Sequence pays 3 latencies; stream pays 1.
+        assert!(seq > stream);
+        let diff = seq - stream;
+        assert!((diff.as_secs_f64() - 2.0 * p.latency.as_secs_f64()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the frame codec: round trips for arbitrary
+//! payloads, and — crucially for anything parsing network input — **no
+//! panics on arbitrary byte soup**, only clean errors or requests for
+//! more data.
+
+use bytes::BytesMut;
+use pps_transport::{Frame, LinkProfile, TransportError, HEADER_LEN};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn round_trip_arbitrary_payloads(
+        msg_type in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let f = Frame::new(msg_type, payload.clone()).unwrap();
+        prop_assert_eq!(f.encoded_len(), HEADER_LEN + payload.len());
+        let mut buf = BytesMut::from(&f.encode()[..]);
+        let back = Frame::decode(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(back.msg_type, msg_type);
+        prop_assert_eq!(&back.payload[..], &payload[..]);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        // Any result is fine — panic is not.
+        let _ = Frame::decode(&mut buf);
+    }
+
+    #[test]
+    fn truncated_valid_frames_ask_for_more(
+        msg_type in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let f = Frame::new(msg_type, payload).unwrap();
+        let encoded = f.encode();
+        let cut = ((encoded.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < encoded.len());
+        let mut buf = BytesMut::from(&encoded[..cut]);
+        // A prefix of a valid frame decodes to "need more" (the magic and
+        // length fields are consistent), never to a wrong frame.
+        match Frame::decode(&mut buf) {
+            Ok(None) => {}
+            Ok(Some(_)) => prop_assert!(false, "decoded a frame from a strict prefix"),
+            Err(e) => prop_assert!(
+                matches!(e, TransportError::FrameTooLarge { .. }),
+                "unexpected error on prefix: {e}"
+            ),
+        }
+    }
+
+    #[test]
+    fn concatenated_frames_all_decode(
+        frames in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..64)),
+            1..10,
+        ),
+    ) {
+        let mut buf = BytesMut::new();
+        for (t, p) in &frames {
+            buf.extend_from_slice(&Frame::new(*t, p.clone()).unwrap().encode());
+        }
+        for (t, p) in &frames {
+            let f = Frame::decode(&mut buf).unwrap().unwrap();
+            prop_assert_eq!(f.msg_type, *t);
+            prop_assert_eq!(&f.payload[..], &p[..]);
+        }
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn link_times_are_monotone_in_bytes(
+        small in 0usize..10_000,
+        extra in 1usize..10_000,
+    ) {
+        for profile in [
+            LinkProfile::gigabit_lan(),
+            LinkProfile::modem_56k(),
+            LinkProfile::cluster_switch(),
+        ] {
+            let a = profile.message_time(small);
+            let b = profile.message_time(small + extra);
+            prop_assert!(b >= a, "{}: {:?} < {:?}", profile.name, b, a);
+            // Strict growth whenever the extra bytes amount to at least
+            // a few nanoseconds (Duration has ns resolution; one byte on
+            // a 64 Gbps switch is 0.125 ns and legitimately rounds away).
+            if extra as f64 * 8.0 / profile.bandwidth_bps > 5e-9 {
+                prop_assert!(b > a, "{}: {:?} !> {:?}", profile.name, b, a);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_time_beats_sequence_time(
+        sizes in prop::collection::vec(1usize..4096, 2..20),
+    ) {
+        let profile = LinkProfile::modem_56k();
+        let seq = profile.sequence_time(&sizes);
+        let stream = profile.stream_time(sizes.iter().sum(), sizes.len());
+        // Streaming pays one latency instead of k.
+        prop_assert!(stream < seq);
+        let saved = seq - stream;
+        let expect = profile.latency * (sizes.len() as u32 - 1);
+        prop_assert!(
+            (saved.as_secs_f64() - expect.as_secs_f64()).abs() < 1e-6,
+            "saved {saved:?} vs {expect:?}"
+        );
+    }
+
+    #[test]
+    fn pipeline_makespan_bounds(
+        times in prop::collection::vec(1u64..50, 1..30),
+        stages in 1usize..4,
+    ) {
+        use pps_transport::pipeline_makespan;
+        let stage_times: Vec<Vec<Duration>> = (0..stages)
+            .map(|_| times.iter().map(|&t| Duration::from_millis(t)).collect())
+            .collect();
+        let makespan = pipeline_makespan(&stage_times);
+        let per_stage_total: u64 = times.iter().sum();
+        // Lower bound: any single stage's total work.
+        prop_assert!(makespan >= Duration::from_millis(per_stage_total));
+        // Upper bound: fully sequential execution.
+        prop_assert!(makespan <= Duration::from_millis(per_stage_total * stages as u64));
+    }
+}

@@ -1,0 +1,62 @@
+//! Homomorphic selected sum vs. general secure computation (§2).
+//!
+//! The paper justifies its special-purpose protocol by the cost of
+//! general SMC: a Fairplay-style garbled-circuit evaluation of the same
+//! selected sum "would require an execution time of at least 15 minutes
+//! for a database of only 1,000 elements" [16]. This example runs both
+//! our garbled-circuit engine and the homomorphic protocol on the same
+//! instances and prints the gap.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p pps --example smc_comparison
+//! ```
+
+use pps::gc::run_gc_selected_sum;
+use pps::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1999);
+
+    println!("selected sum: Yao garbled circuits vs Paillier homomorphic protocol");
+    println!("(32-bit values; GC uses 128-bit labels, Paillier 512-bit keys)\n");
+    println!(
+        "{:>6} | {:>9} {:>12} {:>10} | {:>10} {:>10}",
+        "n", "GC gates", "GC bytes", "GC time", "HE time", "HE bytes"
+    );
+
+    let client = SumClient::generate(512, &mut rng).expect("keygen");
+
+    for n in [8usize, 16, 32, 64] {
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 32)).collect();
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+
+        // General SMC (garbled circuit).
+        let gc =
+            run_gc_selected_sum(&values, &bits, 32, client.keypair(), &mut rng).expect("gc run");
+
+        // Special-purpose homomorphic protocol.
+        let db = Database::new(values).expect("non-empty");
+        let sel = Selection::from_bits(&bits);
+        let he = pps::run_basic(&db, &sel, &client, LinkProfile::gigabit_lan(), &mut rng)
+            .expect("he run");
+        assert_eq!(gc.result, he.result, "both protocols agree");
+
+        println!(
+            "{:>6} | {:>9} {:>12} {:>9.1}ms | {:>9.1}ms {:>10}",
+            n,
+            gc.gates,
+            gc.total_bytes(),
+            gc.total_time().as_secs_f64() * 1e3,
+            he.total_sequential().as_secs_f64() * 1e3,
+            he.bytes_to_server + he.bytes_to_client,
+        );
+    }
+
+    println!("\nthe gap: GC ships four 16-byte table rows per gate (~200 gates per");
+    println!("32-bit element) plus one OT per selection bit, while the homomorphic");
+    println!("protocol ships one 128-byte ciphertext per element — and the GC gap");
+    println!("widens with the value width. This is why the paper builds on");
+    println!("homomorphic encryption rather than general SMC for large databases.");
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `pps` CLI plumbing: a real server thread on an
+//! ephemeral TCP port, queried by the library entry points the binary
+//! wraps.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+use pps_cli::{load_values, run_keygen, run_query, run_server};
+use pps_protocol::FoldStrategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pps-cli-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Grabs an ephemeral port that is (momentarily) free.
+fn free_addr() -> String {
+    let l = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = l.local_addr().unwrap().to_string();
+    drop(l);
+    addr
+}
+
+fn spawn_server(values: Vec<u64>, addr: String, sessions: usize, fold: FoldStrategy) {
+    let server_addr = addr.clone();
+    std::thread::spawn(move || {
+        let mut log = Vec::new();
+        run_server(values, &server_addr, Some(sessions), fold, &mut log).unwrap();
+    });
+    // Wait for the listener to come up.
+    for _ in 0..100 {
+        if std::net::TcpStream::connect_timeout(
+            &addr.parse().unwrap(),
+            std::time::Duration::from_millis(50),
+        )
+        .is_ok()
+        {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("server never came up on {addr}");
+}
+
+#[test]
+fn serve_and_query_round_trip() {
+    let addr = free_addr();
+    // The probe connection in spawn_server consumes one session slot, so
+    // allow two.
+    spawn_server(
+        vec![100, 200, 300, 400, 500],
+        addr.clone(),
+        2,
+        FoldStrategy::Incremental,
+    );
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let outcome = run_query(&addr, &[0, 2, 4], 128, None, 10, &mut rng).unwrap();
+    assert_eq!(outcome.sum, 900);
+    assert_eq!(outcome.n, 5);
+    assert_eq!(outcome.selected, 3);
+    assert!(outcome.bytes.0 > 0 && outcome.bytes.1 > 0);
+}
+
+#[test]
+fn multiexp_server_agrees() {
+    let addr = free_addr();
+    spawn_server((1..=50).collect(), addr.clone(), 2, FoldStrategy::MultiExp);
+    let mut rng = StdRng::seed_from_u64(2);
+    let outcome = run_query(&addr, &[9, 19, 29], 128, None, 16, &mut rng).unwrap();
+    // Rows 9, 19, 29 hold values 10, 20, 30.
+    assert_eq!(outcome.sum, 60);
+}
+
+#[test]
+fn stored_key_query() {
+    let dir = temp_dir();
+    let key_path = dir.join("client.key");
+    let mut rng = StdRng::seed_from_u64(3);
+    run_keygen(128, &key_path, &mut rng).unwrap();
+
+    let addr = free_addr();
+    spawn_server(vec![7, 11, 13], addr.clone(), 2, FoldStrategy::Incremental);
+    let outcome = run_query(&addr, &[1, 2], 0, Some(&key_path), 3, &mut rng).unwrap();
+    assert_eq!(outcome.sum, 24);
+}
+
+#[test]
+fn out_of_range_selection_fails_cleanly() {
+    let addr = free_addr();
+    spawn_server(vec![1, 2, 3], addr.clone(), 2, FoldStrategy::Incremental);
+    let mut rng = StdRng::seed_from_u64(4);
+    let err = run_query(&addr, &[5], 128, None, 1, &mut rng).unwrap_err();
+    assert!(err.message.contains("selection"), "{}", err.message);
+}
+
+#[test]
+fn connection_refused_is_a_runtime_error() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let err = run_query("127.0.0.1:1", &[0], 128, None, 1, &mut rng).unwrap_err();
+    assert_eq!(err.code, 1);
+}
+
+#[test]
+fn value_file_to_server_pipeline() {
+    let dir = temp_dir();
+    let data = dir.join("data.txt");
+    std::fs::write(&data, "# salaries\n1000\n2000\n3000\n").unwrap();
+    let values = load_values(&data).unwrap();
+
+    let addr = free_addr();
+    spawn_server(values, addr.clone(), 2, FoldStrategy::Incremental);
+    let mut rng = StdRng::seed_from_u64(6);
+    let outcome = run_query(&addr, &[0, 2], 128, None, 100, &mut rng).unwrap();
+    assert_eq!(outcome.sum, 4000);
+}

@@ -1,0 +1,128 @@
+//! Property-based cross-protocol agreement: for random databases and
+//! selections, every implemented route to the selected sum — plaintext
+//! oracle, basic protocol, batched, preprocessed, multi-client, stats
+//! layer, garbled circuit — produces the same number.
+//!
+//! Keys are generated once per proptest run (not per case) to keep the
+//! suite fast; cases vary data, selection, and batch geometry.
+
+use std::sync::OnceLock;
+
+use pps::prelude::*;
+use pps::transport::LinkProfile;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn client() -> &'static SumClient {
+    static CLIENT: OnceLock<SumClient> = OnceLock::new();
+    CLIENT.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xabcd);
+        SumClient::generate(192, &mut rng).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_single_client_variants_agree(
+        values in prop::collection::vec(0u64..1_000_000, 1..40),
+        seed in any::<u64>(),
+        batch in 1usize..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = values.len();
+        let db = Database::new(values).unwrap();
+        let sel = Selection::random(n, 0.5, &mut rng).unwrap();
+        let expected = db.oracle_sum(&sel).unwrap();
+        let c = client();
+
+        let basic = pps::run_basic(&db, &sel, c, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        prop_assert_eq!(basic.result, expected);
+
+        let batched = pps::run_batched(&db, &sel, c, LinkProfile::gigabit_lan(), batch, &mut rng)
+            .unwrap();
+        prop_assert_eq!(batched.result, expected);
+
+        let prep = pps::run_preprocessed(&db, &sel, c, LinkProfile::gigabit_lan(), &mut rng)
+            .unwrap();
+        prop_assert_eq!(prep.result, expected);
+    }
+
+    #[test]
+    fn multiclient_agrees(
+        values in prop::collection::vec(0u64..1_000_000, 4..30),
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = values.len();
+        let db = Database::new(values).unwrap();
+        let sel = Selection::random(n, 0.5, &mut rng).unwrap();
+        let expected = db.oracle_sum(&sel).unwrap();
+
+        let multi = pps::run_multiclient(&db, &sel, k, 128, LinkProfile::gigabit_lan(), &mut rng)
+            .unwrap();
+        prop_assert_eq!(multi.aggregate.result, expected);
+    }
+
+    #[test]
+    fn stats_layer_agrees(
+        values in prop::collection::vec(0u64..100_000, 1..25),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = values.len();
+        let db = Database::new(values).unwrap();
+        let sel = Selection::random(n, 0.5, &mut rng).unwrap();
+        let expected = db.oracle_sum(&sel).unwrap();
+        let c = client();
+
+        let stats = pps::run_stats_query(
+            &db, &sel, c, LinkProfile::gigabit_lan(), Wants::all(), &mut rng,
+        ).unwrap();
+        prop_assert_eq!(stats.sum, Some(expected));
+        prop_assert_eq!(stats.count, Some(sel.selected_count() as u128));
+    }
+
+    #[test]
+    fn gc_agrees(
+        values in prop::collection::vec(0u64..256, 1..8),
+        bits in prop::collection::vec(any::<bool>(), 8),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = values.len();
+        let selection: Vec<bool> = bits.into_iter().take(n).collect();
+        let expected: u128 = values
+            .iter()
+            .zip(&selection)
+            .filter(|(_, &s)| s)
+            .map(|(&v, _)| v as u128)
+            .sum();
+        let gc = pps::gc::run_gc_selected_sum(
+            &values, &selection, 8, client().keypair(), &mut rng,
+        ).unwrap();
+        prop_assert_eq!(gc.result, expected);
+    }
+
+    #[test]
+    fn weighted_sum_agrees(
+        pairs in prop::collection::vec((0u64..10_000, 0u64..16), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (values, weights): (Vec<u64>, Vec<u64>) = pairs.into_iter().unzip();
+        let expected: u128 = values
+            .iter()
+            .zip(&weights)
+            .map(|(&v, &w)| v as u128 * w as u128)
+            .sum();
+        let db = Database::new(values).unwrap();
+        let sel = Selection::weighted(weights);
+        let r = pps::run_weighted(&db, &sel, client(), LinkProfile::gigabit_lan(), &mut rng)
+            .unwrap();
+        prop_assert_eq!(r.result, expected);
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration tests for the statistics layer and the multi-client
+//! protocol, including agreement between the two paths and with plaintext
+//! statistics.
+
+use pps::prelude::*;
+use pps::transport::LinkProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn private_moments_match_plaintext_statistics() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let n = 200;
+    let db = Database::random(n, 10_000, &mut rng).unwrap();
+    let sel = Selection::random(n, 0.3, &mut rng).unwrap();
+    let client = SumClient::generate(256, &mut rng).unwrap();
+
+    let r = private_moments(&db, &sel, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+
+    let picked: Vec<f64> = db
+        .values()
+        .iter()
+        .zip(sel.weights())
+        .filter(|(_, &w)| w == 1)
+        .map(|(&v, _)| v as f64)
+        .collect();
+    let mean = picked.iter().sum::<f64>() / picked.len() as f64;
+    let var = picked.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / picked.len() as f64;
+
+    assert_eq!(r.count, Some(picked.len() as u128));
+    assert!((r.mean().unwrap() - mean).abs() < 1e-6);
+    assert!((r.variance().unwrap() - var).abs() < 1e-3);
+}
+
+#[test]
+fn weighted_mean_matches_plaintext() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let db = Database::new(vec![12, 40, 8, 25, 60]).unwrap();
+    let w = Selection::weighted(vec![2, 1, 0, 5, 2]);
+    let client = SumClient::generate(256, &mut rng).unwrap();
+
+    let got =
+        private_weighted_mean(&db, &w, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+    let expect = (2.0 * 12.0 + 40.0 + 5.0 * 25.0 + 2.0 * 60.0) / 10.0;
+    assert!((got - expect).abs() < 1e-12);
+}
+
+#[test]
+fn stats_sum_equals_protocol_sum() {
+    // The stats layer and the base protocol must agree on the same query.
+    let mut rng = StdRng::seed_from_u64(102);
+    let db = Database::random_32bit(100, &mut rng).unwrap();
+    let sel = Selection::random(100, 0.5, &mut rng).unwrap();
+    let client = SumClient::generate(256, &mut rng).unwrap();
+
+    let stats = pps::run_stats_query(
+        &db,
+        &sel,
+        &client,
+        LinkProfile::gigabit_lan(),
+        Wants::sum_only(),
+        &mut rng,
+    )
+    .unwrap();
+    let protocol =
+        pps::run_basic(&db, &sel, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+    assert_eq!(stats.sum, Some(protocol.result));
+}
+
+#[test]
+fn multiclient_matches_single_client_for_various_k() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let n = 60;
+    let db = Database::random(n, 5_000, &mut rng).unwrap();
+    let sel = Selection::random(n, 0.5, &mut rng).unwrap();
+    let client = SumClient::generate(128, &mut rng).unwrap();
+    let single = pps::run_basic(&db, &sel, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+
+    for k in [1usize, 2, 3, 5, 6] {
+        let multi =
+            pps::run_multiclient(&db, &sel, k, 128, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        assert_eq!(multi.aggregate.result, single.result, "k={k}");
+        assert_eq!(multi.legs.len(), k);
+        assert_eq!(multi.legs.iter().map(|l| l.shard_len).sum::<usize>(), n);
+    }
+}
+
+#[test]
+fn multiclient_with_paper_key_size() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let n = 90;
+    let db = Database::random_32bit(n, &mut rng).unwrap();
+    let sel = Selection::random(n, 0.4, &mut rng).unwrap();
+    let multi =
+        pps::run_multiclient(&db, &sel, 3, 512, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+    assert_eq!(multi.aggregate.result, db.oracle_sum(&sel).unwrap());
+    assert_eq!(multi.aggregate.key_bits, 512);
+}
+
+#[test]
+fn gc_and_homomorphic_protocols_agree() {
+    // The two fundamentally different cryptographic routes must compute
+    // the same function.
+    let mut rng = StdRng::seed_from_u64(105);
+    let kp = pps::crypto::PaillierKeypair::generate(256, &mut rng).unwrap();
+    let client = SumClient::new(pps::crypto::PaillierKeypair::generate(256, &mut rng).unwrap());
+
+    for _ in 0..3 {
+        let n = rng.gen_range(2..12);
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 16)).collect();
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+
+        let gc = pps::gc::run_gc_selected_sum(&values, &bits, 16, &kp, &mut rng).unwrap();
+        let db = Database::new(values).unwrap();
+        let sel = Selection::from_bits(&bits);
+        let he = pps::run_basic(&db, &sel, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        assert_eq!(gc.result, he.result);
+    }
+}
+
+#[test]
+fn stats_over_modem_profile() {
+    // The stats layer inherits the link model; modem comm must dwarf LAN.
+    let mut rng = StdRng::seed_from_u64(106);
+    let db = Database::random(40, 100, &mut rng).unwrap();
+    let sel = Selection::random(40, 0.5, &mut rng).unwrap();
+    let client = SumClient::generate(128, &mut rng).unwrap();
+
+    let lan = private_moments(&db, &sel, &client, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+    let modem = private_moments(&db, &sel, &client, LinkProfile::modem_56k(), &mut rng).unwrap();
+    assert!(modem.timings.comm > lan.timings.comm * 100);
+    assert_eq!(lan.sum, modem.sum);
+}
