@@ -129,6 +129,7 @@ fn ablation_server_fold(c: &mut Criterion) {
     for (name, strategy) in [
         ("incremental", FoldStrategy::Incremental),
         ("multiexp", FoldStrategy::MultiExp),
+        ("parallel_multiexp", FoldStrategy::ParallelMultiExp),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
@@ -136,6 +137,49 @@ fn ablation_server_fold(c: &mut Criterion) {
                 s.on_frame(&hello).unwrap();
                 s.on_frame(&batch).unwrap().unwrap()
             });
+        });
+    }
+    g.finish();
+}
+
+/// Server fold ablation at deployment scale: n = 10k–100k index
+/// ciphertexts folded with each strategy, measured at the `fold_product`
+/// layer the session dispatches to. A small pool of real ciphertexts is
+/// cycled out to length n — the fold's cost depends only on the count
+/// and exponent widths, not on ciphertext distinctness — so setup stays
+/// seconds instead of minutes.
+fn ablation_server_fold_scale(c: &mut Criterion) {
+    use pps_protocol::FoldStrategy;
+
+    let mut rng = StdRng::seed_from_u64(8);
+    let kp = PaillierKeypair::generate(512, &mut rng).unwrap();
+    let key = &kp.public;
+    let pool: Vec<_> = (0..64)
+        .map(|w| key.encrypt_u64(w & 1, &mut rng).unwrap())
+        .collect();
+    let threads = FoldStrategy::ParallelMultiExp.threads();
+
+    let mut g = c.benchmark_group("ablation_server_fold_scale_512bit");
+    g.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let cts: Vec<_> = pool.iter().cycle().take(n).cloned().collect();
+        let weights: Vec<Uint> = (0..n)
+            .map(|_| Uint::from_u64(rand::Rng::gen::<u32>(&mut rng) as u64))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = key.identity();
+                for (ct, w) in cts.iter().zip(&weights) {
+                    acc = key.add(&acc, &key.mul_plain(ct, w).unwrap()).unwrap();
+                }
+                acc
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("multiexp", n), &n, |b, _| {
+            b.iter(|| key.fold_product(&cts, &weights).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("parallel_multiexp", n), &n, |b, _| {
+            b.iter(|| key.fold_product_parallel(&cts, &weights, threads).unwrap());
         });
     }
     g.finish();
@@ -166,6 +210,7 @@ criterion_group!(
     ablation_decryption,
     ablation_garbling,
     ablation_server_fold,
+    ablation_server_fold_scale,
     ablation_karatsuba
 );
 criterion_main!(benches);

@@ -22,12 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::net::TcpListener;
 use std::path::Path;
 
 use pps_crypto::{PaillierKeypair, PaillierSecretKey};
 use pps_protocol::messages::{SizeReply, SizeRequest};
-use pps_protocol::{FoldStrategy, IndexSource, Selection, ServerSession, SumClient};
+use pps_protocol::{FoldStrategy, IndexSource, Selection, SessionEvent, SumClient, TcpServer};
 use pps_transport::{TcpWire, Wire};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,7 +107,7 @@ pub const USAGE: &str = "\
 pps — private selected-sum queries over TCP
 
 USAGE:
-  pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K] [--fold incremental|multiexp]
+  pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K] [--fold incremental|multiexp|parallel]
   pps query  --addr ADDR --select i,j,k [--key-bits B | --key FILE] [--batch SIZE]
   pps keygen --bits B --out FILE
   pps help
@@ -158,6 +157,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let fold = match get("fold").as_deref() {
                 None | Some("incremental") => FoldStrategy::Incremental,
                 Some("multiexp") => FoldStrategy::MultiExp,
+                Some("parallel") => FoldStrategy::ParallelMultiExp,
                 Some(other) => {
                     return Err(CliError::usage(format!("unknown fold strategy {other}")))
                 }
@@ -244,67 +244,63 @@ pub fn load_values(path: &Path) -> Result<Vec<u64>, CliError> {
     Ok(values)
 }
 
-/// Runs the server: accepts connections, serves one protocol session per
-/// connection. Returns after `max_sessions` sessions (or never).
+/// Runs the concurrent server: accepts connections and serves one
+/// protocol session per connection on its own thread, all sessions
+/// sharing the same database. Returns after `max_sessions` connections
+/// have been accepted and drained (or never), logging per-session lines
+/// as they finish and an aggregate report on shutdown.
 ///
 /// # Errors
-/// [`CliError`] on bind failure; per-session errors are logged to stderr
-/// and do not kill the server.
+/// [`CliError`] on bind failure; per-session errors are logged and do
+/// not kill the server.
 pub fn run_server(
     values: Vec<u64>,
     listen: &str,
     max_sessions: Option<usize>,
     fold: FoldStrategy,
-    log: &mut dyn std::io::Write,
+    log: &mut (dyn std::io::Write + Send),
 ) -> Result<(), CliError> {
-    let db = pps_protocol::Database::new(values)
-        .map_err(|e| CliError::runtime(format!("bad database: {e}")))?;
-    let listener = TcpListener::bind(listen)
+    let db = std::sync::Arc::new(
+        pps_protocol::Database::new(values)
+            .map_err(|e| CliError::runtime(format!("bad database: {e}")))?,
+    );
+    let server = TcpServer::bind(std::sync::Arc::clone(&db), listen, fold)
         .map_err(|e| CliError::runtime(format!("cannot bind {listen}: {e}")))?;
-    let local = listener
+    let local = server
         .local_addr()
         .map_err(|e| CliError::runtime(e.to_string()))?;
-    let _ = writeln!(log, "serving {} rows on {local}", db.len());
+    let _ = writeln!(log, "serving {} rows on {local} ({fold:?})", db.len());
 
-    let mut served = 0usize;
-    for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(s) => s,
-            Err(e) => {
-                let _ = writeln!(log, "accept error: {e}");
-                continue;
-            }
-        };
-        let mut wire = TcpWire::new(stream);
-        let mut session = ServerSession::with_fold(&db, fold);
-        let result: Result<(), Box<dyn std::error::Error>> = (|| {
-            while !session.is_done() {
-                let frame = wire.recv()?;
-                if let Some(reply) = session.on_frame(&frame)? {
-                    wire.send(reply)?;
-                }
-            }
-            Ok(())
-        })();
-        match result {
-            Ok(()) => {
+    // Session threads report through the event callback; the writer is
+    // shared behind a mutex so their lines never interleave mid-row.
+    let log = std::sync::Mutex::new(log);
+    let stats = server.serve_with(max_sessions, &|event| {
+        let mut log = log.lock().expect("log lock");
+        match event {
+            SessionEvent::Accepted { .. } => {}
+            SessionEvent::Finished { session, stats } => {
                 let _ = writeln!(
                     log,
-                    "session {}: folded {} indices in {:?}",
-                    served + 1,
-                    session.stats().folded,
-                    session.stats().compute
+                    "session {session}: folded {} indices in {:?}",
+                    stats.folded, stats.compute
                 );
             }
-            Err(e) => {
-                let _ = writeln!(log, "session {} failed: {e}", served + 1);
+            SessionEvent::Failed { session, error } => {
+                let _ = writeln!(log, "session {session} failed: {error}");
             }
         }
-        served += 1;
-        if max_sessions.is_some_and(|m| served >= m) {
-            break;
-        }
-    }
+    });
+    let log = log.into_inner().expect("log lock");
+    let _ = writeln!(
+        log,
+        "served {} sessions ({} failed): {} indices folded in {:?} compute, {:?} wall, {:.0} indices/s",
+        stats.sessions,
+        stats.failed,
+        stats.folded,
+        stats.compute,
+        stats.wall,
+        stats.throughput(),
+    );
     Ok(())
 }
 
@@ -399,7 +395,7 @@ pub fn run_keygen(bits: usize, out: &Path, rng: &mut StdRng) -> Result<(), CliEr
 ///
 /// # Errors
 /// [`CliError`] carrying the process exit code.
-pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(), CliError> {
     match parse_args(args)? {
         Command::Help => {
             let _ = out.write_all(USAGE.as_bytes());
@@ -485,6 +481,10 @@ mod tests {
                 fold: FoldStrategy::MultiExp,
             }
         );
+        match parse_args(&args("serve --random 8 --fold parallel")).unwrap() {
+            Command::Serve { fold, .. } => assert_eq!(fold, FoldStrategy::ParallelMultiExp),
+            other => panic!("{other:?}"),
+        }
         assert!(parse_args(&args("serve")).is_err(), "needs a data source");
         assert!(
             parse_args(&args("serve --data f --random 5")).is_err(),

@@ -28,6 +28,9 @@ pub enum CryptoError {
         /// Which pool ("zero", "one", or "randomizer").
         pool: &'static str,
     },
+    /// A signed decode's magnitude exceeds 128 bits (possible with large
+    /// keys and large blinding values).
+    SignedMagnitudeOverflow,
     /// An underlying bignum operation failed.
     Bignum(BignumError),
     /// Byte-level decoding of a key or ciphertext failed.
@@ -45,6 +48,9 @@ impl fmt::Display for CryptoError {
             Self::InvalidCiphertext(why) => write!(f, "invalid ciphertext: {why}"),
             Self::KeyMismatch => write!(f, "ciphertext was produced under a different key"),
             Self::PoolExhausted { pool } => write!(f, "precomputed {pool} pool exhausted"),
+            Self::SignedMagnitudeOverflow => {
+                write!(f, "signed decode magnitude exceeds 128 bits")
+            }
             Self::Bignum(e) => write!(f, "bignum error: {e}"),
             Self::Decode(why) => write!(f, "decode error: {why}"),
         }

@@ -367,6 +367,35 @@ impl PaillierPublicKey {
         Ok(Ciphertext(self.inner.mont.multi_pow(&bases, weights)))
     }
 
+    /// Parallel variant of [`PaillierPublicKey::fold_product`]: the batch
+    /// is split into up to `threads` chunks folded concurrently, and the
+    /// per-chunk partial products are combined with one homomorphic
+    /// addition (ciphertext multiplication) each —
+    /// `Π(partials) = E(Σ partial sums)`. Decrypts to the identical
+    /// selected sum as the sequential strategies.
+    ///
+    /// # Errors
+    /// Propagates bignum errors; never fails for valid ciphertexts.
+    ///
+    /// # Panics
+    /// Panics when the slice lengths differ (caller bug).
+    pub fn fold_product_parallel(
+        &self,
+        cts: &[Ciphertext],
+        weights: &[Uint],
+        threads: usize,
+    ) -> Result<Ciphertext, CryptoError> {
+        assert_eq!(
+            cts.len(),
+            weights.len(),
+            "ciphertext/weight length mismatch"
+        );
+        let bases: Vec<Uint> = cts.iter().map(|c| c.0.clone()).collect();
+        Ok(Ciphertext(
+            self.inner.mont.multi_pow_parallel(&bases, weights, threads),
+        ))
+    }
+
     /// Homomorphic negation: `E(a) ↦ E(N - a) = E(-a mod N)`.
     ///
     /// # Errors
@@ -421,12 +450,23 @@ impl PaillierPublicKey {
     /// Interprets a decrypted value in `[0, N)` as signed, mapping the
     /// upper half of the message space to negative numbers. Needed when
     /// blinded values may wrap around `N`.
-    pub fn decode_signed(&self, m: &Uint) -> i128 {
+    ///
+    /// # Errors
+    /// [`CryptoError::SignedMagnitudeOverflow`] when the magnitude does
+    /// not fit in `i128` — reachable with ≥ 2048-bit keys and plaintexts
+    /// (e.g. large blinding values) more than 128 bits from either end of
+    /// the message space.
+    pub fn decode_signed(&self, m: &Uint) -> Result<i128, CryptoError> {
         if m > &self.inner.half_n {
             let mag = &self.inner.n - m;
-            -(mag.to_u128().expect("signed decode magnitude fits i128") as i128)
+            let mag = mag.to_u128().ok_or(CryptoError::SignedMagnitudeOverflow)?;
+            if mag > i128::MAX as u128 + 1 {
+                return Err(CryptoError::SignedMagnitudeOverflow);
+            }
+            Ok((mag as i128).wrapping_neg())
         } else {
-            m.to_u128().expect("signed decode magnitude fits i128") as i128
+            let mag = m.to_u128().ok_or(CryptoError::SignedMagnitudeOverflow)?;
+            i128::try_from(mag).map_err(|_| CryptoError::SignedMagnitudeOverflow)
         }
     }
 }
@@ -530,9 +570,11 @@ impl PaillierSecretKey {
     /// space maps to negatives).
     ///
     /// # Errors
-    /// As [`PaillierSecretKey::decrypt`].
+    /// As [`PaillierSecretKey::decrypt`], plus
+    /// [`CryptoError::SignedMagnitudeOverflow`] when the decoded
+    /// magnitude does not fit in `i128`.
     pub fn decrypt_signed(&self, c: &Ciphertext) -> Result<i128, CryptoError> {
-        Ok(self.public.decode_signed(&self.decrypt(c)?))
+        self.public.decode_signed(&self.decrypt(c)?)
     }
 }
 
@@ -665,6 +707,32 @@ mod tests {
         // a + (-a) = 0.
         let z = kp.public.add(&a, &neg).unwrap();
         assert_eq!(kp.secret.decrypt(&z).unwrap(), Uint::zero());
+    }
+
+    #[test]
+    fn signed_decode_overflow_is_an_error_not_a_panic() {
+        // With a 128-bit key N² gives plaintexts up to 128 bits, but any
+        // key has mid-space values whose signed magnitude exceeds i128
+        // once the modulus is wide enough; emulate with a plaintext right
+        // in the middle of the message space of a wider key.
+        let mut r = StdRng::seed_from_u64(11);
+        let kp = PaillierKeypair::generate(320, &mut r).unwrap();
+        // m = floor(N/2) is on the positive side but ~319 bits.
+        let mid = kp.public.n().shr(1);
+        assert!(matches!(
+            kp.public.decode_signed(&mid),
+            Err(CryptoError::SignedMagnitudeOverflow)
+        ));
+        // A value just above half-N has a huge negative magnitude.
+        let above = &mid + &Uint::from_u64(2);
+        assert!(matches!(
+            kp.public.decode_signed(&above),
+            Err(CryptoError::SignedMagnitudeOverflow)
+        ));
+        // Small magnitudes still decode on both sides.
+        assert_eq!(kp.public.decode_signed(&Uint::from_u64(40)).unwrap(), 40);
+        let minus_3 = kp.public.n() - &Uint::from_u64(3);
+        assert_eq!(kp.public.decode_signed(&minus_3).unwrap(), -3);
     }
 
     #[test]

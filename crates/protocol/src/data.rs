@@ -31,6 +31,18 @@ impl Database {
         })
     }
 
+    /// A deliberately empty database (zero rows). [`Database::new`]
+    /// rejects an empty vector to catch accidental empties; this
+    /// constructor exists for servers that are provisioned before data
+    /// arrives — a session against it announces `total == 0` and is
+    /// finalized immediately with the identity product.
+    pub fn empty() -> Self {
+        Database {
+            values: Vec::new(),
+            bound: 1,
+        }
+    }
+
     /// Generates `n` uniform random values in `[0, bound)` — the paper's
     /// workload is `n` 32-bit numbers (`bound = 2^32`).
     ///
@@ -60,7 +72,7 @@ impl Database {
         self.values.len()
     }
 
-    /// True iff empty (never, by construction).
+    /// True iff empty (only via [`Database::empty`]).
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }

@@ -31,7 +31,9 @@
 //!   non-private alternatives;
 //! * [`run_weighted`] — the weighted-sum generalization the paper
 //!   sketches in §2;
-//! * [`run_threaded`] — the same state machines over real threads.
+//! * [`run_threaded`] — the same state machines over real threads;
+//! * [`TcpServer`] — the concurrent deployment runtime: one thread per
+//!   accepted TCP connection, all sessions sharing one database.
 //!
 //! # Quick start
 //!
@@ -63,6 +65,7 @@ mod perturb;
 mod report;
 mod run;
 mod server;
+mod tcp_server;
 
 pub use client::{ClientSendStats, IndexSource, SumClient};
 pub use cost::{measure_encrypt_secs, CostModel, JAVA_SLOWDOWN, PAPER_ENCRYPT_SECS};
@@ -77,3 +80,4 @@ pub use run::{
     run_preprocessed, run_threaded, run_weighted, RunConfig,
 };
 pub use server::{FoldStrategy, ServerSession, ServerStats};
+pub use tcp_server::{AggregateStats, SessionEvent, TcpServer};

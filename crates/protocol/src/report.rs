@@ -9,10 +9,8 @@
 use std::fmt;
 use std::time::Duration;
 
-use serde::Serialize;
-
 /// Which protocol variant produced a report.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Variant {
     /// Non-private baseline: client sends plaintext indices (§2).
     PlainIndices,
@@ -55,7 +53,7 @@ impl fmt::Display for Variant {
 }
 
 /// Timing and traffic breakdown of one protocol execution.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Protocol variant.
     pub variant: Variant,

@@ -53,6 +53,24 @@ pub enum FoldStrategy {
     /// Whole-batch Straus multi-exponentiation with a shared squaring
     /// chain — 2–3× faster for the protocol's 32-bit exponents.
     MultiExp,
+    /// [`FoldStrategy::MultiExp`] split across all available cores: the
+    /// batch is chunked, each chunk folded on its own thread, and the
+    /// per-chunk partials combined with one homomorphic add each
+    /// (`Π(partials) = E(Σ partial sums)`). Decrypts identically to the
+    /// sequential strategies.
+    ParallelMultiExp,
+}
+
+impl FoldStrategy {
+    /// Worker threads the strategy will use for one batch.
+    pub fn threads(self) -> usize {
+        match self {
+            FoldStrategy::Incremental | FoldStrategy::MultiExp => 1,
+            FoldStrategy::ParallelMultiExp => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
 }
 
 /// The server side of one protocol session over a fixed database.
@@ -149,6 +167,14 @@ impl<'db> ServerSession<'db> {
             return Err(ProtocolError::Config("batch size must be positive".into()));
         }
         let key = PaillierPublicKey::from_modulus(hello.modulus)?;
+        if hello.total == 0 {
+            // Empty database: there is nothing to receive, and no batch
+            // will ever arrive to trigger the finalize check — reply with
+            // the identity product (the selected sum over zero rows)
+            // immediately.
+            let product = key.identity();
+            return Ok(Some(self.finalize(&key, product)?));
+        }
         self.state = State::Receiving {
             accumulator: key.identity(),
             key,
@@ -156,6 +182,26 @@ impl<'db> ServerSession<'db> {
             cursor: 0,
         };
         Ok(None)
+    }
+
+    /// Applies the optional blinding, encodes the product reply, and
+    /// moves the session to `Done`.
+    fn finalize(
+        &mut self,
+        key: &PaillierPublicKey,
+        mut product: Ciphertext,
+    ) -> Result<Frame, ProtocolError> {
+        if let Some(r) = &self.blinding {
+            let start = Instant::now();
+            product = key.add_plain(&product, r)?;
+            self.stats.compute += start.elapsed();
+        }
+        let reply = Product {
+            ciphertext: product,
+        }
+        .encode(key)?;
+        self.state = State::Done;
+        Ok(reply)
     }
 
     fn on_batch(&mut self, frame: &Frame) -> Result<Option<Frame>, ProtocolError> {
@@ -171,6 +217,11 @@ impl<'db> ServerSession<'db> {
             ));
         };
         let batch = IndexBatch::decode(frame, key)?;
+        if batch.ciphertexts.is_empty() {
+            // An empty batch never advances the cursor, so accepting it
+            // would let a client spin the session forever.
+            return Err(ProtocolError::UnexpectedMessage("empty index batch"));
+        }
         if *cursor + batch.ciphertexts.len() > *expected as usize {
             return Err(ProtocolError::UnexpectedMessage(
                 "more indices than announced",
@@ -190,14 +241,20 @@ impl<'db> ServerSession<'db> {
                     *cursor += 1;
                 }
             }
-            FoldStrategy::MultiExp => {
-                // Whole-batch interleaved multi-exponentiation.
+            FoldStrategy::MultiExp | FoldStrategy::ParallelMultiExp => {
+                // Whole-batch interleaved multi-exponentiation, chunked
+                // across cores for the parallel strategy.
                 let weights: Vec<pps_bignum::Uint> = self.db.values()
                     [*cursor..*cursor + batch.ciphertexts.len()]
                     .iter()
                     .map(|&x| pps_bignum::Uint::from_u64(x))
                     .collect();
-                let folded = key.fold_product(&batch.ciphertexts, &weights)?;
+                let threads = self.fold.threads();
+                let folded = if threads > 1 {
+                    key.fold_product_parallel(&batch.ciphertexts, &weights, threads)?
+                } else {
+                    key.fold_product(&batch.ciphertexts, &weights)?
+                };
                 *accumulator = key.add(accumulator, &folded)?;
                 *cursor += batch.ciphertexts.len();
             }
@@ -209,18 +266,9 @@ impl<'db> ServerSession<'db> {
 
         if *cursor == *expected as usize {
             // Apply multi-client blinding, if configured, then reply.
-            let mut product = accumulator.clone();
-            if let Some(r) = &self.blinding {
-                let start = Instant::now();
-                product = key.add_plain(&product, r)?;
-                self.stats.compute += start.elapsed();
-            }
-            let reply = Product {
-                ciphertext: product,
-            }
-            .encode(key)?;
-            self.state = State::Done;
-            return Ok(Some(reply));
+            let key = key.clone();
+            let product = accumulator.clone();
+            return Ok(Some(self.finalize(&key, product)?));
         }
         Ok(None)
     }
@@ -456,6 +504,93 @@ mod tests {
             kp.secret.decrypt(&product.ciphertext).unwrap().to_u64(),
             Some(100)
         );
+    }
+
+    #[test]
+    fn rejects_empty_batch() {
+        let (kp, db, mut rng) = setup();
+        let mut s = ServerSession::new(&db);
+        s.on_frame(&hello(&kp, 5, 5)).unwrap();
+        // A zero-length batch must be rejected, not silently accepted —
+        // it would never advance the cursor.
+        let empty = batch_frame(&kp, &[], &mut rng);
+        assert!(matches!(
+            s.on_frame(&empty),
+            Err(ProtocolError::UnexpectedMessage("empty index batch"))
+        ));
+        // The session stays usable: a real batch still completes it.
+        let reply = s
+            .on_frame(&batch_frame(&kp, &[1, 0, 1, 0, 1], &mut rng))
+            .unwrap()
+            .unwrap();
+        let product = Product::decode(&reply, &kp.public).unwrap();
+        assert_eq!(
+            kp.secret.decrypt(&product.ciphertext).unwrap().to_u64(),
+            Some(90)
+        );
+    }
+
+    #[test]
+    fn hello_for_empty_database_finalizes_immediately() {
+        let (kp, _, _) = setup();
+        let db = Database::empty();
+        let mut s = ServerSession::new(&db);
+        // total == 0 matches the empty database; the server must reply
+        // with the identity product at once instead of waiting for
+        // batches that will never come.
+        let reply = s
+            .on_frame(&hello(&kp, 0, 5))
+            .unwrap()
+            .expect("empty-database hello must produce an immediate product");
+        assert!(s.is_done());
+        let product = Product::decode(&reply, &kp.public).unwrap();
+        assert_eq!(
+            kp.secret.decrypt(&product.ciphertext).unwrap().to_u64(),
+            Some(0)
+        );
+        // Blinding still applies to the empty sum.
+        let mut blinded = ServerSession::with_blinding(&db, pps_bignum::Uint::from_u64(77));
+        let reply = blinded.on_frame(&hello(&kp, 0, 5)).unwrap().unwrap();
+        let product = Product::decode(&reply, &kp.public).unwrap();
+        assert_eq!(
+            kp.secret.decrypt(&product.ciphertext).unwrap().to_u64(),
+            Some(77)
+        );
+    }
+
+    #[test]
+    fn parallel_fold_matches_incremental() {
+        let (kp, _, mut rng) = setup();
+        let values: Vec<u64> = (1..=64).map(|i| i * 3).collect();
+        let bits: Vec<u64> = (0..64).map(|i| u64::from(i % 3 == 0)).collect();
+        let db = Database::new(values).unwrap();
+        let expected = db.oracle_sum(&Selection::weighted(bits.clone())).unwrap();
+
+        let mut inc = ServerSession::new(&db);
+        inc.on_frame(&hello(&kp, 64, 64)).unwrap();
+        let r1 = inc
+            .on_frame(&batch_frame(&kp, &bits, &mut rng))
+            .unwrap()
+            .unwrap();
+        let s1 = kp
+            .secret
+            .decrypt(&Product::decode(&r1, &kp.public).unwrap().ciphertext)
+            .unwrap();
+
+        let mut par = ServerSession::with_fold(&db, FoldStrategy::ParallelMultiExp);
+        par.on_frame(&hello(&kp, 64, 64)).unwrap();
+        let r2 = par
+            .on_frame(&batch_frame(&kp, &bits, &mut rng))
+            .unwrap()
+            .unwrap();
+        let s2 = kp
+            .secret
+            .decrypt(&Product::decode(&r2, &kp.public).unwrap().ciphertext)
+            .unwrap();
+
+        assert_eq!(s1, s2);
+        assert_eq!(s2, pps_bignum::Uint::from_u128(expected));
+        assert_eq!(par.stats().folded, 64);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Concurrent multi-session server runtime over real TCP.
+//!
+//! [`ServerSession`] is a message-driven state machine with no opinion
+//! about scheduling; this module supplies the deployment shape the paper
+//! assumes for its multi-client experiments (§3.5): one listening socket,
+//! one thread per accepted connection, all sessions sharing a single
+//! immutable [`Database`] behind an [`Arc`]. Each connection drives its
+//! own session to completion over the blocking
+//! [`TcpWire`](pps_transport::TcpWire), so a slow client never stalls the
+//! others, and per-session statistics are aggregated into an
+//! [`AggregateStats`] reported when the accept loop ends.
+//!
+//! The figures harness deliberately does **not** use this runtime — the
+//! simulated link is the measurement vehicle there — but the CLI's
+//! `serve` subcommand and the concurrent end-to-end tests run on it.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pps_transport::{TcpWire, TransportError, Wire};
+
+use crate::data::Database;
+use crate::error::ProtocolError;
+use crate::server::{FoldStrategy, ServerSession, ServerStats};
+
+/// Statistics aggregated across every session the runtime served.
+#[derive(Clone, Debug, Default)]
+pub struct AggregateStats {
+    /// Sessions that ran to a clean protocol completion.
+    pub sessions: usize,
+    /// Sessions that ended in a transport or protocol error.
+    pub failed: usize,
+    /// Index ciphertexts folded across all completed sessions.
+    pub folded: usize,
+    /// Server compute time summed across completed sessions (exceeds
+    /// wall time when sessions overlap on separate cores).
+    pub compute: Duration,
+    /// Wall-clock time the accept loop ran.
+    pub wall: Duration,
+}
+
+impl AggregateStats {
+    /// Folding throughput in index ciphertexts per second of server
+    /// compute time. Zero when nothing was folded.
+    pub fn throughput(&self) -> f64 {
+        if self.compute.is_zero() {
+            0.0
+        } else {
+            self.folded as f64 / self.compute.as_secs_f64()
+        }
+    }
+}
+
+/// Lifecycle notifications delivered to [`TcpServer::serve_with`]
+/// observers. Events for different sessions arrive from different
+/// threads, hence the `Sync` bound on the callback.
+#[derive(Debug)]
+pub enum SessionEvent<'a> {
+    /// A connection was accepted and assigned a 1-based session id.
+    Accepted {
+        /// Session id (accept order).
+        session: usize,
+        /// Peer address, when the socket can report one.
+        peer: Option<SocketAddr>,
+    },
+    /// The session ran to completion.
+    Finished {
+        /// Session id (accept order).
+        session: usize,
+        /// Final per-session statistics.
+        stats: &'a ServerStats,
+    },
+    /// The session died with an error (the server keeps accepting).
+    Failed {
+        /// Session id (accept order).
+        session: usize,
+        /// What went wrong.
+        error: &'a ProtocolError,
+    },
+}
+
+/// A concurrent selected-sum server: accept loop plus thread-per-session
+/// dispatch over a shared database.
+pub struct TcpServer {
+    listener: TcpListener,
+    db: Arc<Database>,
+    fold: FoldStrategy,
+}
+
+impl TcpServer {
+    /// Binds a listening socket for `db`. Use `"127.0.0.1:0"` to let the
+    /// OS pick an ephemeral port (see [`TcpServer::local_addr`]).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Transport`] when the bind fails.
+    pub fn bind(db: Arc<Database>, addr: &str, fold: FoldStrategy) -> Result<Self, ProtocolError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ProtocolError::Transport(TransportError::Io(e.to_string())))?;
+        Ok(TcpServer { listener, db, fold })
+    }
+
+    /// The bound address (the actual port, when bound to port 0).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Transport`] when the OS cannot report it.
+    pub fn local_addr(&self) -> Result<SocketAddr, ProtocolError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| ProtocolError::Transport(TransportError::Io(e.to_string())))
+    }
+
+    /// Serves sessions without observing their lifecycle. See
+    /// [`TcpServer::serve_with`].
+    pub fn serve(&self, max_sessions: Option<usize>) -> AggregateStats {
+        self.serve_with(max_sessions, &|_| {})
+    }
+
+    /// Accepts connections until `max_sessions` have been accepted
+    /// (`None` = forever), driving each on its own thread against the
+    /// shared database, then waits for every in-flight session to finish
+    /// and returns the aggregate. `on_event` fires from session threads
+    /// as connections arrive and complete.
+    ///
+    /// A failed session (malformed frames, disconnect) is counted and
+    /// reported, never fatal to the server.
+    pub fn serve_with(
+        &self,
+        max_sessions: Option<usize>,
+        on_event: &(dyn Fn(SessionEvent<'_>) + Sync),
+    ) -> AggregateStats {
+        let start = Instant::now();
+        let agg = Mutex::new(AggregateStats::default());
+        std::thread::scope(|scope| {
+            let mut accepted = 0usize;
+            for stream in self.listener.incoming() {
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                accepted += 1;
+                let id = accepted;
+                let agg = &agg;
+                let db = &*self.db;
+                let fold = self.fold;
+                scope.spawn(move || {
+                    on_event(SessionEvent::Accepted {
+                        session: id,
+                        peer: stream.peer_addr().ok(),
+                    });
+                    let mut session = ServerSession::with_fold(db, fold);
+                    match drive(&mut session, stream) {
+                        Ok(()) => {
+                            let stats = session.stats();
+                            let mut a = agg.lock().expect("stats lock");
+                            a.sessions += 1;
+                            a.folded += stats.folded;
+                            a.compute += stats.compute;
+                            drop(a);
+                            on_event(SessionEvent::Finished { session: id, stats });
+                        }
+                        Err(e) => {
+                            agg.lock().expect("stats lock").failed += 1;
+                            on_event(SessionEvent::Failed {
+                                session: id,
+                                error: &e,
+                            });
+                        }
+                    }
+                });
+                if max_sessions.is_some_and(|m| accepted >= m) {
+                    break;
+                }
+            }
+        });
+        let mut stats = agg.into_inner().expect("stats lock");
+        stats.wall = start.elapsed();
+        stats
+    }
+}
+
+/// Pumps frames between the wire and the session until the product has
+/// been sent.
+fn drive(session: &mut ServerSession<'_>, stream: TcpStream) -> Result<(), ProtocolError> {
+    let mut wire = TcpWire::new(stream);
+    while !session.is_done() {
+        let frame = wire.recv()?;
+        if let Some(reply) = session.on_frame(&frame)? {
+            wire.send(reply)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{IndexSource, SumClient};
+    use crate::data::Selection;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn query(addr: SocketAddr, selection: &Selection, seed: u64) -> u128 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let client = SumClient::generate(128, &mut rng).unwrap();
+        let mut wire = TcpWire::connect(&addr.to_string()).unwrap();
+        let mut source = IndexSource::Fresh(&mut rng);
+        client
+            .send_query(&mut wire, selection, 16, &mut source)
+            .unwrap();
+        let (sum, _) = client.receive_result(&mut wire).unwrap();
+        sum.to_u128().unwrap()
+    }
+
+    #[test]
+    fn serves_sequential_sessions_and_aggregates() {
+        let db = Arc::new(Database::new(vec![10, 20, 30, 40, 50]).unwrap());
+        let server =
+            TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::MultiExp).unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let clients = std::thread::spawn(move || {
+            let a = query(addr, &Selection::from_indices(5, &[0, 2]).unwrap(), 1);
+            let b = query(addr, &Selection::from_indices(5, &[4]).unwrap(), 2);
+            (a, b)
+        });
+        let stats = server.serve(Some(2));
+        let (a, b) = clients.join().unwrap();
+        assert_eq!(a, 40);
+        assert_eq!(b, 50);
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.folded, 10, "both sessions stream all 5 indices");
+        assert!(stats.throughput() > 0.0);
+    }
+
+    #[test]
+    fn failed_session_is_counted_not_fatal() {
+        let db = Arc::new(Database::new(vec![1, 2, 3]).unwrap());
+        let server =
+            TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let events = Mutex::new(Vec::new());
+        let clients = std::thread::spawn(move || {
+            // A rude client: connects and hangs up without a Hello.
+            drop(TcpWire::connect(&addr.to_string()).unwrap());
+            query(addr, &Selection::from_indices(3, &[1, 2]).unwrap(), 3)
+        });
+        let stats = server.serve_with(Some(2), &|e| {
+            let tag = match e {
+                SessionEvent::Accepted { .. } => "accepted",
+                SessionEvent::Finished { .. } => "finished",
+                SessionEvent::Failed { .. } => "failed",
+            };
+            events.lock().unwrap().push(tag);
+        });
+        assert_eq!(clients.join().unwrap(), 5);
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.folded, 3);
+        let events = events.into_inner().unwrap();
+        assert_eq!(events.iter().filter(|t| **t == "accepted").count(), 2);
+        assert_eq!(events.iter().filter(|t| **t == "finished").count(), 1);
+        assert_eq!(events.iter().filter(|t| **t == "failed").count(), 1);
+    }
+}

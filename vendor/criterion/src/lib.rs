@@ -1,0 +1,380 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the slice of criterion its benches use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `Bencher::iter` / `iter_batched`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is simpler than upstream (no outlier analysis or HTML
+//! reports) but real: each benchmark is calibrated so one sample takes
+//! ≥1 ms, then timed over multiple samples within a wall-clock budget,
+//! and the per-iteration mean, min, and max are printed. Under
+//! `cargo test` (`--test` flag) every benchmark body runs exactly once
+//! as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; measurement here does not distinguish.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing collector passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// (total time, total iterations) accumulated by `iter*`.
+    measured: Option<(Duration, u64, Duration, Duration)>,
+}
+
+impl Bencher {
+    fn new(test_mode: bool, samples: usize) -> Self {
+        Bencher {
+            test_mode,
+            samples,
+            measured: None,
+        }
+    }
+
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            let t = Instant::now();
+            black_box(f());
+            let el = t.elapsed();
+            self.measured = Some((el, 1, el, el));
+            return;
+        }
+        // Calibrate: grow the inner batch until one sample is >= 1 ms,
+        // so per-sample timer overhead is negligible for fast bodies.
+        let mut batch: u64 = 1;
+        let mut first_sample;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            first_sample = t.elapsed();
+            if first_sample >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let budget = Duration::from_millis(500);
+        let mut total = first_sample;
+        let mut iters = batch;
+        let mut min = per_iter(first_sample, batch);
+        let mut max = min;
+        let mut taken = 1usize;
+        while taken < self.samples && total < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            let per = per_iter(el, batch);
+            min = min.min(per);
+            max = max.max(per);
+            total += el;
+            iters += batch;
+            taken += 1;
+        }
+        self.measured = Some((total, iters, min, max));
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let el = t.elapsed();
+            self.measured = Some((el, 1, el, el));
+            return;
+        }
+        let budget = Duration::from_millis(500);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        while (iters as usize) < self.samples.max(3) && total < budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let el = t.elapsed();
+            min = min.min(el);
+            max = max.max(el);
+            total += el;
+            iters += 1;
+        }
+        self.measured = Some((total, iters.max(1), min, max));
+    }
+}
+
+fn per_iter(total: Duration, iters: u64) -> Duration {
+    if iters == 0 {
+        Duration::ZERO
+    } else {
+        total / u32::try_from(iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher::new(self.criterion.test_mode, self.sample_size);
+        f(&mut b);
+        self.criterion.report(&full, &b);
+        self
+    }
+
+    /// Runs one benchmark closure with an auxiliary input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher::new(self.criterion.test_mode, self.sample_size);
+        f(&mut b, input);
+        self.criterion.report(&full, &b);
+        self
+    }
+
+    /// Ends the group (upstream parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver: owns CLI configuration and reporting.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    ran: usize,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (as cargo passes
+    /// them: an optional name filter, `--test` under `cargo test`,
+    /// `--bench` under `cargo bench`).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.test_mode = true;
+            } else if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs one stand-alone benchmark closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(id) {
+            let mut b = Bencher::new(self.test_mode, 20);
+            f(&mut b);
+            self.report(id, &b);
+        }
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+
+    fn report(&mut self, full_id: &str, b: &Bencher) {
+        self.ran += 1;
+        match b.measured {
+            Some((total, iters, min, max)) => {
+                let mean = per_iter(total, iters);
+                if self.test_mode {
+                    println!("test {full_id} ... ok");
+                } else {
+                    println!(
+                        "{:<52} time: [{} {} {}]  ({} iters)",
+                        full_id,
+                        fmt_duration(min),
+                        fmt_duration(mean),
+                        fmt_duration(max),
+                        iters
+                    );
+                }
+            }
+            None => println!("{full_id:<52} (no measurement recorded)"),
+        }
+    }
+
+    /// Prints the end-of-run summary line.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("{} benchmark smoke tests ran", self.ran);
+        } else {
+            println!("{} benchmarks measured", self.ran);
+        }
+    }
+}
+
+/// Collects benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records() {
+        let mut b = Bencher::new(false, 3);
+        b.iter(|| 1 + 1);
+        let (total, iters, ..) = b.measured.unwrap();
+        assert!(iters >= 1);
+        assert!(total > Duration::ZERO);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher::new(true, 50);
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(true, 10);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.measured.is_some());
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let c = Criterion {
+            filter: Some("fold".into()),
+            test_mode: false,
+            ran: 0,
+        };
+        assert!(c.matches("ablation_server_fold/100000"));
+        assert!(!c.matches("paillier/encrypt"));
+    }
+}

@@ -1,0 +1,507 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the slice of proptest it uses: the [`proptest!`] macro with
+//! `#![proptest_config(..)]`, `pat in strategy` arguments,
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`]/
+//! [`prop_assume!`], `any::<T>()`, integer-range strategies, tuple
+//! strategies, `prop::collection::vec`, and `.prop_map(..)`.
+//!
+//! Differences from upstream, deliberate for this environment:
+//! - No shrinking: a failing case reports its deterministic case seed
+//!   instead of a minimised input. Cases are reproducible because each
+//!   (test name, case index) pair maps to a fixed RNG seed.
+//! - Rejection via [`prop_assume!`] skips the case; a test aborts if
+//!   rejects vastly outnumber the requested cases.
+
+#![forbid(unsafe_code)]
+
+pub use config::ProptestConfig;
+
+/// Run-time configuration for a [`proptest!`] block.
+pub mod config {
+    /// Configuration: currently just the number of passing cases
+    /// required per property.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config requiring `cases` passing cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Deterministic case driver used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use crate::config::ProptestConfig;
+
+    /// RNG handed to strategies; deterministic per (test, case).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Outcome of a single property case other than success.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure with a rendered message.
+        Fail(String),
+        /// Input rejected by `prop_assume!`; retry with a new case.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        #[must_use]
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// Runs cases until the configured number pass, panicking on the
+    /// first failure with the case index for reproduction.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the named property.
+        #[must_use]
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            // FNV-1a over the fully qualified test name: stable across
+            // runs and processes, unique per property.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner { config, name, seed }
+        }
+
+        /// Drives the property closure. Panics on failure or when
+        /// rejects exceed a generous multiple of the case budget.
+        pub fn run<F>(&mut self, f: &mut F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            use rand::SeedableRng;
+            let want = self.config.cases;
+            let max_rejects = u64::from(want) * 64 + 1024;
+            let mut passed = 0u32;
+            let mut rejects = 0u64;
+            let mut case: u64 = 0;
+            while passed < want {
+                let case_seed = self
+                    .seed
+                    .wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = TestRng::seed_from_u64(case_seed);
+                match f(&mut rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= max_rejects,
+                            "{}: too many prop_assume! rejections ({} rejects for {} cases)",
+                            self.name,
+                            rejects,
+                            want
+                        );
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "{} failed at case #{} (seed {:#018x}):\n{}",
+                            self.name, case, case_seed, msg
+                        );
+                    }
+                }
+                case += 1;
+            }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// RNG type threaded through generation.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A recipe for producing values of `Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.start..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategies!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategies {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategies!(A.0);
+    impl_tuple_strategies!(A.0, B.1);
+    impl_tuple_strategies!(A.0, B.1, C.2);
+    impl_tuple_strategies!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategies!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategies!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// `any::<T>()`: uniform over the type's whole domain.
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: rand::StandardSample> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::standard_sample(rng)
+        }
+    }
+
+    /// Uniform strategy over all of `T` (bool and the integer types).
+    #[must_use]
+    pub fn any<T: rand::StandardSample>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Inclusive (min, max) length bounds.
+        fn into_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "vec strategy: empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn into_bounds(self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "vec strategy: empty size range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length in the given bounds.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                rand::Rng::gen_range(rng, self.min..=self.max)
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `elem` with length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.into_bounds();
+        VecStrategy { elem, min, max }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves as it does
+/// with the real crate.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property-test file needs, in one import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies: `fn name(pat in strategy, ..) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                runner.run(&mut |__pps_proptest_rng: &mut $crate::test_runner::TestRng| {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), __pps_proptest_rng);
+                    )*
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Rejects the current case (it is retried with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} ({}:{})",
+                    stringify!($cond),
+                    file!(),
+                    line!()
+                ),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({}:{})", format!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pps_l, __pps_r) => {
+                if !(*__pps_l == *__pps_r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `left == right` ({}:{})\n  left: {:?}\n right: {:?}",
+                            file!(),
+                            line!(),
+                            __pps_l,
+                            __pps_r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pps_l, __pps_r) => {
+                if *__pps_l == *__pps_r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `left != right` ({}:{})\n  both: {:?}",
+                            file!(),
+                            line!(),
+                            __pps_l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn parity(x: u64) -> bool {
+        x.is_multiple_of(2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u64..10, b in 0usize..=3, c in 1u32..) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!(b <= 3);
+            prop_assert!(c >= 1);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn exact_vec_length(v in prop::collection::vec(any::<bool>(), 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn prop_map_applies(even in any::<u64>().prop_map(|x| x & !1)) {
+            prop_assert!(parity(even));
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (any::<u8>(), 1u8..=16)) {
+            prop_assume!(pair.0 > 0);
+            prop_assert_ne!(pair.0, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let s = crate::collection::vec(crate::arbitrary::any::<u64>(), 3..9);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(99);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(99);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
