@@ -288,6 +288,9 @@ pub fn run_server(
             SessionEvent::Failed { session, error } => {
                 let _ = writeln!(log, "session {session} failed: {error}");
             }
+            SessionEvent::AcceptError { error } => {
+                let _ = writeln!(log, "accept failed: {error}");
+            }
         }
     });
     let log = log.into_inner().expect("log lock");

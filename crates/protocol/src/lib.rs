@@ -80,4 +80,4 @@ pub use run::{
     run_preprocessed, run_threaded, run_weighted, RunConfig,
 };
 pub use server::{FoldStrategy, ServerSession, ServerStats};
-pub use tcp_server::{AggregateStats, SessionEvent, TcpServer};
+pub use tcp_server::{AggregateStats, SessionEvent, TcpServer, MAX_CONSECUTIVE_ACCEPT_ERRORS};

@@ -78,7 +78,25 @@ pub enum SessionEvent<'a> {
         /// What went wrong.
         error: &'a ProtocolError,
     },
+    /// `accept()` itself failed. The server backs off briefly and keeps
+    /// listening, but gives up after
+    /// [`MAX_CONSECUTIVE_ACCEPT_ERRORS`] failures in a row (a listener
+    /// stuck in a persistent error state would otherwise busy-loop).
+    AcceptError {
+        /// The accept error.
+        error: &'a ProtocolError,
+    },
 }
+
+/// Consecutive `accept()` failures after which the accept loop stops
+/// instead of retrying; a healthy listener resets the count on every
+/// successful accept.
+pub const MAX_CONSECUTIVE_ACCEPT_ERRORS: usize = 8;
+
+/// Pause between retries after a failed `accept()`, so transient error
+/// states (e.g. EMFILE until a session releases its socket) don't spin
+/// a core.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
 
 /// A concurrent selected-sum server: accept loop plus thread-per-session
 /// dispatch over a shared database.
@@ -123,7 +141,11 @@ impl TcpServer {
     /// as connections arrive and complete.
     ///
     /// A failed session (malformed frames, disconnect) is counted and
-    /// reported, never fatal to the server.
+    /// reported, never fatal to the server. A failed `accept()` is
+    /// reported as [`SessionEvent::AcceptError`] and retried after a
+    /// short backoff; [`MAX_CONSECUTIVE_ACCEPT_ERRORS`] failures in a
+    /// row end the loop (returning whatever was aggregated) rather than
+    /// spinning on a persistently broken listener.
     pub fn serve_with(
         &self,
         max_sessions: Option<usize>,
@@ -133,10 +155,23 @@ impl TcpServer {
         let agg = Mutex::new(AggregateStats::default());
         std::thread::scope(|scope| {
             let mut accepted = 0usize;
+            let mut accept_errors = 0usize;
             for stream in self.listener.incoming() {
                 let stream = match stream {
-                    Ok(s) => s,
-                    Err(_) => continue,
+                    Ok(s) => {
+                        accept_errors = 0;
+                        s
+                    }
+                    Err(e) => {
+                        accept_errors += 1;
+                        let error = ProtocolError::Transport(TransportError::Io(e.to_string()));
+                        on_event(SessionEvent::AcceptError { error: &error });
+                        if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                            break;
+                        }
+                        std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                        continue;
+                    }
                 };
                 accepted += 1;
                 let id = accepted;
@@ -252,6 +287,7 @@ mod tests {
                 SessionEvent::Accepted { .. } => "accepted",
                 SessionEvent::Finished { .. } => "finished",
                 SessionEvent::Failed { .. } => "failed",
+                SessionEvent::AcceptError { .. } => "accept_error",
             };
             events.lock().unwrap().push(tag);
         });

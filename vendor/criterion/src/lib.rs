@@ -13,6 +13,12 @@
 //! and the per-iteration mean, min, and max are printed. Under
 //! `cargo test` (`--test` flag) every benchmark body runs exactly once
 //! as a smoke test.
+//!
+//! Because the statistics differ from upstream criterion (no outlier
+//! rejection or bootstrapped confidence intervals), numbers printed by
+//! this harness are **not comparable** with results from runs that
+//! used the real crate; compare only within a single harness
+//! generation. See `vendor/README.md` for the full divergence list.
 
 #![forbid(unsafe_code)]
 

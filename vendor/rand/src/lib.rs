@@ -6,15 +6,16 @@
 //! (`from_seed`, `seed_from_u64`, `from_entropy`) and
 //! [`rngs::StdRng`].
 //!
-//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — a
-//! high-quality non-cryptographic generator. It is deterministic per
-//! seed (everything the workspace's seeded tests need) but its stream
-//! differs from upstream rand's ChaCha12-based `StdRng`; no test in
-//! this workspace depends on the exact upstream stream. Cryptographic
-//! randomness in the protocol comes from the primes and blinding drawn
-//! through these interfaces in *deployments*, where callers should
-//! seed via [`SeedableRng::from_entropy`] (backed by the OS entropy
-//! pool).
+//! `StdRng` here is ChaCha12 — the same cipher family and round count
+//! upstream rand 0.8's `StdRng` uses — so it is a cryptographically
+//! secure generator suitable for the workspace's real deployment paths
+//! (Paillier prime generation, encryption randomizers, blinding). It
+//! is deterministic per seed (everything the workspace's seeded tests
+//! need), though the exact output stream differs from upstream's
+//! `rand_chacha` block/word ordering; no test in this workspace
+//! depends on the upstream stream. [`SeedableRng::from_entropy`] reads
+//! the OS entropy pool and **panics** when it is unavailable rather
+//! than silently degrading to a guessable seed.
 
 #![forbid(unsafe_code)]
 
@@ -258,6 +259,14 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
+/// Marker trait for cryptographically secure generators, as in the
+/// real crate. Only implement for generators whose output is
+/// computationally indistinguishable from uniform even to an adversary
+/// observing arbitrarily many prior outputs.
+pub trait CryptoRng {}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
 /// Seedable generators.
 pub trait SeedableRng: Sized {
     /// Raw seed type.
@@ -282,22 +291,32 @@ pub trait SeedableRng: Sized {
     }
 
     /// Builds a generator seeded from the OS entropy pool
-    /// (`/dev/urandom`), falling back to clock entropy.
+    /// (`/dev/urandom`).
+    ///
+    /// # Panics
+    /// When OS entropy is unavailable. Keys, encryption randomizers and
+    /// blinding values are drawn through generators seeded here, so a
+    /// silent fallback to guessable entropy (clock, pid) would be a
+    /// security hole; failing loudly matches upstream `from_entropy`,
+    /// which also panics when the OS entropy source errors.
     fn from_entropy() -> Self {
         let mut seed = Self::Seed::default();
-        if fill_from_urandom(seed.as_mut()).is_err() {
-            let nanos = std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_nanos() as u64)
-                .unwrap_or(0);
-            let pid = std::process::id() as u64;
-            return Self::seed_from_u64(nanos ^ (pid << 32) ^ 0xA076_1D64_78BD_642F);
-        }
+        fill_from_os_entropy(seed.as_mut()).unwrap_or_else(|e| {
+            panic!(
+                "from_entropy: OS entropy pool unavailable ({e}); \
+                 refusing to fall back to a guessable seed"
+            )
+        });
         Self::from_seed(seed)
     }
 }
 
-fn fill_from_urandom(dest: &mut [u8]) -> std::io::Result<()> {
+/// Fills `dest` from the OS entropy pool. `/dev/urandom` is the
+/// portable-enough source for this workspace's supported targets
+/// (Linux/Unix); platforms without it get an error, which
+/// [`SeedableRng::from_entropy`] turns into a panic — never a silent
+/// downgrade.
+fn fill_from_os_entropy(dest: &mut [u8]) -> std::io::Result<()> {
     use std::io::Read;
     let mut f = std::fs::File::open("/dev/urandom")?;
     f.read_exact(dest)
@@ -305,46 +324,112 @@ fn fill_from_urandom(dest: &mut [u8]) -> std::io::Result<()> {
 
 /// Provided generators.
 pub mod rngs {
-    use super::{RngCore, SeedableRng};
+    use super::{CryptoRng, RngCore, SeedableRng};
 
-    /// The workspace's standard generator: xoshiro256++.
+    /// ChaCha quarter round.
+    #[inline]
+    fn qr(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// One 64-byte ChaCha12 keystream block for `(key, counter)`, with
+    /// a zero nonce (each generator instance is single-stream; the
+    /// 64-bit block counter gives 2^70 bytes per seed, never exhausted
+    /// in practice).
+    fn chacha12_block(key: &[u32; 8], counter: u64) -> [u8; 64] {
+        // "expand 32-byte k" constants, key, 64-bit counter, 64-bit nonce.
+        let mut s = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4],
+            key[5],
+            key[6],
+            key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let init = s;
+        for _ in 0..6 {
+            // Double round: 4 column rounds then 4 diagonal rounds.
+            qr(&mut s, 0, 4, 8, 12);
+            qr(&mut s, 1, 5, 9, 13);
+            qr(&mut s, 2, 6, 10, 14);
+            qr(&mut s, 3, 7, 11, 15);
+            qr(&mut s, 0, 5, 10, 15);
+            qr(&mut s, 1, 6, 11, 12);
+            qr(&mut s, 2, 7, 8, 13);
+            qr(&mut s, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for (i, (word, start)) in s.iter().zip(init).enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.wrapping_add(start).to_le_bytes());
+        }
+        out
+    }
+
+    /// The workspace's standard generator: ChaCha12, the cipher behind
+    /// upstream rand 0.8's `StdRng`.
     ///
-    /// Deterministic per seed; statistically strong, not a CSPRNG (see
-    /// the crate docs for the deployment caveat).
+    /// Deterministic per seed and cryptographically secure; the seed is
+    /// the ChaCha key and output is the keystream, so recovering the
+    /// state from outputs is as hard as breaking ChaCha12.
     #[derive(Clone, Debug)]
     pub struct StdRng {
-        s: [u64; 4],
+        key: [u32; 8],
+        counter: u64,
+        buf: [u8; 64],
+        pos: usize,
     }
 
     impl StdRng {
-        #[inline]
-        fn rotl(x: u64, k: u32) -> u64 {
-            x.rotate_left(k)
+        /// Copies the next `dest.len()` keystream bytes, generating
+        /// blocks as the buffer drains.
+        fn take(&mut self, dest: &mut [u8]) {
+            let mut filled = 0;
+            while filled < dest.len() {
+                if self.pos == self.buf.len() {
+                    self.buf = chacha12_block(&self.key, self.counter);
+                    self.counter = self.counter.wrapping_add(1);
+                    self.pos = 0;
+                }
+                let n = (self.buf.len() - self.pos).min(dest.len() - filled);
+                dest[filled..filled + n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+                self.pos += n;
+                filled += n;
+            }
         }
     }
 
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
-            (self.next_u64() >> 32) as u32
+            let mut b = [0u8; 4];
+            self.take(&mut b);
+            u32::from_le_bytes(b)
         }
 
         fn next_u64(&mut self) -> u64 {
-            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
-            let t = self.s[1] << 17;
-            self.s[2] ^= self.s[0];
-            self.s[3] ^= self.s[1];
-            self.s[1] ^= self.s[2];
-            self.s[0] ^= self.s[3];
-            self.s[2] ^= t;
-            self.s[3] = Self::rotl(self.s[3], 45);
-            result
+            let mut b = [0u8; 8];
+            self.take(&mut b);
+            u64::from_le_bytes(b)
         }
 
         fn fill_bytes(&mut self, dest: &mut [u8]) {
-            for chunk in dest.chunks_mut(8) {
-                let bytes = self.next_u64().to_le_bytes();
-                chunk.copy_from_slice(&bytes[..chunk.len()]);
-            }
+            self.take(dest);
         }
     }
 
@@ -352,17 +437,20 @@ pub mod rngs {
         type Seed = [u8; 32];
 
         fn from_seed(seed: Self::Seed) -> Self {
-            let mut s = [0u64; 4];
-            for (i, word) in s.iter_mut().enumerate() {
-                *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            let mut key = [0u32; 8];
+            for (i, word) in key.iter_mut().enumerate() {
+                *word = u32::from_le_bytes(seed[i * 4..(i + 1) * 4].try_into().unwrap());
             }
-            // All-zero state is a fixed point for xoshiro; nudge it.
-            if s == [0; 4] {
-                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; 64],
+                pos: 64, // empty; first draw generates block 0
             }
-            StdRng { s }
         }
     }
+
+    impl CryptoRng for StdRng {}
 }
 
 /// Draws one value of `T` from a fresh entropy-seeded generator.
@@ -429,6 +517,38 @@ mod tests {
         let _: u128 = rng.gen();
         let f: f64 = rng.gen();
         assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn chacha12_known_answer() {
+        // ECRYPT/djb test vector: ChaCha12, 256-bit all-zero key,
+        // all-zero IV, first keystream bytes.
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let mut out = [0u8; 32];
+        rng.fill_bytes(&mut out);
+        let expected: [u8; 32] = [
+            0x9b, 0xf4, 0x9a, 0x6a, 0x07, 0x55, 0xf9, 0x53, 0x81, 0x1f, 0xce, 0x12, 0x5f, 0x26,
+            0x83, 0xd5, 0x04, 0x29, 0xc3, 0xbb, 0x49, 0xe0, 0x74, 0x14, 0x7e, 0x00, 0x89, 0xa5,
+            0x2e, 0xae, 0x15, 0x5f,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn word_draws_match_byte_stream() {
+        // next_u32/next_u64 must consume the same keystream bytes that
+        // fill_bytes would, in order.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut bytes = [0u8; 12];
+        StdRng::seed_from_u64(9).fill_bytes(&mut bytes);
+        assert_eq!(
+            a.next_u64(),
+            u64::from_le_bytes(bytes[..8].try_into().unwrap())
+        );
+        assert_eq!(
+            a.next_u32(),
+            u32::from_le_bytes(bytes[8..].try_into().unwrap())
+        );
     }
 
     #[test]
