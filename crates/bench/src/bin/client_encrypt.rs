@@ -1,0 +1,206 @@
+//! `client_encrypt` ablation: where does the client's index-vector
+//! encryption time go, and what do multi-core and precomputation buy?
+//!
+//! Four strategies over the same batch of 0/1 index plaintexts:
+//!
+//! * **sequential** — `encrypt_batch`, one fresh `r^N mod N²` per element
+//!   on one core (the paper's client as written);
+//! * **parallel** — `encrypt_batch_parallel` across all host cores;
+//! * **pool** — §3.3 preprocessing: a `RandomizerPool` filled offline
+//!   (sequentially), then the cheap online `(1+mN)·r^N` multiply per
+//!   element; fill and online phases are timed separately;
+//! * **parallel pool fill** — the same offline fill via
+//!   `RandomizerPool::fill_parallel` across all host cores.
+//!
+//! Results land as hand-rolled JSON in `BENCH_client_encrypt.json`
+//! (repo root, or `--out PATH`). The JSON records `host_parallelism`
+//! because the headline ≥2× parallel speedup only applies on a multi-core
+//! host — on a single-core box the parallel paths fall back to the
+//! sequential code and the speedup honestly reports ≈1×.
+//!
+//! ```sh
+//! cargo run --release -p pps-bench --bin client_encrypt
+//! PPS_NS=1000,5000 cargo run --release -p pps-bench --bin client_encrypt -- --key-bits 256
+//! ```
+
+use std::time::Instant;
+
+use pps_bignum::Uint;
+use pps_crypto::{host_parallelism, PaillierKeypair, RandomizerPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's client-side sweep: n = 1,000 … 100,000 selections.
+const DEFAULT_NS: &[usize] = &[1_000, 10_000, 100_000];
+
+const USAGE: &str = "usage: client_encrypt [--key-bits B] [--threads T] [--out PATH]
+env: PPS_NS=comma,separated,sizes overrides the n sweep";
+
+struct Row {
+    n: usize,
+    sequential_secs: f64,
+    parallel_secs: f64,
+    pool_fill_secs: f64,
+    pool_online_secs: f64,
+    parallel_pool_fill_secs: f64,
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+fn parse_env_ns() -> Option<Vec<usize>> {
+    let raw = std::env::var("PPS_NS").ok()?;
+    let ns: Vec<usize> = raw
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    (!ns.is_empty()).then_some(ns)
+}
+
+fn main() {
+    let mut key_bits = 512usize;
+    let mut threads = host_parallelism();
+    let mut out_path = String::from("BENCH_client_encrypt.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--key-bits" => {
+                key_bits = grab("--key-bits").parse().unwrap_or_else(|_| {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--threads" => {
+                threads = grab("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => out_path = grab("--out"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let threads = threads.max(1);
+    let ns = parse_env_ns().unwrap_or_else(|| DEFAULT_NS.to_vec());
+
+    let host = host_parallelism();
+    println!(
+        "client_encrypt ablation: key = {key_bits} bits, threads = {threads}, \
+         host parallelism = {host}, n sweep = {ns:?}"
+    );
+    if host < 2 {
+        println!(
+            "note: single-core host — parallel strategies fall back to the \
+             sequential path, so speedups here are ≈1×; rerun on a ≥4-core \
+             host for the headline numbers"
+        );
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x2004_c11e);
+    let kp = PaillierKeypair::generate(key_bits, &mut rng).expect("keygen");
+    let key = kp.public.clone();
+
+    let mut rows = Vec::new();
+    for &n in &ns {
+        // Alternating 0/1 plaintexts, the shape of a real index vector.
+        let ms: Vec<Uint> = (0..n).map(|i| Uint::from_u64((i % 2) as u64)).collect();
+
+        let (seq_cts, sequential_secs) = time(|| key.encrypt_batch(&ms, &mut rng).expect("seq"));
+        let (par_cts, parallel_secs) = time(|| {
+            key.encrypt_batch_parallel(&ms, threads, &mut rng)
+                .expect("par")
+        });
+        assert_eq!(seq_cts.len(), par_cts.len());
+
+        let mut pool = RandomizerPool::new(key.clone());
+        let ((), pool_fill_secs) = time(|| pool.fill(n, &mut rng).expect("fill"));
+        let (_, pool_online_secs) = time(|| {
+            ms.iter()
+                .map(|m| pool.encrypt(m).expect("online"))
+                .collect::<Vec<_>>()
+        });
+
+        let mut par_pool = RandomizerPool::new(key.clone());
+        let ((), parallel_pool_fill_secs) =
+            time(|| par_pool.fill_parallel(n, threads, &mut rng).expect("pfill"));
+        assert_eq!(par_pool.remaining(), n);
+
+        let row = Row {
+            n,
+            sequential_secs,
+            parallel_secs,
+            pool_fill_secs,
+            pool_online_secs,
+            parallel_pool_fill_secs,
+        };
+        println!(
+            "n = {:>6}: sequential {:>8.3}s | parallel({} thr) {:>8.3}s ({:.2}x) | \
+             pool fill {:>8.3}s + online {:>7.3}s | parallel fill {:>8.3}s ({:.2}x)",
+            row.n,
+            row.sequential_secs,
+            threads,
+            row.parallel_secs,
+            row.sequential_secs / row.parallel_secs.max(1e-9),
+            row.pool_fill_secs,
+            row.pool_online_secs,
+            row.parallel_pool_fill_secs,
+            row.pool_fill_secs / row.parallel_pool_fill_secs.max(1e-9),
+        );
+        rows.push(row);
+    }
+
+    let json = render_json(key_bits, threads, host, &rows);
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("\nwrote {out_path}");
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde).
+fn render_json(key_bits: usize, threads: usize, host: usize, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"client_encrypt\",\n");
+    s.push_str(&format!("  \"key_bits\": {key_bits},\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    s.push_str(
+        "  \"note\": \"parallel speedups are meaningful only when host_parallelism >= 2; \
+         on a single-core host the parallel engine falls back to the sequential path\",\n",
+    );
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"sequential_secs\": {:.6}, \"parallel_secs\": {:.6}, \
+             \"parallel_speedup\": {:.3}, \"pool_fill_secs\": {:.6}, \
+             \"pool_online_secs\": {:.6}, \"parallel_pool_fill_secs\": {:.6}, \
+             \"pool_fill_speedup\": {:.3}}}{}\n",
+            r.n,
+            r.sequential_secs,
+            r.parallel_secs,
+            r.sequential_secs / r.parallel_secs.max(1e-9),
+            r.pool_fill_secs,
+            r.pool_online_secs,
+            r.parallel_pool_fill_secs,
+            r.pool_fill_secs / r.parallel_pool_fill_secs.max(1e-9),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

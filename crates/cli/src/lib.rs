@@ -90,6 +90,9 @@ pub enum Command {
         key_file: Option<String>,
         /// Batch size for streaming.
         batch: usize,
+        /// Worker threads for client-side index encryption (1 =
+        /// sequential paper-fidelity path; 0 = one per host core).
+        client_threads: usize,
     },
     /// Generate and store a keypair.
     Keygen {
@@ -108,7 +111,7 @@ pps — private selected-sum queries over TCP
 
 USAGE:
   pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K] [--fold incremental|multiexp|parallel]
-  pps query  --addr ADDR --select i,j,k [--key-bits B | --key FILE] [--batch SIZE]
+  pps query  --addr ADDR --select i,j,k [--key-bits B | --key FILE] [--batch SIZE] [--client-threads T|auto]
   pps keygen --bits B --out FILE
   pps help
 ";
@@ -194,12 +197,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if batch == 0 {
                 return Err(CliError::usage("--batch must be positive"));
             }
+            let client_threads = match get("client-threads").as_deref() {
+                None => 1,
+                Some("auto") => pps_crypto::host_parallelism(),
+                Some(v) => {
+                    let t: usize = v
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --client-threads"))?;
+                    if t == 0 {
+                        pps_crypto::host_parallelism()
+                    } else {
+                        t
+                    }
+                }
+            };
             Ok(Command::Query {
                 addr,
                 select,
                 key_bits,
                 key_file: get("key"),
                 batch,
+                client_threads,
             })
         }
         "keygen" => {
@@ -324,12 +342,14 @@ pub struct QueryOutcome {
 ///
 /// # Errors
 /// [`CliError`] on connection, key, or protocol failure.
+#[allow(clippy::too_many_arguments)]
 pub fn run_query(
     addr: &str,
     select: &[usize],
     key_bits: usize,
     key_file: Option<&Path>,
     batch: usize,
+    client_threads: usize,
     rng: &mut StdRng,
 ) -> Result<QueryOutcome, CliError> {
     let client = match key_file {
@@ -363,7 +383,14 @@ pub fn run_query(
     let selection = Selection::from_indices(n, select)
         .map_err(|e| CliError::runtime(format!("bad selection: {e}")))?;
 
-    let mut source = IndexSource::Fresh(rng);
+    let mut source = if client_threads > 1 {
+        IndexSource::FreshParallel {
+            rng,
+            threads: client_threads,
+        }
+    } else {
+        IndexSource::Fresh(rng)
+    };
     client
         .send_query(&mut wire, &selection, batch, &mut source)
         .map_err(|e| CliError::runtime(format!("query failed: {e}")))?;
@@ -435,6 +462,7 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
             key_bits,
             key_file,
             batch,
+            client_threads,
         } => {
             let mut rng = StdRng::from_entropy();
             let outcome = run_query(
@@ -443,6 +471,7 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
                 key_bits,
                 key_file.as_deref().map(Path::new),
                 batch,
+                client_threads,
                 &mut rng,
             )?;
             let _ = writeln!(
@@ -509,12 +538,14 @@ mod tests {
                 key_bits,
                 key_file,
                 batch,
+                client_threads,
             } => {
                 assert_eq!(addr, "1.2.3.4:5");
                 assert_eq!(select, vec![1, 2, 3]);
                 assert_eq!(key_bits, 512);
                 assert_eq!(key_file, None);
                 assert_eq!(batch, 100);
+                assert_eq!(client_threads, 1, "paper-fidelity default");
             }
             other => panic!("{other:?}"),
         }
@@ -525,6 +556,28 @@ mod tests {
         );
         assert!(parse_args(&args("query --addr a:1 --select x")).is_err());
         assert!(parse_args(&args("query --addr a:1 --select 1 --batch 0")).is_err());
+    }
+
+    #[test]
+    fn parse_client_threads() {
+        match parse_args(&args("query --addr a:1 --select 1 --client-threads 6")).unwrap() {
+            Command::Query { client_threads, .. } => assert_eq!(client_threads, 6),
+            other => panic!("{other:?}"),
+        }
+        // "auto" and 0 both resolve to the host's core count (>= 1).
+        for spec in ["auto", "0"] {
+            match parse_args(&args(&format!(
+                "query --addr a:1 --select 1 --client-threads {spec}"
+            )))
+            .unwrap()
+            {
+                Command::Query { client_threads, .. } => {
+                    assert_eq!(client_threads, pps_crypto::host_parallelism())
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(parse_args(&args("query --addr a:1 --select 1 --client-threads x")).is_err());
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //!   encryption scheme the paper's selected-sum protocol is built on,
 //!   with `g = N+1` fast encryption and CRT-accelerated decryption;
 //! * **precomputation pools** ([`BitEncryptionPool`], [`RandomizerPool`])
-//!   — the paper's §3.3 offline-preprocessing optimization;
+//!   — the paper's §3.3 offline-preprocessing optimization, with
+//!   parallel fills and a non-blocking shared wrapper;
+//! * **parallel client engine** ([`ParallelEncryptor`],
+//!   [`PaillierPublicKey::encrypt_batch_parallel`]) — multi-core
+//!   index-vector encryption with deterministic per-worker CSPRNG
+//!   streams, attacking the client-side bottleneck the paper measures;
 //! * **SHA-256 / HMAC / counter-mode PRG** ([`Sha256`], [`hmac_sha256`],
 //!   [`CtrPrg`]) — support primitives for the garbled-circuit comparator
 //!   and reproducible randomness, verified against FIPS/RFC vectors.
@@ -43,6 +48,7 @@ mod general;
 mod hmac;
 mod keyio;
 mod paillier;
+mod parallel;
 mod pool;
 mod prg;
 mod sha256;
@@ -55,6 +61,7 @@ pub use paillier::{
     Ciphertext, PaillierKeypair, PaillierPublicKey, PaillierSecretKey, DEFAULT_KEY_BITS,
     MIN_KEY_BITS,
 };
+pub use parallel::{host_parallelism, ParallelEncryptor};
 pub use pool::{BitEncryptionPool, RandomizerPool, SharedBitPool};
 pub use prg::CtrPrg;
 pub use sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};

@@ -19,9 +19,32 @@ use std::fmt;
 use std::sync::Arc;
 
 use pps_bignum::{Crt2, Montgomery, Uint};
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::error::CryptoError;
+
+/// Below this many plaintexts per worker the thread-spawn overhead
+/// outweighs the parallel win (one 512-bit encryption is ~10⁵ ns; a
+/// thread spawn is ~10⁴ ns, so even small chunks amortize, but chunks
+/// of 1–3 just shuffle cache lines around).
+const MIN_ENCRYPTIONS_PER_THREAD: usize = 4;
+
+/// Derives one independent CSPRNG per worker chunk from the caller's
+/// RNG by *stream splitting*: a fresh 256-bit seed is drawn from the
+/// caller for each chunk, in chunk order. Deterministic — the same
+/// caller RNG state and chunk count always yield the same seeds — and
+/// forward-secure as long as the caller's RNG is itself a CSPRNG
+/// (the workspace's `StdRng` is ChaCha12).
+fn split_rng_streams(rng: &mut dyn RngCore, chunks: usize) -> Vec<StdRng> {
+    (0..chunks)
+        .map(|_| {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            StdRng::from_seed(seed)
+        })
+        .collect()
+}
 
 /// Smallest supported modulus size. 512 matches the paper; anything below
 /// 64 breaks the message-space assumptions of the protocol layer.
@@ -313,6 +336,125 @@ impl PaillierPublicKey {
     /// As [`PaillierPublicKey::encrypt`].
     pub fn encrypt_u64(&self, m: u64, rng: &mut dyn RngCore) -> Result<Ciphertext, CryptoError> {
         self.encrypt(&Uint::from_u64(m), rng)
+    }
+
+    /// Encrypts a slice of plaintexts sequentially with fresh randomness,
+    /// preserving order. The baseline against which
+    /// [`PaillierPublicKey::encrypt_batch_parallel`] is measured.
+    ///
+    /// # Errors
+    /// As [`PaillierPublicKey::encrypt`], on the first failing element.
+    pub fn encrypt_batch(
+        &self,
+        ms: &[Uint],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Ciphertext>, CryptoError> {
+        ms.iter().map(|m| self.encrypt(m, rng)).collect()
+    }
+
+    /// Encrypts a slice of plaintexts across up to `threads` scoped
+    /// worker threads, preserving input order.
+    ///
+    /// The slice is split into per-worker contiguous chunks; each worker
+    /// encrypts its chunk with an independent CSPRNG stream derived
+    /// deterministically from `rng` (see the module's stream-splitting
+    /// helper), so for a fixed caller RNG state and thread count the
+    /// output is reproducible. Workers share this key's Montgomery
+    /// context for `N²` read-only (`Montgomery` is `Sync`; see the
+    /// compile-time audit in `pps_bignum::montgomery`).
+    ///
+    /// `threads <= 1`, or batches too small to amortize thread spawn,
+    /// fall back to the sequential path *using the same stream-split
+    /// seeding*, so results for a given `threads` value are identical
+    /// whether or not the fallback triggers.
+    ///
+    /// # Errors
+    /// As [`PaillierPublicKey::encrypt`], on the first failing element.
+    pub fn encrypt_batch_parallel(
+        &self,
+        ms: &[Uint],
+        threads: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Ciphertext>, CryptoError> {
+        let workers = threads
+            .max(1)
+            .min(ms.len() / MIN_ENCRYPTIONS_PER_THREAD.max(1))
+            .max(1);
+        let chunk = ms.len().div_ceil(workers).max(1);
+        // Seeds are drawn per *chunk*, before any spawning, so the
+        // ciphertext stream depends only on (rng state, threads), never
+        // on scheduling.
+        let mut streams = split_rng_streams(rng, ms.len().div_ceil(chunk));
+        if workers <= 1 {
+            let mut stream_rng = streams.pop().unwrap_or_else(|| StdRng::from_seed([0; 32]));
+            return self.encrypt_batch(ms, &mut stream_rng);
+        }
+        let chunk_results: Vec<Result<Vec<Ciphertext>, CryptoError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = ms
+                .chunks(chunk)
+                .zip(streams.iter_mut())
+                .map(|(mc, stream)| s.spawn(move || self.encrypt_batch(mc, stream)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("encryption worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(ms.len());
+        for r in chunk_results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    /// Draws `count` precomputed `r^N mod N²` randomizer factors across
+    /// up to `threads` scoped worker threads — the parallel offline
+    /// phase behind [`crate::RandomizerPool::fill_parallel`]. Seeding
+    /// and ordering follow the same deterministic stream-split rules as
+    /// [`PaillierPublicKey::encrypt_batch_parallel`].
+    ///
+    /// # Errors
+    /// As [`PaillierPublicKey::sample_randomizer`].
+    pub fn sample_randomizers_parallel(
+        &self,
+        count: usize,
+        threads: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Uint>, CryptoError> {
+        let workers = threads
+            .max(1)
+            .min(count / MIN_ENCRYPTIONS_PER_THREAD.max(1))
+            .max(1);
+        let chunk = count.div_ceil(workers).max(1);
+        let mut streams = split_rng_streams(rng, count.div_ceil(chunk));
+        let sample_chunk = |len: usize, stream: &mut StdRng| -> Result<Vec<Uint>, CryptoError> {
+            (0..len).map(|_| self.sample_randomizer(stream)).collect()
+        };
+        if workers <= 1 {
+            let mut stream_rng = streams.pop().unwrap_or_else(|| StdRng::from_seed([0; 32]));
+            return sample_chunk(count, &mut stream_rng);
+        }
+        let mut lens = vec![chunk; count / chunk];
+        if !count.is_multiple_of(chunk) {
+            lens.push(count % chunk);
+        }
+        let sample_chunk = &sample_chunk;
+        let chunk_results: Vec<Result<Vec<Uint>, CryptoError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = lens
+                .iter()
+                .zip(streams.iter_mut())
+                .map(|(&len, stream)| s.spawn(move || sample_chunk(len, stream)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("randomizer worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(count);
+        for r in chunk_results {
+            out.extend(r?);
+        }
+        Ok(out)
     }
 
     /// Homomorphic addition: `E(a) ⊞ E(b) = E(a + b mod N)`.

@@ -45,7 +45,8 @@ impl BitEncryptionPool {
     }
 
     /// Precomputes `n_zeros` encryptions of 0 and `n_ones` of 1 (the
-    /// offline phase).
+    /// offline phase). Thin wrapper over
+    /// [`BitEncryptionPool::fill_parallel`] with one worker.
     ///
     /// # Errors
     /// Propagates encryption errors.
@@ -55,15 +56,36 @@ impl BitEncryptionPool {
         n_ones: usize,
         rng: &mut dyn RngCore,
     ) -> Result<(), CryptoError> {
-        self.zeros.reserve(n_zeros);
-        self.ones.reserve(n_ones);
-        for _ in 0..n_zeros {
-            self.zeros.push_back(self.key.encrypt(&Uint::zero(), rng)?);
-        }
-        for _ in 0..n_ones {
-            self.ones.push_back(self.key.encrypt(&Uint::one(), rng)?);
-        }
+        self.fill_parallel(n_zeros, n_ones, 1, rng)
+    }
+
+    /// Parallel offline phase: the `E(0)` and `E(1)` batches are each
+    /// encrypted across up to `threads` scoped worker threads (see
+    /// [`PaillierPublicKey::encrypt_batch_parallel`]), then spliced in
+    /// with one reserve + extend per queue.
+    ///
+    /// # Errors
+    /// Propagates encryption errors.
+    pub fn fill_parallel(
+        &mut self,
+        n_zeros: usize,
+        n_ones: usize,
+        threads: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), CryptoError> {
+        let (zeros, ones) = precompute_bits(&self.key, n_zeros, n_ones, threads, rng)?;
+        self.append(zeros, ones);
         Ok(())
+    }
+
+    /// Splices already-encrypted ciphertexts into the pool — the cheap
+    /// half of a fill, used by [`SharedBitPool::fill`] to keep the
+    /// expensive half outside its lock.
+    pub fn append(&mut self, zeros: Vec<Ciphertext>, ones: Vec<Ciphertext>) {
+        self.zeros.reserve(zeros.len());
+        self.zeros.extend(zeros);
+        self.ones.reserve(ones.len());
+        self.ones.extend(ones);
     }
 
     /// Takes a precomputed encryption of `bit` (the online phase).
@@ -108,15 +130,33 @@ impl RandomizerPool {
         }
     }
 
-    /// Precomputes `count` randomizer factors (the offline phase).
+    /// Precomputes `count` randomizer factors (the offline phase). Thin
+    /// wrapper over [`RandomizerPool::fill_parallel`] with one worker —
+    /// one `reserve` plus a bulk extend, never per-element `push_back`
+    /// through the sequential sampler.
     ///
     /// # Errors
     /// Propagates sampling errors.
     pub fn fill(&mut self, count: usize, rng: &mut dyn RngCore) -> Result<(), CryptoError> {
-        self.randomizers.reserve(count);
-        for _ in 0..count {
-            self.randomizers.push_back(self.key.sample_randomizer(rng)?);
-        }
+        self.fill_parallel(count, 1, rng)
+    }
+
+    /// Parallel offline phase: `r^N` factors are computed across up to
+    /// `threads` scoped worker threads (see
+    /// [`PaillierPublicKey::sample_randomizers_parallel`]), then spliced
+    /// in with one reserve + extend.
+    ///
+    /// # Errors
+    /// Propagates sampling errors.
+    pub fn fill_parallel(
+        &mut self,
+        count: usize,
+        threads: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), CryptoError> {
+        let rns = self.key.sample_randomizers_parallel(count, threads, rng)?;
+        self.randomizers.reserve(rns.len());
+        self.randomizers.extend(rns);
         Ok(())
     }
 
@@ -139,10 +179,32 @@ impl RandomizerPool {
     }
 }
 
+/// Encrypts `n_zeros` zeros and `n_ones` ones without touching any pool
+/// state — the expensive, lock-free half of a bit-pool fill.
+fn precompute_bits(
+    key: &PaillierPublicKey,
+    n_zeros: usize,
+    n_ones: usize,
+    threads: usize,
+    rng: &mut dyn RngCore,
+) -> Result<(Vec<Ciphertext>, Vec<Ciphertext>), CryptoError> {
+    let zeros = key.encrypt_batch_parallel(&vec![Uint::zero(); n_zeros], threads, rng)?;
+    let ones = key.encrypt_batch_parallel(&vec![Uint::one(); n_ones], threads, rng)?;
+    Ok((zeros, ones))
+}
+
 /// Thread-safe wrapper over [`BitEncryptionPool`], for concurrent
 /// fill/drain across threads (e.g. a producer thread topping the pool up
 /// while the client streams batches).
+///
+/// Fills compute every ciphertext **outside** the mutex and lock only to
+/// splice results in, so a large background fill never starves
+/// concurrent [`SharedBitPool::take`] callers — holding the lock across
+/// each `r^N` modpow would block the online phase for the whole offline
+/// phase's duration.
 pub struct SharedBitPool {
+    /// Kept outside the mutex so fills can encrypt without locking.
+    key: PaillierPublicKey,
     inner: Mutex<BitEncryptionPool>,
 }
 
@@ -150,6 +212,7 @@ impl SharedBitPool {
     /// Wraps a pool for shared use.
     pub fn new(pool: BitEncryptionPool) -> Self {
         SharedBitPool {
+            key: pool.key().clone(),
             inner: Mutex::new(pool),
         }
     }
@@ -162,17 +225,35 @@ impl SharedBitPool {
         self.inner.lock().take(bit)
     }
 
-    /// Thread-safe [`BitEncryptionPool::fill`].
+    /// Thread-safe fill: ciphertexts are computed with the mutex
+    /// released, which only protects the final splice-in.
     ///
     /// # Errors
-    /// As the wrapped method.
+    /// Propagates encryption errors.
     pub fn fill(
         &self,
         n_zeros: usize,
         n_ones: usize,
         rng: &mut dyn RngCore,
     ) -> Result<(), CryptoError> {
-        self.inner.lock().fill(n_zeros, n_ones, rng)
+        self.fill_parallel(n_zeros, n_ones, 1, rng)
+    }
+
+    /// Thread-safe parallel fill: as [`SharedBitPool::fill`], with the
+    /// precomputation itself spread across up to `threads` workers.
+    ///
+    /// # Errors
+    /// Propagates encryption errors.
+    pub fn fill_parallel(
+        &self,
+        n_zeros: usize,
+        n_ones: usize,
+        threads: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), CryptoError> {
+        let (zeros, ones) = precompute_bits(&self.key, n_zeros, n_ones, threads, rng)?;
+        self.inner.lock().append(zeros, ones);
+        Ok(())
     }
 
     /// Thread-safe [`BitEncryptionPool::remaining`].
@@ -255,6 +336,81 @@ mod tests {
             pool.encrypt(&Uint::zero()),
             Err(CryptoError::PoolExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn fill_parallel_decrypts_correctly_any_thread_count() {
+        let kp = keypair();
+        for threads in [1usize, 2, 3, 8] {
+            let mut rng = StdRng::seed_from_u64(40 + threads as u64);
+            let mut pool = BitEncryptionPool::new(kp.public.clone());
+            pool.fill_parallel(5, 7, threads, &mut rng).unwrap();
+            assert_eq!(pool.remaining(), (5, 7));
+            for _ in 0..5 {
+                let z = pool.take(false).unwrap();
+                assert_eq!(kp.secret.decrypt(&z).unwrap(), Uint::zero());
+            }
+            for _ in 0..7 {
+                let o = pool.take(true).unwrap();
+                assert_eq!(kp.secret.decrypt(&o).unwrap(), Uint::one());
+            }
+        }
+    }
+
+    #[test]
+    fn randomizer_fill_parallel_encrypts() {
+        let kp = keypair();
+        for threads in [1usize, 4] {
+            let mut rng = StdRng::seed_from_u64(50 + threads as u64);
+            let mut pool = RandomizerPool::new(kp.public.clone());
+            pool.fill_parallel(6, threads, &mut rng).unwrap();
+            assert_eq!(pool.remaining(), 6);
+            for m in 0..6u64 {
+                let ct = pool.encrypt(&Uint::from_u64(m)).unwrap();
+                assert_eq!(kp.secret.decrypt(&ct).unwrap(), Uint::from_u64(m));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_fill_does_not_block_concurrent_take() {
+        // A slow background fill (512-bit key, hundreds of modpows) must
+        // not hold the mutex: a take() of an already-pooled ciphertext
+        // has to complete while the fill is still computing.
+        let mut rng = StdRng::seed_from_u64(60);
+        let kp = PaillierKeypair::generate(512, &mut rng).unwrap();
+        let mut pool = BitEncryptionPool::new(kp.public.clone());
+        pool.fill(1, 1, &mut rng).unwrap();
+        let shared = Arc::new(SharedBitPool::new(pool));
+
+        let filler = Arc::clone(&shared);
+        let started = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let started_flag = Arc::clone(&started);
+        let handle = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(61);
+            started_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            filler.fill(400, 400, &mut rng).unwrap();
+        });
+        while !started.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        // Give the fill a head start so it is genuinely mid-computation.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let take_started = std::time::Instant::now();
+        shared.take(true).expect("pre-filled ciphertext available");
+        let take_latency = take_started.elapsed();
+        let fill_was_still_running = !handle.is_finished();
+        handle.join().unwrap();
+        assert!(
+            fill_was_still_running,
+            "fill finished before take — grow the fill size so the test discriminates"
+        );
+        assert!(
+            take_latency < std::time::Duration::from_millis(100),
+            "take blocked for {take_latency:?} behind an in-flight fill"
+        );
+        let (z, o) = shared.remaining();
+        assert_eq!((z, o), (401, 400), "fill spliced in after the take");
     }
 
     #[test]

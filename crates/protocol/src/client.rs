@@ -21,6 +21,17 @@ pub enum IndexSource<'a> {
     /// Encrypt each weight online with fresh randomness (§3.1; the cost
     /// the paper identifies as the bottleneck).
     Fresh(&'a mut dyn RngCore),
+    /// Encrypt each batch online across multiple worker threads — the
+    /// multi-core attack on the §3.1 bottleneck. `threads = 1` behaves
+    /// like a stream-split [`IndexSource::Fresh`]; paper-fidelity figure
+    /// runs pin `threads = 1`.
+    FreshParallel {
+        /// Seed RNG; per-worker CSPRNG streams are derived from it
+        /// deterministically.
+        rng: &'a mut dyn RngCore,
+        /// Worker-thread cap per batch.
+        threads: usize,
+    },
     /// Draw precomputed `E(0)`/`E(1)` from an offline pool (§3.3).
     /// Only valid for 0/1 selections.
     BitPool(&'a mut BitEncryptionPool),
@@ -37,12 +48,36 @@ impl IndexSource<'_> {
     ) -> Result<Ciphertext, ProtocolError> {
         match self {
             IndexSource::Fresh(rng) => Ok(keypair.public.encrypt(&Uint::from_u64(weight), *rng)?),
+            IndexSource::FreshParallel { rng, threads } => Ok(keypair
+                .public
+                .encrypt_batch_parallel(&[Uint::from_u64(weight)], *threads, *rng)?
+                .pop()
+                .expect("one ciphertext per plaintext")),
             IndexSource::BitPool(pool) => match weight {
                 0 => Ok(pool.take(false)?),
                 1 => Ok(pool.take(true)?),
                 _ => Err(ProtocolError::Crypto(CryptoError::PlaintextOutOfRange)),
             },
             IndexSource::RandomizerPool(pool) => Ok(pool.encrypt(&Uint::from_u64(weight))?),
+        }
+    }
+
+    /// Produces the ciphertexts for one whole batch, in order. For
+    /// [`IndexSource::FreshParallel`] the batch is encrypted across
+    /// worker threads in one call — this is where the §3.2 pipeline
+    /// (batches overlap the wire) composes with intra-batch parallelism;
+    /// the other sources fall back to the per-weight path.
+    fn produce_batch(
+        &mut self,
+        keypair: &PaillierKeypair,
+        weights: &[u64],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        match self {
+            IndexSource::FreshParallel { rng, threads } => {
+                let ms: Vec<Uint> = weights.iter().map(|&w| Uint::from_u64(w)).collect();
+                Ok(keypair.public.encrypt_batch_parallel(&ms, *threads, *rng)?)
+            }
+            _ => weights.iter().map(|&w| self.produce(keypair, w)).collect(),
         }
     }
 }
@@ -113,10 +148,7 @@ impl SumClient {
         let mut stats = ClientSendStats::default();
         for chunk in selection.weights().chunks(batch_size) {
             let start = Instant::now();
-            let mut cts = Vec::with_capacity(chunk.len());
-            for &w in chunk {
-                cts.push(source.produce(&self.keypair, w)?);
-            }
+            let cts = source.produce_batch(&self.keypair, chunk)?;
             let frame = IndexBatch { ciphertexts: cts }.encode(&self.keypair.public)?;
             let elapsed = start.elapsed();
             stats.encrypt += elapsed;
@@ -199,6 +231,25 @@ mod tests {
         let sel = Selection::from_bits(&[true, true, false, false, true, false]);
         let mut src = IndexSource::Fresh(&mut rng);
         assert_eq!(drive(&c, &db, &sel, 2, &mut src).to_u64(), Some(8));
+    }
+
+    #[test]
+    fn fresh_parallel_source_end_to_end() {
+        let c = client();
+        let db = Database::new(vec![1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let sel = Selection::from_bits(&[true, false, true, false, true, false, true, false]);
+        for threads in [1usize, 2, 4] {
+            let mut rng = StdRng::seed_from_u64(90);
+            let mut src = IndexSource::FreshParallel {
+                rng: &mut rng,
+                threads,
+            };
+            assert_eq!(
+                drive(&c, &db, &sel, 3, &mut src).to_u64(),
+                Some(16),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

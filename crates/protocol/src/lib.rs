@@ -23,6 +23,10 @@
 //! the four-component timing breakdown its figures plot:
 //!
 //! * [`run_basic`] — §3.1, the direct implementation;
+//! * [`run_basic_parallel`] / [`run_batched_parallel`] — the same
+//!   protocols with multi-core client-side encryption
+//!   (`IndexSource::FreshParallel`), the engineering answer to the
+//!   client bottleneck the paper measures;
 //! * [`run_batched`] — §3.2, chunked streaming with pipeline overlap;
 //! * [`run_preprocessed`] — §3.3, offline `E(0)`/`E(1)` pools;
 //! * [`run_combined`] — §3.4, both;
@@ -76,8 +80,9 @@ pub use multidb::{run_multidb, run_multidb_blinded, Partition};
 pub use perturb::{flip_probability_for_epsilon, run_randomized_response, PerturbedReport};
 pub use report::{RunReport, Variant};
 pub use run::{
-    run_basic, run_batched, run_combined, run_download_baseline, run_plain_baseline,
-    run_preprocessed, run_threaded, run_weighted, RunConfig,
+    run_basic, run_basic_parallel, run_batched, run_batched_parallel, run_combined,
+    run_download_baseline, run_plain_baseline, run_preprocessed, run_threaded, run_weighted,
+    RunConfig,
 };
 pub use server::{FoldStrategy, ServerSession, ServerStats};
 pub use tcp_server::{AggregateStats, SessionEvent, TcpServer, MAX_CONSECUTIVE_ACCEPT_ERRORS};
