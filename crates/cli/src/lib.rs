@@ -23,11 +23,14 @@
 #![warn(missing_docs)]
 
 use std::path::Path;
+use std::time::Duration;
 
 use pps_crypto::{PaillierKeypair, PaillierSecretKey};
-use pps_protocol::messages::{SizeReply, SizeRequest};
-use pps_protocol::{FoldStrategy, IndexSource, Selection, SessionEvent, SumClient, TcpServer};
-use pps_transport::{TcpWire, Wire};
+use pps_protocol::{
+    run_tcp_query_with_retry, Admission, FoldStrategy, SessionEvent, SessionLimits, SumClient,
+    TcpQueryConfig, TcpServer,
+};
+use pps_transport::RetryPolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -77,6 +80,15 @@ pub enum Command {
         max_sessions: Option<usize>,
         /// Server fold strategy.
         fold: FoldStrategy,
+        /// Cap on simultaneously active sessions (None = unbounded).
+        max_concurrent: Option<usize>,
+        /// What to do with connections over the `max_concurrent` cap.
+        admission: Admission,
+        /// Whole-session wall-clock budget in seconds (0 = no limits at
+        /// all, None = defaults).
+        session_timeout: Option<u64>,
+        /// Trigger a graceful shutdown this many seconds after start.
+        shutdown_after: Option<u64>,
     },
     /// Issue one private selected-sum query.
     Query {
@@ -93,6 +105,9 @@ pub enum Command {
         /// Worker threads for client-side index encryption (1 =
         /// sequential paper-fidelity path; 0 = one per host core).
         client_threads: usize,
+        /// Extra attempts after a transient transport failure (0 =
+        /// single shot).
+        retries: u32,
     },
     /// Generate and store a keypair.
     Keygen {
@@ -111,9 +126,18 @@ pps — private selected-sum queries over TCP
 
 USAGE:
   pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K] [--fold incremental|multiexp|parallel]
+             [--max-concurrent K] [--admission queue|refuse] [--session-timeout SECS] [--shutdown-after SECS]
   pps query  --addr ADDR --select i,j,k [--key-bits B | --key FILE] [--batch SIZE] [--client-threads T|auto]
+             [--retries N]
   pps keygen --bits B --out FILE
   pps help
+
+Serve hardening: --max-concurrent caps simultaneously active sessions
+(excess connections queue, or are refused with --admission refuse);
+--session-timeout bounds each session's wall clock (0 disables every
+deadline); --shutdown-after drains and exits gracefully after N seconds.
+Query --retries N re-issues the whole query up to N extra times on
+transient transport failures, with exponential backoff.
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -165,6 +189,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     return Err(CliError::usage(format!("unknown fold strategy {other}")))
                 }
             };
+            let max_concurrent = get("max-concurrent")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&k| k > 0)
+                        .ok_or_else(|| CliError::usage("bad --max-concurrent"))
+                })
+                .transpose()?;
+            let admission = match get("admission").as_deref() {
+                None | Some("queue") => Admission::Queue,
+                Some("refuse") => Admission::Refuse,
+                Some(other) => {
+                    return Err(CliError::usage(format!("unknown admission policy {other}")))
+                }
+            };
             Ok(Command::Serve {
                 data,
                 random,
@@ -173,6 +212,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .map(|v| v.parse().map_err(|_| CliError::usage("bad --max-sessions")))
                     .transpose()?,
                 fold,
+                max_concurrent,
+                admission,
+                session_timeout: get("session-timeout")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| CliError::usage("bad --session-timeout"))
+                    })
+                    .transpose()?,
+                shutdown_after: get("shutdown-after")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| CliError::usage("bad --shutdown-after"))
+                    })
+                    .transpose()?,
             })
         }
         "query" => {
@@ -218,6 +271,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 key_file: get("key"),
                 batch,
                 client_threads,
+                retries: get("retries")
+                    .map(|v| v.parse().map_err(|_| CliError::usage("bad --retries")))
+                    .transpose()?
+                    .unwrap_or(0),
             })
         }
         "keygen" => {
@@ -262,11 +319,29 @@ pub fn load_values(path: &Path) -> Result<Vec<u64>, CliError> {
     Ok(values)
 }
 
+/// Runtime knobs for [`run_server`] beyond the database and fold
+/// strategy: session count, concurrency cap, deadlines, shutdown timer.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// Serve at most this many sessions, then exit (None = forever).
+    pub max_sessions: Option<usize>,
+    /// Cap on simultaneously active sessions (None = unbounded).
+    pub max_concurrent: Option<usize>,
+    /// Policy for connections arriving over the cap.
+    pub admission: Option<Admission>,
+    /// Per-session I/O limits (None = [`SessionLimits::default`]).
+    pub limits: Option<SessionLimits>,
+    /// Trigger a graceful shutdown after this long.
+    pub shutdown_after: Option<Duration>,
+}
+
 /// Runs the concurrent server: accepts connections and serves one
 /// protocol session per connection on its own thread, all sessions
 /// sharing the same database. Returns after `max_sessions` connections
-/// have been accepted and drained (or never), logging per-session lines
-/// as they finish and an aggregate report on shutdown.
+/// have been accepted and drained, after the `shutdown_after` timer
+/// fires (draining active sessions first), or never — logging
+/// per-session lines as they finish and an aggregate report on
+/// shutdown.
 ///
 /// # Errors
 /// [`CliError`] on bind failure; per-session errors are logged and do
@@ -274,25 +349,44 @@ pub fn load_values(path: &Path) -> Result<Vec<u64>, CliError> {
 pub fn run_server(
     values: Vec<u64>,
     listen: &str,
-    max_sessions: Option<usize>,
     fold: FoldStrategy,
+    opts: &ServeOptions,
     log: &mut (dyn std::io::Write + Send),
 ) -> Result<(), CliError> {
     let db = std::sync::Arc::new(
         pps_protocol::Database::new(values)
             .map_err(|e| CliError::runtime(format!("bad database: {e}")))?,
     );
-    let server = TcpServer::bind(std::sync::Arc::clone(&db), listen, fold)
+    let mut server = TcpServer::bind(std::sync::Arc::clone(&db), listen, fold)
         .map_err(|e| CliError::runtime(format!("cannot bind {listen}: {e}")))?;
+    if let Some(limits) = opts.limits.clone() {
+        server = server.with_limits(limits);
+    }
+    if let Some(max) = opts.max_concurrent {
+        server = server.with_admission(max, opts.admission.unwrap_or(Admission::Queue));
+    }
     let local = server
         .local_addr()
         .map_err(|e| CliError::runtime(e.to_string()))?;
     let _ = writeln!(log, "serving {} rows on {local} ({fold:?})", db.len());
 
+    // The shutdown timer runs detached: if the session budget empties
+    // first, its eventual wake-up self-connect hits a dead port and is
+    // ignored.
+    if let Some(after) = opts.shutdown_after {
+        let handle = server
+            .shutdown_handle()
+            .map_err(|e| CliError::runtime(e.to_string()))?;
+        std::thread::spawn(move || {
+            std::thread::sleep(after);
+            handle.shutdown();
+        });
+    }
+
     // Session threads report through the event callback; the writer is
     // shared behind a mutex so their lines never interleave mid-row.
     let log = std::sync::Mutex::new(log);
-    let stats = server.serve_with(max_sessions, &|event| {
+    let stats = server.serve_with(opts.max_sessions, &|event| {
         let mut log = log.lock().expect("log lock");
         match event {
             SessionEvent::Accepted { .. } => {}
@@ -306,6 +400,10 @@ pub fn run_server(
             SessionEvent::Failed { session, error } => {
                 let _ = writeln!(log, "session {session} failed: {error}");
             }
+            SessionEvent::Refused { peer } => {
+                let peer = peer.map(|p| format!(" from {p}")).unwrap_or_default();
+                let _ = writeln!(log, "refused connection{peer}: at capacity");
+            }
             SessionEvent::AcceptError { error } => {
                 let _ = writeln!(log, "accept failed: {error}");
             }
@@ -314,9 +412,10 @@ pub fn run_server(
     let log = log.into_inner().expect("log lock");
     let _ = writeln!(
         log,
-        "served {} sessions ({} failed): {} indices folded in {:?} compute, {:?} wall, {:.0} indices/s",
+        "served {} sessions ({} failed, {} refused): {} indices folded in {:?} compute, {:?} wall, {:.0} indices/s",
         stats.sessions,
         stats.failed,
+        stats.refused,
         stats.folded,
         stats.compute,
         stats.wall,
@@ -336,9 +435,13 @@ pub struct QueryOutcome {
     pub selected: usize,
     /// Bytes sent / received.
     pub bytes: (usize, usize),
+    /// Connection/query attempts made (1 = first try succeeded).
+    pub attempts: u32,
 }
 
-/// Runs one query against a listening server.
+/// Runs one query against a listening server, re-issuing the whole
+/// query (with exponential backoff) up to `retries` extra times on
+/// transient transport failures.
 ///
 /// # Errors
 /// [`CliError`] on connection, key, or protocol failure.
@@ -350,6 +453,7 @@ pub fn run_query(
     key_file: Option<&Path>,
     batch: usize,
     client_threads: usize,
+    retries: u32,
     rng: &mut StdRng,
 ) -> Result<QueryOutcome, CliError> {
     let client = match key_file {
@@ -365,47 +469,26 @@ pub fn run_query(
             .map_err(|e| CliError::runtime(format!("keygen failed: {e}")))?,
     };
 
-    let mut wire =
-        TcpWire::connect(addr).map_err(|e| CliError::runtime(format!("connect: {e}")))?;
-
-    // Discover the database size.
-    wire.send(
-        SizeRequest
-            .encode()
-            .map_err(|e| CliError::runtime(e.to_string()))?,
-    )
-    .map_err(|e| CliError::runtime(e.to_string()))?;
-    let reply = wire.recv().map_err(|e| CliError::runtime(e.to_string()))?;
-    let n = SizeReply::decode(&reply)
-        .map_err(|e| CliError::runtime(e.to_string()))?
-        .n as usize;
-
-    let selection = Selection::from_indices(n, select)
-        .map_err(|e| CliError::runtime(format!("bad selection: {e}")))?;
-
-    let mut source = if client_threads > 1 {
-        IndexSource::FreshParallel {
-            rng,
-            threads: client_threads,
-        }
-    } else {
-        IndexSource::Fresh(rng)
+    let config = TcpQueryConfig {
+        batch_size: batch,
+        client_threads,
+        retry: RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            ..RetryPolicy::default()
+        },
+        ..TcpQueryConfig::default()
     };
-    client
-        .send_query(&mut wire, &selection, batch, &mut source)
+    let outcome = run_tcp_query_with_retry(addr, &client, select, &config, rng)
         .map_err(|e| CliError::runtime(format!("query failed: {e}")))?;
-    let (sum, _) = client
-        .receive_result(&mut wire)
-        .map_err(|e| CliError::runtime(format!("result failed: {e}")))?;
-    let sum = sum
-        .to_u128()
-        .ok_or_else(|| CliError::runtime("sum exceeds 128 bits".to_string()))?;
-    let stats = wire.stats();
     Ok(QueryOutcome {
-        sum,
-        n,
-        selected: select.len(),
-        bytes: (stats.payload_bytes_sent, stats.payload_bytes_received),
+        sum: outcome.sum,
+        n: outcome.n,
+        selected: outcome.selected,
+        bytes: (
+            outcome.traffic.payload_bytes_sent,
+            outcome.traffic.payload_bytes_received,
+        ),
+        attempts: outcome.retry.attempts,
     })
 }
 
@@ -443,6 +526,10 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
             listen,
             max_sessions,
             fold,
+            max_concurrent,
+            admission,
+            session_timeout,
+            shutdown_after,
         } => {
             let values = match (data, random) {
                 (Some(path), None) => load_values(Path::new(&path))?,
@@ -454,7 +541,24 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
                 }
                 _ => unreachable!("parse_args enforces exactly one source"),
             };
-            run_server(values, &listen, max_sessions, fold, out)
+            let limits = session_timeout.map(|secs| {
+                if secs == 0 {
+                    SessionLimits::unlimited()
+                } else {
+                    SessionLimits {
+                        session_deadline: Some(Duration::from_secs(secs)),
+                        ..SessionLimits::default()
+                    }
+                }
+            });
+            let opts = ServeOptions {
+                max_sessions,
+                max_concurrent,
+                admission: Some(admission),
+                limits,
+                shutdown_after: shutdown_after.map(Duration::from_secs),
+            };
+            run_server(values, &listen, fold, &opts, out)
         }
         Command::Query {
             addr,
@@ -463,6 +567,7 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
             key_file,
             batch,
             client_threads,
+            retries,
         } => {
             let mut rng = StdRng::from_entropy();
             let outcome = run_query(
@@ -472,6 +577,7 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
                 key_file.as_deref().map(Path::new),
                 batch,
                 client_threads,
+                retries,
                 &mut rng,
             )?;
             let _ = writeln!(
@@ -484,6 +590,9 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
                 "traffic: {} B up, {} B down",
                 outcome.bytes.0, outcome.bytes.1
             );
+            if outcome.attempts > 1 {
+                let _ = writeln!(out, "succeeded after {} attempts", outcome.attempts);
+            }
             Ok(())
         }
     }
@@ -511,6 +620,10 @@ mod tests {
                 listen: "0.0.0.0:9".into(),
                 max_sessions: None,
                 fold: FoldStrategy::MultiExp,
+                max_concurrent: None,
+                admission: Admission::Queue,
+                session_timeout: None,
+                shutdown_after: None,
             }
         );
         match parse_args(&args("serve --random 8 --fold parallel")).unwrap() {
@@ -523,6 +636,34 @@ mod tests {
             "not both"
         );
         assert!(parse_args(&args("serve --random 5 --fold bogus")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_hardening_flags() {
+        match parse_args(&args(
+            "serve --random 8 --max-concurrent 4 --admission refuse --session-timeout 60 --shutdown-after 120",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                max_concurrent,
+                admission,
+                session_timeout,
+                shutdown_after,
+                ..
+            } => {
+                assert_eq!(max_concurrent, Some(4));
+                assert_eq!(admission, Admission::Refuse);
+                assert_eq!(session_timeout, Some(60));
+                assert_eq!(shutdown_after, Some(120));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("serve --random 8 --max-concurrent 0")).is_err());
+        assert!(parse_args(&args("serve --random 8 --max-concurrent x")).is_err());
+        assert!(parse_args(&args("serve --random 8 --admission sometimes")).is_err());
+        assert!(parse_args(&args("serve --random 8 --session-timeout x")).is_err());
+        assert!(parse_args(&args("serve --random 8 --shutdown-after x")).is_err());
     }
 
     #[test]
@@ -539,6 +680,7 @@ mod tests {
                 key_file,
                 batch,
                 client_threads,
+                retries,
             } => {
                 assert_eq!(addr, "1.2.3.4:5");
                 assert_eq!(select, vec![1, 2, 3]);
@@ -546,9 +688,15 @@ mod tests {
                 assert_eq!(key_file, None);
                 assert_eq!(batch, 100);
                 assert_eq!(client_threads, 1, "paper-fidelity default");
+                assert_eq!(retries, 0, "single shot unless asked");
             }
             other => panic!("{other:?}"),
         }
+        match parse_args(&args("query --addr a:1 --select 1 --retries 3")).unwrap() {
+            Command::Query { retries, .. } => assert_eq!(retries, 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("query --addr a:1 --select 1 --retries x")).is_err());
         assert!(parse_args(&args("query --select 1")).is_err(), "needs addr");
         assert!(
             parse_args(&args("query --addr a:1")).is_err(),

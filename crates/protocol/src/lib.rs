@@ -37,7 +37,11 @@
 //!   sketches in §2;
 //! * [`run_threaded`] — the same state machines over real threads;
 //! * [`TcpServer`] — the concurrent deployment runtime: one thread per
-//!   accepted TCP connection, all sessions sharing one database.
+//!   accepted TCP connection, all sessions sharing one database, with
+//!   per-session deadlines, admission control, and graceful shutdown;
+//! * [`run_tcp_query_with_retry`] — the fault-tolerant client: a full
+//!   query over a real socket, re-issued with exponential backoff on
+//!   transient transport failures.
 //!
 //! # Quick start
 //!
@@ -69,6 +73,7 @@ mod perturb;
 mod report;
 mod run;
 mod server;
+mod tcp_client;
 mod tcp_server;
 
 pub use client::{ClientSendStats, IndexSource, SumClient};
@@ -85,4 +90,10 @@ pub use run::{
     RunConfig,
 };
 pub use server::{FoldStrategy, ServerSession, ServerStats};
-pub use tcp_server::{AggregateStats, SessionEvent, TcpServer, MAX_CONSECUTIVE_ACCEPT_ERRORS};
+pub use tcp_client::{
+    run_tcp_query, run_tcp_query_with_retry, TcpQueryConfig, TcpQueryOutcome,
+};
+pub use tcp_server::{
+    Admission, AggregateStats, SessionDeadline, SessionEvent, SessionLimits, ShutdownHandle,
+    TcpServer, MAX_CONSECUTIVE_ACCEPT_ERRORS,
+};

@@ -1,0 +1,284 @@
+//! Fault-tolerant TCP query client.
+//!
+//! [`run_tcp_query`] executes one complete private selected-sum query
+//! against a listening [`TcpServer`](crate::TcpServer): connect, size
+//! discovery, encrypted index stream, product decryption — all under
+//! configurable read/write deadlines. [`run_tcp_query_with_retry`] wraps
+//! it in a [`RetryPolicy`]: any *transport*-level failure (refused
+//! connect, disconnect mid-query, expired deadline) is retried from
+//! scratch after an exponentially backed-off, deterministically
+//! jittered sleep.
+//!
+//! **Why re-issuing a whole query is safe:** the protocol is stateless
+//! across sessions — the server keeps no record of a client between
+//! connections, and a fresh attempt re-encrypts the index vector under
+//! fresh randomness, so a retried query is indistinguishable from a new
+//! client and returns the same sum. Protocol-level errors (a malformed
+//! reply, a key mismatch, an oracle disagreement) are **not** retried:
+//! they signal a bug or an attack, not weather.
+
+use std::time::Duration;
+
+use pps_transport::{RetryPolicy, RetryStats, TcpWire, TrafficStats, TransportError, Wire};
+use rand::RngCore;
+
+use crate::client::{IndexSource, SumClient};
+use crate::data::Selection;
+use crate::error::ProtocolError;
+use crate::messages::{SizeReply, SizeRequest};
+
+/// Configuration for a TCP query.
+#[derive(Clone, Debug)]
+pub struct TcpQueryConfig {
+    /// Indices per batch message (the paper's §3.2 experiments use 100).
+    pub batch_size: usize,
+    /// Worker threads for client-side index encryption (1 = the
+    /// sequential paper-fidelity path).
+    pub client_threads: usize,
+    /// Socket read deadline; `None` blocks forever.
+    pub read_timeout: Option<Duration>,
+    /// Socket write deadline.
+    pub write_timeout: Option<Duration>,
+    /// Retry policy applied by [`run_tcp_query_with_retry`] to the
+    /// connect and to full-query re-issue.
+    pub retry: RetryPolicy,
+}
+
+impl Default for TcpQueryConfig {
+    /// Batch 100, single-threaded encryption, 30 s deadlines, default
+    /// retry policy.
+    fn default() -> Self {
+        TcpQueryConfig {
+            batch_size: 100,
+            client_threads: 1,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Result of a TCP query, including what the retry loop did.
+#[derive(Clone, Debug)]
+pub struct TcpQueryOutcome {
+    /// The private sum.
+    pub sum: u128,
+    /// Database size discovered from the server.
+    pub n: usize,
+    /// Rows selected.
+    pub selected: usize,
+    /// Traffic counters of the **successful** attempt.
+    pub traffic: TrafficStats,
+    /// Attempts made and backoffs slept (one attempt, no delays, when
+    /// the first try succeeded).
+    pub retry: RetryStats,
+}
+
+/// Whether a failure is worth retrying: transient transport weather
+/// (peer gone, deadline expired, OS-level socket error) yes; protocol,
+/// crypto, and configuration errors no.
+fn retryable(e: &ProtocolError) -> bool {
+    matches!(
+        e,
+        ProtocolError::Transport(
+            TransportError::Disconnected | TransportError::TimedOut | TransportError::Io(_)
+        )
+    )
+}
+
+/// One query attempt: connect, discover the size, stream the encrypted
+/// selection, decrypt the product.
+fn attempt(
+    addr: &str,
+    client: &SumClient,
+    select: &[usize],
+    config: &TcpQueryConfig,
+    rng: &mut dyn RngCore,
+) -> Result<(u128, usize, TrafficStats), ProtocolError> {
+    let mut wire = TcpWire::connect(addr)?;
+    wire.set_read_timeout(config.read_timeout)?;
+    wire.set_write_timeout(config.write_timeout)?;
+
+    wire.send(SizeRequest.encode()?)?;
+    let n = SizeReply::decode(&wire.recv()?)?.n as usize;
+    let selection = Selection::from_indices(n, select)?;
+
+    let mut source = if config.client_threads > 1 {
+        IndexSource::FreshParallel {
+            rng,
+            threads: config.client_threads,
+        }
+    } else {
+        IndexSource::Fresh(rng)
+    };
+    client.send_query(&mut wire, &selection, config.batch_size, &mut source)?;
+    let (sum, _) = client.receive_result(&mut wire)?;
+    let sum = sum
+        .to_u128()
+        .ok_or_else(|| ProtocolError::Config("sum exceeds 128 bits".into()))?;
+    Ok((sum, n, wire.stats()))
+}
+
+/// Runs one private selected-sum query over TCP, without retry.
+///
+/// # Errors
+/// Connection, transport, and protocol failures.
+pub fn run_tcp_query(
+    addr: &str,
+    client: &SumClient,
+    select: &[usize],
+    config: &TcpQueryConfig,
+    rng: &mut dyn RngCore,
+) -> Result<TcpQueryOutcome, ProtocolError> {
+    let (sum, n, traffic) = attempt(addr, client, select, config, rng)?;
+    Ok(TcpQueryOutcome {
+        sum,
+        n,
+        selected: select.len(),
+        traffic,
+        retry: RetryStats {
+            attempts: 1,
+            delays: Vec::new(),
+        },
+    })
+}
+
+/// Runs one private selected-sum query over TCP, retrying the **whole
+/// query** (fresh connection, fresh encryption) on transient transport
+/// failures according to `config.retry`. Safe because a fresh query is
+/// idempotent (see the module docs).
+///
+/// # Errors
+/// The final attempt's error when every attempt fails, or immediately
+/// on a non-retryable (protocol/crypto/config) failure.
+pub fn run_tcp_query_with_retry(
+    addr: &str,
+    client: &SumClient,
+    select: &[usize],
+    config: &TcpQueryConfig,
+    rng: &mut dyn RngCore,
+) -> Result<TcpQueryOutcome, ProtocolError> {
+    let mut retry = RetryStats::default();
+    loop {
+        retry.attempts += 1;
+        match attempt(addr, client, select, config, rng) {
+            Ok((sum, n, traffic)) => {
+                return Ok(TcpQueryOutcome {
+                    sum,
+                    n,
+                    selected: select.len(),
+                    traffic,
+                    retry,
+                })
+            }
+            Err(e) => {
+                if !retryable(&e) || retry.attempts >= config.retry.max_attempts.max(1) {
+                    return Err(e);
+                }
+                let delay = config.retry.delay_for(retry.attempts - 1, rng);
+                retry.delays.push(delay);
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Database;
+    use crate::server::FoldStrategy;
+    use crate::tcp_server::TcpServer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn serve_one(values: Vec<u64>) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let db = Arc::new(Database::new(values).unwrap());
+        let server = TcpServer::bind(db, "127.0.0.1:0", FoldStrategy::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            server.serve(Some(1));
+        });
+        (addr, t)
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let (addr, t) = serve_one(vec![10, 20, 30, 40]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let client = SumClient::generate(128, &mut rng).unwrap();
+        let out = run_tcp_query(
+            &addr.to_string(),
+            &client,
+            &[1, 3],
+            &TcpQueryConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.sum, 60);
+        assert_eq!(out.n, 4);
+        assert_eq!(out.selected, 2);
+        assert_eq!(out.retry.attempts, 1);
+        assert!(out.retry.delays.is_empty());
+        assert!(out.traffic.payload_bytes_sent > 0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dead_port_fails_without_retry_and_with_exhausted_retry() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let client = SumClient::generate(128, &mut rng).unwrap();
+        let config = TcpQueryConfig {
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+            },
+            ..TcpQueryConfig::default()
+        };
+        let err = run_tcp_query("127.0.0.1:1", &client, &[0], &config, &mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Transport(TransportError::Io(_))
+        ));
+        let err =
+            run_tcp_query_with_retry("127.0.0.1:1", &client, &[0], &config, &mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Transport(TransportError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn config_errors_are_not_retried() {
+        // An out-of-range selection is discovered after size discovery;
+        // retrying it would loop uselessly, so it must fail fast.
+        let (addr, t) = serve_one(vec![1, 2]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let client = SumClient::generate(128, &mut rng).unwrap();
+        let config = TcpQueryConfig::default();
+        let err = run_tcp_query_with_retry(&addr.to_string(), &client, &[7], &config, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Config(_)));
+        // The server session saw a disconnect, not a second attempt;
+        // serve(Some(1)) returns regardless.
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn retryable_taxonomy() {
+        assert!(retryable(&ProtocolError::Transport(
+            TransportError::Disconnected
+        )));
+        assert!(retryable(&ProtocolError::Transport(TransportError::TimedOut)));
+        assert!(retryable(&ProtocolError::Transport(TransportError::Io(
+            "connection refused".into()
+        ))));
+        assert!(!retryable(&ProtocolError::Config("bad".into())));
+        assert!(!retryable(&ProtocolError::Transport(
+            TransportError::Malformed("bad magic")
+        )));
+        assert!(!retryable(&ProtocolError::UnexpectedMessage("x")));
+    }
+}

@@ -10,12 +10,37 @@
 //! others, and per-session statistics are aggregated into an
 //! [`AggregateStats`] reported when the accept loop ends.
 //!
+//! # Fault tolerance
+//!
+//! The paper's own long-distance runs (§3.1, a 56 Kbps Chicago↔Hoboken
+//! modem link) are exactly the regime where real deployments stall and
+//! half-close, so the runtime defends itself:
+//!
+//! * **Wire deadlines** — every session runs under [`SessionLimits`]:
+//!   per-read and per-write socket timeouts plus a whole-session
+//!   [`SessionDeadline`]. A slow-loris client that trickles bytes to
+//!   defeat the per-read timeout still hits the session deadline; either
+//!   way the session thread exits with
+//!   [`TransportError::TimedOut`] instead of being pinned forever.
+//! * **Admission control** — [`TcpServer::with_admission`] caps
+//!   concurrent sessions; excess connections are either queued until a
+//!   slot frees or refused with a clean close (counted in
+//!   [`AggregateStats::refused`]).
+//! * **Graceful shutdown** — a [`ShutdownHandle`] stops a
+//!   `serve(None)` loop from another thread: it raises a flag and
+//!   unblocks the accept call with a throwaway self-connection, then
+//!   the runtime drains in-flight sessions before returning.
+//! * **Accept backoff** — a persistently erroring listener backs off
+//!   exponentially (50 ms doubling to ~1 s) and gives up after
+//!   [`MAX_CONSECUTIVE_ACCEPT_ERRORS`] failures in a row.
+//!
 //! The figures harness deliberately does **not** use this runtime — the
 //! simulated link is the measurement vehicle there — but the CLI's
 //! `serve` subcommand and the concurrent end-to-end tests run on it.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use pps_transport::{TcpWire, TransportError, Wire};
@@ -29,8 +54,12 @@ use crate::server::{FoldStrategy, ServerSession, ServerStats};
 pub struct AggregateStats {
     /// Sessions that ran to a clean protocol completion.
     pub sessions: usize,
-    /// Sessions that ended in a transport or protocol error.
+    /// Sessions that ended in a transport or protocol error (timeouts
+    /// included).
     pub failed: usize,
+    /// Connections refused by admission control before a session
+    /// started.
+    pub refused: usize,
     /// Index ciphertexts folded across all completed sessions.
     pub folded: usize,
     /// Server compute time summed across completed sessions (exceeds
@@ -50,6 +79,101 @@ impl AggregateStats {
             self.folded as f64 / self.compute.as_secs_f64()
         }
     }
+}
+
+/// Per-session I/O limits enforced by the connection driver.
+///
+/// `None` disables the corresponding deadline (the pre-hardening
+/// behavior); the defaults are deliberately generous so healthy clients
+/// on slow links never trip them, while a wedged peer cannot pin a
+/// server thread forever.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionLimits {
+    /// Longest a single `recv` may wait for bytes before the session
+    /// fails with [`TransportError::TimedOut`].
+    pub read_timeout: Option<Duration>,
+    /// Longest a single `send` may block on a full socket buffer.
+    pub write_timeout: Option<Duration>,
+    /// Wall-clock budget for the whole session, evicting slow-loris
+    /// clients that trickle bytes to defeat the per-read timeout.
+    pub session_deadline: Option<Duration>,
+}
+
+impl Default for SessionLimits {
+    /// 30 s per read, 30 s per write, 5 min per session.
+    fn default() -> Self {
+        SessionLimits {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            session_deadline: Some(Duration::from_secs(300)),
+        }
+    }
+}
+
+impl SessionLimits {
+    /// No deadlines at all (tests that deliberately stall need this).
+    pub fn unlimited() -> Self {
+        SessionLimits {
+            read_timeout: None,
+            write_timeout: None,
+            session_deadline: None,
+        }
+    }
+}
+
+/// Tracks one session's wall-clock budget and derives the read timeout
+/// to arm before each `recv`: the per-read limit, shortened to whatever
+/// remains of the session deadline.
+#[derive(Debug)]
+pub struct SessionDeadline {
+    expires: Option<Instant>,
+    read_timeout: Option<Duration>,
+}
+
+impl SessionDeadline {
+    /// Starts the clock on a session governed by `limits`.
+    pub fn new(limits: &SessionLimits) -> Self {
+        SessionDeadline {
+            expires: limits.session_deadline.map(|d| Instant::now() + d),
+            read_timeout: limits.read_timeout,
+        }
+    }
+
+    /// The absolute instant the session expires, if it has one — armed
+    /// on the wire as a mid-frame receive deadline so a byte-trickling
+    /// peer cannot reset the clock.
+    pub fn expires_at(&self) -> Option<Instant> {
+        self.expires
+    }
+
+    /// The timeout to arm before the next read.
+    ///
+    /// # Errors
+    /// [`TransportError::TimedOut`] once the session deadline has
+    /// passed — the caller must abandon the session, not read again.
+    pub fn next_read_timeout(&self) -> Result<Option<Duration>, TransportError> {
+        match self.expires {
+            None => Ok(self.read_timeout),
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(TransportError::TimedOut);
+                }
+                Ok(Some(self.read_timeout.map_or(remaining, |t| t.min(remaining))))
+            }
+        }
+    }
+}
+
+/// What to do with a new connection when every concurrency slot is
+/// taken (see [`TcpServer::with_admission`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Close the connection immediately; the client observes a clean
+    /// disconnect and may retry with backoff.
+    Refuse,
+    /// Hold the connection unserviced until a running session finishes.
+    Queue,
 }
 
 /// Lifecycle notifications delivered to [`TcpServer::serve_with`]
@@ -78,8 +202,14 @@ pub enum SessionEvent<'a> {
         /// What went wrong.
         error: &'a ProtocolError,
     },
-    /// `accept()` itself failed. The server backs off briefly and keeps
-    /// listening, but gives up after
+    /// Admission control turned the connection away before a session
+    /// started (no session id is assigned).
+    Refused {
+        /// Peer address, when the socket can report one.
+        peer: Option<SocketAddr>,
+    },
+    /// `accept()` itself failed. The server backs off (exponentially,
+    /// 50 ms doubling to ~1 s) and keeps listening, but gives up after
     /// [`MAX_CONSECUTIVE_ACCEPT_ERRORS`] failures in a row (a listener
     /// stuck in a persistent error state would otherwise busy-loop).
     AcceptError {
@@ -93,29 +223,99 @@ pub enum SessionEvent<'a> {
 /// successful accept.
 pub const MAX_CONSECUTIVE_ACCEPT_ERRORS: usize = 8;
 
-/// Pause between retries after a failed `accept()`, so transient error
-/// states (e.g. EMFILE until a session releases its socket) don't spin
-/// a core.
-const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+/// First backoff after a failed `accept()`; doubles per consecutive
+/// failure up to [`ACCEPT_ERROR_BACKOFF_MAX`].
+const ACCEPT_ERROR_BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Backoff ceiling for persistent accept errors.
+const ACCEPT_ERROR_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+/// Exponential accept-error backoff: 50 ms after the first failure,
+/// doubling per consecutive failure, capped at ~1 s.
+fn accept_backoff(consecutive_errors: usize) -> Duration {
+    let doublings = consecutive_errors.saturating_sub(1).min(5) as u32;
+    ACCEPT_ERROR_BACKOFF_BASE
+        .saturating_mul(1u32 << doublings)
+        .min(ACCEPT_ERROR_BACKOFF_MAX)
+}
+
+/// Stops a running [`TcpServer`] accept loop from another thread.
+///
+/// Cloneable and cheap; raising shutdown is idempotent. The handle
+/// unblocks a pending blocking `accept()` with a throwaway loopback
+/// connection, so `serve(None)` returns promptly instead of waiting for
+/// the next real client.
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Raises the shutdown flag and pokes the listener awake. The
+    /// server finishes draining in-flight sessions before its
+    /// `serve`/`serve_with` call returns.
+    pub fn shutdown(&self) {
+        if self.flag.swap(true, Ordering::SeqCst) {
+            return; // already raised; one wake-up is enough
+        }
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
 
 /// A concurrent selected-sum server: accept loop plus thread-per-session
-/// dispatch over a shared database.
+/// dispatch over a shared database, with per-session deadlines,
+/// admission control, and graceful shutdown.
 pub struct TcpServer {
     listener: TcpListener,
     db: Arc<Database>,
     fold: FoldStrategy,
+    limits: SessionLimits,
+    max_concurrent: Option<usize>,
+    admission: Admission,
+    shutdown: Arc<AtomicBool>,
 }
 
 impl TcpServer {
-    /// Binds a listening socket for `db`. Use `"127.0.0.1:0"` to let the
-    /// OS pick an ephemeral port (see [`TcpServer::local_addr`]).
+    /// Binds a listening socket for `db` with default [`SessionLimits`]
+    /// and no concurrency cap. Use `"127.0.0.1:0"` to let the OS pick an
+    /// ephemeral port (see [`TcpServer::local_addr`]).
     ///
     /// # Errors
     /// [`ProtocolError::Transport`] when the bind fails.
     pub fn bind(db: Arc<Database>, addr: &str, fold: FoldStrategy) -> Result<Self, ProtocolError> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| ProtocolError::Transport(TransportError::Io(e.to_string())))?;
-        Ok(TcpServer { listener, db, fold })
+        Ok(TcpServer {
+            listener,
+            db,
+            fold,
+            limits: SessionLimits::default(),
+            max_concurrent: None,
+            admission: Admission::Refuse,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Replaces the per-session I/O limits.
+    #[must_use]
+    pub fn with_limits(mut self, limits: SessionLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Caps concurrent sessions at `max` and sets the policy for
+    /// over-limit connections.
+    #[must_use]
+    pub fn with_admission(mut self, max: usize, policy: Admission) -> Self {
+        self.max_concurrent = Some(max.max(1));
+        self.admission = policy;
+        self
     }
 
     /// The bound address (the actual port, when bound to port 0).
@@ -128,6 +328,27 @@ impl TcpServer {
             .map_err(|e| ProtocolError::Transport(TransportError::Io(e.to_string())))
     }
 
+    /// A handle that stops this server's accept loop from any thread.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Transport`] when the bound address cannot be
+    /// determined (needed for the accept wake-up).
+    pub fn shutdown_handle(&self) -> Result<ShutdownHandle, ProtocolError> {
+        let mut addr = self.local_addr()?;
+        // The wake-up self-connection must target a routable address
+        // even when bound to the wildcard.
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr,
+        })
+    }
+
     /// Serves sessions without observing their lifecycle. See
     /// [`TcpServer::serve_with`].
     pub fn serve(&self, max_sessions: Option<usize>) -> AggregateStats {
@@ -135,16 +356,19 @@ impl TcpServer {
     }
 
     /// Accepts connections until `max_sessions` have been accepted
-    /// (`None` = forever), driving each on its own thread against the
-    /// shared database, then waits for every in-flight session to finish
-    /// and returns the aggregate. `on_event` fires from session threads
-    /// as connections arrive and complete.
+    /// (`None` = forever, or until [`ShutdownHandle::shutdown`]),
+    /// driving each on its own thread against the shared database, then
+    /// waits for every in-flight session to finish and returns the
+    /// aggregate. `on_event` fires from session threads as connections
+    /// arrive and complete.
     ///
-    /// A failed session (malformed frames, disconnect) is counted and
-    /// reported, never fatal to the server. A failed `accept()` is
-    /// reported as [`SessionEvent::AcceptError`] and retried after a
-    /// short backoff; [`MAX_CONSECUTIVE_ACCEPT_ERRORS`] failures in a
-    /// row end the loop (returning whatever was aggregated) rather than
+    /// A failed session (malformed frames, disconnect, expired
+    /// deadline) is counted and reported, never fatal to the server.
+    /// Connections over the concurrency cap are queued or refused per
+    /// the [`Admission`] policy. A failed `accept()` is reported as
+    /// [`SessionEvent::AcceptError`] and retried after an exponential
+    /// backoff; [`MAX_CONSECUTIVE_ACCEPT_ERRORS`] failures in a row end
+    /// the loop (returning whatever was aggregated) rather than
     /// spinning on a persistently broken listener.
     pub fn serve_with(
         &self,
@@ -153,6 +377,8 @@ impl TcpServer {
     ) -> AggregateStats {
         let start = Instant::now();
         let agg = Mutex::new(AggregateStats::default());
+        // Active-session gate for admission control: count + wakeup.
+        let gate = (Mutex::new(0usize), Condvar::new());
         std::thread::scope(|scope| {
             let mut accepted = 0usize;
             let mut accept_errors = 0usize;
@@ -169,22 +395,62 @@ impl TcpServer {
                         if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
                             break;
                         }
-                        std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                        std::thread::sleep(accept_backoff(accept_errors));
                         continue;
                     }
                 };
+                // A shutdown request may arrive as the wake-up
+                // connection itself; either way, stop before admitting.
+                if self.shutdown.load(Ordering::SeqCst) {
+                    drop(stream);
+                    break;
+                }
+                if let Some(max) = self.max_concurrent {
+                    let mut active = gate.0.lock().expect("gate lock");
+                    if *active >= max {
+                        match self.admission {
+                            Admission::Refuse => {
+                                let peer = stream.peer_addr().ok();
+                                drop(active);
+                                drop(stream); // clean close (FIN)
+                                agg.lock().expect("stats lock").refused += 1;
+                                on_event(SessionEvent::Refused { peer });
+                                continue;
+                            }
+                            Admission::Queue => {
+                                // Hold the connection; poll the gate so a
+                                // shutdown request still gets through.
+                                while *active >= max && !self.shutdown.load(Ordering::SeqCst) {
+                                    let (g, _timeout) = gate
+                                        .1
+                                        .wait_timeout(active, Duration::from_millis(50))
+                                        .expect("gate lock");
+                                    active = g;
+                                }
+                                if self.shutdown.load(Ordering::SeqCst) {
+                                    drop(stream);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    *active += 1;
+                }
                 accepted += 1;
                 let id = accepted;
                 let agg = &agg;
+                let gate = &gate;
                 let db = &*self.db;
                 let fold = self.fold;
+                let limits = &self.limits;
+                let gated = self.max_concurrent.is_some();
                 scope.spawn(move || {
                     on_event(SessionEvent::Accepted {
                         session: id,
                         peer: stream.peer_addr().ok(),
                     });
                     let mut session = ServerSession::with_fold(db, fold);
-                    match drive(&mut session, stream) {
+                    match drive(&mut session, stream, limits) {
                         Ok(()) => {
                             let stats = session.stats();
                             let mut a = agg.lock().expect("stats lock");
@@ -202,6 +468,10 @@ impl TcpServer {
                             });
                         }
                     }
+                    if gated {
+                        *gate.0.lock().expect("gate lock") -= 1;
+                        gate.1.notify_all();
+                    }
                 });
                 if max_sessions.is_some_and(|m| accepted >= m) {
                     break;
@@ -215,10 +485,21 @@ impl TcpServer {
 }
 
 /// Pumps frames between the wire and the session until the product has
-/// been sent.
-fn drive(session: &mut ServerSession<'_>, stream: TcpStream) -> Result<(), ProtocolError> {
+/// been sent, under the deadlines of `limits`.
+fn drive(
+    session: &mut ServerSession<'_>,
+    stream: TcpStream,
+    limits: &SessionLimits,
+) -> Result<(), ProtocolError> {
     let mut wire = TcpWire::new(stream);
+    wire.set_write_timeout(limits.write_timeout)?;
+    let deadline = SessionDeadline::new(limits);
+    // Two-tier eviction: the per-read socket timeout (re-armed below)
+    // catches silent stalls, while the absolute mid-frame deadline
+    // catches tricklers that feed a byte per interval to reset it.
+    wire.set_recv_deadline(deadline.expires_at());
     while !session.is_done() {
+        wire.set_read_timeout(deadline.next_read_timeout()?)?;
         let frame = wire.recv()?;
         if let Some(reply) = session.on_frame(&frame)? {
             wire.send(reply)?;
@@ -265,6 +546,7 @@ mod tests {
         assert_eq!(b, 50);
         assert_eq!(stats.sessions, 2);
         assert_eq!(stats.failed, 0);
+        assert_eq!(stats.refused, 0);
         assert_eq!(stats.folded, 10, "both sessions stream all 5 indices");
         assert!(stats.throughput() > 0.0);
     }
@@ -287,6 +569,7 @@ mod tests {
                 SessionEvent::Accepted { .. } => "accepted",
                 SessionEvent::Finished { .. } => "finished",
                 SessionEvent::Failed { .. } => "failed",
+                SessionEvent::Refused { .. } => "refused",
                 SessionEvent::AcceptError { .. } => "accept_error",
             };
             events.lock().unwrap().push(tag);
@@ -299,5 +582,112 @@ mod tests {
         assert_eq!(events.iter().filter(|t| **t == "accepted").count(), 2);
         assert_eq!(events.iter().filter(|t| **t == "finished").count(), 1);
         assert_eq!(events.iter().filter(|t| **t == "failed").count(), 1);
+    }
+
+    #[test]
+    fn accept_backoff_is_exponential_and_capped() {
+        assert_eq!(accept_backoff(1), Duration::from_millis(50));
+        assert_eq!(accept_backoff(2), Duration::from_millis(100));
+        assert_eq!(accept_backoff(3), Duration::from_millis(200));
+        assert_eq!(accept_backoff(4), Duration::from_millis(400));
+        assert_eq!(accept_backoff(5), Duration::from_millis(800));
+        assert_eq!(accept_backoff(6), Duration::from_secs(1), "capped");
+        assert_eq!(accept_backoff(100), Duration::from_secs(1));
+        // Eight consecutive failures now wait > 3.5 s in total, versus
+        // 400 ms with the old fixed 50 ms pause.
+        let total: Duration = (1..MAX_CONSECUTIVE_ACCEPT_ERRORS).map(accept_backoff).sum();
+        assert!(total > Duration::from_secs(3));
+    }
+
+    #[test]
+    fn session_deadline_shrinks_read_timeout_then_expires() {
+        let limits = SessionLimits {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: None,
+            session_deadline: Some(Duration::from_millis(80)),
+        };
+        let deadline = SessionDeadline::new(&limits);
+        let first = deadline.next_read_timeout().unwrap().unwrap();
+        assert!(first <= Duration::from_millis(80), "clamped to remaining");
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(deadline.next_read_timeout(), Err(TransportError::TimedOut));
+    }
+
+    #[test]
+    fn no_deadline_passes_read_timeout_through() {
+        let deadline = SessionDeadline::new(&SessionLimits::unlimited());
+        assert_eq!(deadline.next_read_timeout(), Ok(None));
+        let limits = SessionLimits {
+            read_timeout: Some(Duration::from_secs(7)),
+            write_timeout: None,
+            session_deadline: None,
+        };
+        assert_eq!(
+            SessionDeadline::new(&limits).next_read_timeout(),
+            Ok(Some(Duration::from_secs(7)))
+        );
+    }
+
+    #[test]
+    fn shutdown_stops_an_unbounded_serve() {
+        let db = Arc::new(Database::new(vec![4, 5, 6]).unwrap());
+        let server =
+            TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        assert!(!handle.is_shutdown());
+
+        let server_thread = std::thread::spawn(move || server.serve(None));
+        // A real session completes while the server runs unbounded.
+        let sum = query(addr, &Selection::from_indices(3, &[0, 2]).unwrap(), 9);
+        assert_eq!(sum, 10);
+
+        handle.shutdown();
+        let stats = server_thread.join().unwrap();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.failed, 0);
+        assert!(handle.is_shutdown());
+        // Idempotent: a second call is a no-op, not a hang.
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_before_serve_returns_immediately() {
+        let db = Arc::new(Database::new(vec![1]).unwrap());
+        let server =
+            TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::default()).unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        handle.shutdown();
+        let stats = server.serve(None);
+        assert_eq!(stats.sessions, 0);
+    }
+
+    #[test]
+    fn queue_admission_serves_everyone_eventually() {
+        let db = Arc::new(Database::new(vec![7, 8, 9]).unwrap());
+        let server = TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::default())
+            .unwrap()
+            .with_admission(1, Admission::Queue);
+        let addr = server.local_addr().unwrap();
+        let sel = Selection::from_indices(3, &[0, 1, 2]).unwrap();
+
+        let clients = std::thread::spawn(move || {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..3)
+                    .map(|i| {
+                        let sel = &sel;
+                        scope.spawn(move || query(addr, sel, 20 + i))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+        let stats = server.serve(Some(3));
+        assert_eq!(clients.join().unwrap(), vec![24, 24, 24]);
+        assert_eq!(stats.sessions, 3);
+        assert_eq!(stats.refused, 0);
     }
 }

@@ -5,8 +5,14 @@ use std::fmt;
 /// Errors surfaced by wires, codecs, and link models.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
-    /// The peer endpoint hung up (channel closed / endpoint dropped).
+    /// The peer endpoint hung up (channel closed / endpoint dropped,
+    /// EOF, connection reset).
     Disconnected,
+    /// A read or write deadline expired before the operation completed
+    /// (socket timeout or session deadline). Distinct from
+    /// [`TransportError::Disconnected`]: the peer may still be alive,
+    /// merely slow — callers decide whether to retry or evict.
+    TimedOut,
     /// Receive called with no queued message on a non-blocking wire.
     Empty,
     /// A frame exceeded the maximum encodable size.
@@ -28,6 +34,7 @@ impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Disconnected => write!(f, "peer disconnected"),
+            Self::TimedOut => write!(f, "operation timed out"),
             Self::Empty => write!(f, "no message queued"),
             Self::FrameTooLarge { size, max } => {
                 write!(f, "frame of {size} bytes exceeds maximum {max}")
@@ -51,6 +58,7 @@ mod tests {
             TransportError::Disconnected.to_string(),
             "peer disconnected"
         );
+        assert_eq!(TransportError::TimedOut.to_string(), "operation timed out");
         assert!(TransportError::FrameTooLarge { size: 10, max: 5 }
             .to_string()
             .contains("10"));

@@ -1,0 +1,399 @@
+//! Deterministic fault injection for transport testing.
+//!
+//! [`FaultyStream`] wraps any blocking byte stream and injects failures
+//! — stalls, EINTR, expired deadlines, disconnects, mid-frame
+//! truncation, bit corruption — on an explicit or seeded schedule keyed
+//! by operation index. Because [`StreamWire`](crate::StreamWire) is
+//! generic over its stream, the **exact** framing and error-handling
+//! code that runs over a real `TcpStream` in production is the code
+//! under test; nothing is mocked above the byte layer.
+//!
+//! Schedules are deterministic: an explicit schedule replays the same
+//! faults at the same operations every run, and [`FaultSchedule::seeded`]
+//! derives a pseudo-random schedule from a seed via SplitMix64, with no
+//! ambient entropy.
+
+use std::collections::BTreeMap;
+use std::io::{Error, ErrorKind, Read, Write};
+use std::time::Duration;
+
+use crate::tcp::StreamWire;
+
+/// One injected failure, applied to a single read or write operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Sleep for the duration, then perform the operation normally
+    /// (a slow peer, not a broken one).
+    Stall(Duration),
+    /// Fail once with `ErrorKind::Interrupted` (EINTR). A correct
+    /// blocking transport retries; a buggy one reports a bogus error.
+    Interrupt,
+    /// Fail with `ErrorKind::WouldBlock`, as an expired `SO_RCVTIMEO`
+    /// socket deadline surfaces it.
+    Timeout,
+    /// Fail with `ErrorKind::ConnectionReset` — the peer is gone.
+    Disconnect,
+    /// Deliver (read) or accept (write) at most `keep` bytes on this
+    /// operation, then hit permanent end-of-stream: EOF on reads,
+    /// `BrokenPipe` on writes. With `keep` inside a frame this is
+    /// mid-frame truncation.
+    Truncate {
+        /// Bytes still allowed through on the truncating operation.
+        keep: usize,
+    },
+    /// Flip one bit of the bytes moved by this operation (index taken
+    /// modulo the bytes actually transferred). Models line noise the
+    /// framing layer must catch.
+    CorruptBit {
+        /// Bit index into this operation's byte window.
+        bit: usize,
+    },
+}
+
+/// A deterministic fault plan: faults keyed by 0-based read-operation
+/// and write-operation indices. Every `read`/`write` call on the
+/// wrapped stream counts as one operation, including ones that fault.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    read: BTreeMap<u64, Fault>,
+    write: BTreeMap<u64, Fault>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injects `fault` on the `op`-th read (0-based).
+    #[must_use]
+    pub fn on_read(mut self, op: u64, fault: Fault) -> Self {
+        self.read.insert(op, fault);
+        self
+    }
+
+    /// Injects `fault` on the `op`-th write (0-based).
+    #[must_use]
+    pub fn on_write(mut self, op: u64, fault: Fault) -> Self {
+        self.write.insert(op, fault);
+        self
+    }
+
+    /// Derives a pseudo-random schedule from `seed`: over the first
+    /// `ops` read operations, roughly one in four gets a fault drawn
+    /// from the full taxonomy (stalls kept ≤ 2 ms so chaos tests stay
+    /// fast). Same seed, same schedule — no ambient entropy.
+    pub fn seeded(seed: u64, ops: u64) -> Self {
+        let mut state = seed;
+        let mut schedule = FaultSchedule::new();
+        for op in 0..ops {
+            if !splitmix64(&mut state).is_multiple_of(4) {
+                continue;
+            }
+            let fault = match splitmix64(&mut state) % 5 {
+                0 => Fault::Stall(Duration::from_millis(splitmix64(&mut state) % 3)),
+                1 => Fault::Interrupt,
+                2 => Fault::Timeout,
+                3 => Fault::Disconnect,
+                _ => Fault::CorruptBit {
+                    bit: (splitmix64(&mut state) % 4096) as usize,
+                },
+            };
+            schedule.read.insert(op, fault);
+        }
+        schedule
+    }
+}
+
+/// A byte stream that injects the faults of a [`FaultSchedule`] around
+/// an inner stream. See the module docs.
+pub struct FaultyStream<S> {
+    inner: S,
+    schedule: FaultSchedule,
+    reads: u64,
+    writes: u64,
+    read_dead: bool,
+    write_dead: bool,
+}
+
+/// A [`StreamWire`] running over a [`FaultyStream`] — the full framing
+/// stack with failures injected underneath it.
+pub type FaultyWire<S> = StreamWire<FaultyStream<S>>;
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner` with `schedule`.
+    pub fn new(inner: S, schedule: FaultSchedule) -> Self {
+        FaultyStream {
+            inner,
+            schedule,
+            reads: 0,
+            writes: 0,
+            read_dead: false,
+            write_dead: false,
+        }
+    }
+
+    /// Wraps `inner` and lifts it straight into a framed wire.
+    pub fn wire(inner: S, schedule: FaultSchedule) -> FaultyWire<S> {
+        StreamWire::new(Self::new(inner, schedule))
+    }
+
+    /// The wrapped stream (e.g. to inspect a [`ScriptedStream`]'s
+    /// captured writes).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let op = self.reads;
+        self.reads += 1;
+        if self.read_dead {
+            return Ok(0);
+        }
+        match self.schedule.read.remove(&op) {
+            None => self.inner.read(buf),
+            Some(Fault::Stall(d)) => {
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            Some(Fault::Interrupt) => Err(Error::from(ErrorKind::Interrupted)),
+            Some(Fault::Timeout) => Err(Error::from(ErrorKind::WouldBlock)),
+            Some(Fault::Disconnect) => Err(Error::from(ErrorKind::ConnectionReset)),
+            Some(Fault::Truncate { keep }) => {
+                self.read_dead = true;
+                let k = keep.min(buf.len());
+                if k == 0 {
+                    Ok(0)
+                } else {
+                    self.inner.read(&mut buf[..k])
+                }
+            }
+            Some(Fault::CorruptBit { bit }) => {
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    let b = bit % (n * 8);
+                    buf[b / 8] ^= 1 << (b % 8);
+                }
+                Ok(n)
+            }
+        }
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let op = self.writes;
+        self.writes += 1;
+        if self.write_dead {
+            return Err(Error::from(ErrorKind::BrokenPipe));
+        }
+        match self.schedule.write.remove(&op) {
+            None => self.inner.write(buf),
+            Some(Fault::Stall(d)) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            Some(Fault::Interrupt) => Err(Error::from(ErrorKind::Interrupted)),
+            Some(Fault::Timeout) => Err(Error::from(ErrorKind::WouldBlock)),
+            Some(Fault::Disconnect) => Err(Error::from(ErrorKind::BrokenPipe)),
+            Some(Fault::Truncate { keep }) => {
+                self.write_dead = true;
+                let k = keep.min(buf.len());
+                if k == 0 {
+                    Err(Error::from(ErrorKind::BrokenPipe))
+                } else {
+                    self.inner.write(&buf[..k])
+                }
+            }
+            Some(Fault::CorruptBit { bit }) => {
+                let mut copy = buf.to_vec();
+                if !copy.is_empty() {
+                    let b = bit % (copy.len() * 8);
+                    copy[b / 8] ^= 1 << (b % 8);
+                }
+                self.inner.write(&copy)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// An in-memory peer for unit tests: reads come from a prerecorded
+/// script, writes are captured for inspection.
+#[derive(Debug, Default)]
+pub struct ScriptedStream {
+    input: std::io::Cursor<Vec<u8>>,
+    /// Everything the code under test wrote.
+    pub written: Vec<u8>,
+}
+
+impl ScriptedStream {
+    /// A stream whose reads will yield exactly `input`, then EOF.
+    pub fn new(input: Vec<u8>) -> Self {
+        ScriptedStream {
+            input: std::io::Cursor::new(input),
+            written: Vec::new(),
+        }
+    }
+}
+
+impl Read for ScriptedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.input.read(buf)
+    }
+}
+
+impl Write for ScriptedStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.written.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::TransportError;
+    use crate::frame::Frame;
+    use crate::wire::Wire;
+
+    fn script_of(frames: &[Frame]) -> ScriptedStream {
+        let mut bytes = Vec::new();
+        for f in frames {
+            bytes.extend_from_slice(&f.encode());
+        }
+        ScriptedStream::new(bytes)
+    }
+
+    #[test]
+    fn eintr_is_retried_not_fatal() {
+        let f = Frame::new(5, vec![1, 2, 3]).unwrap();
+        let schedule = FaultSchedule::new()
+            .on_read(0, Fault::Interrupt)
+            .on_read(2, Fault::Interrupt);
+        let mut wire = FaultyStream::wire(script_of(&[f.clone(), f.clone()]), schedule);
+        assert_eq!(wire.recv().unwrap(), f, "EINTR before the first byte");
+        assert_eq!(wire.recv().unwrap(), f, "EINTR between frames");
+    }
+
+    #[test]
+    fn would_block_surfaces_as_timed_out() {
+        let f = Frame::new(5, vec![9]).unwrap();
+        let schedule = FaultSchedule::new().on_read(0, Fault::Timeout);
+        let mut wire = FaultyStream::wire(script_of(std::slice::from_ref(&f)), schedule);
+        assert_eq!(wire.recv(), Err(TransportError::TimedOut));
+        // The stream is still usable afterwards.
+        assert_eq!(wire.recv().unwrap(), f);
+    }
+
+    #[test]
+    fn reset_surfaces_as_disconnected() {
+        let schedule = FaultSchedule::new().on_read(0, Fault::Disconnect);
+        let mut wire = FaultyStream::wire(script_of(&[Frame::new(1, vec![]).unwrap()]), schedule);
+        assert_eq!(wire.recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn midframe_truncation_is_a_clean_disconnect() {
+        let f = Frame::new(2, vec![7u8; 100]).unwrap();
+        // Deliver only 10 bytes of a 107-byte frame, then EOF.
+        let schedule = FaultSchedule::new().on_read(0, Fault::Truncate { keep: 10 });
+        let mut wire = FaultyStream::wire(script_of(&[f]), schedule);
+        assert_eq!(wire.recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn header_corruption_is_malformed_not_a_hang() {
+        let f = Frame::new(2, vec![7u8; 16]).unwrap();
+        // Bit 3 lands in the magic word.
+        let schedule = FaultSchedule::new().on_read(0, Fault::CorruptBit { bit: 3 });
+        let mut wire = FaultyStream::wire(script_of(&[f]), schedule);
+        assert_eq!(wire.recv(), Err(TransportError::Malformed("bad magic")));
+    }
+
+    #[test]
+    fn payload_corruption_changes_bytes() {
+        let f = Frame::new(2, vec![0u8; 16]).unwrap();
+        // Bit 100 lands in the payload (header is 7 bytes = 56 bits).
+        let schedule = FaultSchedule::new().on_read(0, Fault::CorruptBit { bit: 100 });
+        let mut wire = FaultyStream::wire(script_of(std::slice::from_ref(&f)), schedule);
+        let got = wire.recv().unwrap();
+        assert_eq!(got.msg_type, f.msg_type);
+        assert_ne!(got.payload, f.payload, "payload bit was flipped");
+    }
+
+    #[test]
+    fn stall_delays_but_delivers() {
+        let f = Frame::new(3, vec![1]).unwrap();
+        let schedule = FaultSchedule::new().on_read(0, Fault::Stall(Duration::from_millis(30)));
+        let mut wire = FaultyStream::wire(script_of(std::slice::from_ref(&f)), schedule);
+        let start = std::time::Instant::now();
+        assert_eq!(wire.recv().unwrap(), f);
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn write_faults_apply() {
+        let f = Frame::new(4, vec![1, 2]).unwrap();
+        let schedule = FaultSchedule::new().on_write(0, Fault::Disconnect);
+        let mut wire = FaultyStream::wire(ScriptedStream::default(), schedule);
+        assert_eq!(wire.send(f.clone()), Err(TransportError::Disconnected));
+
+        // Truncated write: some bytes accepted, then the pipe breaks.
+        let schedule = FaultSchedule::new().on_write(0, Fault::Truncate { keep: 3 });
+        let mut wire = FaultyStream::wire(ScriptedStream::default(), schedule);
+        assert_eq!(wire.send(f), Err(TransportError::Disconnected));
+        assert_eq!(wire.get_ref().get_ref().written.len(), 3);
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        assert_eq!(FaultSchedule::seeded(99, 64), FaultSchedule::seeded(99, 64));
+        assert_ne!(FaultSchedule::seeded(99, 64), FaultSchedule::seeded(7, 64));
+    }
+
+    #[test]
+    fn chaos_never_wedges_and_errors_stay_in_taxonomy() {
+        // Whatever a seeded schedule throws at the wire, recv either
+        // returns a frame or one of the defined errors — and terminates.
+        let frames: Vec<Frame> = (0..8)
+            .map(|i| Frame::new(i, vec![i; 32]).unwrap())
+            .collect();
+        for seed in 0..32u64 {
+            let mut wire =
+                FaultyStream::wire(script_of(&frames), FaultSchedule::seeded(seed, 128));
+            loop {
+                match wire.recv() {
+                    Ok(_) => continue,
+                    // A timeout is transient: the next recv may succeed.
+                    Err(TransportError::TimedOut) => continue,
+                    // Desync or peer-gone: the session is over. Break —
+                    // a desynchronized stream stays in error forever.
+                    Err(
+                        TransportError::Disconnected
+                        | TransportError::Malformed(_)
+                        | TransportError::FrameTooLarge { .. },
+                    ) => break,
+                    Err(e) => panic!("seed {seed}: unexpected error {e}"),
+                }
+            }
+        }
+    }
+}

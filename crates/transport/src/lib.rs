@@ -11,25 +11,35 @@
 //! * [`Frame`] — a minimal length-prefixed wire format with byte-exact
 //!   accounting, so the communication component of every figure reflects
 //!   real serialized protocol bytes;
-//! * [`Wire`] with two implementations: [`SimLink`] (in-memory, virtual
-//!   clock, sequential orchestration) and [`ChannelWire`] (crossbeam
-//!   channels, real threads);
+//! * [`Wire`] with three implementations: [`SimLink`] (in-memory,
+//!   virtual clock, sequential orchestration), [`ChannelWire`]
+//!   (crossbeam channels, real threads), and [`TcpWire`] (framing over a
+//!   real socket, with read/write deadlines);
 //! * [`pipeline_makespan`] — flow-shop makespan model for the §3.2
-//!   batching/pipelining experiment.
+//!   batching/pipelining experiment;
+//! * fault tolerance: [`RetryPolicy`] (exponential backoff with
+//!   deterministic jitter for reconnect/re-query) and the
+//!   [`FaultyStream`] test wrapper that injects stalls, EINTR,
+//!   timeouts, disconnects, truncation, and bit corruption underneath
+//!   the production framing code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
+mod faulty;
 mod frame;
 mod pipeline;
 mod profile;
+mod retry;
 mod tcp;
 mod wire;
 
 pub use error::TransportError;
+pub use faulty::{Fault, FaultSchedule, FaultyStream, FaultyWire, ScriptedStream};
 pub use frame::{Frame, FRAME_MAGIC, HEADER_LEN, MAX_PAYLOAD};
 pub use pipeline::{pipeline_makespan, uniform_pipeline_makespan};
 pub use profile::LinkProfile;
-pub use tcp::TcpWire;
+pub use retry::{RetryPolicy, RetryStats};
+pub use tcp::{StreamWire, TcpWire};
 pub use wire::{ChannelWire, SimLink, TrafficStats, Wire};

@@ -1,0 +1,152 @@
+//! Client-side retry policy: exponential backoff with deterministic
+//! jitter.
+//!
+//! The paper's long-distance experiments (§3.1, the Chicago↔Hoboken
+//! 56 Kbps modem link) are exactly the regime where connections are
+//! refused or dropped mid-query. A fresh selected-sum query is
+//! idempotent — no server state outlives a session, and a re-issued
+//! query re-encrypts the index vector under fresh randomness — so the
+//! correct client reaction to a transient transport failure is to back
+//! off and try again.
+//!
+//! Jitter is drawn from the **caller's RNG**, not a global clock or
+//! thread-local entropy, so a seeded test reproduces the exact backoff
+//! sequence ([`RetryPolicy::delays`]).
+
+use std::time::Duration;
+
+use rand::RngCore;
+
+/// Exponential-backoff retry policy.
+///
+/// Attempt `k` (0-based) that fails sleeps
+/// `d_k = min(base_delay · 2^k, max_delay)` scaled by a jitter factor in
+/// `[½, 1]` drawn from the caller's RNG, then retries — up to
+/// `max_attempts` total attempts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_delay: Duration,
+    /// Backoff growth cap.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 100 ms base, 2 s cap — worst case ≈ 3.5 s of waiting.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeps).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The backoff slept after failed attempt `attempt` (0-based):
+    /// exponential growth, capped, jittered into `[d/2, d]` by `rng`.
+    pub fn delay_for(&self, attempt: u32, rng: &mut dyn RngCore) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        let nanos = exp.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let half = nanos / 2;
+        // Uniform jitter over the upper half of the window; `% (half+1)`
+        // is deterministic given the RNG stream.
+        let jitter = if half == 0 {
+            0
+        } else {
+            rng.next_u64() % (half + 1)
+        };
+        Duration::from_nanos(half + jitter)
+    }
+
+    /// The complete backoff schedule this policy would sleep if every
+    /// attempt failed: `max_attempts − 1` delays, drawn from `rng` in
+    /// order. Reseeding the RNG reproduces the schedule exactly.
+    pub fn delays(&self, rng: &mut dyn RngCore) -> Vec<Duration> {
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|k| self.delay_for(k, rng))
+            .collect()
+    }
+}
+
+/// What a retry loop actually did: attempt count and the exact backoff
+/// sequence slept between attempts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts made (≥ 1 on success; `max_attempts` on final failure).
+    pub attempts: u32,
+    /// Backoffs slept, in order (`attempts − 1` entries when every
+    /// failure was followed by a retry).
+    pub delays: Vec<Duration>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(400),
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_under_a_seed() {
+        let a = policy().delays(&mut StdRng::seed_from_u64(7));
+        let b = policy().delays(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let c = policy().delays(&mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = policy();
+        let mut rng = StdRng::seed_from_u64(1);
+        for (k, expected_window) in [(0u32, 100u64), (1, 200), (2, 400), (3, 400), (30, 400)] {
+            let d = p.delay_for(k, &mut rng);
+            let window = Duration::from_millis(expected_window);
+            assert!(
+                d >= window / 2 && d <= window,
+                "attempt {k}: {d:?} outside [{:?}, {window:?}]",
+                window / 2
+            );
+        }
+    }
+
+    #[test]
+    fn none_policy_never_sleeps() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+        assert!(p.delays(&mut StdRng::seed_from_u64(0)).is_empty());
+    }
+
+    #[test]
+    fn zero_base_delay_is_fine() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(p.delay_for(0, &mut rng), Duration::ZERO);
+    }
+}

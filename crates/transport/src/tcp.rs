@@ -6,42 +6,122 @@
 //! vehicle — real loopback timing says nothing about a 56 Kbps modem —
 //! but running the identical client/server code over TCP demonstrates
 //! that nothing in the protocol depends on the in-memory transports.
+//!
+//! [`StreamWire`] is generic over any blocking byte stream so the exact
+//! framing/error logic that runs over a [`TcpStream`] in production can
+//! be driven over a [`FaultyStream`](crate::FaultyStream) in tests.
+//! [`TcpWire`] is the `TcpStream` instantiation.
+//!
+//! # Failure model
+//!
+//! Every I/O error is classified rather than flattened:
+//!
+//! * `WouldBlock` / `TimedOut` (an expired `SO_RCVTIMEO`/`SO_SNDTIMEO`
+//!   deadline) → [`TransportError::TimedOut`];
+//! * EOF, connection reset/aborted, broken pipe →
+//!   [`TransportError::Disconnected`];
+//! * `Interrupted` (EINTR) is **retried**, never surfaced;
+//! * anything else → [`TransportError::Io`] with the OS message.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
 use bytes::BytesMut;
 
 use crate::error::TransportError;
 use crate::frame::Frame;
+use crate::retry::{RetryPolicy, RetryStats};
 use crate::wire::{TrafficStats, Wire};
 
-/// A framed, blocking wire over a TCP stream.
-pub struct TcpWire {
-    stream: TcpStream,
+/// A framed, blocking wire over any byte stream (see [`TcpWire`]).
+#[derive(Debug)]
+pub struct StreamWire<S> {
+    stream: S,
     /// Receive reassembly buffer.
     buf: BytesMut,
     stats: TrafficStats,
+    /// Absolute deadline checked between reads inside `recv`, so a
+    /// peer trickling bytes mid-frame cannot dodge eviction by
+    /// restarting the per-read socket timer with every byte.
+    recv_deadline: Option<std::time::Instant>,
 }
 
-impl TcpWire {
+/// The production instantiation of [`StreamWire`]: framing over a real
+/// [`TcpStream`].
+pub type TcpWire = StreamWire<TcpStream>;
+
+impl<S> StreamWire<S> {
     /// Wraps an established stream.
-    pub fn new(stream: TcpStream) -> Self {
-        TcpWire {
+    pub fn new(stream: S) -> Self {
+        StreamWire {
             stream,
             buf: BytesMut::new(),
             stats: TrafficStats::default(),
+            recv_deadline: None,
         }
     }
 
+    /// Shared access to the underlying stream.
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    /// Arms (or with `None` disarms) an absolute receive deadline.
+    ///
+    /// Unlike a socket read timeout — which a slow-loris peer resets by
+    /// delivering one byte per interval — this deadline is checked
+    /// before every read inside [`Wire::recv`], bounding the total time
+    /// a single frame may take to arrive. Once it passes, `recv` fails
+    /// with [`TransportError::TimedOut`] (frames already buffered are
+    /// still delivered). A blocking read in progress is not interrupted,
+    /// so eviction lags by at most the socket read timeout, if one is
+    /// armed.
+    pub fn set_recv_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.recv_deadline = deadline;
+    }
+}
+
+impl StreamWire<TcpStream> {
     /// Connects to a listening peer.
     ///
     /// # Errors
     /// [`TransportError::Io`] on connection failure.
     pub fn connect(addr: &str) -> Result<Self, TransportError> {
-        let stream = TcpStream::connect(addr).map_err(io_err)?;
-        stream.set_nodelay(true).map_err(io_err)?;
+        let stream = TcpStream::connect(addr).map_err(|e| classify_io(&e))?;
+        stream.set_nodelay(true).map_err(|e| classify_io(&e))?;
         Ok(Self::new(stream))
+    }
+
+    /// Connects with retry: on failure, sleeps according to `policy`'s
+    /// exponential backoff (jitter drawn deterministically from `rng`)
+    /// and tries again, up to `policy.max_attempts` total attempts.
+    ///
+    /// Returns the wire plus the [`RetryStats`] describing how many
+    /// attempts were made and the exact backoff sequence slept.
+    ///
+    /// # Errors
+    /// The error of the final attempt when every attempt fails.
+    pub fn connect_with_retry(
+        addr: &str,
+        policy: &RetryPolicy,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<(Self, RetryStats), TransportError> {
+        let mut stats = RetryStats::default();
+        loop {
+            stats.attempts += 1;
+            match Self::connect(addr) {
+                Ok(wire) => return Ok((wire, stats)),
+                Err(e) => {
+                    if stats.attempts >= policy.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    let delay = policy.delay_for(stats.attempts - 1, rng);
+                    stats.delays.push(delay);
+                    std::thread::sleep(delay);
+                }
+            }
+        }
     }
 
     /// Creates a connected pair over an ephemeral loopback port: binds a
@@ -50,26 +130,66 @@ impl TcpWire {
     /// # Errors
     /// [`TransportError::Io`] on any socket failure.
     pub fn pair_loopback() -> Result<(TcpWire, TcpWire), TransportError> {
-        let listener = TcpListener::bind("127.0.0.1:0").map_err(io_err)?;
-        let addr = listener.local_addr().map_err(io_err)?;
-        let client = TcpStream::connect(addr).map_err(io_err)?;
-        client.set_nodelay(true).map_err(io_err)?;
-        let (server, _) = listener.accept().map_err(io_err)?;
-        server.set_nodelay(true).map_err(io_err)?;
+        let io = |e: std::io::Error| classify_io(&e);
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(io)?;
+        let addr = listener.local_addr().map_err(io)?;
+        let client = TcpStream::connect(addr).map_err(io)?;
+        client.set_nodelay(true).map_err(io)?;
+        let (server, _) = listener.accept().map_err(io)?;
+        server.set_nodelay(true).map_err(io)?;
         Ok((TcpWire::new(client), TcpWire::new(server)))
+    }
+
+    /// Arms (or with `None` disarms) the socket read deadline: a `recv`
+    /// that waits longer than `timeout` for bytes fails with
+    /// [`TransportError::TimedOut`].
+    ///
+    /// # Errors
+    /// [`TransportError::Io`] when the OS rejects the option
+    /// (`Some(Duration::ZERO)` is invalid at the socket layer).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| classify_io(&e))
+    }
+
+    /// Arms (or disarms) the socket write deadline, the mirror of
+    /// [`StreamWire::set_read_timeout`] for `send`.
+    ///
+    /// # Errors
+    /// [`TransportError::Io`] when the OS rejects the option.
+    pub fn set_write_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        self.stream
+            .set_write_timeout(timeout)
+            .map_err(|e| classify_io(&e))
     }
 }
 
-fn io_err(e: std::io::Error) -> TransportError {
-    TransportError::Io(e.to_string())
+/// Maps an OS I/O error to the transport taxonomy: expired socket
+/// deadlines become [`TransportError::TimedOut`], peer-gone conditions
+/// become [`TransportError::Disconnected`], and everything else keeps
+/// its OS message as [`TransportError::Io`]. `Interrupted` never
+/// reaches this function — the read/write loops retry it.
+fn classify_io(e: &std::io::Error) -> TransportError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::TimedOut,
+        ErrorKind::UnexpectedEof
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::NotConnected => TransportError::Disconnected,
+        _ => TransportError::Io(e.to_string()),
+    }
 }
 
-impl Wire for TcpWire {
+impl<S: Read + Write> Wire for StreamWire<S> {
     fn send(&mut self, frame: Frame) -> Result<(), TransportError> {
         let encoded = frame.encode();
+        // `write_all` retries `Interrupted` internally; everything else
+        // is classified, not flattened to Disconnected.
         self.stream
             .write_all(&encoded)
-            .map_err(|_| TransportError::Disconnected)?;
+            .map_err(|e| classify_io(&e))?;
         self.stats_record_send(&frame);
         Ok(())
     }
@@ -80,11 +200,18 @@ impl Wire for TcpWire {
                 self.stats_record_recv(&frame);
                 return Ok(frame);
             }
+            if let Some(deadline) = self.recv_deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(TransportError::TimedOut);
+                }
+            }
             let mut chunk = [0u8; 8192];
-            let n = self
-                .stream
-                .read(&mut chunk)
-                .map_err(|_| TransportError::Disconnected)?;
+            let n = match self.stream.read(&mut chunk) {
+                Ok(n) => n,
+                // EINTR: a signal landed mid-read; the stream is intact.
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(classify_io(&e)),
+            };
             if n == 0 {
                 return Err(TransportError::Disconnected);
             }
@@ -97,7 +224,7 @@ impl Wire for TcpWire {
     }
 }
 
-impl TcpWire {
+impl<S> StreamWire<S> {
     fn stats_record_send(&mut self, f: &Frame) {
         self.stats.messages_sent += 1;
         self.stats.payload_bytes_sent += f.payload.len();
@@ -114,6 +241,8 @@ impl TcpWire {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn loopback_round_trip() {
@@ -161,6 +290,37 @@ mod tests {
     }
 
     #[test]
+    fn read_deadline_surfaces_as_timed_out_not_disconnected() {
+        let (_a, mut b) = TcpWire::pair_loopback().unwrap();
+        b.set_read_timeout(Some(Duration::from_millis(40))).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(b.recv(), Err(TransportError::TimedOut));
+        assert!(start.elapsed() >= Duration::from_millis(40));
+        // The peer is still alive: disarm the deadline and communicate.
+        b.set_read_timeout(None).unwrap();
+        let mut a = _a;
+        a.send(Frame::new(3, vec![1]).unwrap()).unwrap();
+        assert_eq!(b.recv().unwrap().msg_type, 3);
+    }
+
+    #[test]
+    fn timeout_midframe_preserves_partial_buffer() {
+        let (a, mut b) = TcpWire::pair_loopback().unwrap();
+        // Send only part of a frame's bytes, raw.
+        let f = Frame::new(9, vec![7u8; 64]).unwrap();
+        let encoded = f.encode();
+        let mut raw = a.stream;
+        raw.write_all(&encoded[..10]).unwrap();
+        b.set_read_timeout(Some(Duration::from_millis(40))).unwrap();
+        assert_eq!(b.recv(), Err(TransportError::TimedOut));
+        // Completing the frame later still decodes it — the partial
+        // prefix was retained across the timeout.
+        raw.write_all(&encoded[10..]).unwrap();
+        b.set_read_timeout(None).unwrap();
+        assert_eq!(b.recv().unwrap(), f);
+    }
+
+    #[test]
     fn stats_counted() {
         let (mut a, mut b) = TcpWire::pair_loopback().unwrap();
         a.send(Frame::new(1, vec![0; 100]).unwrap()).unwrap();
@@ -175,5 +335,114 @@ mod tests {
         // Port 1 on loopback is essentially never listening.
         let r = TcpWire::connect("127.0.0.1:1");
         assert!(matches!(r, Err(TransportError::Io(_))));
+    }
+
+    #[test]
+    fn connect_with_retry_gives_up_after_max_attempts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+        };
+        let start = std::time::Instant::now();
+        let err = TcpWire::connect_with_retry("127.0.0.1:1", &policy, &mut rng).unwrap_err();
+        assert!(matches!(err, TransportError::Io(_)));
+        // Two sleeps happened (after attempts 1 and 2), never a third.
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn connect_with_retry_succeeds_once_listener_appears() {
+        // Reserve a port, free it, start the listener only after a delay:
+        // the first attempt must fail, a later one succeed.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            let listener = TcpListener::bind(addr).unwrap();
+            listener.accept().map(|_| ()).unwrap();
+        });
+        let mut rng = StdRng::seed_from_u64(12);
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(40),
+            max_delay: Duration::from_millis(200),
+        };
+        let (_wire, stats) =
+            TcpWire::connect_with_retry(&addr.to_string(), &policy, &mut rng).unwrap();
+        assert!(stats.attempts > 1, "first attempt hit a closed port");
+        assert_eq!(stats.delays.len(), stats.attempts as usize - 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn classification_taxonomy() {
+        use std::io::Error;
+        assert_eq!(
+            classify_io(&Error::from(ErrorKind::WouldBlock)),
+            TransportError::TimedOut
+        );
+        assert_eq!(
+            classify_io(&Error::from(ErrorKind::TimedOut)),
+            TransportError::TimedOut
+        );
+        for k in [
+            ErrorKind::UnexpectedEof,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::BrokenPipe,
+            ErrorKind::NotConnected,
+        ] {
+            assert_eq!(
+                classify_io(&Error::from(k)),
+                TransportError::Disconnected,
+                "{k:?}"
+            );
+        }
+        assert!(matches!(
+            classify_io(&Error::from(ErrorKind::PermissionDenied)),
+            TransportError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn recv_deadline_evicts_a_midframe_trickler() {
+        // The peer feeds one byte every 10 ms — each read succeeds, so a
+        // per-read socket timeout never fires — but the absolute recv
+        // deadline must still cut the session off.
+        let (a, mut b) = TcpWire::pair_loopback().unwrap();
+        let encoded = Frame::new(3, vec![9u8; 64]).unwrap().encode();
+        let trickler = std::thread::spawn(move || {
+            for byte in encoded {
+                if a.get_ref().write_all(&[byte]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+        b.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        b.set_recv_deadline(Some(std::time::Instant::now() + Duration::from_millis(100)));
+        let start = std::time::Instant::now();
+        assert_eq!(b.recv().unwrap_err(), TransportError::TimedOut);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "eviction is bounded by deadline + one read timeout"
+        );
+        drop(b);
+        trickler.join().unwrap();
+
+        // A frame already sitting in the reassembly buffer is still
+        // delivered after expiry: send two back to back so the first
+        // recv's read slurps both, then expire the deadline.
+        let (mut c, mut d) = TcpWire::pair_loopback().unwrap();
+        c.send(Frame::new(5, vec![1, 2]).unwrap()).unwrap();
+        c.send(Frame::new(6, vec![3]).unwrap()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(d.recv().unwrap().msg_type, 5);
+        d.set_recv_deadline(Some(std::time::Instant::now() - Duration::from_millis(1)));
+        assert_eq!(d.recv().unwrap().msg_type, 6);
+        assert_eq!(d.recv().unwrap_err(), TransportError::TimedOut);
     }
 }

@@ -5,7 +5,7 @@
 use std::net::TcpListener;
 use std::path::PathBuf;
 
-use pps_cli::{load_values, run_keygen, run_query, run_server};
+use pps_cli::{load_values, run_keygen, run_query, run_server, ServeOptions};
 use pps_protocol::FoldStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,7 +28,11 @@ fn spawn_server(values: Vec<u64>, addr: String, sessions: usize, fold: FoldStrat
     let server_addr = addr.clone();
     std::thread::spawn(move || {
         let mut log = Vec::new();
-        run_server(values, &server_addr, Some(sessions), fold, &mut log).unwrap();
+        let opts = ServeOptions {
+            max_sessions: Some(sessions),
+            ..ServeOptions::default()
+        };
+        run_server(values, &server_addr, fold, &opts, &mut log).unwrap();
     });
     // Wait for the listener to come up.
     for _ in 0..100 {
@@ -58,7 +62,7 @@ fn serve_and_query_round_trip() {
     );
 
     let mut rng = StdRng::seed_from_u64(1);
-    let outcome = run_query(&addr, &[0, 2, 4], 128, None, 10, 1, &mut rng).unwrap();
+    let outcome = run_query(&addr, &[0, 2, 4], 128, None, 10, 1, 0, &mut rng).unwrap();
     assert_eq!(outcome.sum, 900);
     assert_eq!(outcome.n, 5);
     assert_eq!(outcome.selected, 3);
@@ -70,7 +74,7 @@ fn multiexp_server_agrees() {
     let addr = free_addr();
     spawn_server((1..=50).collect(), addr.clone(), 2, FoldStrategy::MultiExp);
     let mut rng = StdRng::seed_from_u64(2);
-    let outcome = run_query(&addr, &[9, 19, 29], 128, None, 16, 2, &mut rng).unwrap();
+    let outcome = run_query(&addr, &[9, 19, 29], 128, None, 16, 2, 0, &mut rng).unwrap();
     // Rows 9, 19, 29 hold values 10, 20, 30.
     assert_eq!(outcome.sum, 60);
 }
@@ -84,7 +88,7 @@ fn stored_key_query() {
 
     let addr = free_addr();
     spawn_server(vec![7, 11, 13], addr.clone(), 2, FoldStrategy::Incremental);
-    let outcome = run_query(&addr, &[1, 2], 0, Some(&key_path), 3, 1, &mut rng).unwrap();
+    let outcome = run_query(&addr, &[1, 2], 0, Some(&key_path), 3, 1, 0, &mut rng).unwrap();
     assert_eq!(outcome.sum, 24);
 }
 
@@ -93,14 +97,14 @@ fn out_of_range_selection_fails_cleanly() {
     let addr = free_addr();
     spawn_server(vec![1, 2, 3], addr.clone(), 2, FoldStrategy::Incremental);
     let mut rng = StdRng::seed_from_u64(4);
-    let err = run_query(&addr, &[5], 128, None, 1, 1, &mut rng).unwrap_err();
-    assert!(err.message.contains("selection"), "{}", err.message);
+    let err = run_query(&addr, &[5], 128, None, 1, 1, 0, &mut rng).unwrap_err();
+    assert!(err.message.contains("out of range"), "{}", err.message);
 }
 
 #[test]
 fn connection_refused_is_a_runtime_error() {
     let mut rng = StdRng::seed_from_u64(5);
-    let err = run_query("127.0.0.1:1", &[0], 128, None, 1, 1, &mut rng).unwrap_err();
+    let err = run_query("127.0.0.1:1", &[0], 128, None, 1, 1, 0, &mut rng).unwrap_err();
     assert_eq!(err.code, 1);
 }
 
@@ -114,6 +118,6 @@ fn value_file_to_server_pipeline() {
     let addr = free_addr();
     spawn_server(values, addr.clone(), 2, FoldStrategy::Incremental);
     let mut rng = StdRng::seed_from_u64(6);
-    let outcome = run_query(&addr, &[0, 2], 128, None, 100, 4, &mut rng).unwrap();
+    let outcome = run_query(&addr, &[0, 2], 128, None, 100, 4, 0, &mut rng).unwrap();
     assert_eq!(outcome.sum, 4000);
 }
