@@ -12,11 +12,19 @@
 //! * **parallel pool fill** — the same offline fill via
 //!   `RandomizerPool::fill_parallel` across all host cores.
 //!
-//! Results land as hand-rolled JSON in `BENCH_client_encrypt.json`
-//! (repo root, or `--out PATH`). The JSON records `host_parallelism`
-//! because the headline ≥2× parallel speedup only applies on a multi-core
-//! host — on a single-core box the parallel paths fall back to the
-//! sequential code and the speedup honestly reports ≈1×.
+//! Results land in `BENCH_client_encrypt.json` (repo root, or
+//! `--out PATH`), serialized through `pps_obs::JsonValue` — the
+//! workspace's one JSON writer (no serde). Alongside the per-`n` rows,
+//! the file carries per-worker-chunk and pool-fill latency histograms
+//! (recorded through `EncryptMetrics`/`PoolMetrics` while the sweep
+//! runs) and, for the smallest `n`, a full loopback `RunReport` rendered
+//! with `RunReport::to_json` — the paper's four-component decomposition
+//! in the same schema the CLI's `--trace json` prints.
+//!
+//! The JSON records `host_parallelism` because the headline ≥2× parallel
+//! speedup only applies on a multi-core host — on a single-core box the
+//! parallel paths fall back to the sequential code and the speedup
+//! honestly reports ≈1×.
 //!
 //! ```sh
 //! cargo run --release -p pps-bench --bin client_encrypt
@@ -26,7 +34,13 @@
 use std::time::Instant;
 
 use pps_bignum::Uint;
-use pps_crypto::{host_parallelism, PaillierKeypair, RandomizerPool};
+use pps_crypto::{
+    host_parallelism, EncryptMetrics, PaillierKeypair, ParallelEncryptor, PoolMetrics,
+    RandomizerPool,
+};
+use pps_obs::{HistogramSnapshot, JsonValue, Registry};
+use pps_protocol::{run_batched, Database, Selection, SumClient};
+use pps_transport::LinkProfile;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -116,6 +130,17 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0x2004_c11e);
     let kp = PaillierKeypair::generate(key_bits, &mut rng).expect("keygen");
     let key = kp.public.clone();
+    // The keypair moves into the client now; only the public half is
+    // needed for the sweep.
+    let client = SumClient::new(kp);
+
+    // Latency histograms accumulated across the whole sweep: one sample
+    // per parallel worker chunk, one per pool fill.
+    let registry = Registry::new();
+    let encrypt_metrics = EncryptMetrics::from_registry(&registry);
+    let pool_metrics = PoolMetrics::from_registry(&registry);
+    let parallel_encryptor =
+        ParallelEncryptor::new(key.clone(), threads).with_metrics(encrypt_metrics.clone());
 
     let mut rows = Vec::new();
     for &n in &ns {
@@ -124,12 +149,14 @@ fn main() {
 
         let (seq_cts, sequential_secs) = time(|| key.encrypt_batch(&ms, &mut rng).expect("seq"));
         let (par_cts, parallel_secs) = time(|| {
-            key.encrypt_batch_parallel(&ms, threads, &mut rng)
+            parallel_encryptor
+                .encrypt_batch(&ms, &mut rng)
                 .expect("par")
         });
         assert_eq!(seq_cts.len(), par_cts.len());
 
         let mut pool = RandomizerPool::new(key.clone());
+        pool.set_metrics(pool_metrics.clone());
         let ((), pool_fill_secs) = time(|| pool.fill(n, &mut rng).expect("fill"));
         let (_, pool_online_secs) = time(|| {
             ms.iter()
@@ -138,6 +165,7 @@ fn main() {
         });
 
         let mut par_pool = RandomizerPool::new(key.clone());
+        par_pool.set_metrics(pool_metrics.clone());
         let ((), parallel_pool_fill_secs) =
             time(|| par_pool.fill_parallel(n, threads, &mut rng).expect("pfill"));
         assert_eq!(par_pool.remaining(), n);
@@ -166,41 +194,94 @@ fn main() {
         rows.push(row);
     }
 
-    let json = render_json(key_bits, threads, host, &rows);
+    // A full protocol run over a simulated loopback link for the
+    // smallest n, reported in the same RunReport::to_json schema the
+    // CLI's `--trace json` prints.
+    let loopback = {
+        let n = ns.iter().copied().min().expect("non-empty sweep");
+        let db = Database::new((0..n as u64).map(|v| v % 1_000).collect()).expect("db");
+        let selection =
+            Selection::from_indices(n, &(0..n).step_by(2).collect::<Vec<_>>()).expect("selection");
+        run_batched(
+            &db,
+            &selection,
+            &client,
+            LinkProfile::gigabit_lan(),
+            100,
+            &mut rng,
+        )
+        .expect("loopback run")
+    };
+    println!("loopback: {}", loopback.summary());
+
+    let json = render_json(
+        key_bits,
+        threads,
+        host,
+        &rows,
+        &encrypt_metrics.chunk_seconds.snapshot(),
+        &pool_metrics.fill_seconds.snapshot(),
+        &loopback.to_json(),
+    );
     std::fs::write(&out_path, &json).expect("write results");
     println!("\nwrote {out_path}");
 }
 
-/// Hand-rolled JSON (the workspace deliberately carries no serde).
-fn render_json(key_bits: usize, threads: usize, host: usize, rows: &[Row]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"client_encrypt\",\n");
-    s.push_str(&format!("  \"key_bits\": {key_bits},\n"));
-    s.push_str(&format!("  \"threads\": {threads},\n"));
-    s.push_str(&format!("  \"host_parallelism\": {host},\n"));
-    s.push_str(
-        "  \"note\": \"parallel speedups are meaningful only when host_parallelism >= 2; \
-         on a single-core host the parallel engine falls back to the sequential path\",\n",
-    );
-    s.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"n\": {}, \"sequential_secs\": {:.6}, \"parallel_secs\": {:.6}, \
-             \"parallel_speedup\": {:.3}, \"pool_fill_secs\": {:.6}, \
-             \"pool_online_secs\": {:.6}, \"parallel_pool_fill_secs\": {:.6}, \
-             \"pool_fill_speedup\": {:.3}}}{}\n",
-            r.n,
-            r.sequential_secs,
-            r.parallel_secs,
+fn row_json(r: &Row) -> JsonValue {
+    JsonValue::object()
+        .field("n", r.n)
+        .field("sequential_secs", r.sequential_secs)
+        .field("parallel_secs", r.parallel_secs)
+        .field(
+            "parallel_speedup",
             r.sequential_secs / r.parallel_secs.max(1e-9),
-            r.pool_fill_secs,
-            r.pool_online_secs,
-            r.parallel_pool_fill_secs,
+        )
+        .field("pool_fill_secs", r.pool_fill_secs)
+        .field("pool_online_secs", r.pool_online_secs)
+        .field("parallel_pool_fill_secs", r.parallel_pool_fill_secs)
+        .field(
+            "pool_fill_speedup",
             r.pool_fill_secs / r.parallel_pool_fill_secs.max(1e-9),
-            if i + 1 == rows.len() { "" } else { "," },
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    s
+        )
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> JsonValue {
+    JsonValue::object()
+        .field("count", h.count)
+        .field("sum_seconds", JsonValue::seconds(h.sum()))
+        .field("p50_seconds", JsonValue::seconds(h.p50()))
+        .field("p95_seconds", JsonValue::seconds(h.p95()))
+        .field("p99_seconds", JsonValue::seconds(h.p99()))
+}
+
+/// The results file, serialized through the workspace's one JSON writer
+/// (`pps_obs::JsonValue` — the workspace deliberately carries no serde).
+fn render_json(
+    key_bits: usize,
+    threads: usize,
+    host: usize,
+    rows: &[Row],
+    chunks: &HistogramSnapshot,
+    fills: &HistogramSnapshot,
+    loopback: &JsonValue,
+) -> String {
+    JsonValue::object()
+        .field("bench", "client_encrypt")
+        .field("key_bits", key_bits)
+        .field("threads", threads)
+        .field("host_parallelism", host)
+        .field(
+            "note",
+            "parallel speedups are meaningful only when host_parallelism >= 2; \
+             on a single-core host the parallel engine falls back to the sequential path",
+        )
+        .field("rows", JsonValue::array(rows.iter().map(row_json)))
+        .field(
+            "histograms",
+            JsonValue::object()
+                .field("encrypt_chunk_seconds", histogram_json(chunks))
+                .field("pool_fill_seconds", histogram_json(fills)),
+        )
+        .field("loopback_report", loopback.clone())
+        .render_pretty()
 }

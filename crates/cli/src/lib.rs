@@ -26,9 +26,10 @@ use std::path::Path;
 use std::time::Duration;
 
 use pps_crypto::{PaillierKeypair, PaillierSecretKey};
+use pps_obs::{MetricsServer, Registry};
 use pps_protocol::{
-    run_tcp_query_with_retry, Admission, FoldStrategy, SessionEvent, SessionLimits, SumClient,
-    TcpQueryConfig, TcpServer,
+    run_tcp_query_observed, run_tcp_query_with_retry, Admission, FoldStrategy, QueryObs, RunReport,
+    ServerObs, SessionEvent, SessionLimits, SumClient, TcpQueryConfig, TcpServer,
 };
 use pps_transport::RetryPolicy;
 use rand::rngs::StdRng;
@@ -89,6 +90,8 @@ pub enum Command {
         session_timeout: Option<u64>,
         /// Trigger a graceful shutdown this many seconds after start.
         shutdown_after: Option<u64>,
+        /// Serve a Prometheus `/metrics` + `/healthz` endpoint here.
+        metrics_addr: Option<String>,
     },
     /// Issue one private selected-sum query.
     Query {
@@ -96,18 +99,8 @@ pub enum Command {
         addr: String,
         /// Selected row indices.
         select: Vec<usize>,
-        /// Key size for an ephemeral key.
-        key_bits: usize,
-        /// Path to a stored secret key (overrides `key_bits`).
-        key_file: Option<String>,
-        /// Batch size for streaming.
-        batch: usize,
-        /// Worker threads for client-side index encryption (1 =
-        /// sequential paper-fidelity path; 0 = one per host core).
-        client_threads: usize,
-        /// Extra attempts after a transient transport failure (0 =
-        /// single shot).
-        retries: u32,
+        /// Everything else.
+        opts: QueryOptions,
     },
     /// Generate and store a keypair.
     Keygen {
@@ -120,6 +113,49 @@ pub enum Command {
     Help,
 }
 
+/// How `pps query --trace` renders the per-phase timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The [`RunReport::to_json`] object, pretty-printed.
+    Json,
+    /// A human-readable phase table with proportional bars.
+    Pretty,
+}
+
+/// Knobs for [`run_query`] beyond the address and selection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryOptions {
+    /// Key size for an ephemeral key.
+    pub key_bits: usize,
+    /// Path to a stored secret key (overrides `key_bits`).
+    pub key_file: Option<String>,
+    /// Batch size for streaming.
+    pub batch: usize,
+    /// Worker threads for client-side index encryption (1 = sequential
+    /// paper-fidelity path; 0 = one per host core).
+    pub client_threads: usize,
+    /// Extra attempts after a transient transport failure (0 = single
+    /// shot).
+    pub retries: u32,
+    /// Record the paper's phase decomposition and render it.
+    pub trace: Option<TraceFormat>,
+}
+
+impl Default for QueryOptions {
+    /// Default key size, batch 100, sequential encryption, single shot,
+    /// no trace.
+    fn default() -> Self {
+        QueryOptions {
+            key_bits: pps_crypto::DEFAULT_KEY_BITS,
+            key_file: None,
+            batch: 100,
+            client_threads: 1,
+            retries: 0,
+            trace: None,
+        }
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 pps — private selected-sum queries over TCP
@@ -127,8 +163,9 @@ pps — private selected-sum queries over TCP
 USAGE:
   pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K] [--fold incremental|multiexp|parallel]
              [--max-concurrent K] [--admission queue|refuse] [--session-timeout SECS] [--shutdown-after SECS]
+             [--metrics-addr HOST:PORT]
   pps query  --addr ADDR --select i,j,k [--key-bits B | --key FILE] [--batch SIZE] [--client-threads T|auto]
-             [--retries N]
+             [--retries N] [--trace json|pretty]
   pps keygen --bits B --out FILE
   pps help
 
@@ -136,8 +173,13 @@ Serve hardening: --max-concurrent caps simultaneously active sessions
 (excess connections queue, or are refused with --admission refuse);
 --session-timeout bounds each session's wall clock (0 disables every
 deadline); --shutdown-after drains and exits gracefully after N seconds.
+Serve telemetry: --metrics-addr exposes GET /metrics (Prometheus text
+format: session lifecycle counters, wire bytes, per-phase latency
+histograms) and GET /healthz (JSON) while the server runs.
 Query --retries N re-issues the whole query up to N extra times on
-transient transport failures, with exponential backoff.
+transient transport failures, with exponential backoff. --trace records
+the paper's four-component phase decomposition of the query and prints
+it as JSON or as a timeline table.
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -226,6 +268,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .map_err(|_| CliError::usage("bad --shutdown-after"))
                     })
                     .transpose()?,
+                metrics_addr: get("metrics-addr"),
             })
         }
         "query" => {
@@ -264,17 +307,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                 }
             };
+            let trace = match get("trace").as_deref() {
+                None => None,
+                Some("json") => Some(TraceFormat::Json),
+                Some("pretty") => Some(TraceFormat::Pretty),
+                Some(other) => {
+                    return Err(CliError::usage(format!("unknown trace format {other}")))
+                }
+            };
             Ok(Command::Query {
                 addr,
                 select,
-                key_bits,
-                key_file: get("key"),
-                batch,
-                client_threads,
-                retries: get("retries")
-                    .map(|v| v.parse().map_err(|_| CliError::usage("bad --retries")))
-                    .transpose()?
-                    .unwrap_or(0),
+                opts: QueryOptions {
+                    key_bits,
+                    key_file: get("key"),
+                    batch,
+                    client_threads,
+                    retries: get("retries")
+                        .map(|v| v.parse().map_err(|_| CliError::usage("bad --retries")))
+                        .transpose()?
+                        .unwrap_or(0),
+                    trace,
+                },
             })
         }
         "keygen" => {
@@ -333,6 +387,9 @@ pub struct ServeOptions {
     pub limits: Option<SessionLimits>,
     /// Trigger a graceful shutdown after this long.
     pub shutdown_after: Option<Duration>,
+    /// Serve `GET /metrics` (Prometheus text) and `GET /healthz` (JSON)
+    /// on this address while the accept loop runs.
+    pub metrics_addr: Option<String>,
 }
 
 /// Runs the concurrent server: accepts connections and serves one
@@ -365,10 +422,25 @@ pub fn run_server(
     if let Some(max) = opts.max_concurrent {
         server = server.with_admission(max, opts.admission.unwrap_or(Admission::Queue));
     }
+    let metrics = match opts.metrics_addr.as_deref() {
+        Some(addr) => {
+            let registry = std::sync::Arc::new(Registry::new());
+            server = server.with_observability(ServerObs::new(std::sync::Arc::clone(&registry)));
+            Some(
+                MetricsServer::start(addr, registry).map_err(|e| {
+                    CliError::runtime(format!("cannot bind metrics on {addr}: {e}"))
+                })?,
+            )
+        }
+        None => None,
+    };
     let local = server
         .local_addr()
         .map_err(|e| CliError::runtime(e.to_string()))?;
     let _ = writeln!(log, "serving {} rows on {local} ({fold:?})", db.len());
+    if let Some(metrics) = &metrics {
+        let _ = writeln!(log, "metrics on http://{}/metrics", metrics.addr());
+    }
 
     // The shutdown timer runs detached: if the session budget empties
     // first, its eventual wake-up self-connect hits a dead port and is
@@ -400,6 +472,9 @@ pub fn run_server(
             SessionEvent::Failed { session, error } => {
                 let _ = writeln!(log, "session {session} failed: {error}");
             }
+            SessionEvent::Evicted { session, error } => {
+                let _ = writeln!(log, "session {session} evicted: {error}");
+            }
             SessionEvent::Refused { peer } => {
                 let peer = peer.map(|p| format!(" from {p}")).unwrap_or_default();
                 let _ = writeln!(log, "refused connection{peer}: at capacity");
@@ -412,15 +487,20 @@ pub fn run_server(
     let log = log.into_inner().expect("log lock");
     let _ = writeln!(
         log,
-        "served {} sessions ({} failed, {} refused): {} indices folded in {:?} compute, {:?} wall, {:.0} indices/s",
+        "served {} sessions ({} failed, {} refused, {} evicted, {} accept errors): {} indices folded in {:?} compute, {:?} wall, {:.0} indices/s",
         stats.sessions,
         stats.failed,
         stats.refused,
+        stats.evicted,
+        stats.accept_errors,
         stats.folded,
         stats.compute,
         stats.wall,
         stats.throughput(),
     );
+    if let Some(metrics) = metrics {
+        metrics.stop();
+    }
     Ok(())
 }
 
@@ -437,26 +517,26 @@ pub struct QueryOutcome {
     pub bytes: (usize, usize),
     /// Connection/query attempts made (1 = first try succeeded).
     pub attempts: u32,
+    /// The phase decomposition, when [`QueryOptions::trace`] asked for
+    /// one.
+    pub report: Option<RunReport>,
 }
 
 /// Runs one query against a listening server, re-issuing the whole
-/// query (with exponential backoff) up to `retries` extra times on
-/// transient transport failures.
+/// query (with exponential backoff) up to [`QueryOptions::retries`]
+/// extra times on transient transport failures. With a trace format
+/// set, the query runs instrumented and the outcome carries a
+/// [`RunReport`] of the paper's phase decomposition.
 ///
 /// # Errors
 /// [`CliError`] on connection, key, or protocol failure.
-#[allow(clippy::too_many_arguments)]
 pub fn run_query(
     addr: &str,
     select: &[usize],
-    key_bits: usize,
-    key_file: Option<&Path>,
-    batch: usize,
-    client_threads: usize,
-    retries: u32,
+    opts: &QueryOptions,
     rng: &mut StdRng,
 ) -> Result<QueryOutcome, CliError> {
-    let client = match key_file {
+    let client = match opts.key_file.as_deref() {
         Some(path) => {
             let bytes = std::fs::read(path)
                 .map_err(|e| CliError::runtime(format!("cannot read key: {e}")))?;
@@ -465,21 +545,29 @@ pub fn run_query(
                     .map_err(|e| CliError::runtime(format!("bad key file: {e}")))?,
             )
         }
-        None => SumClient::generate(key_bits, rng)
+        None => SumClient::generate(opts.key_bits, rng)
             .map_err(|e| CliError::runtime(format!("keygen failed: {e}")))?,
     };
 
     let config = TcpQueryConfig {
-        batch_size: batch,
-        client_threads,
+        batch_size: opts.batch,
+        client_threads: opts.client_threads,
         retry: RetryPolicy {
-            max_attempts: retries.saturating_add(1),
+            max_attempts: opts.retries.saturating_add(1),
             ..RetryPolicy::default()
         },
         ..TcpQueryConfig::default()
     };
-    let outcome = run_tcp_query_with_retry(addr, &client, select, &config, rng)
-        .map_err(|e| CliError::runtime(format!("query failed: {e}")))?;
+    let (outcome, report) = if opts.trace.is_some() {
+        let obs = QueryObs::new(std::sync::Arc::new(Registry::new()));
+        let (outcome, report) = run_tcp_query_observed(addr, &client, select, &config, rng, &obs)
+            .map_err(|e| CliError::runtime(format!("query failed: {e}")))?;
+        (outcome, Some(report))
+    } else {
+        let outcome = run_tcp_query_with_retry(addr, &client, select, &config, rng)
+            .map_err(|e| CliError::runtime(format!("query failed: {e}")))?;
+        (outcome, None)
+    };
     Ok(QueryOutcome {
         sum: outcome.sum,
         n: outcome.n,
@@ -489,7 +577,52 @@ pub fn run_query(
             outcome.traffic.payload_bytes_received,
         ),
         attempts: outcome.retry.attempts,
+        report,
     })
+}
+
+/// Renders a traced query's phase decomposition as an aligned table
+/// with proportional bars — the paper's four components plus totals.
+pub fn render_trace(report: &RunReport) -> String {
+    let phases = [
+        ("client_encrypt", report.client_encrypt),
+        ("comm", report.comm),
+        ("server_compute", report.server_compute),
+        ("client_decrypt", report.client_decrypt),
+    ];
+    let longest = phases
+        .iter()
+        .map(|(_, d)| d.as_secs_f64())
+        .fold(0.0_f64, f64::max);
+    let mut out = format!(
+        "phase timeline — {} (n={}, m={}, {}-bit key)\n",
+        report.link, report.n, report.selected, report.key_bits
+    );
+    for (name, duration) in phases {
+        let secs = duration.as_secs_f64();
+        let width = if longest > 0.0 {
+            ((secs / longest) * 40.0).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  {name:<16} {secs:>12.6}s  {}\n",
+            "#".repeat(width)
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<16} {:>12.6}s\n",
+        "online total",
+        report.total_online().as_secs_f64()
+    ));
+    if !report.client_offline.is_zero() {
+        out.push_str(&format!(
+            "  {:<16} {:>12.6}s\n",
+            "offline",
+            report.client_offline.as_secs_f64()
+        ));
+    }
+    out
 }
 
 /// Generates a keypair and writes the secret bytes to `out`.
@@ -530,6 +663,7 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
             admission,
             session_timeout,
             shutdown_after,
+            metrics_addr,
         } => {
             let values = match (data, random) {
                 (Some(path), None) => load_values(Path::new(&path))?,
@@ -557,29 +691,22 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
                 admission: Some(admission),
                 limits,
                 shutdown_after: shutdown_after.map(Duration::from_secs),
+                metrics_addr,
             };
             run_server(values, &listen, fold, &opts, out)
         }
-        Command::Query {
-            addr,
-            select,
-            key_bits,
-            key_file,
-            batch,
-            client_threads,
-            retries,
-        } => {
+        Command::Query { addr, select, opts } => {
             let mut rng = StdRng::from_entropy();
-            let outcome = run_query(
-                &addr,
-                &select,
-                key_bits,
-                key_file.as_deref().map(Path::new),
-                batch,
-                client_threads,
-                retries,
-                &mut rng,
-            )?;
+            let outcome = run_query(&addr, &select, &opts, &mut rng)?;
+            match (opts.trace, &outcome.report) {
+                (Some(TraceFormat::Json), Some(report)) => {
+                    let _ = out.write_all(report.to_json().render_pretty().as_bytes());
+                }
+                (Some(TraceFormat::Pretty), Some(report)) => {
+                    let _ = out.write_all(render_trace(report).as_bytes());
+                }
+                _ => {}
+            }
             let _ = writeln!(
                 out,
                 "private sum of {} selected rows (of {}): {}",
@@ -624,6 +751,7 @@ mod tests {
                 admission: Admission::Queue,
                 session_timeout: None,
                 shutdown_after: None,
+                metrics_addr: None,
             }
         );
         match parse_args(&args("serve --random 8 --fold parallel")).unwrap() {
@@ -667,33 +795,49 @@ mod tests {
     }
 
     #[test]
+    fn parse_metrics_addr() {
+        match parse_args(&args("serve --random 8 --metrics-addr 127.0.0.1:9100")).unwrap() {
+            Command::Serve { metrics_addr, .. } => {
+                assert_eq!(metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_trace() {
+        match parse_args(&args("query --addr a:1 --select 1 --trace json")).unwrap() {
+            Command::Query { opts, .. } => assert_eq!(opts.trace, Some(TraceFormat::Json)),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("query --addr a:1 --select 1 --trace pretty")).unwrap() {
+            Command::Query { opts, .. } => assert_eq!(opts.trace, Some(TraceFormat::Pretty)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("query --addr a:1 --select 1 --trace yaml")).is_err());
+    }
+
+    #[test]
     fn parse_query() {
         let c = parse_args(&args(
             "query --addr 1.2.3.4:5 --select 1,2,3 --key-bits 512",
         ))
         .unwrap();
         match c {
-            Command::Query {
-                addr,
-                select,
-                key_bits,
-                key_file,
-                batch,
-                client_threads,
-                retries,
-            } => {
+            Command::Query { addr, select, opts } => {
                 assert_eq!(addr, "1.2.3.4:5");
                 assert_eq!(select, vec![1, 2, 3]);
-                assert_eq!(key_bits, 512);
-                assert_eq!(key_file, None);
-                assert_eq!(batch, 100);
-                assert_eq!(client_threads, 1, "paper-fidelity default");
-                assert_eq!(retries, 0, "single shot unless asked");
+                assert_eq!(opts.key_bits, 512);
+                assert_eq!(opts.key_file, None);
+                assert_eq!(opts.batch, 100);
+                assert_eq!(opts.client_threads, 1, "paper-fidelity default");
+                assert_eq!(opts.retries, 0, "single shot unless asked");
+                assert_eq!(opts.trace, None);
             }
             other => panic!("{other:?}"),
         }
         match parse_args(&args("query --addr a:1 --select 1 --retries 3")).unwrap() {
-            Command::Query { retries, .. } => assert_eq!(retries, 3),
+            Command::Query { opts, .. } => assert_eq!(opts.retries, 3),
             other => panic!("{other:?}"),
         }
         assert!(parse_args(&args("query --addr a:1 --select 1 --retries x")).is_err());
@@ -709,7 +853,7 @@ mod tests {
     #[test]
     fn parse_client_threads() {
         match parse_args(&args("query --addr a:1 --select 1 --client-threads 6")).unwrap() {
-            Command::Query { client_threads, .. } => assert_eq!(client_threads, 6),
+            Command::Query { opts, .. } => assert_eq!(opts.client_threads, 6),
             other => panic!("{other:?}"),
         }
         // "auto" and 0 both resolve to the host's core count (>= 1).
@@ -719,8 +863,8 @@ mod tests {
             )))
             .unwrap()
             {
-                Command::Query { client_threads, .. } => {
-                    assert_eq!(client_threads, pps_crypto::host_parallelism())
+                Command::Query { opts, .. } => {
+                    assert_eq!(opts.client_threads, pps_crypto::host_parallelism())
                 }
                 other => panic!("{other:?}"),
             }
@@ -742,6 +886,37 @@ mod tests {
         assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
         assert!(parse_args(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn render_trace_shows_each_phase() {
+        let report = RunReport {
+            variant: pps_protocol::Variant::Batched,
+            n: 100,
+            selected: 3,
+            key_bits: 512,
+            link: "tcp:1.2.3.4:5".into(),
+            client_offline: Duration::ZERO,
+            client_encrypt: Duration::from_millis(400),
+            server_compute: Duration::from_millis(100),
+            comm: Duration::from_millis(200),
+            client_decrypt: Duration::from_millis(10),
+            pipelined_total: None,
+            bytes_to_server: 1,
+            bytes_to_client: 2,
+            messages: 3,
+            result: 42,
+        };
+        let text = render_trace(&report);
+        assert!(text.contains("tcp:1.2.3.4:5"));
+        for phase in ["client_encrypt", "comm", "server_compute", "client_decrypt"] {
+            assert!(text.contains(phase), "missing {phase} in:\n{text}");
+        }
+        assert!(text.contains("online total"));
+        // Bars scale with the longest phase: encrypt gets the full bar.
+        assert!(text.contains(&"#".repeat(40)));
+        // Offline row only appears when there was offline work.
+        assert!(!text.contains("offline"));
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod error;
 mod general;
 mod hmac;
 mod keyio;
+mod obs;
 mod paillier;
 mod parallel;
 mod pool;
@@ -57,6 +58,7 @@ pub use damgard_jurik::{DamgardJurik, DjCiphertext, DjPublicKey, MAX_S};
 pub use error::CryptoError;
 pub use general::GeneralPaillier;
 pub use hmac::{ct_eq, hmac_sha256};
+pub use obs::{EncryptMetrics, PoolMetrics};
 pub use paillier::{
     Ciphertext, PaillierKeypair, PaillierPublicKey, PaillierSecretKey, DEFAULT_KEY_BITS,
     MIN_KEY_BITS,

@@ -1,0 +1,79 @@
+//! Crypto-layer observability: pool hit/miss counters and offline-fill /
+//! parallel-chunk timings, registered under the canonical `pps_*` names.
+//!
+//! The paper's §3.3 argument is that pooling converts expensive online
+//! encryptions into cheap table lookups — so the first thing a deployed
+//! pool must expose is whether lookups actually hit ([`PoolMetrics`]),
+//! and how long the offline fills that sustain the hit rate take. The
+//! parallel engine's chunk histogram ([`EncryptMetrics`]) makes worker
+//! imbalance visible: p99 chunk time far above p50 means a straggler
+//! worker is gating the whole batch.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pps_obs::{names, Counter, Histogram, Registry};
+
+/// Shared pool counters and fill-duration histogram. Clone to share;
+/// clones update the same underlying atomics.
+#[derive(Clone)]
+pub struct PoolMetrics {
+    /// Takes served from the pool.
+    pub hits: Arc<Counter>,
+    /// Takes that found the pool empty ([`CryptoError::PoolExhausted`]).
+    ///
+    /// [`CryptoError::PoolExhausted`]: crate::CryptoError::PoolExhausted
+    pub misses: Arc<Counter>,
+    /// Offline fill durations.
+    pub fill_seconds: Arc<Histogram>,
+}
+
+impl PoolMetrics {
+    /// Metrics registered under the canonical `pps_pool_*` names.
+    pub fn from_registry(registry: &Registry) -> Self {
+        PoolMetrics {
+            hits: registry.counter(
+                names::POOL_HITS_TOTAL,
+                "pool takes served from precomputed ciphertexts",
+            ),
+            misses: registry.counter(
+                names::POOL_MISSES_TOTAL,
+                "pool takes that found the pool exhausted",
+            ),
+            fill_seconds: registry
+                .histogram(names::POOL_FILL_SECONDS, "duration of offline pool fills"),
+        }
+    }
+
+    pub(crate) fn on_take(&self, hit: bool) {
+        if hit {
+            self.hits.inc();
+        } else {
+            self.misses.inc();
+        }
+    }
+
+    pub(crate) fn on_fill(&self, elapsed: Duration) {
+        self.fill_seconds.record_duration(elapsed);
+    }
+}
+
+/// Per-worker-chunk timing for the parallel encryption engine.
+#[derive(Clone)]
+pub struct EncryptMetrics {
+    /// Duration of each worker's contiguous chunk inside one parallel
+    /// batch encryption.
+    pub chunk_seconds: Arc<Histogram>,
+}
+
+impl EncryptMetrics {
+    /// Metrics registered under the canonical `pps_encrypt_*` names.
+    pub fn from_registry(registry: &Registry) -> Self {
+        EncryptMetrics {
+            chunk_seconds: registry.histogram(
+                names::ENCRYPT_CHUNK_SECONDS,
+                "duration of one worker chunk inside a parallel encrypt",
+            ),
+        }
+    }
+}

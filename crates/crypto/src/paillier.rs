@@ -376,6 +376,25 @@ impl PaillierPublicKey {
         threads: usize,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<Ciphertext>, CryptoError> {
+        self.encrypt_batch_parallel_observed(ms, threads, rng, None)
+    }
+
+    /// [`PaillierPublicKey::encrypt_batch_parallel`] with an optional
+    /// per-chunk observer: `on_chunk` is called once per worker chunk
+    /// (including the sequential-fallback "chunk") with the wall time
+    /// that chunk took. Ciphertext output is bit-identical with or
+    /// without an observer — timing happens around, never inside, the
+    /// deterministic encryption stream.
+    ///
+    /// # Errors
+    /// As [`PaillierPublicKey::encrypt`], on the first failing element.
+    pub fn encrypt_batch_parallel_observed(
+        &self,
+        ms: &[Uint],
+        threads: usize,
+        rng: &mut dyn RngCore,
+        on_chunk: Option<&(dyn Fn(std::time::Duration) + Sync)>,
+    ) -> Result<Vec<Ciphertext>, CryptoError> {
         let workers = threads
             .max(1)
             .min(ms.len() / MIN_ENCRYPTIONS_PER_THREAD.max(1))
@@ -385,15 +404,24 @@ impl PaillierPublicKey {
         // ciphertext stream depends only on (rng state, threads), never
         // on scheduling.
         let mut streams = split_rng_streams(rng, ms.len().div_ceil(chunk));
+        let timed_chunk = |mc: &[Uint], stream: &mut StdRng| {
+            let start = std::time::Instant::now();
+            let result = self.encrypt_batch(mc, stream);
+            if let Some(observe) = on_chunk {
+                observe(start.elapsed());
+            }
+            result
+        };
         if workers <= 1 {
             let mut stream_rng = streams.pop().unwrap_or_else(|| StdRng::from_seed([0; 32]));
-            return self.encrypt_batch(ms, &mut stream_rng);
+            return timed_chunk(ms, &mut stream_rng);
         }
+        let timed_chunk = &timed_chunk;
         let chunk_results: Vec<Result<Vec<Ciphertext>, CryptoError>> = std::thread::scope(|s| {
             let handles: Vec<_> = ms
                 .chunks(chunk)
                 .zip(streams.iter_mut())
-                .map(|(mc, stream)| s.spawn(move || self.encrypt_batch(mc, stream)))
+                .map(|(mc, stream)| s.spawn(move || timed_chunk(mc, stream)))
                 .collect();
             handles
                 .into_iter()

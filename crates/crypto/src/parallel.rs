@@ -22,15 +22,27 @@ use pps_bignum::Uint;
 use rand::RngCore;
 
 use crate::error::CryptoError;
+use crate::obs::EncryptMetrics;
 use crate::paillier::{Ciphertext, PaillierPublicKey};
 
 /// A public key bundled with a client-side thread-count policy.
 ///
 /// Cheap to clone (the key is `Arc`-backed).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ParallelEncryptor {
     key: PaillierPublicKey,
     threads: usize,
+    metrics: Option<EncryptMetrics>,
+}
+
+impl std::fmt::Debug for ParallelEncryptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelEncryptor")
+            .field("key", &self.key)
+            .field("threads", &self.threads)
+            .field("metrics", &self.metrics.is_some())
+            .finish()
+    }
 }
 
 impl ParallelEncryptor {
@@ -40,7 +52,17 @@ impl ParallelEncryptor {
         ParallelEncryptor {
             key,
             threads: threads.max(1),
+            metrics: None,
         }
+    }
+
+    /// Attaches [`EncryptMetrics`]: each worker chunk of every parallel
+    /// batch records its wall time into the chunk histogram. Ciphertext
+    /// output is unchanged.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: EncryptMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Wraps `key` with one worker per available hardware core.
@@ -68,7 +90,17 @@ impl ParallelEncryptor {
         ms: &[Uint],
         rng: &mut dyn RngCore,
     ) -> Result<Vec<Ciphertext>, CryptoError> {
-        self.key.encrypt_batch_parallel(ms, self.threads, rng)
+        match &self.metrics {
+            Some(metrics) => {
+                let chunks = metrics.chunk_seconds.clone();
+                let observe = move |elapsed: std::time::Duration| {
+                    chunks.record_duration(elapsed);
+                };
+                self.key
+                    .encrypt_batch_parallel_observed(ms, self.threads, rng, Some(&observe))
+            }
+            None => self.key.encrypt_batch_parallel(ms, self.threads, rng),
+        }
     }
 
     /// Encrypts a `u64` weight slice — the protocol's index-vector
@@ -154,6 +186,28 @@ mod tests {
         let kp = keypair();
         let enc = ParallelEncryptor::new(kp.public.clone(), 0);
         assert_eq!(enc.threads(), 1);
+    }
+
+    #[test]
+    fn chunk_metrics_record_without_changing_output() {
+        use pps_obs::Registry;
+        let kp = keypair();
+        let registry = Registry::new();
+        let metrics = crate::obs::EncryptMetrics::from_registry(&registry);
+        let plain = ParallelEncryptor::new(kp.public.clone(), 2);
+        let observed = ParallelEncryptor::new(kp.public.clone(), 2).with_metrics(metrics.clone());
+        let ms: Vec<Uint> = (0..24).map(Uint::from_u64).collect();
+        let a = plain
+            .encrypt_batch(&ms, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = observed
+            .encrypt_batch(&ms, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a, b, "observer must not perturb the ciphertext stream");
+        assert!(
+            metrics.chunk_seconds.count() >= 1,
+            "at least one chunk timing recorded"
+        );
     }
 
     #[test]

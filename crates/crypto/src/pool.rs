@@ -25,6 +25,7 @@ use pps_bignum::Uint;
 use rand::RngCore;
 
 use crate::error::CryptoError;
+use crate::obs::PoolMetrics;
 use crate::paillier::{Ciphertext, PaillierPublicKey};
 
 /// Pool of precomputed encryptions of the bits 0 and 1.
@@ -32,6 +33,7 @@ pub struct BitEncryptionPool {
     key: PaillierPublicKey,
     zeros: VecDeque<Ciphertext>,
     ones: VecDeque<Ciphertext>,
+    metrics: Option<PoolMetrics>,
 }
 
 impl BitEncryptionPool {
@@ -41,7 +43,14 @@ impl BitEncryptionPool {
             key,
             zeros: VecDeque::new(),
             ones: VecDeque::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches shared [`PoolMetrics`]: every take counts a hit or a
+    /// miss, every fill records its duration.
+    pub fn set_metrics(&mut self, metrics: PoolMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Precomputes `n_zeros` encryptions of 0 and `n_ones` of 1 (the
@@ -73,8 +82,12 @@ impl BitEncryptionPool {
         threads: usize,
         rng: &mut dyn RngCore,
     ) -> Result<(), CryptoError> {
+        let start = std::time::Instant::now();
         let (zeros, ones) = precompute_bits(&self.key, n_zeros, n_ones, threads, rng)?;
         self.append(zeros, ones);
+        if let Some(metrics) = &self.metrics {
+            metrics.on_fill(start.elapsed());
+        }
         Ok(())
     }
 
@@ -98,9 +111,13 @@ impl BitEncryptionPool {
         } else {
             (&mut self.zeros, "zero")
         };
-        queue
+        let result = queue
             .pop_front()
-            .ok_or(CryptoError::PoolExhausted { pool: name })
+            .ok_or(CryptoError::PoolExhausted { pool: name });
+        if let Some(metrics) = &self.metrics {
+            metrics.on_take(result.is_ok());
+        }
+        result
     }
 
     /// Remaining `(zeros, ones)` counts.
@@ -119,6 +136,7 @@ impl BitEncryptionPool {
 pub struct RandomizerPool {
     key: PaillierPublicKey,
     randomizers: VecDeque<Uint>,
+    metrics: Option<PoolMetrics>,
 }
 
 impl RandomizerPool {
@@ -127,7 +145,14 @@ impl RandomizerPool {
         RandomizerPool {
             key,
             randomizers: VecDeque::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches shared [`PoolMetrics`] — see
+    /// [`BitEncryptionPool::set_metrics`].
+    pub fn set_metrics(&mut self, metrics: PoolMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Precomputes `count` randomizer factors (the offline phase). Thin
@@ -154,9 +179,13 @@ impl RandomizerPool {
         threads: usize,
         rng: &mut dyn RngCore,
     ) -> Result<(), CryptoError> {
+        let start = std::time::Instant::now();
         let rns = self.key.sample_randomizers_parallel(count, threads, rng)?;
         self.randomizers.reserve(rns.len());
         self.randomizers.extend(rns);
+        if let Some(metrics) = &self.metrics {
+            metrics.on_fill(start.elapsed());
+        }
         Ok(())
     }
 
@@ -166,10 +195,11 @@ impl RandomizerPool {
     /// [`CryptoError::PoolExhausted`] when empty;
     /// [`CryptoError::PlaintextOutOfRange`] when `m >= N`.
     pub fn encrypt(&mut self, m: &Uint) -> Result<Ciphertext, CryptoError> {
-        let rn = self
-            .randomizers
-            .pop_front()
-            .ok_or(CryptoError::PoolExhausted { pool: "randomizer" })?;
+        let rn = self.randomizers.pop_front();
+        if let Some(metrics) = &self.metrics {
+            metrics.on_take(rn.is_some());
+        }
+        let rn = rn.ok_or(CryptoError::PoolExhausted { pool: "randomizer" })?;
         self.key.encrypt_with_randomizer(m, &rn)
     }
 
@@ -251,9 +281,19 @@ impl SharedBitPool {
         threads: usize,
         rng: &mut dyn RngCore,
     ) -> Result<(), CryptoError> {
+        let start = std::time::Instant::now();
         let (zeros, ones) = precompute_bits(&self.key, n_zeros, n_ones, threads, rng)?;
-        self.inner.lock().append(zeros, ones);
+        let mut inner = self.inner.lock();
+        inner.append(zeros, ones);
+        if let Some(metrics) = &inner.metrics {
+            metrics.on_fill(start.elapsed());
+        }
         Ok(())
+    }
+
+    /// Thread-safe [`BitEncryptionPool::set_metrics`].
+    pub fn set_metrics(&self, metrics: PoolMetrics) {
+        self.inner.lock().set_metrics(metrics);
     }
 
     /// Thread-safe [`BitEncryptionPool::remaining`].
@@ -411,6 +451,49 @@ mod tests {
         );
         let (z, o) = shared.remaining();
         assert_eq!((z, o), (401, 400), "fill spliced in after the take");
+    }
+
+    #[test]
+    fn pool_metrics_count_hits_misses_and_fills() {
+        use pps_obs::Registry;
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(70);
+        let registry = Registry::new();
+        let metrics = crate::obs::PoolMetrics::from_registry(&registry);
+
+        let mut pool = BitEncryptionPool::new(kp.public.clone());
+        pool.set_metrics(metrics.clone());
+        pool.fill(2, 1, &mut rng).unwrap();
+        assert!(pool.take(false).is_ok()); // hit
+        assert!(pool.take(true).is_ok()); // hit
+        assert!(pool.take(true).is_err()); // miss
+        assert_eq!(metrics.hits.get(), 2);
+        assert_eq!(metrics.misses.get(), 1);
+        assert_eq!(metrics.fill_seconds.count(), 1);
+
+        // The randomizer pool feeds the same shared counters.
+        let mut rpool = RandomizerPool::new(kp.public.clone());
+        rpool.set_metrics(metrics.clone());
+        rpool.fill(1, &mut rng).unwrap();
+        assert!(rpool.encrypt(&Uint::zero()).is_ok()); // hit
+        assert!(rpool.encrypt(&Uint::zero()).is_err()); // miss
+        assert_eq!(metrics.hits.get(), 3);
+        assert_eq!(metrics.misses.get(), 2);
+        assert_eq!(metrics.fill_seconds.count(), 2);
+
+        // And the shared wrapper's out-of-lock fill still records.
+        let mut inner = BitEncryptionPool::new(kp.public.clone());
+        inner.set_metrics(metrics.clone());
+        let shared = SharedBitPool::new(inner);
+        shared.fill(1, 0, &mut rng).unwrap();
+        assert!(shared.take(false).is_ok());
+        assert_eq!(metrics.hits.get(), 4);
+        assert_eq!(metrics.fill_seconds.count(), 3);
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("pps_pool_hits_total 4"));
+        assert!(text.contains("pps_pool_misses_total 2"));
+        assert!(text.contains("pps_pool_fill_seconds_count 3"));
     }
 
     #[test]

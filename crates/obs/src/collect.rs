@@ -1,0 +1,275 @@
+//! Span/event collectors: where [`Tracer`](crate::Tracer) output goes.
+//!
+//! Collectors are deliberately dumb sinks — classification and
+//! aggregation happen either upstream (the tracer's phase tags) or
+//! downstream (the metrics registry, the span→`RunReport` bridge).
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::span::{EventRecord, SpanRecord};
+
+/// A sink for completed spans and events. Implementations must be
+/// `Send + Sync`: server sessions record from many threads at once.
+pub trait Collector: Send + Sync {
+    /// Accepts one completed span.
+    fn record_span(&self, span: SpanRecord);
+    /// Accepts one event.
+    fn record_event(&self, event: EventRecord);
+}
+
+/// Drops everything (the disabled-instrumentation default).
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn record_span(&self, _: SpanRecord) {}
+    fn record_event(&self, _: EventRecord) {}
+}
+
+/// One record of either kind, in arrival order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// A completed span.
+    Span(SpanRecord),
+    /// An event.
+    Event(EventRecord),
+}
+
+/// Bounded in-memory collector: keeps the most recent `capacity`
+/// records, dropping the oldest (and counting the drops) when full.
+pub struct RingCollector {
+    capacity: usize,
+    inner: Mutex<Ring>,
+}
+
+#[derive(Default)]
+struct Ring {
+    records: VecDeque<Record>,
+    dropped: u64,
+}
+
+impl RingCollector {
+    /// A ring holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingCollector {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Ring::default()),
+        }
+    }
+
+    fn push(&self, record: Record) {
+        let mut ring = self.inner.lock().expect("ring lock");
+        if ring.records.len() == self.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(record);
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> Vec<Record> {
+        self.inner
+            .lock()
+            .expect("ring lock")
+            .records
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained spans only, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s),
+                Record::Event(_) => None,
+            })
+            .collect()
+    }
+
+    /// Retained events only, oldest first.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Event(e) => Some(e),
+                Record::Span(_) => None,
+            })
+            .collect()
+    }
+
+    /// Records evicted so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("ring lock").dropped
+    }
+
+    /// Removes and returns every retained record, oldest first.
+    pub fn drain(&self) -> Vec<Record> {
+        std::mem::take(&mut self.inner.lock().expect("ring lock").records).into()
+    }
+}
+
+impl Collector for RingCollector {
+    fn record_span(&self, span: SpanRecord) {
+        self.push(Record::Span(span));
+    }
+
+    fn record_event(&self, event: EventRecord) {
+        self.push(Record::Event(event));
+    }
+}
+
+/// Writes each record as one line of JSON to any `Write` sink — a file,
+/// a pipe, stderr, or an in-memory buffer. Lines never interleave: the
+/// writer sits behind a mutex.
+pub struct JsonLinesCollector<W: Write + Send> {
+    inner: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesCollector<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonLinesCollector {
+            inner: Mutex::new(writer),
+        }
+    }
+
+    /// Unwraps the writer (for tests and buffered sinks).
+    pub fn into_inner(self) -> W {
+        self.inner.into_inner().expect("jsonl lock")
+    }
+
+    fn write_line(&self, json: crate::json::JsonValue) {
+        let mut line = json.render();
+        line.push('\n');
+        // A full disk or closed pipe must not take the protocol down
+        // with it; tracing is best-effort by design.
+        let _ = self
+            .inner
+            .lock()
+            .expect("jsonl lock")
+            .write_all(line.as_bytes());
+    }
+}
+
+impl<W: Write + Send> Collector for JsonLinesCollector<W> {
+    fn record_span(&self, span: SpanRecord) {
+        self.write_line(span.to_json());
+    }
+
+    fn record_event(&self, event: EventRecord) {
+        self.write_line(event.to_json());
+    }
+}
+
+/// Fans every record out to several collectors — e.g. a ring for the
+/// span→report bridge *and* a JSONL file for offline analysis.
+pub struct TeeCollector {
+    sinks: Vec<Arc<dyn Collector>>,
+}
+
+impl TeeCollector {
+    /// A tee over `sinks` (cloned records, in order).
+    pub fn new(sinks: Vec<Arc<dyn Collector>>) -> Self {
+        TeeCollector { sinks }
+    }
+}
+
+impl Collector for TeeCollector {
+    fn record_span(&self, span: SpanRecord) {
+        for sink in &self.sinks {
+            sink.record_span(span.clone());
+        }
+    }
+
+    fn record_event(&self, event: EventRecord) {
+        for sink in &self.sinks {
+            sink.record_event(event.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Phase, Tracer};
+
+    fn span(name: &str, start: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            phase: Some(Phase::Comm),
+            session: None,
+            batch: None,
+            start_ns: start,
+            end_ns: start + 1,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let ring = RingCollector::new(2);
+        ring.record_span(span("a", 0));
+        ring.record_event(EventRecord {
+            name: "e".into(),
+            session: None,
+            at_ns: 1,
+            detail: String::new(),
+        });
+        ring.record_span(span("b", 2));
+        assert_eq!(ring.dropped(), 1, "'a' was evicted");
+        let records = ring.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(ring.spans().len(), 1);
+        assert_eq!(ring.spans()[0].name, "b");
+        assert_eq!(ring.events().len(), 1);
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.records().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_record() {
+        let collector = JsonLinesCollector::new(Vec::new());
+        collector.record_span(span("s", 5));
+        collector.record_event(EventRecord {
+            name: "ev".into(),
+            session: Some(1),
+            at_ns: 9,
+            detail: "d".into(),
+        });
+        let text = String::from_utf8(collector.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"kind":"span""#));
+        assert!(lines[1].starts_with(r#"{"kind":"event""#));
+    }
+
+    #[test]
+    fn tee_duplicates_to_every_sink() {
+        let a = Arc::new(RingCollector::new(4));
+        let b = Arc::new(RingCollector::new(4));
+        let tee = TeeCollector::new(vec![a.clone(), b.clone()]);
+        tee.record_span(span("x", 0));
+        assert_eq!(a.spans().len(), 1);
+        assert_eq!(b.spans().len(), 1);
+    }
+
+    #[test]
+    fn collectors_accept_concurrent_writers() {
+        let ring = Arc::new(RingCollector::new(1024));
+        let tracer = Tracer::new(ring.clone());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let tracer = tracer.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        tracer.span("w").session(t).batch(i).start().finish();
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.spans().len(), 200);
+        assert_eq!(ring.dropped(), 0);
+    }
+}

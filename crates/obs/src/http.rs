@@ -1,0 +1,240 @@
+//! A minimal std-only HTTP/1.1 server exposing a [`Registry`].
+//!
+//! Two routes, both read-only:
+//!
+//! * `GET /metrics` — Prometheus text exposition format 0.0.4
+//! * `GET /healthz` — JSON snapshot (uptime, counters, gauges,
+//!   histogram summaries)
+//!
+//! This is intentionally not a general web server: it parses only the
+//! request line, ignores headers and bodies, answers one request per
+//! connection (`Connection: close`), and enforces a short read timeout
+//! so a stalled scraper cannot pin a handler thread.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// How long a handler waits for a request line before dropping the
+/// connection.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running metrics endpoint. Dropping it without calling
+/// [`MetricsServer::stop`] leaves the accept thread running until
+/// process exit — call `stop` for a clean shutdown.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9090"`, port 0 for ephemeral) and
+    /// starts serving `registry` on a background accept thread.
+    pub fn start(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = thread::Builder::new()
+            .name("pps-metrics".into())
+            .spawn(move || accept_loop(listener, registry, accept_stop))
+            .expect("spawn metrics accept thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. In-flight handler
+    /// threads finish their single response and exit on their own.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBool>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let registry = Arc::clone(&registry);
+        // Detached: each handler writes one response and exits.
+        let _ = thread::Builder::new()
+            .name("pps-metrics-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &registry);
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &Registry) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Drain headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut stream = reader.into_inner();
+    let (status, content_type, body) = route(method, path, registry);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(method: &str, path: &str, registry: &Registry) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        );
+    }
+    // Scrapers may append query strings; route on the path alone.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus(),
+        ),
+        "/healthz" => (
+            "200 OK",
+            "application/json",
+            registry.healthz_json().render(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics or /healthz\n".into(),
+        ),
+    }
+}
+
+/// Issues one blocking `GET path` against `addr` and returns
+/// `(status_line, body)`. Std-only; used by the CLI's trace mode and
+/// the integration tests — real deployments point Prometheus at the
+/// endpoint instead.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(READ_TIMEOUT))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut body = String::new();
+    // Connection: close — read to EOF.
+    io::Read::read_to_string(&mut reader, &mut body)?;
+    Ok((status_line.trim_end().to_string(), body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration as StdDuration;
+
+    fn server_with_data() -> (MetricsServer, Arc<Registry>) {
+        let registry = Arc::new(Registry::new());
+        registry.counter("pps_http_test_total", "t").add(5);
+        registry
+            .histogram("pps_http_test_seconds", "t")
+            .record_duration(StdDuration::from_millis(2));
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        (server, registry)
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (server, registry) = server_with_data();
+        let (status, body) = get(server.addr(), "/metrics").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("pps_http_test_total 5"));
+        assert!(body.contains(r#"pps_http_test_seconds_bucket{le="+Inf"} 1"#));
+        assert_eq!(body, registry.render_prometheus());
+        server.stop();
+    }
+
+    #[test]
+    fn healthz_endpoint_serves_json() {
+        let (server, _registry) = server_with_data();
+        let (status, body) = get(server.addr(), "/healthz").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(body.starts_with('{') && body.ends_with('}'));
+        assert!(body.contains(r#""pps_http_test_total":5"#));
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_server_survives() {
+        let (server, _registry) = server_with_data();
+        let (status, _) = get(server.addr(), "/nope").unwrap();
+        assert!(status.contains("404"), "{status}");
+        let (status, _) = get(server.addr(), "/metrics?ts=1").unwrap();
+        assert!(status.contains("200"), "query strings ignored: {status}");
+        server.stop();
+    }
+
+    #[test]
+    fn stop_joins_cleanly_and_port_closes() {
+        let (server, _registry) = server_with_data();
+        let addr = server.addr();
+        server.stop();
+        // After stop, new scrapes must fail (connect refused) or at
+        // least never serve metrics.
+        if let Ok((_, body)) = get(addr, "/metrics") {
+            assert!(body.is_empty(), "stopped server answered a scrape");
+        }
+    }
+}

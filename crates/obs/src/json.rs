@@ -1,0 +1,301 @@
+//! The workspace's single hand-rolled JSON serializer.
+//!
+//! The workspace deliberately carries no serde (every dependency is a
+//! vendored offline subset), so the places that need JSON — the JSONL
+//! span collector, the `/healthz` snapshot, `RunReport::to_json`, and
+//! the `BENCH_*.json` writers — all share this one escaping-correct
+//! writer instead of each hand-formatting strings.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A JSON value, built imperatively and rendered with [`JsonValue::render`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (rendered without a decimal point).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float; non-finite values render as `null` (JSON has no NaN).
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object, ready for [`JsonValue::field`] chaining.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// An array built from anything convertible to values.
+    pub fn array<T: Into<JsonValue>>(items: impl IntoIterator<Item = T>) -> JsonValue {
+        JsonValue::Array(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Appends a key/value pair; panics if `self` is not an object
+    /// (builder misuse, not runtime data).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Object(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("field() on non-object JsonValue {other:?}"),
+        }
+        self
+    }
+
+    /// A duration rendered as fractional seconds.
+    pub fn seconds(d: Duration) -> JsonValue {
+        JsonValue::Float(d.as_secs_f64())
+    }
+
+    /// Renders compactly (no whitespace beyond what strings contain).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Renders with two-space indentation, for human-facing files.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Float(v) => render_float(*v, out),
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape_json(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape_json(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn render_pretty_into(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| out.push_str(&"  ".repeat(d));
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    item.render_pretty_into(out, depth + 1);
+                    out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, depth + 1);
+                    out.push('"');
+                    out.push_str(&escape_json(k));
+                    out.push_str("\": ");
+                    v.render_pretty_into(out, depth + 1);
+                    out.push_str(if i + 1 == fields.len() { "\n" } else { ",\n" });
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+            other => other.render_into(out),
+        }
+    }
+}
+
+fn render_float(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{}` on f64 is shortest-round-trip; force a decimal point so
+        // integral floats stay floats on the way back in.
+        let s = format!("{v}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Escapes a string for inclusion inside JSON quotes (RFC 8259: quote,
+/// backslash, and control characters).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::UInt(u64::from(v))
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(JsonValue::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::UInt(7).render(), "7");
+        assert_eq!(JsonValue::Int(-3).render(), "-3");
+        assert_eq!(JsonValue::Float(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Float(2.0).render(), "2.0", "keeps the point");
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn object_and_array_compose() {
+        let v = JsonValue::object()
+            .field("name", "x")
+            .field("ns", JsonValue::array([1u64, 2, 3]))
+            .field("nested", JsonValue::object().field("ok", true));
+        assert_eq!(
+            v.render(),
+            r#"{"name":"x","ns":[1,2,3],"nested":{"ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn escaping_is_correct() {
+        assert_eq!(escape_json("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+        let v = JsonValue::Str("line\nbreak \"quoted\"".into());
+        assert_eq!(v.render(), "\"line\\nbreak \\\"quoted\\\"\"");
+    }
+
+    #[test]
+    fn option_and_duration_helpers() {
+        let some: Option<u64> = Some(4);
+        let none: Option<u64> = None;
+        assert_eq!(JsonValue::from(some).render(), "4");
+        assert_eq!(JsonValue::from(none).render(), "null");
+        assert_eq!(
+            JsonValue::seconds(Duration::from_millis(1500)).render(),
+            "1.5"
+        );
+    }
+
+    #[test]
+    fn pretty_render_is_indented_and_reparsable_shape() {
+        let v = JsonValue::object()
+            .field("a", 1u64)
+            .field("b", JsonValue::array(["x", "y"]))
+            .field("empty", JsonValue::object());
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\"a\": 1"));
+        assert!(pretty.contains("  \"b\": [\n"));
+        assert!(pretty.contains("\"empty\": {}"));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn field_on_array_panics() {
+        let _ = JsonValue::array([1u64]).field("k", 1u64);
+    }
+}

@@ -1,0 +1,67 @@
+//! # pps-obs
+//!
+//! Zero-dependency observability for the privacy-preserving statistics
+//! workspace. The paper's whole contribution is *measurement* — every
+//! figure decomposes runtime into client encryption, communication,
+//! server computation, and client decryption — and this crate makes that
+//! same four-component decomposition continuously visible in a running
+//! deployment instead of only in one-shot
+//! `RunReport`s:
+//!
+//! * **Phase spans** ([`span`]) — lightweight [`SpanRecord`]/
+//!   [`EventRecord`] values with monotonic timestamps, session/batch
+//!   ids, and the paper's phase labels ([`Phase`]), emitted through a
+//!   pluggable [`Collector`] (in-memory [`RingCollector`], line-delimited
+//!   JSON [`JsonLinesCollector`], fan-out [`TeeCollector`]).
+//! * **Metrics registry** ([`metrics`], [`registry`]) — lock-free
+//!   [`Counter`]s and [`Gauge`]s plus log-linear-bucket [`Histogram`]s
+//!   (p50/p95/p99) behind a name-keyed [`Registry`].
+//! * **Exposition** ([`http`]) — a std-only [`MetricsServer`] serving
+//!   `GET /metrics` in Prometheus text format and `GET /healthz` as a
+//!   JSON snapshot.
+//! * **JSON** ([`json`]) — the workspace's single hand-rolled JSON
+//!   serializer (the workspace deliberately carries no serde), shared by
+//!   the JSONL collector, the health endpoint, `RunReport::to_json`, and
+//!   the bench result files.
+//!
+//! Everything here is plain `std`: no macros, no globals, no background
+//! allocation on the hot path beyond one `String` per span name.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pps_obs::{Phase, Registry, RingCollector, Tracer};
+//!
+//! let registry = Registry::new();
+//! let encrypt = registry.histogram_with_label(
+//!     "pps_phase_duration_seconds", "per-phase runtime", "phase", Phase::ClientEncrypt.label());
+//!
+//! let ring = Arc::new(RingCollector::new(128));
+//! let tracer = Tracer::new(ring.clone());
+//! let span = tracer.span("encrypt_batch").phase(Phase::ClientEncrypt).session(1).start();
+//! // ... do the work ...
+//! let record = span.finish();
+//! encrypt.record_duration(record.duration());
+//!
+//! assert_eq!(ring.spans().len(), 1);
+//! assert!(registry.render_prometheus().contains("pps_phase_duration_seconds_bucket"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod names;
+pub mod registry;
+pub mod span;
+
+pub use collect::{Collector, JsonLinesCollector, NullCollector, RingCollector, TeeCollector};
+pub use http::MetricsServer;
+pub use json::{escape_json, JsonValue};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::Registry;
+pub use span::{EventRecord, Phase, SpanBuilder, SpanGuard, SpanRecord, Tracer};

@@ -1,0 +1,377 @@
+//! Metric primitives: atomic counters and gauges, and a log-linear
+//! bucketed duration histogram.
+//!
+//! Everything here is wait-free on the hot path (one or two relaxed
+//! atomic RMWs per observation) so instrumentation can sit inside the
+//! transport's per-frame send/recv and the server's per-batch fold
+//! without measurable cost next to a 512-bit modular exponentiation.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `v`.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (active sessions, pool
+/// depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `v` (may be negative).
+    pub fn add(&self, v: i64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Subtracts `v`.
+    pub fn sub(&self, v: i64) {
+        self.add(-v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Smallest power of two with its own bucket decade: 2^10 ns ≈ 1 µs.
+/// Everything below lands in the linear sub-range of bucket group 0.
+const FIRST_POW: u32 = 10;
+/// Largest represented power of two: 2^36 ns ≈ 68.7 s; beyond that is
+/// the overflow bucket.
+const LAST_POW: u32 = 36;
+/// Linear sub-buckets per power-of-two decade; relative quantile error
+/// is bounded by 1/SUBS = 12.5 %.
+const SUBS: u32 = 8;
+/// log2(SUBS), for shift arithmetic.
+const SUB_SHIFT: u32 = 3;
+/// Total bucket count: the sub-2^10 linear range, the log-linear body,
+/// and one overflow bucket.
+const NUM_BUCKETS: usize = (SUBS + (LAST_POW - FIRST_POW) * SUBS + 1) as usize;
+
+/// Maps a nanosecond value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < (1 << FIRST_POW) {
+        // Linear range [0, 2^10): width 2^10 / SUBS.
+        (v >> (FIRST_POW - SUB_SHIFT)) as usize
+    } else {
+        let pow = 63 - v.leading_zeros(); // MSB position, >= FIRST_POW
+        if pow >= LAST_POW {
+            return NUM_BUCKETS - 1;
+        }
+        let sub = ((v - (1u64 << pow)) >> (pow - SUB_SHIFT)) as usize;
+        (SUBS + (pow - FIRST_POW) * SUBS) as usize + sub
+    }
+}
+
+/// The inclusive upper bound (in nanoseconds) of bucket `i`;
+/// `u64::MAX` for the overflow bucket.
+fn bucket_upper_ns(i: usize) -> u64 {
+    let i = i as u64;
+    let subs = u64::from(SUBS);
+    if i < subs {
+        (i + 1) << (FIRST_POW - SUB_SHIFT)
+    } else if i < (NUM_BUCKETS - 1) as u64 {
+        let decade = (i - subs) / subs;
+        let sub = (i - subs) % subs;
+        let pow = u64::from(FIRST_POW) + decade;
+        (1u64 << pow) + ((sub + 1) << (pow - u64::from(SUB_SHIFT)))
+    } else {
+        u64::MAX
+    }
+}
+
+/// A log-linear bucketed histogram of durations.
+///
+/// Values are recorded in nanoseconds into buckets that subdivide each
+/// power-of-two decade into [`SUBS` = 8] linear sub-buckets, spanning
+/// ~1 µs to ~69 s with ≤ 12.5 % relative quantile error — the classic
+/// HDR layout, hand-rolled. Recording is two relaxed atomic adds; all
+/// aggregation happens at snapshot time.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new([0u64; NUM_BUCKETS].map(AtomicU64::new)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a raw nanosecond value.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records a duration.
+    pub fn record_duration(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time copy for quantile math and exposition.
+    ///
+    /// Concurrent recording makes the snapshot *approximately*
+    /// consistent (count/sum/buckets are read one after another); for
+    /// scrape-style consumers that is the standard contract.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations, in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Sum of observations as a duration.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, as the upper bound of the
+    /// bucket containing that rank (≤ 12.5 % relative error inside the
+    /// covered range). Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                let ns = bucket_upper_ns(i);
+                return Duration::from_nanos(if ns == u64::MAX { self.sum_ns } else { ns });
+            }
+        }
+        Duration::from_nanos(self.sum_ns) // unreachable if count matches buckets
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(upper_bound_ns, cumulative_count)` pairs,
+    /// ascending — the shape Prometheus exposition and the bench JSON
+    /// both want. The final pair is the total count with `u64::MAX` as
+    /// its bound (the `+Inf` bucket) whenever any value was recorded.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                cumulative += c;
+                out.push((bucket_upper_ns(i), cumulative));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_consistent() {
+        let mut prev = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let upper = bucket_upper_ns(i);
+            assert!(upper > prev, "bucket {i}: {upper} <= {prev}");
+            if upper != u64::MAX {
+                // A value exactly at the upper bound belongs to the next
+                // bucket; one below belongs here.
+                assert_eq!(bucket_index(upper - 1), i, "upper-1 of bucket {i}");
+                assert!(bucket_index(upper) > i, "upper of bucket {i}");
+            }
+            prev = upper;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // For values in the log-linear body, the bucket's upper bound
+        // overestimates by at most 1/SUBS.
+        for v in [1_500u64, 10_000, 123_456, 5_000_000, 1 << 30, (1 << 36) - 1] {
+            let upper = bucket_upper_ns(bucket_index(v));
+            assert!(upper >= v);
+            assert!(
+                (upper - v) as f64 / v as f64 <= 1.0 / SUBS as f64 + 1e-9,
+                "v={v} upper={upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(3);
+        g.sub(5);
+        assert_eq!(g.get(), 8);
+    }
+
+    #[test]
+    fn histogram_count_sum_quantiles() {
+        let h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.record_duration(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        let snap = h.snapshot();
+        assert_eq!(snap.sum(), Duration::from_millis(5050));
+        let tolerance = 1.0 + 1.0 / SUBS as f64 + 1e-9;
+        for (q, exact_ms) in [(0.5, 50.0), (0.95, 95.0), (0.99, 99.0)] {
+            let got = snap.quantile(q).as_secs_f64() * 1e3;
+            assert!(
+                got >= exact_ms && got <= exact_ms * tolerance,
+                "q={q}: got {got} ms, exact {exact_ms} ms"
+            );
+        }
+        assert_eq!(snap.p50(), snap.quantile(0.5));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.99), Duration::ZERO);
+        assert!(h.snapshot().cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn tiny_and_huge_values_land_in_edge_buckets() {
+        let h = Histogram::new();
+        h.record_ns(3); // below 1 µs: linear range
+        h.record_duration(Duration::from_secs(600)); // above 69 s: overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        let buckets = snap.cumulative_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].1, 1);
+        assert_eq!(buckets[1], (u64::MAX, 2), "overflow bucket is +Inf");
+    }
+
+    #[test]
+    fn cumulative_buckets_accumulate() {
+        let h = Histogram::new();
+        for _ in 0..3 {
+            h.record_duration(Duration::from_micros(10));
+        }
+        for _ in 0..2 {
+            h.record_duration(Duration::from_millis(10));
+        }
+        let buckets = h.snapshot().cumulative_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].1, 3);
+        assert_eq!(buckets[1].1, 5, "cumulative, not per-bucket");
+        assert!(buckets[0].0 < buckets[1].0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_ns(i * 997);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        let snap = h.snapshot();
+        assert_eq!(snap.cumulative_buckets().last().unwrap().1, 4000);
+    }
+}

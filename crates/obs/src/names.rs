@@ -1,0 +1,61 @@
+//! Canonical metric names shared by every instrumented layer.
+//!
+//! All names follow the Prometheus convention: a `pps_` namespace,
+//! `_total` suffix on counters, `_seconds` suffix on duration
+//! histograms, and labels reserved for low-cardinality dimensions (the
+//! only label in use is `phase`). Centralizing them here keeps the
+//! transport, crypto, protocol, CLI, and bench layers agreeing on what
+//! each series means — and gives PROTOCOL.md §9 a single source of
+//! truth to document.
+
+/// Per-phase runtime histogram; labelled `phase` with one of
+/// [`Phase::label`](crate::Phase::label)'s values. This is the
+/// continuously-scraped analogue of `RunReport`'s four components.
+pub const PHASE_DURATION_SECONDS: &str = "pps_phase_duration_seconds";
+
+/// Frames written to the wire.
+pub const WIRE_FRAMES_SENT_TOTAL: &str = "pps_wire_frames_sent_total";
+/// Payload bytes written to the wire (frame bodies, excluding headers).
+pub const WIRE_BYTES_SENT_TOTAL: &str = "pps_wire_bytes_sent_total";
+/// Frames read from the wire.
+pub const WIRE_FRAMES_RECEIVED_TOTAL: &str = "pps_wire_frames_received_total";
+/// Payload bytes read from the wire.
+pub const WIRE_BYTES_RECEIVED_TOTAL: &str = "pps_wire_bytes_received_total";
+/// Read/write operations that hit a timeout or an expired deadline.
+pub const WIRE_TIMEOUTS_TOTAL: &str = "pps_wire_timeouts_total";
+
+/// Sessions admitted by the server (accept succeeded, admission passed).
+pub const SESSIONS_ACCEPTED_TOTAL: &str = "pps_sessions_accepted_total";
+/// Sessions that ran the protocol to completion.
+pub const SESSIONS_COMPLETED_TOTAL: &str = "pps_sessions_completed_total";
+/// Sessions that ended in a protocol error other than eviction.
+pub const SESSIONS_FAILED_TOTAL: &str = "pps_sessions_failed_total";
+/// Connections refused by admission control before the protocol began.
+pub const SESSIONS_REFUSED_TOTAL: &str = "pps_sessions_refused_total";
+/// Sessions evicted for exceeding their deadline (slow-loris defence).
+pub const SESSIONS_EVICTED_TOTAL: &str = "pps_sessions_evicted_total";
+/// Errors from `accept()` itself (no session existed yet).
+pub const ACCEPT_ERRORS_TOTAL: &str = "pps_accept_errors_total";
+/// Sessions currently being served.
+pub const SESSIONS_ACTIVE: &str = "pps_sessions_active";
+/// End-to-end duration of completed sessions.
+pub const SESSION_SECONDS: &str = "pps_session_seconds";
+
+/// Client-side query attempts, including the first (so a clean run of
+/// `n` queries records exactly `n`).
+pub const RETRY_ATTEMPTS_TOTAL: &str = "pps_retry_attempts_total";
+/// Attempts that failed with a retryable transport error.
+pub const RETRY_FAILURES_TOTAL: &str = "pps_retry_failures_total";
+
+/// Server-side fold (homomorphic accumulation) time per batch.
+pub const FOLD_SECONDS: &str = "pps_fold_seconds";
+
+/// Pool takes served from precomputed ciphertexts.
+pub const POOL_HITS_TOTAL: &str = "pps_pool_hits_total";
+/// Pool takes that fell back to an on-demand encryption.
+pub const POOL_MISSES_TOTAL: &str = "pps_pool_misses_total";
+/// Duration of pool fill operations (sequential or parallel).
+pub const POOL_FILL_SECONDS: &str = "pps_pool_fill_seconds";
+
+/// Duration of one worker chunk inside a parallel encrypt.
+pub const ENCRYPT_CHUNK_SECONDS: &str = "pps_encrypt_chunk_seconds";

@@ -1,0 +1,406 @@
+//! Phase spans and events: the structured-tracing half of the crate.
+//!
+//! A [`Tracer`] stamps monotonic timestamps (nanoseconds since its own
+//! epoch) onto [`SpanRecord`]s and [`EventRecord`]s and hands them to a
+//! pluggable [`Collector`]. Spans carry the paper's
+//! phase taxonomy ([`Phase`]) plus optional session and batch ids, so a
+//! networked run can be decomposed into exactly the four components the
+//! paper's figures plot — see `pps-protocol`'s span→`RunReport` bridge.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::collect::Collector;
+
+/// The paper's runtime decomposition, plus the offline phase its §3.3
+/// preprocessing moves work into.
+///
+/// Every figure in the paper plots some subset of the four *online*
+/// labels; [`Phase::ONLINE`] lists them in presentation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Client-side index encryption / preparation (the paper's client
+    /// encryption time).
+    ClientEncrypt,
+    /// Time on the wire. For a networked client this is measured as the
+    /// time blocked in transport calls, which necessarily *includes* the
+    /// server's compute while awaiting the product — the client cannot
+    /// see across the wire. Server-side spans carry the compute
+    /// separately as [`Phase::ServerCompute`].
+    Comm,
+    /// Server homomorphic-product time.
+    ServerCompute,
+    /// Client product decryption (constant in `n`).
+    ClientDecrypt,
+    /// Offline preprocessing (§3.3 pools) — excluded from the paper's
+    /// online totals.
+    Offline,
+}
+
+impl Phase {
+    /// The four online phases, in the order the paper's figures stack
+    /// them.
+    pub const ONLINE: [Phase; 4] = [
+        Phase::ClientEncrypt,
+        Phase::Comm,
+        Phase::ServerCompute,
+        Phase::ClientDecrypt,
+    ];
+
+    /// Stable snake_case label, used as the `phase` metric label and in
+    /// JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::ClientEncrypt => "client_encrypt",
+            Phase::Comm => "comm",
+            Phase::ServerCompute => "server_compute",
+            Phase::ClientDecrypt => "client_decrypt",
+            Phase::Offline => "offline",
+        }
+    }
+
+    /// The inverse of [`Phase::label`].
+    pub fn from_label(label: &str) -> Option<Phase> {
+        match label {
+            "client_encrypt" => Some(Phase::ClientEncrypt),
+            "comm" => Some(Phase::Comm),
+            "server_compute" => Some(Phase::ServerCompute),
+            "client_decrypt" => Some(Phase::ClientDecrypt),
+            "offline" => Some(Phase::Offline),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One completed span: a named interval on the tracer's monotonic clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// What the span measures (e.g. `encrypt_batch`, `session`).
+    pub name: String,
+    /// Phase classification, when the span maps onto the paper's
+    /// decomposition.
+    pub phase: Option<Phase>,
+    /// Session id (server accept order, or a caller-chosen client id).
+    pub session: Option<u64>,
+    /// Batch ordinal within the session, for per-batch spans.
+    pub batch: Option<u64>,
+    /// Start, in nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// End, in nanoseconds since the tracer's epoch.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// The span's duration.
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos(self.end_ns.saturating_sub(self.start_ns))
+    }
+
+    /// This record as a JSON object (one line of a JSONL trace).
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        crate::json::JsonValue::object()
+            .field("kind", "span")
+            .field("name", self.name.as_str())
+            .field("phase", self.phase.map(Phase::label))
+            .field("session", self.session)
+            .field("batch", self.batch)
+            .field("start_ns", self.start_ns)
+            .field("end_ns", self.end_ns)
+    }
+}
+
+/// One instantaneous event (a refusal, an eviction, a retry backoff…).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name (e.g. `session_refused`, `retry_backoff`).
+    pub name: String,
+    /// Session id, when the event belongs to one.
+    pub session: Option<u64>,
+    /// Timestamp, in nanoseconds since the tracer's epoch.
+    pub at_ns: u64,
+    /// Free-form detail (error text, backoff duration…); empty when the
+    /// name says it all.
+    pub detail: String,
+}
+
+impl EventRecord {
+    /// This record as a JSON object (one line of a JSONL trace).
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        crate::json::JsonValue::object()
+            .field("kind", "event")
+            .field("name", self.name.as_str())
+            .field("session", self.session)
+            .field("at_ns", self.at_ns)
+            .field("detail", self.detail.as_str())
+    }
+}
+
+/// Stamps spans and events against one monotonic epoch and forwards them
+/// to a [`Collector`]. Cheap to clone; clones share the epoch, so their
+/// timestamps are mutually comparable.
+#[derive(Clone)]
+pub struct Tracer {
+    epoch: Instant,
+    collector: Arc<dyn Collector>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer emitting into `collector`, with its epoch at "now".
+    pub fn new(collector: Arc<dyn Collector>) -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            collector,
+        }
+    }
+
+    /// A tracer that drops everything (zero-cost instrumentation
+    /// default).
+    pub fn disabled() -> Self {
+        Tracer::new(Arc::new(crate::collect::NullCollector))
+    }
+
+    /// Nanoseconds elapsed since this tracer's epoch.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Starts building a span; call [`SpanBuilder::start`] to begin
+    /// timing.
+    pub fn span(&self, name: &str) -> SpanBuilder<'_> {
+        SpanBuilder {
+            tracer: self,
+            name: name.to_string(),
+            phase: None,
+            session: None,
+            batch: None,
+        }
+    }
+
+    /// Records an instantaneous event.
+    pub fn event(&self, name: &str, session: Option<u64>, detail: impl Into<String>) {
+        self.collector.record_event(EventRecord {
+            name: name.to_string(),
+            session,
+            at_ns: self.now_ns(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Records a fully-formed span (for callers that measured the
+    /// interval themselves).
+    pub fn record_span(&self, record: SpanRecord) {
+        self.collector.record_span(record);
+    }
+
+    /// Records a span of `duration` ending "now" — for phases measured
+    /// as accumulated durations rather than contiguous intervals (e.g.
+    /// total time blocked on the wire across a whole query).
+    pub fn record_phase_total(
+        &self,
+        name: &str,
+        phase: Phase,
+        session: Option<u64>,
+        duration: Duration,
+    ) {
+        let end_ns = self.now_ns();
+        let dur_ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        self.record_span(SpanRecord {
+            name: name.to_string(),
+            phase: Some(phase),
+            session,
+            batch: None,
+            start_ns: end_ns.saturating_sub(dur_ns),
+            end_ns,
+        });
+    }
+}
+
+/// Configures a span before it starts timing.
+pub struct SpanBuilder<'t> {
+    tracer: &'t Tracer,
+    name: String,
+    phase: Option<Phase>,
+    session: Option<u64>,
+    batch: Option<u64>,
+}
+
+impl SpanBuilder<'_> {
+    /// Tags the span with a paper phase.
+    #[must_use]
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phase = Some(phase);
+        self
+    }
+
+    /// Tags the span with a session id.
+    #[must_use]
+    pub fn session(mut self, session: u64) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// Tags the span with a batch ordinal.
+    #[must_use]
+    pub fn batch(mut self, batch: u64) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Starts the clock. The returned guard records the span when
+    /// [`SpanGuard::finish`]ed or dropped.
+    pub fn start(self) -> SpanGuard {
+        SpanGuard {
+            tracer: self.tracer.clone(),
+            name: self.name,
+            phase: self.phase,
+            session: self.session,
+            batch: self.batch,
+            start_ns: self.tracer.now_ns(),
+            finished: false,
+        }
+    }
+}
+
+/// A running span; records itself on [`SpanGuard::finish`] or drop.
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: String,
+    phase: Option<Phase>,
+    session: Option<u64>,
+    batch: Option<u64>,
+    start_ns: u64,
+    finished: bool,
+}
+
+impl SpanGuard {
+    /// Ends the span now, records it, and returns the record.
+    pub fn finish(mut self) -> SpanRecord {
+        self.finished = true;
+        let record = self.make_record();
+        self.tracer.record_span(record.clone());
+        record
+    }
+
+    fn make_record(&self) -> SpanRecord {
+        SpanRecord {
+            name: self.name.clone(),
+            phase: self.phase,
+            session: self.session,
+            batch: self.batch,
+            start_ns: self.start_ns,
+            end_ns: self.tracer.now_ns(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            let record = self.make_record();
+            self.tracer.record_span(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::RingCollector;
+
+    #[test]
+    fn phase_labels_round_trip() {
+        for p in Phase::ONLINE.into_iter().chain([Phase::Offline]) {
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(Phase::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn span_guard_records_on_finish_and_drop() {
+        let ring = Arc::new(RingCollector::new(8));
+        let tracer = Tracer::new(ring.clone());
+        let record = tracer
+            .span("a")
+            .phase(Phase::ClientEncrypt)
+            .session(3)
+            .batch(1)
+            .start()
+            .finish();
+        assert_eq!(record.name, "a");
+        assert_eq!(record.phase, Some(Phase::ClientEncrypt));
+        assert!(record.end_ns >= record.start_ns);
+        {
+            let _guard = tracer.span("b").start();
+        } // drop records
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].name, "b");
+        assert_eq!(spans[1].session, None);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_across_clones() {
+        let ring = Arc::new(RingCollector::new(8));
+        let tracer = Tracer::new(ring);
+        let clone = tracer.clone();
+        let a = tracer.now_ns();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = clone.now_ns();
+        assert!(b > a, "clones share the epoch");
+    }
+
+    #[test]
+    fn events_and_phase_totals() {
+        let ring = Arc::new(RingCollector::new(8));
+        let tracer = Tracer::new(ring.clone());
+        tracer.event("refused", Some(1), "at capacity");
+        std::thread::sleep(Duration::from_millis(2));
+        tracer.record_phase_total("comm_total", Phase::Comm, Some(1), Duration::from_millis(1));
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].detail, "at capacity");
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 1);
+        let d = spans[0].duration();
+        assert!(d >= Duration::from_micros(900) && d <= Duration::from_micros(1100));
+    }
+
+    #[test]
+    fn records_serialize_to_json() {
+        let s = SpanRecord {
+            name: "x".into(),
+            phase: Some(Phase::Comm),
+            session: Some(2),
+            batch: None,
+            start_ns: 10,
+            end_ns: 30,
+        };
+        assert_eq!(
+            s.to_json().render(),
+            r#"{"kind":"span","name":"x","phase":"comm","session":2,"batch":null,"start_ns":10,"end_ns":30}"#
+        );
+        assert_eq!(s.duration(), Duration::from_nanos(20));
+        let e = EventRecord {
+            name: "ev".into(),
+            session: None,
+            at_ns: 5,
+            detail: String::new(),
+        };
+        assert!(e.to_json().render().contains(r#""kind":"event""#));
+    }
+}

@@ -69,6 +69,7 @@ mod error;
 pub mod messages;
 mod multiclient;
 mod multidb;
+mod obs;
 mod perturb;
 mod report;
 mod run;
@@ -82,6 +83,7 @@ pub use data::{check_message_space, Database, Selection};
 pub use error::ProtocolError;
 pub use multiclient::{run_multiclient, ClientLeg, MultiClientReport};
 pub use multidb::{run_multidb, run_multidb_blinded, Partition};
+pub use obs::{PhaseTotals, QueryObs, ServerObs};
 pub use perturb::{flip_probability_for_epsilon, run_randomized_response, PerturbedReport};
 pub use report::{RunReport, Variant};
 pub use run::{
@@ -91,7 +93,8 @@ pub use run::{
 };
 pub use server::{FoldStrategy, ServerSession, ServerStats};
 pub use tcp_client::{
-    run_tcp_query, run_tcp_query_with_retry, TcpQueryConfig, TcpQueryOutcome,
+    run_tcp_query, run_tcp_query_observed, run_tcp_query_with_retry, TcpQueryConfig,
+    TcpQueryOutcome,
 };
 pub use tcp_server::{
     Admission, AggregateStats, SessionDeadline, SessionEvent, SessionLimits, ShutdownHandle,

@@ -9,6 +9,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use pps_obs::JsonValue;
+
 /// Which protocol variant produced a report.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Variant {
@@ -35,6 +37,23 @@ pub enum Variant {
         /// Number of partitions/servers.
         k: usize,
     },
+}
+
+impl Variant {
+    /// Stable machine-readable identifier (used as the `variant` field
+    /// of [`RunReport::to_json`]).
+    pub fn slug(&self) -> String {
+        match self {
+            Self::PlainIndices => "plain_indices".into(),
+            Self::DownloadAll => "download_all".into(),
+            Self::Basic => "basic".into(),
+            Self::Batched => "batched".into(),
+            Self::Preprocessed => "preprocessed".into(),
+            Self::Combined => "combined".into(),
+            Self::MultiClient { k } => format!("multi_client_{k}"),
+            Self::MultiDatabase { k } => format!("multi_database_{k}"),
+        }
+    }
 }
 
 impl fmt::Display for Variant {
@@ -108,6 +127,44 @@ impl RunReport {
         self.total_online() + self.client_offline
     }
 
+    /// The report as a JSON object — the workspace's one serialized
+    /// report shape, shared by the CLI's `--trace json` output and the
+    /// bench harness's `BENCH_*.json` files. Durations are fractional
+    /// seconds; the four online components appear under `phases` using
+    /// the paper's phase labels.
+    pub fn to_json(&self) -> JsonValue {
+        let phases = JsonValue::object()
+            .field("client_encrypt", JsonValue::seconds(self.client_encrypt))
+            .field("comm", JsonValue::seconds(self.comm))
+            .field("server_compute", JsonValue::seconds(self.server_compute))
+            .field("client_decrypt", JsonValue::seconds(self.client_decrypt))
+            .field("offline", JsonValue::seconds(self.client_offline));
+        JsonValue::object()
+            .field("variant", self.variant.slug())
+            .field("variant_label", self.variant.to_string())
+            .field("n", self.n as u64)
+            .field("selected", self.selected as u64)
+            .field("key_bits", self.key_bits as u64)
+            .field("link", self.link.as_str())
+            .field("phases", phases)
+            .field(
+                "total_sequential_seconds",
+                JsonValue::seconds(self.total_sequential()),
+            )
+            .field(
+                "total_online_seconds",
+                JsonValue::seconds(self.total_online()),
+            )
+            .field(
+                "pipelined_total_seconds",
+                self.pipelined_total.map(JsonValue::seconds),
+            )
+            .field("bytes_to_server", self.bytes_to_server as u64)
+            .field("bytes_to_client", self.bytes_to_client as u64)
+            .field("messages", self.messages as u64)
+            .field("result", self.result.to_string())
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -178,5 +235,24 @@ mod tests {
         let s = report().summary();
         assert!(s.contains("n=1000"));
         assert!(s.contains("128000 B up"));
+    }
+
+    #[test]
+    fn to_json_round_trips_the_breakdown() {
+        let text = report().to_json().render();
+        assert!(text.contains(r#""variant":"basic""#));
+        assert!(text.contains(r#""n":1000"#));
+        assert!(text.contains(r#""client_encrypt":4.0"#));
+        assert!(text.contains(r#""offline":9.0"#));
+        assert!(text.contains(r#""total_sequential_seconds":7.01"#));
+        assert!(text.contains(r#""pipelined_total_seconds":null"#));
+        assert!(text.contains(r#""result":"12345""#));
+
+        let mut r = report();
+        r.variant = Variant::MultiClient { k: 3 };
+        r.pipelined_total = Some(Duration::from_secs(5));
+        let text = r.to_json().render();
+        assert!(text.contains(r#""variant":"multi_client_3""#));
+        assert!(text.contains(r#""pipelined_total_seconds":5.0"#));
     }
 }

@@ -17,15 +17,21 @@
 //! reply, a key mismatch, an oracle disagreement) are **not** retried:
 //! they signal a bug or an attack, not weather.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use pps_transport::{RetryPolicy, RetryStats, TcpWire, TrafficStats, TransportError, Wire};
+use pps_obs::{Collector, Phase, RingCollector, SpanRecord, TeeCollector, Tracer};
+use pps_transport::{
+    RetryPolicy, RetryStats, TcpWire, TimedWire, TrafficStats, TransportError, Wire,
+};
 use rand::RngCore;
 
 use crate::client::{IndexSource, SumClient};
 use crate::data::Selection;
 use crate::error::ProtocolError;
 use crate::messages::{SizeReply, SizeRequest};
+use crate::obs::{PhaseTotals, QueryObs};
+use crate::report::{RunReport, Variant};
 
 /// Configuration for a TCP query.
 #[derive(Clone, Debug)]
@@ -183,6 +189,150 @@ pub fn run_tcp_query_with_retry(
     }
 }
 
+/// One *instrumented* query attempt: like [`attempt`], but over a
+/// [`TimedWire`] (so time blocked on the socket is measured), with wire
+/// byte counters attached, and — on success — the client-side phases
+/// recorded into `obs` histograms and emitted as spans through `tracer`:
+/// one `encrypt_batch` span per batch (tagged [`Phase::ClientEncrypt`]
+/// with its batch id), one `wire_blocked` span ([`Phase::Comm`]), one
+/// `decrypt` span ([`Phase::ClientDecrypt`]).
+fn attempt_observed(
+    addr: &str,
+    client: &SumClient,
+    select: &[usize],
+    config: &TcpQueryConfig,
+    rng: &mut dyn RngCore,
+    obs: &QueryObs,
+    tracer: &Tracer,
+) -> Result<(u128, usize, TrafficStats), ProtocolError> {
+    let mut inner = TcpWire::connect(addr)?;
+    inner.set_metrics(obs.wire.clone());
+    inner.set_read_timeout(config.read_timeout)?;
+    inner.set_write_timeout(config.write_timeout)?;
+    let mut wire = TimedWire::new(inner);
+
+    wire.send(SizeRequest.encode()?)?;
+    let n = SizeReply::decode(&wire.recv()?)?.n as usize;
+    let selection = Selection::from_indices(n, select)?;
+
+    let mut source = if config.client_threads > 1 {
+        IndexSource::FreshParallel {
+            rng,
+            threads: config.client_threads,
+        }
+    } else {
+        IndexSource::Fresh(rng)
+    };
+    let sent = client.send_query(&mut wire, &selection, config.batch_size, &mut source)?;
+    let (sum, decrypt) = client.receive_result(&mut wire)?;
+    let comm = wire.blocked();
+
+    // Record the paper's client-side phases from the same Durations the
+    // span bridge will sum, so a /metrics scrape and a reconstructed
+    // RunReport agree exactly (not just within timer noise).
+    for (batch, elapsed) in sent.per_batch_encrypt.iter().enumerate() {
+        obs.client_encrypt.record_duration(*elapsed);
+        let end_ns = tracer.now_ns();
+        let dur_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        tracer.record_span(SpanRecord {
+            name: "encrypt_batch".to_string(),
+            phase: Some(Phase::ClientEncrypt),
+            session: None,
+            batch: Some(batch as u64),
+            start_ns: end_ns.saturating_sub(dur_ns),
+            end_ns,
+        });
+    }
+    obs.comm.record_duration(comm);
+    tracer.record_phase_total("wire_blocked", Phase::Comm, None, comm);
+    obs.client_decrypt.record_duration(decrypt);
+    tracer.record_phase_total("decrypt", Phase::ClientDecrypt, None, decrypt);
+
+    let sum = sum
+        .to_u128()
+        .ok_or_else(|| ProtocolError::Config("sum exceeds 128 bits".into()))?;
+    Ok((sum, n, wire.get_ref().stats()))
+}
+
+/// Runs one private selected-sum query over TCP with full telemetry:
+/// retries as [`run_tcp_query_with_retry`] does, records the paper's
+/// client-side phase decomposition into `obs`, and reconstructs a
+/// [`RunReport`] from the spans of the successful attempt via
+/// [`PhaseTotals`].
+///
+/// The report's `client_encrypt`, `comm`, and `client_decrypt` come
+/// from this client's own spans. `server_compute` is zero unless the
+/// collector behind `obs` also receives the server's spans (loopback
+/// deployments sharing a collector get all four components; across a
+/// real network the server's compute is invisible to the client and is
+/// folded into `comm`, which measures total time blocked on the wire).
+///
+/// # Errors
+/// As [`run_tcp_query_with_retry`].
+pub fn run_tcp_query_observed(
+    addr: &str,
+    client: &SumClient,
+    select: &[usize],
+    config: &TcpQueryConfig,
+    rng: &mut dyn RngCore,
+    obs: &QueryObs,
+) -> Result<(TcpQueryOutcome, RunReport), ProtocolError> {
+    // Private ring for the span→report bridge, teed into the caller's
+    // collector so shared-collector deployments see the same spans.
+    let ring = Arc::new(RingCollector::new(4096));
+    let tracer = Tracer::new(Arc::new(TeeCollector::new(vec![
+        Arc::clone(&ring) as Arc<dyn Collector>,
+        Arc::clone(obs.collector()),
+    ])));
+    let mut retry = RetryStats::default();
+    loop {
+        retry.attempts += 1;
+        obs.retry_attempts.inc();
+        match attempt_observed(addr, client, select, config, rng, obs, &tracer) {
+            Ok((sum, n, traffic)) => {
+                let mut report = RunReport {
+                    variant: Variant::Batched,
+                    n,
+                    selected: select.len(),
+                    key_bits: client.keypair().public.key_bits(),
+                    link: format!("tcp:{addr}"),
+                    client_offline: Duration::ZERO,
+                    client_encrypt: Duration::ZERO,
+                    server_compute: Duration::ZERO,
+                    comm: Duration::ZERO,
+                    client_decrypt: Duration::ZERO,
+                    pipelined_total: None,
+                    bytes_to_server: traffic.payload_bytes_sent,
+                    bytes_to_client: traffic.payload_bytes_received,
+                    messages: traffic.messages_sent + traffic.messages_received,
+                    result: sum,
+                };
+                PhaseTotals::from_spans(ring.spans().iter()).apply(&mut report);
+                let outcome = TcpQueryOutcome {
+                    sum,
+                    n,
+                    selected: select.len(),
+                    traffic,
+                    retry,
+                };
+                return Ok((outcome, report));
+            }
+            Err(e) => {
+                let give_up = !retryable(&e) || retry.attempts >= config.retry.max_attempts.max(1);
+                if retryable(&e) {
+                    obs.retry_failures.inc();
+                }
+                if give_up {
+                    return Err(e);
+                }
+                let delay = config.retry.delay_for(retry.attempts - 1, rng);
+                retry.delays.push(delay);
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,11 +417,91 @@ mod tests {
     }
 
     #[test]
+    fn observed_query_bridges_spans_into_a_report() {
+        use crate::obs::ServerObs;
+        use pps_obs::Registry;
+
+        let registry = Arc::new(Registry::new());
+        // One collector shared by both ends: the loopback deployment
+        // where the bridge can see all four phases.
+        let shared = Arc::new(RingCollector::new(256));
+        let server_obs = ServerObs::with_tracer(
+            Arc::clone(&registry),
+            Tracer::new(Arc::clone(&shared) as Arc<dyn Collector>),
+        );
+        let query_obs = QueryObs::with_collector(
+            Arc::clone(&registry),
+            Arc::clone(&shared) as Arc<dyn Collector>,
+        );
+
+        let db = Arc::new(Database::new(vec![5, 6, 7, 8]).unwrap());
+        let server = TcpServer::bind(db, "127.0.0.1:0", FoldStrategy::default())
+            .unwrap()
+            .with_observability(server_obs);
+        let addr = server.local_addr().unwrap();
+        let server_thread = std::thread::spawn(move || server.serve(Some(1)));
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let client = SumClient::generate(128, &mut rng).unwrap();
+        let config = TcpQueryConfig {
+            batch_size: 2,
+            ..TcpQueryConfig::default()
+        };
+        let (out, report) = run_tcp_query_observed(
+            &addr.to_string(),
+            &client,
+            &[0, 3],
+            &config,
+            &mut rng,
+            &query_obs,
+        )
+        .unwrap();
+        let stats = server_thread.join().unwrap();
+
+        assert_eq!(out.sum, 13);
+        assert_eq!(report.result, 13);
+        assert_eq!(report.n, 4);
+        assert_eq!(report.selected, 2);
+        assert!(report.link.starts_with("tcp:127.0.0.1:"));
+        assert!(report.client_encrypt > Duration::ZERO);
+        assert!(report.comm > Duration::ZERO);
+        assert!(report.client_decrypt > Duration::ZERO);
+        // The client cannot see across the wire, so its own report has
+        // no server component...
+        assert_eq!(report.server_compute, Duration::ZERO);
+        // ...but the client's wire-blocked time necessarily covers it.
+        assert!(report.comm >= stats.compute);
+
+        // The histograms carry the exact same durations the report does.
+        assert_eq!(query_obs.client_encrypt.sum(), report.client_encrypt);
+        assert_eq!(query_obs.comm.sum(), report.comm);
+        assert_eq!(query_obs.client_decrypt.sum(), report.client_decrypt);
+        assert_eq!(
+            query_obs.client_encrypt.count() as usize,
+            2,
+            "one sample per batch (4 rows / batch_size 2)"
+        );
+        assert_eq!(out.retry.attempts, 1);
+        assert_eq!(query_obs.retry_attempts.get(), 1);
+        assert_eq!(query_obs.retry_failures.get(), 0);
+
+        // The shared collector saw both ends: reconstructing from it
+        // yields the full four-component decomposition.
+        let merged = PhaseTotals::from_spans(shared.spans().iter());
+        assert_eq!(merged.client_encrypt, report.client_encrypt);
+        assert_eq!(merged.comm, report.comm);
+        assert_eq!(merged.client_decrypt, report.client_decrypt);
+        assert_eq!(merged.server_compute, stats.compute);
+    }
+
+    #[test]
     fn retryable_taxonomy() {
         assert!(retryable(&ProtocolError::Transport(
             TransportError::Disconnected
         )));
-        assert!(retryable(&ProtocolError::Transport(TransportError::TimedOut)));
+        assert!(retryable(&ProtocolError::Transport(
+            TransportError::TimedOut
+        )));
         assert!(retryable(&ProtocolError::Transport(TransportError::Io(
             "connection refused".into()
         ))));

@@ -43,23 +43,35 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use pps_transport::{TcpWire, TransportError, Wire};
+use pps_transport::{TcpWire, TransportError, Wire, WireMetrics};
 
 use crate::data::Database;
 use crate::error::ProtocolError;
+use crate::obs::ServerObs;
 use crate::server::{FoldStrategy, ServerSession, ServerStats};
 
 /// Statistics aggregated across every session the runtime served.
+///
+/// Sessions that did not complete are split by cause — refused by
+/// admission control, evicted on a deadline, or failed with any other
+/// error — so a throughput report can distinguish an overloaded server
+/// (refusals), a hostile or wedged client population (evictions), and
+/// genuine protocol faults (failures).
 #[derive(Clone, Debug, Default)]
 pub struct AggregateStats {
     /// Sessions that ran to a clean protocol completion.
     pub sessions: usize,
-    /// Sessions that ended in a transport or protocol error (timeouts
-    /// included).
+    /// Sessions that ended in a transport or protocol error *other*
+    /// than a deadline eviction (those are counted in `evicted`).
     pub failed: usize,
     /// Connections refused by admission control before a session
     /// started.
     pub refused: usize,
+    /// Sessions evicted for exceeding a read timeout or the
+    /// whole-session deadline ([`TransportError::TimedOut`]).
+    pub evicted: usize,
+    /// `accept()` failures (no session was ever assigned).
+    pub accept_errors: usize,
     /// Index ciphertexts folded across all completed sessions.
     pub folded: usize,
     /// Server compute time summed across completed sessions (exceeds
@@ -79,6 +91,18 @@ impl AggregateStats {
             self.folded as f64 / self.compute.as_secs_f64()
         }
     }
+
+    /// Connections that did not complete a session, by any cause:
+    /// `failed + refused + evicted`.
+    pub fn unserved(&self) -> usize {
+        self.failed + self.refused + self.evicted
+    }
+}
+
+/// Whether a session error is a deadline eviction (the runtime timed
+/// the peer out) rather than a fault of the peer's own making.
+fn is_eviction(error: &ProtocolError) -> bool {
+    matches!(error, ProtocolError::Transport(TransportError::TimedOut))
 }
 
 /// Per-session I/O limits enforced by the connection driver.
@@ -159,7 +183,9 @@ impl SessionDeadline {
                 if remaining.is_zero() {
                     return Err(TransportError::TimedOut);
                 }
-                Ok(Some(self.read_timeout.map_or(remaining, |t| t.min(remaining))))
+                Ok(Some(
+                    self.read_timeout.map_or(remaining, |t| t.min(remaining)),
+                ))
             }
         }
     }
@@ -195,11 +221,20 @@ pub enum SessionEvent<'a> {
         /// Final per-session statistics.
         stats: &'a ServerStats,
     },
-    /// The session died with an error (the server keeps accepting).
+    /// The session died with a non-eviction error (the server keeps
+    /// accepting).
     Failed {
         /// Session id (accept order).
         session: usize,
         /// What went wrong.
+        error: &'a ProtocolError,
+    },
+    /// The session was evicted for exceeding a read timeout or the
+    /// whole-session deadline.
+    Evicted {
+        /// Session id (accept order).
+        session: usize,
+        /// The timeout error that evicted it.
         error: &'a ProtocolError,
     },
     /// Admission control turned the connection away before a session
@@ -279,6 +314,7 @@ pub struct TcpServer {
     max_concurrent: Option<usize>,
     admission: Admission,
     shutdown: Arc<AtomicBool>,
+    obs: Option<ServerObs>,
 }
 
 impl TcpServer {
@@ -299,7 +335,19 @@ impl TcpServer {
             max_concurrent: None,
             admission: Admission::Refuse,
             shutdown: Arc::new(AtomicBool::new(false)),
+            obs: None,
         })
+    }
+
+    /// Attaches a [`ServerObs`] bundle: session lifecycle counters, the
+    /// active-session gauge, session/fold/`server_compute` histograms,
+    /// wire byte counters, and per-session spans through its tracer.
+    /// The registry behind the bundle can be scraped live (see
+    /// `MetricsServer` in `pps-obs`) while the accept loop runs.
+    #[must_use]
+    pub fn with_observability(mut self, obs: ServerObs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Replaces the per-session I/O limits.
@@ -390,6 +438,10 @@ impl TcpServer {
                     }
                     Err(e) => {
                         accept_errors += 1;
+                        agg.lock().expect("stats lock").accept_errors += 1;
+                        if let Some(obs) = &self.obs {
+                            obs.accept_errors.inc();
+                        }
                         let error = ProtocolError::Transport(TransportError::Io(e.to_string()));
                         on_event(SessionEvent::AcceptError { error: &error });
                         if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
@@ -414,6 +466,9 @@ impl TcpServer {
                                 drop(active);
                                 drop(stream); // clean close (FIN)
                                 agg.lock().expect("stats lock").refused += 1;
+                                if let Some(obs) = &self.obs {
+                                    obs.refused.inc();
+                                }
                                 on_event(SessionEvent::Refused { peer });
                                 continue;
                             }
@@ -444,13 +499,23 @@ impl TcpServer {
                 let fold = self.fold;
                 let limits = &self.limits;
                 let gated = self.max_concurrent.is_some();
+                let obs = self.obs.as_ref();
+                if let Some(obs) = obs {
+                    obs.accepted.inc();
+                    obs.active.add(1);
+                }
                 scope.spawn(move || {
                     on_event(SessionEvent::Accepted {
                         session: id,
                         peer: stream.peer_addr().ok(),
                     });
+                    let session_start = Instant::now();
+                    // Records on drop, so evicted/failed sessions get a
+                    // span too.
+                    let _span = obs.map(|o| o.tracer().span("session").session(id as u64).start());
                     let mut session = ServerSession::with_fold(db, fold);
-                    match drive(&mut session, stream, limits) {
+                    let wire_metrics = obs.map(|o| o.wire.clone());
+                    match drive(&mut session, stream, limits, wire_metrics) {
                         Ok(()) => {
                             let stats = session.stats();
                             let mut a = agg.lock().expect("stats lock");
@@ -458,15 +523,48 @@ impl TcpServer {
                             a.folded += stats.folded;
                             a.compute += stats.compute;
                             drop(a);
+                            if let Some(obs) = obs {
+                                obs.completed.inc();
+                                obs.session_seconds.record_duration(session_start.elapsed());
+                                for batch in &stats.per_batch_compute {
+                                    obs.fold_seconds.record_duration(*batch);
+                                }
+                                // The phase histogram and the span bridge
+                                // see the same Duration, so a scrape and a
+                                // reconstructed RunReport agree exactly.
+                                obs.server_compute.record_duration(stats.compute);
+                                obs.tracer().record_phase_total(
+                                    "server_compute",
+                                    pps_obs::Phase::ServerCompute,
+                                    Some(id as u64),
+                                    stats.compute,
+                                );
+                            }
                             on_event(SessionEvent::Finished { session: id, stats });
+                        }
+                        Err(e) if is_eviction(&e) => {
+                            agg.lock().expect("stats lock").evicted += 1;
+                            if let Some(obs) = obs {
+                                obs.evicted.inc();
+                            }
+                            on_event(SessionEvent::Evicted {
+                                session: id,
+                                error: &e,
+                            });
                         }
                         Err(e) => {
                             agg.lock().expect("stats lock").failed += 1;
+                            if let Some(obs) = obs {
+                                obs.failed.inc();
+                            }
                             on_event(SessionEvent::Failed {
                                 session: id,
                                 error: &e,
                             });
                         }
+                    }
+                    if let Some(obs) = obs {
+                        obs.active.sub(1);
                     }
                     if gated {
                         *gate.0.lock().expect("gate lock") -= 1;
@@ -490,8 +588,12 @@ fn drive(
     session: &mut ServerSession<'_>,
     stream: TcpStream,
     limits: &SessionLimits,
+    metrics: Option<WireMetrics>,
 ) -> Result<(), ProtocolError> {
     let mut wire = TcpWire::new(stream);
+    if let Some(metrics) = metrics {
+        wire.set_metrics(metrics);
+    }
     wire.set_write_timeout(limits.write_timeout)?;
     let deadline = SessionDeadline::new(limits);
     // Two-tier eviction: the per-read socket timeout (re-armed below)
@@ -569,6 +671,7 @@ mod tests {
                 SessionEvent::Accepted { .. } => "accepted",
                 SessionEvent::Finished { .. } => "finished",
                 SessionEvent::Failed { .. } => "failed",
+                SessionEvent::Evicted { .. } => "evicted",
                 SessionEvent::Refused { .. } => "refused",
                 SessionEvent::AcceptError { .. } => "accept_error",
             };
@@ -660,6 +763,54 @@ mod tests {
         handle.shutdown();
         let stats = server.serve(None);
         assert_eq!(stats.sessions, 0);
+    }
+
+    #[test]
+    fn observed_server_records_counters_and_compute_histogram() {
+        use crate::obs::ServerObs;
+        use pps_obs::{Registry, RingCollector, Tracer};
+
+        let registry = Arc::new(Registry::new());
+        let ring = Arc::new(RingCollector::new(64));
+        let obs = ServerObs::with_tracer(
+            Arc::clone(&registry),
+            Tracer::new(ring.clone() as Arc<dyn pps_obs::Collector>),
+        );
+        let db = Arc::new(Database::new(vec![10, 20, 30]).unwrap());
+        let server = TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::default())
+            .unwrap()
+            .with_observability(obs.clone());
+        let addr = server.local_addr().unwrap();
+
+        let clients = std::thread::spawn(move || {
+            query(addr, &Selection::from_indices(3, &[0, 2]).unwrap(), 11)
+        });
+        let stats = server.serve(Some(1));
+        assert_eq!(clients.join().unwrap(), 40);
+        assert_eq!(stats.sessions, 1);
+
+        assert_eq!(obs.accepted.get(), 1);
+        assert_eq!(obs.completed.get(), 1);
+        assert_eq!(obs.active.get(), 0, "gauge returns to zero");
+        assert_eq!(obs.session_seconds.count(), 1);
+        assert_eq!(
+            obs.server_compute.sum(),
+            stats.compute,
+            "phase histogram carries the exact compute duration"
+        );
+        assert!(obs.wire.bytes_received.get() > 0);
+        assert!(obs.wire.bytes_sent.get() > 0);
+
+        // One session span plus one synthesized server_compute span.
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().any(|s| s.name == "session"));
+        let compute_span = spans.iter().find(|s| s.name == "server_compute").unwrap();
+        assert_eq!(compute_span.duration(), stats.compute);
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("pps_sessions_completed_total 1"));
+        assert!(text.contains(r#"pps_phase_duration_seconds_count{phase="server_compute"} 1"#));
     }
 
     #[test]

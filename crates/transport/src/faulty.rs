@@ -377,8 +377,7 @@ mod tests {
             .map(|i| Frame::new(i, vec![i; 32]).unwrap())
             .collect();
         for seed in 0..32u64 {
-            let mut wire =
-                FaultyStream::wire(script_of(&frames), FaultSchedule::seeded(seed, 128));
+            let mut wire = FaultyStream::wire(script_of(&frames), FaultSchedule::seeded(seed, 128));
             loop {
                 match wire.recv() {
                     Ok(_) => continue,

@@ -29,6 +29,7 @@
 mod error;
 mod faulty;
 mod frame;
+mod obs;
 mod pipeline;
 mod profile;
 mod retry;
@@ -38,6 +39,7 @@ mod wire;
 pub use error::TransportError;
 pub use faulty::{Fault, FaultSchedule, FaultyStream, FaultyWire, ScriptedStream};
 pub use frame::{Frame, FRAME_MAGIC, HEADER_LEN, MAX_PAYLOAD};
+pub use obs::{TimedWire, WireMetrics};
 pub use pipeline::{pipeline_makespan, uniform_pipeline_makespan};
 pub use profile::LinkProfile;
 pub use retry::{RetryPolicy, RetryStats};

@@ -31,11 +31,11 @@ use bytes::BytesMut;
 
 use crate::error::TransportError;
 use crate::frame::Frame;
+use crate::obs::WireMetrics;
 use crate::retry::{RetryPolicy, RetryStats};
 use crate::wire::{TrafficStats, Wire};
 
 /// A framed, blocking wire over any byte stream (see [`TcpWire`]).
-#[derive(Debug)]
 pub struct StreamWire<S> {
     stream: S,
     /// Receive reassembly buffer.
@@ -45,6 +45,21 @@ pub struct StreamWire<S> {
     /// peer trickling bytes mid-frame cannot dodge eviction by
     /// restarting the per-read socket timer with every byte.
     recv_deadline: Option<std::time::Instant>,
+    /// Optional shared counters (frames, bytes, timeouts) — see
+    /// [`StreamWire::set_metrics`].
+    metrics: Option<WireMetrics>,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for StreamWire<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamWire")
+            .field("stream", &self.stream)
+            .field("buffered", &self.buf.len())
+            .field("stats", &self.stats)
+            .field("recv_deadline", &self.recv_deadline)
+            .field("metrics", &self.metrics.is_some())
+            .finish()
+    }
 }
 
 /// The production instantiation of [`StreamWire`]: framing over a real
@@ -59,7 +74,16 @@ impl<S> StreamWire<S> {
             buf: BytesMut::new(),
             stats: TrafficStats::default(),
             recv_deadline: None,
+            metrics: None,
         }
+    }
+
+    /// Attaches shared [`WireMetrics`] counters: every frame sent or
+    /// received (and every timeout) is counted there in addition to the
+    /// per-connection [`TrafficStats`]. Metrics are process-wide and
+    /// survive the wire; stats die with it.
+    pub fn set_metrics(&mut self, metrics: WireMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Shared access to the underlying stream.
@@ -189,7 +213,7 @@ impl<S: Read + Write> Wire for StreamWire<S> {
         // is classified, not flattened to Disconnected.
         self.stream
             .write_all(&encoded)
-            .map_err(|e| classify_io(&e))?;
+            .map_err(|e| self.note_error(classify_io(&e)))?;
         self.stats_record_send(&frame);
         Ok(())
     }
@@ -202,7 +226,7 @@ impl<S: Read + Write> Wire for StreamWire<S> {
             }
             if let Some(deadline) = self.recv_deadline {
                 if std::time::Instant::now() >= deadline {
-                    return Err(TransportError::TimedOut);
+                    return Err(self.note_error(TransportError::TimedOut));
                 }
             }
             let mut chunk = [0u8; 8192];
@@ -210,7 +234,7 @@ impl<S: Read + Write> Wire for StreamWire<S> {
                 Ok(n) => n,
                 // EINTR: a signal landed mid-read; the stream is intact.
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(e) => return Err(classify_io(&e)),
+                Err(e) => return Err(self.note_error(classify_io(&e))),
             };
             if n == 0 {
                 return Err(TransportError::Disconnected);
@@ -229,12 +253,25 @@ impl<S> StreamWire<S> {
         self.stats.messages_sent += 1;
         self.stats.payload_bytes_sent += f.payload.len();
         self.stats.wire_bytes_sent += f.encoded_len();
+        if let Some(metrics) = &self.metrics {
+            metrics.on_send(f);
+        }
     }
 
     fn stats_record_recv(&mut self, f: &Frame) {
         self.stats.messages_received += 1;
         self.stats.payload_bytes_received += f.payload.len();
         self.stats.wire_bytes_received += f.encoded_len();
+        if let Some(metrics) = &self.metrics {
+            metrics.on_recv(f);
+        }
+    }
+
+    fn note_error(&self, error: TransportError) -> TransportError {
+        if let Some(metrics) = &self.metrics {
+            metrics.on_error(&error);
+        }
+        error
     }
 }
 
@@ -422,7 +459,8 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(10));
             }
         });
-        b.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        b.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
         b.set_recv_deadline(Some(std::time::Instant::now() + Duration::from_millis(100)));
         let start = std::time::Instant::now();
         assert_eq!(b.recv().unwrap_err(), TransportError::TimedOut);

@@ -5,7 +5,7 @@
 use std::net::TcpListener;
 use std::path::PathBuf;
 
-use pps_cli::{load_values, run_keygen, run_query, run_server, ServeOptions};
+use pps_cli::{load_values, run_keygen, run_query, run_server, QueryOptions, ServeOptions};
 use pps_protocol::FoldStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,7 +62,12 @@ fn serve_and_query_round_trip() {
     );
 
     let mut rng = StdRng::seed_from_u64(1);
-    let outcome = run_query(&addr, &[0, 2, 4], 128, None, 10, 1, 0, &mut rng).unwrap();
+    let opts = QueryOptions {
+        key_bits: 128,
+        batch: 10,
+        ..QueryOptions::default()
+    };
+    let outcome = run_query(&addr, &[0, 2, 4], &opts, &mut rng).unwrap();
     assert_eq!(outcome.sum, 900);
     assert_eq!(outcome.n, 5);
     assert_eq!(outcome.selected, 3);
@@ -74,7 +79,13 @@ fn multiexp_server_agrees() {
     let addr = free_addr();
     spawn_server((1..=50).collect(), addr.clone(), 2, FoldStrategy::MultiExp);
     let mut rng = StdRng::seed_from_u64(2);
-    let outcome = run_query(&addr, &[9, 19, 29], 128, None, 16, 2, 0, &mut rng).unwrap();
+    let opts = QueryOptions {
+        key_bits: 128,
+        batch: 16,
+        client_threads: 2,
+        ..QueryOptions::default()
+    };
+    let outcome = run_query(&addr, &[9, 19, 29], &opts, &mut rng).unwrap();
     // Rows 9, 19, 29 hold values 10, 20, 30.
     assert_eq!(outcome.sum, 60);
 }
@@ -88,7 +99,13 @@ fn stored_key_query() {
 
     let addr = free_addr();
     spawn_server(vec![7, 11, 13], addr.clone(), 2, FoldStrategy::Incremental);
-    let outcome = run_query(&addr, &[1, 2], 0, Some(&key_path), 3, 1, 0, &mut rng).unwrap();
+    let opts = QueryOptions {
+        key_bits: 0,
+        key_file: Some(key_path.to_string_lossy().into_owned()),
+        batch: 3,
+        ..QueryOptions::default()
+    };
+    let outcome = run_query(&addr, &[1, 2], &opts, &mut rng).unwrap();
     assert_eq!(outcome.sum, 24);
 }
 
@@ -97,14 +114,24 @@ fn out_of_range_selection_fails_cleanly() {
     let addr = free_addr();
     spawn_server(vec![1, 2, 3], addr.clone(), 2, FoldStrategy::Incremental);
     let mut rng = StdRng::seed_from_u64(4);
-    let err = run_query(&addr, &[5], 128, None, 1, 1, 0, &mut rng).unwrap_err();
+    let opts = QueryOptions {
+        key_bits: 128,
+        batch: 1,
+        ..QueryOptions::default()
+    };
+    let err = run_query(&addr, &[5], &opts, &mut rng).unwrap_err();
     assert!(err.message.contains("out of range"), "{}", err.message);
 }
 
 #[test]
 fn connection_refused_is_a_runtime_error() {
     let mut rng = StdRng::seed_from_u64(5);
-    let err = run_query("127.0.0.1:1", &[0], 128, None, 1, 1, 0, &mut rng).unwrap_err();
+    let opts = QueryOptions {
+        key_bits: 128,
+        batch: 1,
+        ..QueryOptions::default()
+    };
+    let err = run_query("127.0.0.1:1", &[0], &opts, &mut rng).unwrap_err();
     assert_eq!(err.code, 1);
 }
 
@@ -118,6 +145,11 @@ fn value_file_to_server_pipeline() {
     let addr = free_addr();
     spawn_server(values, addr.clone(), 2, FoldStrategy::Incremental);
     let mut rng = StdRng::seed_from_u64(6);
-    let outcome = run_query(&addr, &[0, 2], 128, None, 100, 4, 0, &mut rng).unwrap();
+    let opts = QueryOptions {
+        key_bits: 128,
+        client_threads: 4,
+        ..QueryOptions::default()
+    };
+    let outcome = run_query(&addr, &[0, 2], &opts, &mut rng).unwrap();
     assert_eq!(outcome.sum, 4000);
 }

@@ -267,7 +267,7 @@ pub mod collection {
     use crate::strategy::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait IntoSizeRange {
         /// Inclusive (min, max) length bounds.
         fn into_bounds(self) -> (usize, usize);
