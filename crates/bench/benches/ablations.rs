@@ -122,7 +122,12 @@ fn ablation_server_fold(c: &mut Criterion) {
         .iter()
         .map(|&w| key.encrypt_u64(w, &mut rng).unwrap())
         .collect();
-    let batch = IndexBatch { ciphertexts: cts }.encode(&key).unwrap();
+    let batch = IndexBatch {
+        seq: 0,
+        ciphertexts: cts,
+    }
+    .encode(&key)
+    .unwrap();
 
     let mut g = c.benchmark_group("ablation_server_fold_n64_512bit");
     g.sample_size(20);

@@ -28,8 +28,9 @@ use std::time::Duration;
 use pps_crypto::{PaillierKeypair, PaillierSecretKey};
 use pps_obs::{MetricsServer, Registry};
 use pps_protocol::{
-    run_tcp_query_observed, run_tcp_query_with_retry, Admission, FoldStrategy, QueryObs, RunReport,
-    ServerObs, SessionEvent, SessionLimits, SumClient, TcpQueryConfig, TcpServer,
+    run_tcp_query_observed, run_tcp_query_with_retry, Admission, FoldStrategy, QueryObs,
+    ResumptionConfig, RunReport, ServerObs, SessionEvent, SessionLimits, SumClient, TcpQueryConfig,
+    TcpServer,
 };
 use pps_transport::RetryPolicy;
 use rand::rngs::StdRng;
@@ -92,6 +93,10 @@ pub enum Command {
         shutdown_after: Option<u64>,
         /// Serve a Prometheus `/metrics` + `/healthz` endpoint here.
         metrics_addr: Option<String>,
+        /// Fold-checkpoint lifetime in seconds (None = default 120).
+        resume_ttl: Option<u64>,
+        /// Fold-checkpoint table capacity (None = default 1024).
+        resume_capacity: Option<usize>,
     },
     /// Issue one private selected-sum query.
     Query {
@@ -163,7 +168,7 @@ pps — private selected-sum queries over TCP
 USAGE:
   pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K] [--fold incremental|multiexp|parallel]
              [--max-concurrent K] [--admission queue|refuse] [--session-timeout SECS] [--shutdown-after SECS]
-             [--metrics-addr HOST:PORT]
+             [--metrics-addr HOST:PORT] [--resume-ttl SECS] [--resume-capacity K]
   pps query  --addr ADDR --select i,j,k [--key-bits B | --key FILE] [--batch SIZE] [--client-threads T|auto]
              [--retries N] [--trace json|pretty]
   pps keygen --bits B --out FILE
@@ -176,10 +181,14 @@ deadline); --shutdown-after drains and exits gracefully after N seconds.
 Serve telemetry: --metrics-addr exposes GET /metrics (Prometheus text
 format: session lifecycle counters, wire bytes, per-phase latency
 histograms) and GET /healthz (JSON) while the server runs.
-Query --retries N re-issues the whole query up to N extra times on
-transient transport failures, with exponential backoff. --trace records
-the paper's four-component phase decomposition of the query and prints
-it as JSON or as a timeline table.
+Session resumption: a disconnected client that reconnects within
+--resume-ttl seconds (default 120) continues from the last acknowledged
+batch; --resume-capacity bounds the checkpoint table (default 1024).
+Query --retries N resumes from the server's checkpoint when one
+survives, and re-issues the whole query up to N extra times on
+transient transport failures otherwise, with exponential backoff.
+--trace records the paper's four-component phase decomposition of the
+query and prints it as JSON or as a timeline table.
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -269,6 +278,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     })
                     .transpose()?,
                 metrics_addr: get("metrics-addr"),
+                resume_ttl: get("resume-ttl")
+                    .map(|v| v.parse().map_err(|_| CliError::usage("bad --resume-ttl")))
+                    .transpose()?,
+                resume_capacity: get("resume-capacity")
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&k| k > 0)
+                            .ok_or_else(|| CliError::usage("bad --resume-capacity"))
+                    })
+                    .transpose()?,
             })
         }
         "query" => {
@@ -390,6 +410,9 @@ pub struct ServeOptions {
     /// Serve `GET /metrics` (Prometheus text) and `GET /healthz` (JSON)
     /// on this address while the accept loop runs.
     pub metrics_addr: Option<String>,
+    /// Bounds for the session-resumption checkpoint table (None =
+    /// [`ResumptionConfig::default`]: 1024 checkpoints, 120 s TTL).
+    pub resumption: Option<ResumptionConfig>,
 }
 
 /// Runs the concurrent server: accepts connections and serves one
@@ -421,6 +444,9 @@ pub fn run_server(
     }
     if let Some(max) = opts.max_concurrent {
         server = server.with_admission(max, opts.admission.unwrap_or(Admission::Queue));
+    }
+    if let Some(resumption) = opts.resumption {
+        server = server.with_resumption(resumption);
     }
     let metrics = match opts.metrics_addr.as_deref() {
         Some(addr) => {
@@ -475,6 +501,12 @@ pub fn run_server(
             SessionEvent::Evicted { session, error } => {
                 let _ = writeln!(log, "session {session} evicted: {error}");
             }
+            SessionEvent::Panicked { session } => {
+                let _ = writeln!(log, "session {session} panicked (contained)");
+            }
+            SessionEvent::Resumed { session } => {
+                let _ = writeln!(log, "session {session} resumed from checkpoint");
+            }
             SessionEvent::Refused { peer } => {
                 let peer = peer.map(|p| format!(" from {p}")).unwrap_or_default();
                 let _ = writeln!(log, "refused connection{peer}: at capacity");
@@ -487,12 +519,15 @@ pub fn run_server(
     let log = log.into_inner().expect("log lock");
     let _ = writeln!(
         log,
-        "served {} sessions ({} failed, {} refused, {} evicted, {} accept errors): {} indices folded in {:?} compute, {:?} wall, {:.0} indices/s",
+        "served {} sessions ({} failed, {} refused, {} evicted, {} panicked, {} accept errors, {} resumed, {} checkpoints evicted): {} indices folded in {:?} compute, {:?} wall, {:.0} indices/s",
         stats.sessions,
         stats.failed,
         stats.refused,
         stats.evicted,
+        stats.panicked,
         stats.accept_errors,
+        stats.resumed,
+        stats.checkpoints_evicted,
         stats.folded,
         stats.compute,
         stats.wall,
@@ -664,6 +699,8 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
             session_timeout,
             shutdown_after,
             metrics_addr,
+            resume_ttl,
+            resume_capacity,
         } => {
             let values = match (data, random) {
                 (Some(path), None) => load_values(Path::new(&path))?,
@@ -685,6 +722,16 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
                     }
                 }
             });
+            let resumption = match (resume_ttl, resume_capacity) {
+                (None, None) => None,
+                (ttl, capacity) => {
+                    let default = ResumptionConfig::default();
+                    Some(ResumptionConfig {
+                        ttl: ttl.map(Duration::from_secs).unwrap_or(default.ttl),
+                        capacity: capacity.unwrap_or(default.capacity),
+                    })
+                }
+            };
             let opts = ServeOptions {
                 max_sessions,
                 max_concurrent,
@@ -692,6 +739,7 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
                 limits,
                 shutdown_after: shutdown_after.map(Duration::from_secs),
                 metrics_addr,
+                resumption,
             };
             run_server(values, &listen, fold, &opts, out)
         }
@@ -752,6 +800,8 @@ mod tests {
                 session_timeout: None,
                 shutdown_after: None,
                 metrics_addr: None,
+                resume_ttl: None,
+                resume_capacity: None,
             }
         );
         match parse_args(&args("serve --random 8 --fold parallel")).unwrap() {
@@ -792,6 +842,28 @@ mod tests {
         assert!(parse_args(&args("serve --random 8 --admission sometimes")).is_err());
         assert!(parse_args(&args("serve --random 8 --session-timeout x")).is_err());
         assert!(parse_args(&args("serve --random 8 --shutdown-after x")).is_err());
+    }
+
+    #[test]
+    fn parse_resume_flags() {
+        match parse_args(&args(
+            "serve --random 8 --resume-ttl 45 --resume-capacity 64",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                resume_ttl,
+                resume_capacity,
+                ..
+            } => {
+                assert_eq!(resume_ttl, Some(45));
+                assert_eq!(resume_capacity, Some(64));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("serve --random 8 --resume-ttl x")).is_err());
+        assert!(parse_args(&args("serve --random 8 --resume-capacity 0")).is_err());
+        assert!(parse_args(&args("serve --random 8 --resume-capacity x")).is_err());
     }
 
     #[test]

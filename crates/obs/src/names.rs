@@ -36,6 +36,15 @@ pub const SESSIONS_REFUSED_TOTAL: &str = "pps_sessions_refused_total";
 pub const SESSIONS_EVICTED_TOTAL: &str = "pps_sessions_evicted_total";
 /// Errors from `accept()` itself (no session existed yet).
 pub const ACCEPT_ERRORS_TOTAL: &str = "pps_accept_errors_total";
+/// Sessions that continued from a stored checkpoint after the client
+/// reconnected with `Resume`.
+pub const SESSIONS_RESUMED_TOTAL: &str = "pps_sessions_resumed_total";
+/// Sessions whose thread panicked; the panic was contained by the
+/// runtime's `catch_unwind` boundary.
+pub const SESSIONS_PANICKED_TOTAL: &str = "pps_sessions_panicked_total";
+/// Fold checkpoints dropped from the resumption table by capacity
+/// pressure or TTL expiry (clean completions are not counted).
+pub const CHECKPOINTS_EVICTED_TOTAL: &str = "pps_checkpoints_evicted_total";
 /// Sessions currently being served.
 pub const SESSIONS_ACTIVE: &str = "pps_sessions_active";
 /// End-to-end duration of completed sessions.

@@ -14,7 +14,7 @@ use rand::RngCore;
 
 use crate::data::Selection;
 use crate::error::ProtocolError;
-use crate::messages::{Hello, IndexBatch, Product};
+use crate::messages::{Hello, IndexBatch, MsgType, Product};
 
 /// Where the client's encrypted index weights come from.
 pub enum IndexSource<'a> {
@@ -144,12 +144,42 @@ impl SumClient {
             batch_size: batch_size.min(u32::MAX as usize) as u32,
         };
         wire.send(hello.encode()?)?;
+        self.stream_batches(wire, selection, batch_size, source, 0)
+    }
 
+    /// Streams the index batches for `selection`, starting at batch
+    /// sequence number `from_seq` (batches below it are skipped without
+    /// being encrypted). `from_seq = 0` streams the whole query; a
+    /// resuming client passes the `next_seq` granted by the server's
+    /// `ResumeAck` so only the unacknowledged tail is re-encrypted and
+    /// re-sent (PROTOCOL.md §10).
+    ///
+    /// # Errors
+    /// Configuration, crypto, and transport failures.
+    pub fn stream_batches(
+        &self,
+        wire: &mut dyn Wire,
+        selection: &Selection,
+        batch_size: usize,
+        source: &mut IndexSource<'_>,
+        from_seq: u64,
+    ) -> Result<ClientSendStats, ProtocolError> {
+        if batch_size == 0 {
+            return Err(ProtocolError::Config("batch size must be positive".into()));
+        }
         let mut stats = ClientSendStats::default();
-        for chunk in selection.weights().chunks(batch_size) {
+        for (seq, chunk) in selection.weights().chunks(batch_size).enumerate() {
+            let seq = seq as u64;
+            if seq < from_seq {
+                continue;
+            }
             let start = Instant::now();
             let cts = source.produce_batch(&self.keypair, chunk)?;
-            let frame = IndexBatch { ciphertexts: cts }.encode(&self.keypair.public)?;
+            let frame = IndexBatch {
+                seq,
+                ciphertexts: cts,
+            }
+            .encode(&self.keypair.public)?;
             let elapsed = start.elapsed();
             stats.encrypt += elapsed;
             stats.per_batch_encrypt.push(elapsed);
@@ -159,15 +189,23 @@ impl SumClient {
         Ok(stats)
     }
 
-    /// Receives the product frame and decrypts the selected sum.
+    /// Receives the product frame and decrypts the selected sum,
+    /// skipping any `HelloAck` frames still buffered ahead of it (the
+    /// resumable server acknowledges every `Hello` with a session ID;
+    /// callers that don't resume may simply ignore it).
     ///
     /// Returns `(sum, decrypt_time)`.
     ///
     /// # Errors
     /// Transport and decryption failures.
     pub fn receive_result(&self, wire: &mut dyn Wire) -> Result<(Uint, Duration), ProtocolError> {
-        let frame = wire.recv()?;
-        self.decrypt_product(&frame)
+        loop {
+            let frame = wire.recv()?;
+            if frame.msg_type == MsgType::HelloAck as u8 {
+                continue;
+            }
+            return self.decrypt_product(&frame);
+        }
     }
 
     /// Decrypts a product frame (split out for drivers that already hold

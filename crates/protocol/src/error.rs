@@ -25,6 +25,13 @@ pub enum ProtocolError {
     },
     /// A peer violated the protocol state machine.
     UnexpectedMessage(&'static str),
+    /// A peer supplied input that fails validation bounds: zero-length
+    /// or oversized batches, batch sizes that cannot fit a frame,
+    /// out-of-order sequence numbers. Distinct from
+    /// [`ProtocolError::UnexpectedMessage`] (wrong message for the
+    /// current state) and never retried — replaying invalid input can
+    /// only fail again.
+    InvalidInput(&'static str),
 }
 
 impl fmt::Display for ProtocolError {
@@ -41,6 +48,7 @@ impl fmt::Display for ProtocolError {
                 "worst-case sum needs {needed_bits} bits but message space has {available_bits}"
             ),
             Self::UnexpectedMessage(why) => write!(f, "protocol violation: {why}"),
+            Self::InvalidInput(why) => write!(f, "invalid input: {why}"),
         }
     }
 }

@@ -41,7 +41,9 @@
 //!   per-session deadlines, admission control, and graceful shutdown;
 //! * [`run_tcp_query_with_retry`] — the fault-tolerant client: a full
 //!   query over a real socket, re-issued with exponential backoff on
-//!   transient transport failures.
+//!   transient transport failures, resuming from the server's last
+//!   acknowledged batch when a checkpoint survives
+//!   ([`SessionTable`], PROTOCOL.md §10).
 //!
 //! # Quick start
 //!
@@ -72,6 +74,7 @@ mod multidb;
 mod obs;
 mod perturb;
 mod report;
+pub mod resume;
 mod run;
 mod server;
 mod tcp_client;
@@ -86,15 +89,16 @@ pub use multidb::{run_multidb, run_multidb_blinded, Partition};
 pub use obs::{PhaseTotals, QueryObs, ServerObs};
 pub use perturb::{flip_probability_for_epsilon, run_randomized_response, PerturbedReport};
 pub use report::{RunReport, Variant};
+pub use resume::{ResumptionConfig, SessionTable};
 pub use run::{
     run_basic, run_basic_parallel, run_batched, run_batched_parallel, run_combined,
     run_download_baseline, run_plain_baseline, run_preprocessed, run_threaded, run_weighted,
     RunConfig,
 };
-pub use server::{FoldStrategy, ServerSession, ServerStats};
+pub use server::{FoldCheckpoint, FoldStrategy, ServerSession, ServerStats};
 pub use tcp_client::{
-    run_tcp_query, run_tcp_query_observed, run_tcp_query_with_retry, TcpQueryConfig,
-    TcpQueryOutcome,
+    run_stream_query_with_resume, run_tcp_query, run_tcp_query_observed, run_tcp_query_with_retry,
+    TcpQueryConfig, TcpQueryOutcome,
 };
 pub use tcp_server::{
     Admission, AggregateStats, SessionDeadline, SessionEvent, SessionLimits, ShutdownHandle,

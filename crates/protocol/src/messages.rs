@@ -10,6 +10,8 @@ use pps_bignum::Uint;
 use pps_crypto::{Ciphertext, PaillierPublicKey};
 use pps_transport::{Frame, TransportError};
 
+use crate::error::ProtocolError;
+
 /// Frame type discriminants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
@@ -35,6 +37,14 @@ pub enum MsgType {
     SizeRequest = 9,
     /// Server → client: database size as a u64.
     SizeReply = 10,
+    /// Server → client: session ID assigned at `Hello` (resumable
+    /// runtimes only; in-process drivers never send it).
+    HelloAck = 11,
+    /// Client → server: reconnect and continue a checkpointed session.
+    Resume = 12,
+    /// Server → client: resume verdict plus the authoritative
+    /// next-expected batch sequence number.
+    ResumeAck = 13,
 }
 
 impl MsgType {
@@ -50,6 +60,9 @@ impl MsgType {
             8 => Self::RingTotal,
             9 => Self::SizeRequest,
             10 => Self::SizeReply,
+            11 => Self::HelloAck,
+            12 => Self::Resume,
+            13 => Self::ResumeAck,
             _ => return Err(TransportError::Malformed("unknown message type")),
         })
     }
@@ -112,18 +125,23 @@ impl Hello {
 /// A batch of fixed-width encrypted index weights.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IndexBatch {
+    /// 0-based batch sequence number within the session. The server
+    /// enforces strict monotonicity (`seq == next expected`) so a
+    /// resumed or replayed stream can never double-fold a chunk.
+    pub seq: u64,
     /// Ciphertexts `E(I_i)` for a contiguous range of indices.
     pub ciphertexts: Vec<Ciphertext>,
 }
 
 impl IndexBatch {
-    /// Encodes to a frame: `[count u32][ct bytes fixed-width]…`.
+    /// Encodes to a frame: `[seq u64][count u32][ct bytes fixed-width]…`.
     ///
     /// # Errors
     /// Frame-size errors for absurdly large batches.
     pub fn encode(&self, key: &PaillierPublicKey) -> Result<Frame, TransportError> {
         let w = key.ciphertext_bytes();
-        let mut buf = BytesMut::with_capacity(4 + w * self.ciphertexts.len());
+        let mut buf = BytesMut::with_capacity(12 + w * self.ciphertexts.len());
+        buf.put_u64(self.seq);
         buf.put_u32(self.ciphertexts.len() as u32);
         for ct in &self.ciphertexts {
             let bytes = ct
@@ -134,31 +152,166 @@ impl IndexBatch {
         Frame::new(MsgType::IndexBatch as u8, buf.freeze())
     }
 
-    /// Decodes and *validates* each ciphertext (membership in `Z*_{N²}`).
+    /// Decodes and *validates* each ciphertext (membership in `Z*_{N²}`,
+    /// i.e. `0 < c < N²` with `gcd(c, N) = 1`).
     ///
     /// # Errors
-    /// [`TransportError::Malformed`] on truncation or invalid group
-    /// elements — a careful server must reject these rather than fold
-    /// them into its product.
-    pub fn decode(frame: &Frame, key: &PaillierPublicKey) -> Result<Self, TransportError> {
+    /// * [`ProtocolError::Transport`] ([`TransportError::Malformed`]) on
+    ///   truncation or a length/count mismatch;
+    /// * [`ProtocolError::InvalidInput`] on a zero-ciphertext batch — an
+    ///   empty batch folds nothing and can only stall the stream;
+    /// * [`ProtocolError::Crypto`] when a ciphertext is out of range — a
+    ///   careful server must reject these rather than fold them into its
+    ///   product.
+    pub fn decode(frame: &Frame, key: &PaillierPublicKey) -> Result<Self, ProtocolError> {
         expect_type(frame, MsgType::IndexBatch)?;
         let mut p = frame.payload.clone();
-        if p.remaining() < 4 {
-            return Err(TransportError::Malformed("batch truncated"));
+        if p.remaining() < 12 {
+            return Err(TransportError::Malformed("batch truncated").into());
         }
+        let seq = p.get_u64();
         let count = p.get_u32() as usize;
+        if count == 0 {
+            return Err(ProtocolError::InvalidInput("empty index batch"));
+        }
         let w = key.ciphertext_bytes();
-        if p.remaining() != count * w {
-            return Err(TransportError::Malformed("batch length mismatch"));
+        let body = count
+            .checked_mul(w)
+            .ok_or(ProtocolError::InvalidInput("index batch count overflows"))?;
+        if p.remaining() != body {
+            return Err(TransportError::Malformed("batch length mismatch").into());
         }
         let mut ciphertexts = Vec::with_capacity(count);
         for _ in 0..count {
             let bytes = p.copy_to_bytes(w);
-            let ct = Ciphertext::from_bytes(&bytes, key)
-                .map_err(|_| TransportError::Malformed("invalid ciphertext in batch"))?;
+            let ct = Ciphertext::from_bytes(&bytes, key)?;
             ciphertexts.push(ct);
         }
-        Ok(IndexBatch { ciphertexts })
+        Ok(IndexBatch { seq, ciphertexts })
+    }
+}
+
+/// Session ID assignment, sent by resumable server runtimes immediately
+/// after accepting a [`Hello`]. The ID is the client's ticket for
+/// [`Resume`] after a disconnect. In-process drivers skip this message
+/// entirely, and `SumClient::receive_result` tolerates (ignores) it, so
+/// both deployments speak the same client code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HelloAck {
+    /// Server-assigned, unguessable session identifier (never zero).
+    pub session_id: u64,
+}
+
+impl HelloAck {
+    /// Encodes as 8 big-endian bytes.
+    ///
+    /// # Errors
+    /// None in practice.
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        Frame::new(
+            MsgType::HelloAck as u8,
+            self.session_id.to_be_bytes().to_vec(),
+        )
+    }
+
+    /// Decodes.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on wrong length.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::HelloAck)?;
+        let b: [u8; 8] = frame.payload[..]
+            .try_into()
+            .map_err(|_| TransportError::Malformed("hello ack wrong length"))?;
+        Ok(HelloAck {
+            session_id: u64::from_be_bytes(b),
+        })
+    }
+}
+
+/// Reconnect request: continue the checkpointed session `session_id`
+/// from batch `next_seq`. Must be the first message on a fresh
+/// connection; the server's [`ResumeAck`] carries the authoritative
+/// resume point (the server may have acked more than the client saw).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resume {
+    /// The session ID from [`HelloAck`].
+    pub session_id: u64,
+    /// The client's guess at the next batch sequence number.
+    pub next_seq: u64,
+}
+
+impl Resume {
+    /// Encodes as `[session_id u64][next_seq u64]`.
+    ///
+    /// # Errors
+    /// None in practice.
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64(self.session_id);
+        buf.put_u64(self.next_seq);
+        Frame::new(MsgType::Resume as u8, buf.freeze())
+    }
+
+    /// Decodes.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on wrong length.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::Resume)?;
+        let b: [u8; 16] = frame.payload[..]
+            .try_into()
+            .map_err(|_| TransportError::Malformed("resume wrong length"))?;
+        Ok(Resume {
+            session_id: u64::from_be_bytes(b[..8].try_into().unwrap()),
+            next_seq: u64::from_be_bytes(b[8..].try_into().unwrap()),
+        })
+    }
+}
+
+/// Resume verdict. When `granted`, the client streams batches starting
+/// at `next_seq`; when refused (checkpoint expired, evicted, or never
+/// existed), the client falls back to a fresh [`Hello`] on the same
+/// connection and `next_seq` is zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumeAck {
+    /// Whether the checkpoint was found and restored.
+    pub granted: bool,
+    /// The server's next-expected batch sequence number.
+    pub next_seq: u64,
+}
+
+impl ResumeAck {
+    /// Encodes as `[granted u8][next_seq u64]`.
+    ///
+    /// # Errors
+    /// None in practice.
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        let mut buf = BytesMut::with_capacity(9);
+        buf.put_u8(u8::from(self.granted));
+        buf.put_u64(self.next_seq);
+        Frame::new(MsgType::ResumeAck as u8, buf.freeze())
+    }
+
+    /// Decodes.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on wrong length or a granted byte
+    /// that is neither 0 nor 1.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::ResumeAck)?;
+        let b: [u8; 9] = frame.payload[..]
+            .try_into()
+            .map_err(|_| TransportError::Malformed("resume ack wrong length"))?;
+        let granted = match b[0] {
+            0 => false,
+            1 => true,
+            _ => return Err(TransportError::Malformed("resume ack bad flag")),
+        };
+        Ok(ResumeAck {
+            granted,
+            next_seq: u64::from_be_bytes(b[1..].try_into().unwrap()),
+        })
     }
 }
 
@@ -502,34 +655,95 @@ mod tests {
             .map(|i| kp.public.encrypt_u64(i % 2, &mut rng).unwrap())
             .collect();
         let b = IndexBatch {
+            seq: 42,
             ciphertexts: cts.clone(),
         };
         let f = b.encode(&kp.public).unwrap();
         let back = IndexBatch::decode(&f, &kp.public).unwrap();
+        assert_eq!(back.seq, 42);
         assert_eq!(back.ciphertexts, cts);
-        // Wire size: 4-byte count + fixed-width ciphertexts.
-        assert_eq!(f.payload.len(), 4 + 5 * kp.public.ciphertext_bytes());
+        // Wire size: 8-byte seq + 4-byte count + fixed-width ciphertexts.
+        assert_eq!(f.payload.len(), 12 + 5 * kp.public.ciphertext_bytes());
     }
 
     #[test]
-    fn index_batch_invalid_ciphertext_rejected() {
+    fn index_batch_invalid_ciphertext_rejected_as_crypto_error() {
         let kp = key();
         let w = kp.public.ciphertext_bytes();
-        // count = 1, ciphertext bytes all zero (0 is not in Z*_{N²}).
+        // seq = 0, count = 1, ciphertext bytes all zero (0 is not in
+        // Z*_{N²}): the rejection must be *typed* so callers can tell
+        // hostile ciphertexts from framing noise.
         let mut buf = BytesMut::new();
+        buf.put_u64(0);
         buf.put_u32(1);
         buf.put_slice(&vec![0u8; w]);
         let f = Frame::new(MsgType::IndexBatch as u8, buf.freeze()).unwrap();
-        assert!(IndexBatch::decode(&f, &kp.public).is_err());
+        assert!(matches!(
+            IndexBatch::decode(&f, &kp.public),
+            Err(ProtocolError::Crypto(_))
+        ));
     }
 
     #[test]
     fn index_batch_length_mismatch_rejected() {
         let kp = key();
         let mut buf = BytesMut::new();
+        buf.put_u64(0);
         buf.put_u32(2); // claims two, provides zero
         let f = Frame::new(MsgType::IndexBatch as u8, buf.freeze()).unwrap();
-        assert!(IndexBatch::decode(&f, &kp.public).is_err());
+        assert!(matches!(
+            IndexBatch::decode(&f, &kp.public),
+            Err(ProtocolError::Transport(TransportError::Malformed(_)))
+        ));
+    }
+
+    #[test]
+    fn empty_index_batch_rejected_as_invalid_input() {
+        let kp = key();
+        let mut buf = BytesMut::new();
+        buf.put_u64(3);
+        buf.put_u32(0);
+        let f = Frame::new(MsgType::IndexBatch as u8, buf.freeze()).unwrap();
+        assert!(matches!(
+            IndexBatch::decode(&f, &kp.public),
+            Err(ProtocolError::InvalidInput("empty index batch"))
+        ));
+    }
+
+    #[test]
+    fn resume_messages_round_trip() {
+        let ack = HelloAck {
+            session_id: 0xfeed_beef_dead_cafe,
+        };
+        assert_eq!(HelloAck::decode(&ack.encode().unwrap()).unwrap(), ack);
+        let r = Resume {
+            session_id: 7,
+            next_seq: 1234,
+        };
+        assert_eq!(Resume::decode(&r.encode().unwrap()).unwrap(), r);
+        for granted in [false, true] {
+            let ra = ResumeAck {
+                granted,
+                next_seq: 99,
+            };
+            assert_eq!(ResumeAck::decode(&ra.encode().unwrap()).unwrap(), ra);
+        }
+    }
+
+    #[test]
+    fn resume_messages_reject_malformed_payloads() {
+        let bad = Frame::new(MsgType::HelloAck as u8, vec![1u8; 7]).unwrap();
+        assert!(HelloAck::decode(&bad).is_err());
+        let bad = Frame::new(MsgType::Resume as u8, vec![1u8; 15]).unwrap();
+        assert!(Resume::decode(&bad).is_err());
+        let bad = Frame::new(MsgType::ResumeAck as u8, vec![1u8; 10]).unwrap();
+        assert!(ResumeAck::decode(&bad).is_err());
+        // A granted flag outside {0, 1} is corruption, not a verdict.
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        buf.put_u64(0);
+        let bad = Frame::new(MsgType::ResumeAck as u8, buf.freeze()).unwrap();
+        assert!(ResumeAck::decode(&bad).is_err());
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct ServerObs {
     pub(crate) refused: Arc<Counter>,
     pub(crate) evicted: Arc<Counter>,
     pub(crate) accept_errors: Arc<Counter>,
+    pub(crate) resumed: Arc<Counter>,
+    pub(crate) panicked: Arc<Counter>,
+    pub(crate) checkpoints_evicted: Arc<Counter>,
     pub(crate) active: Arc<Gauge>,
     pub(crate) session_seconds: Arc<Histogram>,
     pub(crate) fold_seconds: Arc<Histogram>,
@@ -89,6 +92,18 @@ impl ServerObs {
             accept_errors: registry.counter(
                 names::ACCEPT_ERRORS_TOTAL,
                 "accept() failures (no session existed yet)",
+            ),
+            resumed: registry.counter(
+                names::SESSIONS_RESUMED_TOTAL,
+                "sessions continued from a stored checkpoint",
+            ),
+            panicked: registry.counter(
+                names::SESSIONS_PANICKED_TOTAL,
+                "sessions whose thread panicked (contained by catch_unwind)",
+            ),
+            checkpoints_evicted: registry.counter(
+                names::CHECKPOINTS_EVICTED_TOTAL,
+                "fold checkpoints dropped by capacity pressure or TTL expiry",
             ),
             active: registry.gauge(names::SESSIONS_ACTIVE, "sessions currently being served"),
             session_seconds: registry.histogram(

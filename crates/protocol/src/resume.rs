@@ -1,0 +1,302 @@
+//! The server's session-resumption table: bounded, TTL-evicted storage
+//! for mid-stream fold checkpoints.
+//!
+//! The resumable TCP runtime snapshots every session's
+//! [`FoldCheckpoint`] after each acknowledged batch. When a client
+//! reconnects with `Resume { session_id, .. }`, the checkpoint is
+//! *taken* (removed) from the table — two connections can never fold
+//! forward from the same snapshot concurrently — and re-stored as the
+//! resumed stream makes progress.
+//!
+//! The table is deliberately hostile-input-safe:
+//!
+//! * **Bounded**: at capacity, the entry closest to expiry is evicted,
+//!   so a flood of abandoned sessions cannot grow memory without limit.
+//! * **TTL-evicted**: entries expire after [`ResumptionConfig::ttl`];
+//!   expired entries are pruned on every touch.
+//! * **Unguessable IDs**: session IDs come from the process CSPRNG
+//!   (ChaCha12), never sequentially, so a stranger cannot hijack a
+//!   checkpoint by counting.
+//! * **Poison-recovering**: the interior lock recovers from poison — a
+//!   panicked session thread can never wedge resumption for everyone
+//!   else.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::server::FoldCheckpoint;
+
+/// Tuning for the [`SessionTable`].
+#[derive(Clone, Copy, Debug)]
+pub struct ResumptionConfig {
+    /// Maximum simultaneously-stored checkpoints. At capacity the entry
+    /// closest to expiry is evicted to make room.
+    pub capacity: usize,
+    /// How long a checkpoint survives without the client touching it.
+    pub ttl: Duration,
+}
+
+impl Default for ResumptionConfig {
+    fn default() -> Self {
+        ResumptionConfig {
+            capacity: 1024,
+            ttl: Duration::from_secs(120),
+        }
+    }
+}
+
+struct Entry {
+    checkpoint: FoldCheckpoint,
+    expires: Instant,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    rng: StdRng,
+}
+
+/// Bounded, TTL-evicted map from session ID to [`FoldCheckpoint`].
+pub struct SessionTable {
+    inner: Mutex<Inner>,
+    config: ResumptionConfig,
+    evicted: AtomicU64,
+}
+
+impl SessionTable {
+    /// Creates a table with the given bounds, seeding its ID generator
+    /// from OS entropy.
+    pub fn new(config: ResumptionConfig) -> Self {
+        SessionTable {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                rng: StdRng::from_entropy(),
+            }),
+            config,
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of checkpoints evicted so far (capacity pressure plus TTL
+    /// expiry) — clean completions are not evictions.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Live checkpoint count (after pruning expired entries).
+    pub fn len(&self) -> usize {
+        let mut inner = self.lock();
+        let evicted = Self::prune(&mut inner, Instant::now());
+        self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        inner.map.len()
+    }
+
+    /// True when no checkpoint is currently stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Draws a fresh, unguessable, nonzero session ID that is not
+    /// currently in use.
+    pub fn allocate(&self) -> u64 {
+        let mut inner = self.lock();
+        loop {
+            let id = inner.rng.next_u64();
+            if id != 0 && !inner.map.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+
+    /// Stores (or refreshes) the checkpoint for `id`, restarting its
+    /// TTL. At capacity, the entry closest to expiry is evicted first.
+    pub fn store(&self, id: u64, checkpoint: FoldCheckpoint) {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        let mut evicted = Self::prune(&mut inner, now);
+        while inner.map.len() >= self.config.capacity && !inner.map.contains_key(&id) {
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.expires)
+                .map(|(&id, _)| id)
+            else {
+                break;
+            };
+            inner.map.remove(&oldest);
+            evicted += 1;
+        }
+        inner.map.insert(
+            id,
+            Entry {
+                checkpoint,
+                expires: now + self.config.ttl,
+            },
+        );
+        drop(inner);
+        self.evicted.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Takes (removes and returns) the checkpoint for `id`. Removal is
+    /// what makes a grant exclusive: a second `Resume` for the same ID
+    /// finds nothing until the first connection checkpoints again.
+    pub fn take(&self, id: u64) -> Option<FoldCheckpoint> {
+        let mut inner = self.lock();
+        let evicted = Self::prune(&mut inner, Instant::now());
+        let hit = inner.map.remove(&id).map(|e| e.checkpoint);
+        drop(inner);
+        self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        hit
+    }
+
+    /// Drops the checkpoint for `id` after a clean completion (not
+    /// counted as an eviction).
+    pub fn remove(&self, id: u64) {
+        self.lock().map.remove(&id);
+    }
+
+    /// Removes expired entries; returns how many were dropped.
+    fn prune(inner: &mut Inner, now: Instant) -> u64 {
+        let before = inner.map.len();
+        inner.map.retain(|_, e| e.expires > now);
+        (before - inner.map.len()) as u64
+    }
+
+    /// Locks the table, recovering from poison: the map and RNG are
+    /// valid at every await-free point, so a panicked holder leaves
+    /// nothing half-written worth dying over.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl Default for SessionTable {
+    fn default() -> Self {
+        Self::new(ResumptionConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Database;
+    use crate::messages::{Hello, IndexBatch};
+    use crate::ServerSession;
+    use pps_crypto::PaillierKeypair;
+    use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    fn checkpoint() -> FoldCheckpoint {
+        let mut rng = TestRng::seed_from_u64(5150);
+        let kp = PaillierKeypair::generate(128, &mut rng).unwrap();
+        let db = Database::new(vec![1, 2, 3, 4]).unwrap();
+        let mut s = ServerSession::new(&db);
+        s.on_frame(
+            &Hello {
+                modulus: kp.public.n().clone(),
+                total: 4,
+                batch_size: 2,
+            }
+            .encode()
+            .unwrap(),
+        )
+        .unwrap();
+        let cts = (0..2)
+            .map(|i| kp.public.encrypt_u64(i % 2, &mut rng).unwrap())
+            .collect();
+        s.on_frame(
+            &IndexBatch {
+                seq: 0,
+                ciphertexts: cts,
+            }
+            .encode(&kp.public)
+            .unwrap(),
+        )
+        .unwrap();
+        s.checkpoint().unwrap()
+    }
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let table = SessionTable::default();
+        let ids: Vec<u64> = (0..64).map(|_| table.allocate()).collect();
+        assert!(ids.iter().all(|&id| id != 0));
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn take_is_exclusive() {
+        let table = SessionTable::default();
+        let cp = checkpoint();
+        let id = table.allocate();
+        table.store(id, cp);
+        assert_eq!(table.len(), 1);
+        assert!(table.take(id).is_some());
+        assert!(table.take(id).is_none(), "second take finds nothing");
+        assert_eq!(table.evicted(), 0, "takes are not evictions");
+    }
+
+    #[test]
+    fn ttl_expires_checkpoints() {
+        let table = SessionTable::new(ResumptionConfig {
+            capacity: 8,
+            ttl: Duration::from_millis(25),
+        });
+        let id = table.allocate();
+        table.store(id, checkpoint());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(table.take(id).is_none(), "expired checkpoint is gone");
+        assert_eq!(table.evicted(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_the_entry_closest_to_expiry() {
+        let table = SessionTable::new(ResumptionConfig {
+            capacity: 2,
+            ttl: Duration::from_secs(60),
+        });
+        let cp = checkpoint();
+        let (a, b, c) = (table.allocate(), table.allocate(), table.allocate());
+        table.store(a, cp.clone());
+        std::thread::sleep(Duration::from_millis(5));
+        table.store(b, cp.clone());
+        std::thread::sleep(Duration::from_millis(5));
+        table.store(c, cp);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.evicted(), 1);
+        assert!(table.take(a).is_none(), "oldest was evicted");
+        assert!(table.take(b).is_some());
+        assert!(table.take(c).is_some());
+    }
+
+    #[test]
+    fn restore_refreshes_instead_of_evicting() {
+        let table = SessionTable::new(ResumptionConfig {
+            capacity: 1,
+            ttl: Duration::from_secs(60),
+        });
+        let cp = checkpoint();
+        let id = table.allocate();
+        table.store(id, cp.clone());
+        // Re-storing the same session at capacity must not evict it.
+        table.store(id, cp);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.evicted(), 0);
+        assert!(table.take(id).is_some());
+    }
+
+    #[test]
+    fn clean_removal_is_not_an_eviction() {
+        let table = SessionTable::default();
+        let id = table.allocate();
+        table.store(id, checkpoint());
+        table.remove(id);
+        assert!(table.is_empty());
+        assert_eq!(table.evicted(), 0);
+    }
+}

@@ -9,7 +9,7 @@
 use std::time::{Duration, Instant};
 
 use pps_crypto::{Ciphertext, PaillierPublicKey};
-use pps_transport::Frame;
+use pps_transport::{Frame, MAX_PAYLOAD};
 
 use crate::data::Database;
 use crate::error::ProtocolError;
@@ -35,13 +35,43 @@ enum State {
     Receiving {
         key: PaillierPublicKey,
         expected: u64,
+        /// Announced batch size: an upper bound on any one batch.
+        batch_size: u32,
         /// Running homomorphic product `Π E(I_i)^{x_i}`.
         accumulator: Ciphertext,
         /// Next database row to consume.
         cursor: usize,
+        /// Next-expected batch sequence number (strictly monotone).
+        next_seq: u64,
     },
     /// Product sent; session complete.
     Done,
+}
+
+/// A point-in-time snapshot of a mid-stream session: the partial
+/// homomorphic accumulator plus the next-expected batch sequence number.
+///
+/// The resumable TCP runtime stores one of these in its session table
+/// after every acknowledged [`IndexBatch`]; a client that lost its
+/// connection resumes via [`ServerSession::resume`] and continues from
+/// the last acked chunk instead of re-sending the whole index vector.
+#[derive(Clone, Debug)]
+pub struct FoldCheckpoint {
+    /// The client's Paillier public key.
+    pub key: PaillierPublicKey,
+    /// Announced total number of index weights.
+    pub expected: u64,
+    /// Announced batch size (upper bound on any one batch).
+    pub batch_size: u32,
+    /// Running homomorphic product `Π E(I_i)^{x_i}` so far.
+    pub accumulator: Ciphertext,
+    /// Next database row to consume.
+    pub cursor: usize,
+    /// Next-expected batch sequence number.
+    pub next_seq: u64,
+    /// Statistics accumulated so far, carried across the resume so the
+    /// final report covers the whole logical session.
+    pub stats: ServerStats,
 }
 
 /// How the server folds a batch of `E(I_i)` into its running product.
@@ -122,6 +152,89 @@ impl<'db> ServerSession<'db> {
         matches!(self.state, State::Done)
     }
 
+    /// True while the session is pristine: no `Hello` consumed yet.
+    pub fn is_awaiting_hello(&self) -> bool {
+        matches!(self.state, State::AwaitHello)
+    }
+
+    /// The next-expected batch sequence number, when mid-stream.
+    pub fn next_seq(&self) -> Option<u64> {
+        match &self.state {
+            State::Receiving { next_seq, .. } => Some(*next_seq),
+            _ => None,
+        }
+    }
+
+    /// Snapshots the fold state for the session table. `Some` only while
+    /// mid-stream: a pristine or completed session has nothing worth
+    /// resuming.
+    pub fn checkpoint(&self) -> Option<FoldCheckpoint> {
+        match &self.state {
+            State::Receiving {
+                key,
+                expected,
+                batch_size,
+                accumulator,
+                cursor,
+                next_seq,
+            } => Some(FoldCheckpoint {
+                key: key.clone(),
+                expected: *expected,
+                batch_size: *batch_size,
+                accumulator: accumulator.clone(),
+                cursor: *cursor,
+                next_seq: *next_seq,
+                stats: self.stats.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds a mid-stream session from a checkpoint taken against the
+    /// same database. The checkpoint is validated — a snapshot from a
+    /// different database (or a forged one) is rejected rather than
+    /// folded forward.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Config`] when the checkpoint's announced total
+    /// does not match `db`; [`ProtocolError::InvalidInput`] when its
+    /// cursor or batch size is out of bounds.
+    pub fn resume(
+        db: &'db Database,
+        fold: FoldStrategy,
+        cp: FoldCheckpoint,
+    ) -> Result<Self, ProtocolError> {
+        if cp.expected as usize != db.len() {
+            return Err(ProtocolError::Config(format!(
+                "checkpoint expects {} indices for a database of {}",
+                cp.expected,
+                db.len()
+            )));
+        }
+        if cp.batch_size == 0 {
+            return Err(ProtocolError::InvalidInput("checkpoint batch size zero"));
+        }
+        if cp.cursor >= cp.expected as usize {
+            return Err(ProtocolError::InvalidInput(
+                "checkpoint cursor out of bounds",
+            ));
+        }
+        Ok(ServerSession {
+            db,
+            state: State::Receiving {
+                key: cp.key,
+                expected: cp.expected,
+                batch_size: cp.batch_size,
+                accumulator: cp.accumulator,
+                cursor: cp.cursor,
+                next_seq: cp.next_seq,
+            },
+            stats: cp.stats,
+            fold,
+            blinding: None,
+        })
+    }
+
     /// Consumes one frame; returns a reply frame when the protocol calls
     /// for one.
     ///
@@ -167,6 +280,17 @@ impl<'db> ServerSession<'db> {
             return Err(ProtocolError::Config("batch size must be positive".into()));
         }
         let key = PaillierPublicKey::from_modulus(hello.modulus)?;
+        // An announced batch size whose encoded batch cannot fit in one
+        // frame is unservable: every full batch would be rejected by the
+        // frame cap, so refuse the session up front.
+        let encoded_batch = (hello.batch_size as usize)
+            .checked_mul(key.ciphertext_bytes())
+            .and_then(|b| b.checked_add(12));
+        if encoded_batch.is_none_or(|b| b > MAX_PAYLOAD) {
+            return Err(ProtocolError::InvalidInput(
+                "batch size exceeds frame capacity",
+            ));
+        }
         if hello.total == 0 {
             // Empty database: there is nothing to receive, and no batch
             // will ever arrive to trigger the finalize check — reply with
@@ -179,7 +303,9 @@ impl<'db> ServerSession<'db> {
             accumulator: key.identity(),
             key,
             expected: hello.total,
+            batch_size: hello.batch_size,
             cursor: 0,
+            next_seq: 0,
         };
         Ok(None)
     }
@@ -208,25 +334,36 @@ impl<'db> ServerSession<'db> {
         let State::Receiving {
             key,
             expected,
+            batch_size,
             accumulator,
             cursor,
+            next_seq,
         } = &mut self.state
         else {
             return Err(ProtocolError::UnexpectedMessage(
                 "batch before hello or after done",
             ));
         };
+        // Decode validates every ciphertext (range + invertibility) and
+        // rejects zero-length batches before anything touches the fold.
         let batch = IndexBatch::decode(frame, key)?;
-        if batch.ciphertexts.is_empty() {
-            // An empty batch never advances the cursor, so accepting it
-            // would let a client spin the session forever.
-            return Err(ProtocolError::UnexpectedMessage("empty index batch"));
-        }
-        if *cursor + batch.ciphertexts.len() > *expected as usize {
-            return Err(ProtocolError::UnexpectedMessage(
-                "more indices than announced",
+        if batch.seq != *next_seq {
+            // Strict monotonicity: a duplicate would double-fold a chunk
+            // into the accumulator, a gap would misalign weights with
+            // database rows. Both are unrecoverable for this stream.
+            return Err(ProtocolError::InvalidInput(
+                "batch sequence number out of order",
             ));
         }
+        if batch.ciphertexts.len() > *batch_size as usize {
+            return Err(ProtocolError::InvalidInput(
+                "batch larger than announced batch size",
+            ));
+        }
+        if *cursor + batch.ciphertexts.len() > *expected as usize {
+            return Err(ProtocolError::InvalidInput("more indices than announced"));
+        }
+        *next_seq += 1;
 
         let start = Instant::now();
         match self.fold {
@@ -329,12 +466,17 @@ mod tests {
         .unwrap()
     }
 
-    fn batch_frame(kp: &PaillierKeypair, bits: &[u64], rng: &mut StdRng) -> Frame {
+    fn batch_frame(kp: &PaillierKeypair, seq: u64, bits: &[u64], rng: &mut StdRng) -> Frame {
         let cts = bits
             .iter()
             .map(|&b| kp.public.encrypt_u64(b, rng).unwrap())
             .collect();
-        IndexBatch { ciphertexts: cts }.encode(&kp.public).unwrap()
+        IndexBatch {
+            seq,
+            ciphertexts: cts,
+        }
+        .encode(&kp.public)
+        .unwrap()
     }
 
     #[test]
@@ -343,7 +485,7 @@ mod tests {
         let mut s = ServerSession::new(&db);
         assert!(s.on_frame(&hello(&kp, 5, 5)).unwrap().is_none());
         let reply = s
-            .on_frame(&batch_frame(&kp, &[1, 0, 1, 0, 1], &mut rng))
+            .on_frame(&batch_frame(&kp, 0, &[1, 0, 1, 0, 1], &mut rng))
             .unwrap()
             .expect("final batch yields product");
         let product = Product::decode(&reply, &kp.public).unwrap();
@@ -359,15 +501,15 @@ mod tests {
         let mut s = ServerSession::new(&db);
         s.on_frame(&hello(&kp, 5, 2)).unwrap();
         assert!(s
-            .on_frame(&batch_frame(&kp, &[1, 1], &mut rng))
+            .on_frame(&batch_frame(&kp, 0, &[1, 1], &mut rng))
             .unwrap()
             .is_none());
         assert!(s
-            .on_frame(&batch_frame(&kp, &[0, 0], &mut rng))
+            .on_frame(&batch_frame(&kp, 1, &[0, 0], &mut rng))
             .unwrap()
             .is_none());
         let reply = s
-            .on_frame(&batch_frame(&kp, &[1], &mut rng))
+            .on_frame(&batch_frame(&kp, 2, &[1], &mut rng))
             .unwrap()
             .unwrap();
         let product = Product::decode(&reply, &kp.public).unwrap();
@@ -385,7 +527,7 @@ mod tests {
         let mut s = ServerSession::new(&db);
         s.on_frame(&hello(&kp, 5, 5)).unwrap();
         let reply = s
-            .on_frame(&batch_frame(&kp, sel.weights(), &mut rng))
+            .on_frame(&batch_frame(&kp, 0, sel.weights(), &mut rng))
             .unwrap()
             .unwrap();
         let product = Product::decode(&reply, &kp.public).unwrap();
@@ -401,12 +543,12 @@ mod tests {
         let (kp, db, mut rng) = setup();
         let mut s = ServerSession::new(&db);
         // Batch before hello.
-        assert!(s.on_frame(&batch_frame(&kp, &[1], &mut rng)).is_err());
+        assert!(s.on_frame(&batch_frame(&kp, 2, &[1], &mut rng)).is_err());
         s.on_frame(&hello(&kp, 5, 5)).unwrap();
         // Duplicate hello.
         assert!(s.on_frame(&hello(&kp, 5, 5)).is_err());
         // Too many indices.
-        assert!(s.on_frame(&batch_frame(&kp, &[1; 6], &mut rng)).is_err());
+        assert!(s.on_frame(&batch_frame(&kp, 0, &[1; 6], &mut rng)).is_err());
     }
 
     #[test]
@@ -464,7 +606,7 @@ mod tests {
         let mut inc = ServerSession::new(&db);
         inc.on_frame(&hello(&kp, 5, 5)).unwrap();
         let r1 = inc
-            .on_frame(&batch_frame(&kp, &bits, &mut rng))
+            .on_frame(&batch_frame(&kp, 0, &bits, &mut rng))
             .unwrap()
             .unwrap();
         let s1 = kp
@@ -475,7 +617,7 @@ mod tests {
         let mut mx = ServerSession::with_fold(&db, FoldStrategy::MultiExp);
         mx.on_frame(&hello(&kp, 5, 5)).unwrap();
         let r2 = mx
-            .on_frame(&batch_frame(&kp, &bits, &mut rng))
+            .on_frame(&batch_frame(&kp, 0, &bits, &mut rng))
             .unwrap()
             .unwrap();
         let s2 = kp
@@ -492,10 +634,10 @@ mod tests {
         let (kp, db, mut rng) = setup();
         let mut s = ServerSession::with_fold(&db, FoldStrategy::MultiExp);
         s.on_frame(&hello(&kp, 5, 2)).unwrap();
-        s.on_frame(&batch_frame(&kp, &[1, 0], &mut rng)).unwrap();
-        s.on_frame(&batch_frame(&kp, &[0, 1], &mut rng)).unwrap();
+        s.on_frame(&batch_frame(&kp, 0, &[1, 0], &mut rng)).unwrap();
+        s.on_frame(&batch_frame(&kp, 1, &[0, 1], &mut rng)).unwrap();
         let reply = s
-            .on_frame(&batch_frame(&kp, &[1], &mut rng))
+            .on_frame(&batch_frame(&kp, 2, &[1], &mut rng))
             .unwrap()
             .unwrap();
         let product = Product::decode(&reply, &kp.public).unwrap();
@@ -513,14 +655,14 @@ mod tests {
         s.on_frame(&hello(&kp, 5, 5)).unwrap();
         // A zero-length batch must be rejected, not silently accepted —
         // it would never advance the cursor.
-        let empty = batch_frame(&kp, &[], &mut rng);
+        let empty = batch_frame(&kp, 0, &[], &mut rng);
         assert!(matches!(
             s.on_frame(&empty),
-            Err(ProtocolError::UnexpectedMessage("empty index batch"))
+            Err(ProtocolError::InvalidInput("empty index batch"))
         ));
         // The session stays usable: a real batch still completes it.
         let reply = s
-            .on_frame(&batch_frame(&kp, &[1, 0, 1, 0, 1], &mut rng))
+            .on_frame(&batch_frame(&kp, 0, &[1, 0, 1, 0, 1], &mut rng))
             .unwrap()
             .unwrap();
         let product = Product::decode(&reply, &kp.public).unwrap();
@@ -569,7 +711,7 @@ mod tests {
         let mut inc = ServerSession::new(&db);
         inc.on_frame(&hello(&kp, 64, 64)).unwrap();
         let r1 = inc
-            .on_frame(&batch_frame(&kp, &bits, &mut rng))
+            .on_frame(&batch_frame(&kp, 0, &bits, &mut rng))
             .unwrap()
             .unwrap();
         let s1 = kp
@@ -580,7 +722,7 @@ mod tests {
         let mut par = ServerSession::with_fold(&db, FoldStrategy::ParallelMultiExp);
         par.on_frame(&hello(&kp, 64, 64)).unwrap();
         let r2 = par
-            .on_frame(&batch_frame(&kp, &bits, &mut rng))
+            .on_frame(&batch_frame(&kp, 0, &bits, &mut rng))
             .unwrap()
             .unwrap();
         let s2 = kp
@@ -600,7 +742,7 @@ mod tests {
         let mut s = ServerSession::with_blinding(&db, r);
         s.on_frame(&hello(&kp, 5, 5)).unwrap();
         let reply = s
-            .on_frame(&batch_frame(&kp, &[1, 0, 1, 0, 1], &mut rng))
+            .on_frame(&batch_frame(&kp, 0, &[1, 0, 1, 0, 1], &mut rng))
             .unwrap()
             .unwrap();
         let product = Product::decode(&reply, &kp.public).unwrap();
@@ -609,5 +751,132 @@ mod tests {
             kp.secret.decrypt(&product.ciphertext).unwrap().to_u64(),
             Some(1_000_090)
         );
+    }
+
+    #[test]
+    fn rejects_non_monotone_sequence_numbers() {
+        let (kp, db, mut rng) = setup();
+        // A replayed (duplicate) sequence number would double-fold.
+        let mut s = ServerSession::new(&db);
+        s.on_frame(&hello(&kp, 5, 2)).unwrap();
+        s.on_frame(&batch_frame(&kp, 0, &[1, 0], &mut rng)).unwrap();
+        assert!(matches!(
+            s.on_frame(&batch_frame(&kp, 0, &[0, 1], &mut rng)),
+            Err(ProtocolError::InvalidInput(
+                "batch sequence number out of order"
+            ))
+        ));
+        // A gap would misalign weights with database rows.
+        let mut s = ServerSession::new(&db);
+        s.on_frame(&hello(&kp, 5, 2)).unwrap();
+        assert!(matches!(
+            s.on_frame(&batch_frame(&kp, 1, &[1, 0], &mut rng)),
+            Err(ProtocolError::InvalidInput(
+                "batch sequence number out of order"
+            ))
+        ));
+    }
+
+    #[test]
+    fn rejects_batch_larger_than_announced_batch_size() {
+        let (kp, db, mut rng) = setup();
+        let mut s = ServerSession::new(&db);
+        s.on_frame(&hello(&kp, 5, 2)).unwrap();
+        assert!(matches!(
+            s.on_frame(&batch_frame(&kp, 0, &[1, 0, 1], &mut rng)),
+            Err(ProtocolError::InvalidInput(
+                "batch larger than announced batch size"
+            ))
+        ));
+    }
+
+    #[test]
+    fn rejects_batch_size_beyond_frame_capacity() {
+        let (kp, db, _) = setup();
+        let mut s = ServerSession::new(&db);
+        // At 128-bit keys a ciphertext is 32 bytes, so u32::MAX per batch
+        // could never be framed under MAX_PAYLOAD (64 MiB).
+        assert!(matches!(
+            s.on_frame(&hello(&kp, 5, u32::MAX)),
+            Err(ProtocolError::InvalidInput(
+                "batch size exceeds frame capacity"
+            ))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trip_preserves_the_fold() {
+        let (kp, db, mut rng) = setup();
+        let mut s = ServerSession::new(&db);
+        s.on_frame(&hello(&kp, 5, 2)).unwrap();
+        assert!(s.checkpoint().is_some(), "mid-stream sessions checkpoint");
+        s.on_frame(&batch_frame(&kp, 0, &[1, 1], &mut rng)).unwrap();
+        let cp = s.checkpoint().expect("checkpoint after first batch");
+        assert_eq!(cp.cursor, 2);
+        assert_eq!(cp.next_seq, 1);
+        drop(s); // the original connection died here
+
+        let mut resumed = ServerSession::resume(&db, FoldStrategy::MultiExp, cp).unwrap();
+        assert_eq!(resumed.next_seq(), Some(1));
+        assert!(resumed
+            .on_frame(&batch_frame(&kp, 1, &[0, 0], &mut rng))
+            .unwrap()
+            .is_none());
+        let reply = resumed
+            .on_frame(&batch_frame(&kp, 2, &[1], &mut rng))
+            .unwrap()
+            .unwrap();
+        let product = Product::decode(&reply, &kp.public).unwrap();
+        // Rows 0, 1, 4 → 10 + 20 + 50: the pre-disconnect fold survived.
+        assert_eq!(
+            kp.secret.decrypt(&product.ciphertext).unwrap().to_u64(),
+            Some(80)
+        );
+        // Stats carried across the resume cover the whole session.
+        assert_eq!(resumed.stats().folded, 5);
+        assert_eq!(resumed.stats().per_batch_compute.len(), 3);
+    }
+
+    #[test]
+    fn pristine_and_done_sessions_do_not_checkpoint() {
+        let (kp, db, mut rng) = setup();
+        let mut s = ServerSession::new(&db);
+        assert!(s.checkpoint().is_none(), "nothing to resume before hello");
+        s.on_frame(&hello(&kp, 5, 5)).unwrap();
+        s.on_frame(&batch_frame(&kp, 0, &[1, 0, 1, 0, 1], &mut rng))
+            .unwrap()
+            .unwrap();
+        assert!(s.is_done());
+        assert!(s.checkpoint().is_none(), "done sessions have no remainder");
+    }
+
+    #[test]
+    fn resume_validates_the_checkpoint_against_the_database() {
+        let (kp, db, mut rng) = setup();
+        let mut s = ServerSession::new(&db);
+        s.on_frame(&hello(&kp, 5, 2)).unwrap();
+        s.on_frame(&batch_frame(&kp, 0, &[1, 1], &mut rng)).unwrap();
+        let cp = s.checkpoint().unwrap();
+
+        // Wrong database size.
+        let other = Database::new(vec![1, 2, 3]).unwrap();
+        assert!(matches!(
+            ServerSession::resume(&other, FoldStrategy::Incremental, cp.clone()),
+            Err(ProtocolError::Config(_))
+        ));
+        // Forged cursor beyond the announced total.
+        let mut forged = cp.clone();
+        forged.cursor = 99;
+        assert!(matches!(
+            ServerSession::resume(&db, FoldStrategy::Incremental, forged),
+            Err(ProtocolError::InvalidInput(_))
+        ));
+        // Forged zero batch size.
+        let mut forged = cp;
+        forged.batch_size = 0;
+        assert!(matches!(
+            ServerSession::resume(&db, FoldStrategy::Incremental, forged),
+            Err(ProtocolError::InvalidInput(_))
+        ));
     }
 }

@@ -9,27 +9,40 @@
 //! scratch after an exponentially backed-off, deterministically
 //! jittered sleep.
 //!
+//! **Resume first, re-issue second.** The server acknowledges every
+//! `Hello` with a session ID and checkpoints its fold state after each
+//! acknowledged batch (PROTOCOL.md §10). A retrying attempt therefore
+//! opens its fresh connection with `Resume { session_id, .. }`: when the
+//! checkpoint survived, the server replies with the next batch sequence
+//! number it expects and the client re-encrypts and re-sends **only the
+//! unacknowledged tail** of the index vector. Only when the checkpoint
+//! is gone (TTL expiry, capacity eviction, server restart) does the
+//! client fall back to re-issuing the whole query on the same
+//! connection.
+//!
 //! **Why re-issuing a whole query is safe:** the protocol is stateless
 //! across sessions — the server keeps no record of a client between
-//! connections, and a fresh attempt re-encrypts the index vector under
+//! connections (checkpoints are an optimization, never required for
+//! correctness), and a fresh attempt re-encrypts the index vector under
 //! fresh randomness, so a retried query is indistinguishable from a new
 //! client and returns the same sum. Protocol-level errors (a malformed
 //! reply, a key mismatch, an oracle disagreement) are **not** retried:
 //! they signal a bug or an attack, not weather.
 
+use std::io::{Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
 use pps_obs::{Collector, Phase, RingCollector, SpanRecord, TeeCollector, Tracer};
 use pps_transport::{
-    RetryPolicy, RetryStats, TcpWire, TimedWire, TrafficStats, TransportError, Wire,
+    RetryPolicy, RetryStats, StreamWire, TcpWire, TimedWire, TrafficStats, TransportError, Wire,
 };
 use rand::RngCore;
 
 use crate::client::{IndexSource, SumClient};
 use crate::data::Selection;
 use crate::error::ProtocolError;
-use crate::messages::{SizeReply, SizeRequest};
+use crate::messages::{Hello, HelloAck, Resume, ResumeAck, SizeReply, SizeRequest};
 use crate::obs::{PhaseTotals, QueryObs};
 use crate::report::{RunReport, Variant};
 
@@ -78,6 +91,14 @@ pub struct TcpQueryOutcome {
     /// Attempts made and backoffs slept (one attempt, no delays, when
     /// the first try succeeded).
     pub retry: RetryStats,
+    /// Attempts that continued from a surviving server checkpoint
+    /// instead of re-issuing the whole query.
+    pub resumed_attempts: u32,
+    /// Encrypted-payload bytes written to the wire by each attempt, in
+    /// order (attempts that failed before connecting record no entry).
+    /// A resumed attempt's entry is strictly smaller than a full
+    /// re-issue whenever at least one batch had been acknowledged.
+    pub attempt_payload_bytes: Vec<usize>,
 }
 
 /// Whether a failure is worth retrying: transient transport weather
@@ -92,37 +113,182 @@ fn retryable(e: &ProtocolError) -> bool {
     )
 }
 
-/// One query attempt: connect, discover the size, stream the encrypted
-/// selection, decrypt the product.
-fn attempt(
-    addr: &str,
-    client: &SumClient,
-    select: &[usize],
-    config: &TcpQueryConfig,
-    rng: &mut dyn RngCore,
-) -> Result<(u128, usize, TrafficStats), ProtocolError> {
-    let mut wire = TcpWire::connect(addr)?;
-    wire.set_read_timeout(config.read_timeout)?;
-    wire.set_write_timeout(config.write_timeout)?;
+/// Client-side query state that survives across attempts: the size and
+/// selection discovered once, the resumption ticket granted by the
+/// server's `HelloAck`, and how often resumption actually happened.
+struct AttemptState {
+    n: Option<usize>,
+    selection: Option<Selection>,
+    session: Option<u64>,
+    resumed_attempts: u32,
+}
 
-    wire.send(SizeRequest.encode()?)?;
-    let n = SizeReply::decode(&wire.recv()?)?.n as usize;
-    let selection = Selection::from_indices(n, select)?;
-
-    let mut source = if config.client_threads > 1 {
+fn index_source<'a>(config: &TcpQueryConfig, rng: &'a mut dyn RngCore) -> IndexSource<'a> {
+    if config.client_threads > 1 {
         IndexSource::FreshParallel {
             rng,
             threads: config.client_threads,
         }
     } else {
         IndexSource::Fresh(rng)
+    }
+}
+
+/// One attempt over an already-connected wire, resume-first: when a
+/// previous attempt holds a session ticket, ask the server to continue
+/// from its checkpoint; fall back to a full query (size discovery,
+/// `Hello`, every batch) on the same connection when the checkpoint is
+/// gone or this is the first attempt.
+fn resumable_attempt<S: Read + Write>(
+    wire: &mut StreamWire<S>,
+    client: &SumClient,
+    select: &[usize],
+    config: &TcpQueryConfig,
+    rng: &mut dyn RngCore,
+    state: &mut AttemptState,
+) -> Result<u128, ProtocolError> {
+    if let Some(sid) = state.session {
+        wire.send(
+            Resume {
+                session_id: sid,
+                next_seq: 0,
+            }
+            .encode()?,
+        )?;
+        let ack = ResumeAck::decode(&wire.recv()?)?;
+        if ack.granted {
+            state.resumed_attempts += 1;
+            let selection = state
+                .selection
+                .as_ref()
+                .expect("a ticket implies a prior Hello, which implies a selection");
+            // Fresh randomness for the re-encrypted tail: the resumed
+            // stream is as indistinguishable as a fresh query.
+            let mut source = index_source(config, rng);
+            client.stream_batches(
+                wire,
+                selection,
+                config.batch_size,
+                &mut source,
+                ack.next_seq,
+            )?;
+            let (sum, _) = client.receive_result(wire)?;
+            return sum
+                .to_u128()
+                .ok_or_else(|| ProtocolError::Config("sum exceeds 128 bits".into()));
+        }
+        // Checkpoint gone (TTL, capacity, restart). The server is back
+        // at AwaitHello on this very connection; fall through to a full
+        // re-issue without reconnecting.
+        state.session = None;
+    }
+
+    if state.n.is_none() {
+        wire.send(SizeRequest.encode()?)?;
+        let n = SizeReply::decode(&wire.recv()?)?.n as usize;
+        state.selection = Some(Selection::from_indices(n, select)?);
+        state.n = Some(n);
+    }
+    let selection = state.selection.as_ref().expect("set above");
+
+    if config.batch_size == 0 {
+        return Err(ProtocolError::Config("batch size must be positive".into()));
+    }
+    wire.send(
+        Hello {
+            modulus: client.keypair().public.n().clone(),
+            total: selection.len() as u64,
+            batch_size: config.batch_size.min(u32::MAX as usize) as u32,
+        }
+        .encode()?,
+    )?;
+    // Read the HelloAck eagerly — the ticket must be in hand *before*
+    // the stream starts, or a disconnect mid-stream leaves nothing to
+    // resume with.
+    state.session = Some(HelloAck::decode(&wire.recv()?)?.session_id);
+    let mut source = index_source(config, rng);
+    client.stream_batches(wire, selection, config.batch_size, &mut source, 0)?;
+    let (sum, _) = client.receive_result(wire)?;
+    sum.to_u128()
+        .ok_or_else(|| ProtocolError::Config("sum exceeds 128 bits".into()))
+}
+
+/// Runs one private selected-sum query over a stream transport built by
+/// `connect`, retrying on transient transport failures according to
+/// `config.retry` — resume-first, full re-issue as the fallback (see
+/// the module docs).
+///
+/// `connect` is called once per attempt with the 1-based attempt number
+/// and must return a connected, deadline-configured wire. This is the
+/// engine under [`run_tcp_query_with_retry`]; it is public so fault
+/// injection harnesses can drive it over instrumented streams.
+///
+/// # Errors
+/// The final attempt's error when every attempt fails, or immediately
+/// on a non-retryable (protocol/crypto/config) failure.
+pub fn run_stream_query_with_resume<S, F>(
+    connect: &mut F,
+    client: &SumClient,
+    select: &[usize],
+    config: &TcpQueryConfig,
+    rng: &mut dyn RngCore,
+) -> Result<TcpQueryOutcome, ProtocolError>
+where
+    S: Read + Write,
+    F: FnMut(u32) -> Result<StreamWire<S>, ProtocolError>,
+{
+    let mut state = AttemptState {
+        n: None,
+        selection: None,
+        session: None,
+        resumed_attempts: 0,
     };
-    client.send_query(&mut wire, &selection, config.batch_size, &mut source)?;
-    let (sum, _) = client.receive_result(&mut wire)?;
-    let sum = sum
-        .to_u128()
-        .ok_or_else(|| ProtocolError::Config("sum exceeds 128 bits".into()))?;
-    Ok((sum, n, wire.stats()))
+    let mut retry = RetryStats::default();
+    let mut attempt_payload_bytes = Vec::new();
+    loop {
+        retry.attempts += 1;
+        let outcome = match connect(retry.attempts) {
+            Ok(mut wire) => {
+                let r = resumable_attempt(&mut wire, client, select, config, rng, &mut state);
+                attempt_payload_bytes.push(wire.stats().payload_bytes_sent);
+                r.map(|sum| (sum, wire.stats()))
+            }
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok((sum, traffic)) => {
+                return Ok(TcpQueryOutcome {
+                    sum,
+                    n: state.n.unwrap_or(0),
+                    selected: select.len(),
+                    traffic,
+                    retry,
+                    resumed_attempts: state.resumed_attempts,
+                    attempt_payload_bytes,
+                });
+            }
+            Err(e) => {
+                if !retryable(&e) || retry.attempts >= config.retry.max_attempts.max(1) {
+                    return Err(e);
+                }
+                let delay = config.retry.delay_for(retry.attempts - 1, rng);
+                retry.delays.push(delay);
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+fn tcp_connector<'a>(
+    addr: &'a str,
+    config: &'a TcpQueryConfig,
+) -> impl FnMut(u32) -> Result<TcpWire, ProtocolError> + 'a {
+    move |_attempt| {
+        let mut wire = TcpWire::connect(addr)?;
+        wire.set_read_timeout(config.read_timeout)?;
+        wire.set_write_timeout(config.write_timeout)?;
+        Ok(wire)
+    }
 }
 
 /// Runs one private selected-sum query over TCP, without retry.
@@ -136,23 +302,27 @@ pub fn run_tcp_query(
     config: &TcpQueryConfig,
     rng: &mut dyn RngCore,
 ) -> Result<TcpQueryOutcome, ProtocolError> {
-    let (sum, n, traffic) = attempt(addr, client, select, config, rng)?;
-    Ok(TcpQueryOutcome {
-        sum,
-        n,
-        selected: select.len(),
-        traffic,
-        retry: RetryStats {
-            attempts: 1,
-            delays: Vec::new(),
+    let single = TcpQueryConfig {
+        retry: RetryPolicy {
+            max_attempts: 1,
+            ..config.retry
         },
-    })
+        ..config.clone()
+    };
+    run_stream_query_with_resume(
+        &mut tcp_connector(addr, config),
+        client,
+        select,
+        &single,
+        rng,
+    )
 }
 
-/// Runs one private selected-sum query over TCP, retrying the **whole
-/// query** (fresh connection, fresh encryption) on transient transport
-/// failures according to `config.retry`. Safe because a fresh query is
-/// idempotent (see the module docs).
+/// Runs one private selected-sum query over TCP, retrying on transient
+/// transport failures according to `config.retry`. A retry resumes from
+/// the server's last acknowledged batch when its checkpoint survived,
+/// and re-issues the **whole query** (fresh encryption — idempotent,
+/// see the module docs) otherwise.
 ///
 /// # Errors
 /// The final attempt's error when every attempt fails, or immediately
@@ -164,29 +334,13 @@ pub fn run_tcp_query_with_retry(
     config: &TcpQueryConfig,
     rng: &mut dyn RngCore,
 ) -> Result<TcpQueryOutcome, ProtocolError> {
-    let mut retry = RetryStats::default();
-    loop {
-        retry.attempts += 1;
-        match attempt(addr, client, select, config, rng) {
-            Ok((sum, n, traffic)) => {
-                return Ok(TcpQueryOutcome {
-                    sum,
-                    n,
-                    selected: select.len(),
-                    traffic,
-                    retry,
-                })
-            }
-            Err(e) => {
-                if !retryable(&e) || retry.attempts >= config.retry.max_attempts.max(1) {
-                    return Err(e);
-                }
-                let delay = config.retry.delay_for(retry.attempts - 1, rng);
-                retry.delays.push(delay);
-                std::thread::sleep(delay);
-            }
-        }
-    }
+    run_stream_query_with_resume(
+        &mut tcp_connector(addr, config),
+        client,
+        select,
+        config,
+        rng,
+    )
 }
 
 /// One *instrumented* query attempt: like [`attempt`], but over a
@@ -308,12 +462,17 @@ pub fn run_tcp_query_observed(
                     result: sum,
                 };
                 PhaseTotals::from_spans(ring.spans().iter()).apply(&mut report);
+                // The observed path keeps its span accounting simple by
+                // re-issuing in full on retry, so it never resumes.
+                let attempt_payload_bytes = vec![traffic.payload_bytes_sent];
                 let outcome = TcpQueryOutcome {
                     sum,
                     n,
                     selected: select.len(),
                     traffic,
                     retry,
+                    resumed_attempts: 0,
+                    attempt_payload_bytes,
                 };
                 return Ok((outcome, report));
             }

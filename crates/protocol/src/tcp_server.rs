@@ -33,22 +33,48 @@
 //! * **Accept backoff** — a persistently erroring listener backs off
 //!   exponentially (50 ms doubling to ~1 s) and gives up after
 //!   [`MAX_CONSECUTIVE_ACCEPT_ERRORS`] failures in a row.
+//! * **Session resumption** — every `Hello` is answered with a
+//!   `HelloAck { session_id }`, and the session's fold state is
+//!   checkpointed into a bounded, TTL-evicted
+//!   [`SessionTable`](crate::resume::SessionTable) after each
+//!   acknowledged batch. A client that lost its connection sends
+//!   `Resume { session_id, .. }` on a fresh connection and continues
+//!   from the last acked chunk instead of re-streaming the whole index
+//!   vector (PROTOCOL.md §10).
+//! * **Panic isolation** — each session thread runs inside
+//!   `catch_unwind`, and every stats/gate lock recovers from poison. A
+//!   bug (or deliberately hostile input) that panics one session is
+//!   counted as [`SessionEvent::Panicked`] while concurrent sessions,
+//!   admission, and the final aggregate all stay intact.
 //!
 //! The figures harness deliberately does **not** use this runtime — the
 //! simulated link is the measurement vehicle there — but the CLI's
 //! `serve` subcommand and the concurrent end-to-end tests run on it.
 
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use pps_transport::{TcpWire, TransportError, Wire, WireMetrics};
 
 use crate::data::Database;
 use crate::error::ProtocolError;
+use crate::messages::{HelloAck, MsgType, Resume, ResumeAck};
 use crate::obs::ServerObs;
+use crate::resume::{ResumptionConfig, SessionTable};
 use crate::server::{FoldStrategy, ServerSession, ServerStats};
+
+/// Locks a mutex, recovering from poison. Every value guarded in this
+/// module (aggregate counters, the admission gate count) is valid at
+/// every point a panic can unwind through, so inheriting the data is
+/// always safe — and refusing would let one panicked session wedge
+/// admission and final stats for the whole server (the exact failure
+/// the crash-containment layer exists to prevent).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Statistics aggregated across every session the runtime served.
 ///
@@ -70,6 +96,16 @@ pub struct AggregateStats {
     /// Sessions evicted for exceeding a read timeout or the
     /// whole-session deadline ([`TransportError::TimedOut`]).
     pub evicted: usize,
+    /// Sessions whose thread panicked. The panic was contained
+    /// (`catch_unwind` + poison-recovering locks); every other counter
+    /// in this struct is still exact.
+    pub panicked: usize,
+    /// Sessions that continued from a stored checkpoint after the
+    /// client reconnected with `Resume`.
+    pub resumed: usize,
+    /// Fold checkpoints dropped by the session table under capacity
+    /// pressure or TTL expiry (clean completions are not counted).
+    pub checkpoints_evicted: u64,
     /// `accept()` failures (no session was ever assigned).
     pub accept_errors: usize,
     /// Index ciphertexts folded across all completed sessions.
@@ -93,9 +129,9 @@ impl AggregateStats {
     }
 
     /// Connections that did not complete a session, by any cause:
-    /// `failed + refused + evicted`.
+    /// `failed + refused + evicted + panicked`.
     pub fn unserved(&self) -> usize {
-        self.failed + self.refused + self.evicted
+        self.failed + self.refused + self.evicted + self.panicked
     }
 }
 
@@ -237,6 +273,19 @@ pub enum SessionEvent<'a> {
         /// The timeout error that evicted it.
         error: &'a ProtocolError,
     },
+    /// The session's thread panicked; the panic was contained and the
+    /// server keeps accepting.
+    Panicked {
+        /// Session id (accept order).
+        session: usize,
+    },
+    /// The session continued from a stored checkpoint (the client
+    /// reconnected with `Resume`). Fires before the session's terminal
+    /// event; the same session id later finishes, fails, or is evicted.
+    Resumed {
+        /// Session id (accept order) of the *new* connection.
+        session: usize,
+    },
     /// Admission control turned the connection away before a session
     /// started (no session id is assigned).
     Refused {
@@ -315,6 +364,8 @@ pub struct TcpServer {
     admission: Admission,
     shutdown: Arc<AtomicBool>,
     obs: Option<ServerObs>,
+    resumption: SessionTable,
+    fault_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
 }
 
 impl TcpServer {
@@ -336,6 +387,8 @@ impl TcpServer {
             admission: Admission::Refuse,
             shutdown: Arc::new(AtomicBool::new(false)),
             obs: None,
+            resumption: SessionTable::default(),
+            fault_hook: None,
         })
     }
 
@@ -364,6 +417,31 @@ impl TcpServer {
         self.max_concurrent = Some(max.max(1));
         self.admission = policy;
         self
+    }
+
+    /// Replaces the session-resumption bounds (checkpoint capacity and
+    /// TTL). Resumption is always on; this only tunes how long and how
+    /// many checkpoints survive.
+    #[must_use]
+    pub fn with_resumption(mut self, config: ResumptionConfig) -> Self {
+        self.resumption = SessionTable::new(config);
+        self
+    }
+
+    /// Installs a chaos hook called with the session id at the start of
+    /// every session thread, *inside* the panic-isolation boundary. A
+    /// hook that panics simulates a server-side bug for a chosen
+    /// session; the crash-containment tests use this to prove a panic
+    /// is contained to one session.
+    #[must_use]
+    pub fn with_session_fault_hook(mut self, hook: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        self.fault_hook = Some(Arc::new(hook));
+        self
+    }
+
+    /// The live resumption table (exposed for tests and diagnostics).
+    pub fn session_table(&self) -> &SessionTable {
+        &self.resumption
     }
 
     /// The bound address (the actual port, when bound to port 0).
@@ -424,6 +502,7 @@ impl TcpServer {
         on_event: &(dyn Fn(SessionEvent<'_>) + Sync),
     ) -> AggregateStats {
         let start = Instant::now();
+        let checkpoints_evicted_before = self.resumption.evicted();
         let agg = Mutex::new(AggregateStats::default());
         // Active-session gate for admission control: count + wakeup.
         let gate = (Mutex::new(0usize), Condvar::new());
@@ -438,7 +517,7 @@ impl TcpServer {
                     }
                     Err(e) => {
                         accept_errors += 1;
-                        agg.lock().expect("stats lock").accept_errors += 1;
+                        lock_recover(&agg).accept_errors += 1;
                         if let Some(obs) = &self.obs {
                             obs.accept_errors.inc();
                         }
@@ -458,14 +537,14 @@ impl TcpServer {
                     break;
                 }
                 if let Some(max) = self.max_concurrent {
-                    let mut active = gate.0.lock().expect("gate lock");
+                    let mut active = lock_recover(&gate.0);
                     if *active >= max {
                         match self.admission {
                             Admission::Refuse => {
                                 let peer = stream.peer_addr().ok();
                                 drop(active);
                                 drop(stream); // clean close (FIN)
-                                agg.lock().expect("stats lock").refused += 1;
+                                lock_recover(&agg).refused += 1;
                                 if let Some(obs) = &self.obs {
                                     obs.refused.inc();
                                 }
@@ -479,7 +558,7 @@ impl TcpServer {
                                     let (g, _timeout) = gate
                                         .1
                                         .wait_timeout(active, Duration::from_millis(50))
-                                        .expect("gate lock");
+                                        .unwrap_or_else(|p| p.into_inner());
                                     active = g;
                                 }
                                 if self.shutdown.load(Ordering::SeqCst) {
@@ -498,8 +577,10 @@ impl TcpServer {
                 let db = &*self.db;
                 let fold = self.fold;
                 let limits = &self.limits;
+                let table = &self.resumption;
                 let gated = self.max_concurrent.is_some();
                 let obs = self.obs.as_ref();
+                let fault_hook = self.fault_hook.clone();
                 if let Some(obs) = obs {
                     obs.accepted.inc();
                     obs.active.add(1);
@@ -510,64 +591,94 @@ impl TcpServer {
                         peer: stream.peer_addr().ok(),
                     });
                     let session_start = Instant::now();
-                    // Records on drop, so evicted/failed sessions get a
-                    // span too.
-                    let _span = obs.map(|o| o.tracer().span("session").session(id as u64).start());
-                    let mut session = ServerSession::with_fold(db, fold);
-                    let wire_metrics = obs.map(|o| o.wire.clone());
-                    match drive(&mut session, stream, limits, wire_metrics) {
-                        Ok(()) => {
-                            let stats = session.stats();
-                            let mut a = agg.lock().expect("stats lock");
-                            a.sessions += 1;
-                            a.folded += stats.folded;
-                            a.compute += stats.compute;
-                            drop(a);
-                            if let Some(obs) = obs {
-                                obs.completed.inc();
-                                obs.session_seconds.record_duration(session_start.elapsed());
-                                for batch in &stats.per_batch_compute {
-                                    obs.fold_seconds.record_duration(*batch);
+                    // Everything the session does — including the chaos
+                    // hook and the span guard — runs inside the panic
+                    // boundary, so an unwinding session can only reach
+                    // the (poison-recovering) accounting below.
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        // Records on drop, so evicted/failed sessions
+                        // get a span too.
+                        let _span =
+                            obs.map(|o| o.tracer().span("session").session(id as u64).start());
+                        if let Some(hook) = &fault_hook {
+                            hook(id);
+                        }
+                        let wire_metrics = obs.map(|o| o.wire.clone());
+                        drive_connection(db, fold, stream, limits, wire_metrics, table)
+                    }));
+                    match outcome {
+                        Ok(out) => {
+                            if out.resumed {
+                                lock_recover(agg).resumed += 1;
+                                if let Some(obs) = obs {
+                                    obs.resumed.inc();
                                 }
-                                // The phase histogram and the span bridge
-                                // see the same Duration, so a scrape and a
-                                // reconstructed RunReport agree exactly.
-                                obs.server_compute.record_duration(stats.compute);
-                                obs.tracer().record_phase_total(
-                                    "server_compute",
-                                    pps_obs::Phase::ServerCompute,
-                                    Some(id as u64),
-                                    stats.compute,
-                                );
+                                on_event(SessionEvent::Resumed { session: id });
                             }
-                            on_event(SessionEvent::Finished { session: id, stats });
+                            match out.result {
+                                Ok(()) => {
+                                    let stats = &out.stats;
+                                    let mut a = lock_recover(agg);
+                                    a.sessions += 1;
+                                    a.folded += stats.folded;
+                                    a.compute += stats.compute;
+                                    drop(a);
+                                    if let Some(obs) = obs {
+                                        obs.completed.inc();
+                                        obs.session_seconds
+                                            .record_duration(session_start.elapsed());
+                                        for batch in &stats.per_batch_compute {
+                                            obs.fold_seconds.record_duration(*batch);
+                                        }
+                                        // The phase histogram and the span
+                                        // bridge see the same Duration, so a
+                                        // scrape and a reconstructed
+                                        // RunReport agree exactly.
+                                        obs.server_compute.record_duration(stats.compute);
+                                        obs.tracer().record_phase_total(
+                                            "server_compute",
+                                            pps_obs::Phase::ServerCompute,
+                                            Some(id as u64),
+                                            stats.compute,
+                                        );
+                                    }
+                                    on_event(SessionEvent::Finished { session: id, stats });
+                                }
+                                Err(e) if is_eviction(&e) => {
+                                    lock_recover(agg).evicted += 1;
+                                    if let Some(obs) = obs {
+                                        obs.evicted.inc();
+                                    }
+                                    on_event(SessionEvent::Evicted {
+                                        session: id,
+                                        error: &e,
+                                    });
+                                }
+                                Err(e) => {
+                                    lock_recover(agg).failed += 1;
+                                    if let Some(obs) = obs {
+                                        obs.failed.inc();
+                                    }
+                                    on_event(SessionEvent::Failed {
+                                        session: id,
+                                        error: &e,
+                                    });
+                                }
+                            }
                         }
-                        Err(e) if is_eviction(&e) => {
-                            agg.lock().expect("stats lock").evicted += 1;
+                        Err(_panic) => {
+                            lock_recover(agg).panicked += 1;
                             if let Some(obs) = obs {
-                                obs.evicted.inc();
+                                obs.panicked.inc();
                             }
-                            on_event(SessionEvent::Evicted {
-                                session: id,
-                                error: &e,
-                            });
-                        }
-                        Err(e) => {
-                            agg.lock().expect("stats lock").failed += 1;
-                            if let Some(obs) = obs {
-                                obs.failed.inc();
-                            }
-                            on_event(SessionEvent::Failed {
-                                session: id,
-                                error: &e,
-                            });
+                            on_event(SessionEvent::Panicked { session: id });
                         }
                     }
                     if let Some(obs) = obs {
                         obs.active.sub(1);
                     }
                     if gated {
-                        *gate.0.lock().expect("gate lock") -= 1;
+                        *lock_recover(&gate.0) -= 1;
                         gate.1.notify_all();
                     }
                 });
@@ -576,38 +687,124 @@ impl TcpServer {
                 }
             }
         });
-        let mut stats = agg.into_inner().expect("stats lock");
+        let mut stats = agg.into_inner().unwrap_or_else(|p| p.into_inner());
         stats.wall = start.elapsed();
+        stats.checkpoints_evicted = self.resumption.evicted() - checkpoints_evicted_before;
+        if let Some(obs) = &self.obs {
+            obs.checkpoints_evicted.add(stats.checkpoints_evicted);
+        }
         stats
     }
 }
 
+/// What one connection's drive produced: whether it continued from a
+/// checkpoint, the session's final statistics, and how it ended.
+struct DriveOutcome {
+    resumed: bool,
+    stats: ServerStats,
+    result: Result<(), ProtocolError>,
+}
+
 /// Pumps frames between the wire and the session until the product has
-/// been sent, under the deadlines of `limits`.
-fn drive(
-    session: &mut ServerSession<'_>,
+/// been sent, under the deadlines of `limits`, speaking the resumable
+/// dialect: `Hello` is acknowledged with a session ID, the fold state is
+/// checkpointed into `table` after every acknowledged batch, and a
+/// `Resume` as the first protocol message restores a stored checkpoint.
+fn drive_connection(
+    db: &Database,
+    fold: FoldStrategy,
     stream: TcpStream,
     limits: &SessionLimits,
     metrics: Option<WireMetrics>,
-) -> Result<(), ProtocolError> {
-    let mut wire = TcpWire::new(stream);
-    if let Some(metrics) = metrics {
-        wire.set_metrics(metrics);
-    }
-    wire.set_write_timeout(limits.write_timeout)?;
-    let deadline = SessionDeadline::new(limits);
-    // Two-tier eviction: the per-read socket timeout (re-armed below)
-    // catches silent stalls, while the absolute mid-frame deadline
-    // catches tricklers that feed a byte per interval to reset it.
-    wire.set_recv_deadline(deadline.expires_at());
-    while !session.is_done() {
-        wire.set_read_timeout(deadline.next_read_timeout()?)?;
-        let frame = wire.recv()?;
-        if let Some(reply) = session.on_frame(&frame)? {
-            wire.send(reply)?;
+    table: &SessionTable,
+) -> DriveOutcome {
+    let mut session = ServerSession::with_fold(db, fold);
+    let mut resumed = false;
+    let mut ticket: Option<u64> = None;
+    let result = (|| {
+        let mut wire = TcpWire::new(stream);
+        if let Some(metrics) = metrics {
+            wire.set_metrics(metrics);
         }
+        wire.set_write_timeout(limits.write_timeout)?;
+        let deadline = SessionDeadline::new(limits);
+        // Two-tier eviction: the per-read socket timeout (re-armed below)
+        // catches silent stalls, while the absolute mid-frame deadline
+        // catches tricklers that feed a byte per interval to reset it.
+        wire.set_recv_deadline(deadline.expires_at());
+        while !session.is_done() {
+            wire.set_read_timeout(deadline.next_read_timeout()?)?;
+            let frame = wire.recv()?;
+            if frame.msg_type == MsgType::Resume as u8 {
+                if !session.is_awaiting_hello() {
+                    return Err(ProtocolError::UnexpectedMessage("resume mid-session"));
+                }
+                let req = Resume::decode(&frame)?;
+                // `take` makes the grant exclusive; a checkpoint that
+                // fails validation against this database is discarded,
+                // not granted.
+                let restored = table
+                    .take(req.session_id)
+                    .and_then(|cp| ServerSession::resume(db, fold, cp).ok());
+                match restored {
+                    Some(restored) => {
+                        session = restored;
+                        resumed = true;
+                        ticket = Some(req.session_id);
+                        let next_seq = session.next_seq().unwrap_or(0);
+                        // Re-store at once: a disconnect between the
+                        // grant and the next batch must not lose the
+                        // checkpointed work.
+                        if let Some(cp) = session.checkpoint() {
+                            table.store(req.session_id, cp);
+                        }
+                        wire.send(
+                            ResumeAck {
+                                granted: true,
+                                next_seq,
+                            }
+                            .encode()?,
+                        )?;
+                    }
+                    None => {
+                        // Stale / evicted / unknown: the client falls
+                        // back to a fresh Hello on this connection.
+                        wire.send(
+                            ResumeAck {
+                                granted: false,
+                                next_seq: 0,
+                            }
+                            .encode()?,
+                        )?;
+                    }
+                }
+                continue;
+            }
+            let fresh_hello = frame.msg_type == MsgType::Hello as u8 && session.is_awaiting_hello();
+            let reply = session.on_frame(&frame)?;
+            if fresh_hello {
+                let id = table.allocate();
+                ticket = Some(id);
+                wire.send(HelloAck { session_id: id }.encode()?)?;
+            }
+            if let (Some(id), Some(cp)) = (ticket, session.checkpoint()) {
+                table.store(id, cp);
+            }
+            if let Some(reply) = reply {
+                wire.send(reply)?;
+            }
+        }
+        // Clean completion: the checkpoint is spent, not evicted.
+        if let Some(id) = ticket {
+            table.remove(id);
+        }
+        Ok(())
+    })();
+    DriveOutcome {
+        resumed,
+        stats: session.stats().clone(),
+        result,
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -672,6 +869,8 @@ mod tests {
                 SessionEvent::Finished { .. } => "finished",
                 SessionEvent::Failed { .. } => "failed",
                 SessionEvent::Evicted { .. } => "evicted",
+                SessionEvent::Panicked { .. } => "panicked",
+                SessionEvent::Resumed { .. } => "resumed",
                 SessionEvent::Refused { .. } => "refused",
                 SessionEvent::AcceptError { .. } => "accept_error",
             };

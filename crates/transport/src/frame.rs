@@ -16,8 +16,16 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::TransportError;
 
-/// Frame magic word ("PS" for private statistics).
-pub const FRAME_MAGIC: u16 = 0x5053;
+/// Frame magic word.
+///
+/// Revision history (PROTOCOL.md §6: any incompatible payload change
+/// MUST change the magic so desynchronized peers fail fast):
+///
+/// * `0x5053` ("PS") — revisions through PR 4.
+/// * `0x5054` — `IndexBatch` gained a leading sequence number and
+///   message types 11–13 (`HelloAck`/`Resume`/`ResumeAck`) were
+///   assigned for session resumption.
+pub const FRAME_MAGIC: u16 = 0x5054;
 
 /// Header size in bytes.
 pub const HEADER_LEN: usize = 2 + 1 + 4;
@@ -174,5 +182,87 @@ mod tests {
             Frame::new(0, big),
             Err(TransportError::FrameTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn exactly_max_payload_round_trips() {
+        // The boundary itself is legal: a frame of exactly MAX_PAYLOAD
+        // bytes must build, encode, and decode back intact.
+        let f = Frame::new(3, vec![0xA5u8; MAX_PAYLOAD]).unwrap();
+        assert_eq!(f.encoded_len(), HEADER_LEN + MAX_PAYLOAD);
+        let mut buf = BytesMut::from(&f.encode()[..]);
+        let back = Frame::decode(&mut buf).unwrap().unwrap();
+        assert_eq!(back.msg_type, 3);
+        assert_eq!(back.payload.len(), MAX_PAYLOAD);
+        assert_eq!(back, f);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn one_byte_over_max_is_rejected_by_decode_before_buffering() {
+        // A length field of MAX_PAYLOAD + 1 must error from the header
+        // alone — the decoder may never wait for (or allocate) the body.
+        let mut header = BytesMut::new();
+        header.put_u16(FRAME_MAGIC);
+        header.put_u8(1);
+        header.put_u32((MAX_PAYLOAD + 1) as u32);
+        match Frame::decode(&mut header) {
+            Err(TransportError::FrameTooLarge { size, max }) => {
+                assert_eq!(size, MAX_PAYLOAD + 1);
+                assert_eq!(max, MAX_PAYLOAD);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_fuzz_never_panics_or_misparses() {
+        // Every strict prefix of a valid header is "need more bytes";
+        // every single-byte corruption of the magic is a clean
+        // Malformed error; random short garbage never panics.
+        let f = Frame::new(9, vec![7u8; 32]).unwrap();
+        let encoded = f.encode();
+        for cut in 0..HEADER_LEN {
+            let mut buf = BytesMut::from(&encoded[..cut]);
+            assert_eq!(Frame::decode(&mut buf).unwrap(), None, "prefix cut={cut}");
+        }
+        for byte in 0..2 {
+            for bit in 0..8 {
+                let mut bytes = encoded.to_vec();
+                bytes[byte] ^= 1 << bit;
+                let mut buf = BytesMut::from(&bytes[..]);
+                assert!(
+                    matches!(Frame::decode(&mut buf), Err(TransportError::Malformed(_))),
+                    "magic byte {byte} bit {bit} must be caught"
+                );
+            }
+        }
+        // Deterministic byte soup (SplitMix64 stream) at every length up
+        // to a full header: decode must return Ok(None) or Err, and must
+        // leave an un-consumed buffer only on Ok(None).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31)) as u8
+        };
+        for len in 0..=HEADER_LEN {
+            for _ in 0..64 {
+                let bytes: Vec<u8> = (0..len).map(|_| next()).collect();
+                let mut buf = BytesMut::from(&bytes[..]);
+                match Frame::decode(&mut buf) {
+                    Ok(None) => assert_eq!(buf.len(), len, "no partial consumption"),
+                    Ok(Some(frame)) => {
+                        // Only possible when the soup spelled a valid
+                        // empty frame; the header must really say so.
+                        assert_eq!(len, HEADER_LEN);
+                        assert!(frame.payload.is_empty());
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
     }
 }

@@ -39,14 +39,15 @@ fn server_rejects_zero_ciphertext() {
     server.on_frame(&hello_frame(&client, 4)).unwrap();
 
     let w = key.ciphertext_bytes();
-    let mut payload = vec![0u8; 4 + 4 * w];
-    payload[..4].copy_from_slice(&4u32.to_be_bytes());
+    // [seq u64 = 0][count u32 = 4][4 all-zero ciphertexts]
+    let mut payload = vec![0u8; 12 + 4 * w];
+    payload[8..12].copy_from_slice(&4u32.to_be_bytes());
     let frame = Frame::new(MsgType::IndexBatch as u8, payload).unwrap();
     let err = server.on_frame(&frame).unwrap_err();
-    assert!(matches!(
-        err,
-        ProtocolError::Transport(TransportError::Malformed(_))
-    ));
+    assert!(
+        matches!(err, ProtocolError::Crypto(_)),
+        "a non-group element must be rejected as a typed crypto error, got {err:?}"
+    );
 }
 
 #[test]
@@ -56,6 +57,7 @@ fn server_rejects_ciphertext_sharing_factor_with_n() {
     // N itself shares a factor with N — invalid group element.
     let n_bytes = key.n().to_bytes_be_padded(key.ciphertext_bytes()).unwrap();
     let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_be_bytes());
     payload.extend_from_slice(&1u32.to_be_bytes());
     payload.extend_from_slice(&n_bytes);
     let frame = Frame::new(MsgType::IndexBatch as u8, payload).unwrap();
@@ -71,6 +73,7 @@ fn server_rejects_truncated_batch() {
 
     let ct = key.encrypt_u64(1, &mut rng).unwrap();
     let good = IndexBatch {
+        seq: 0,
         ciphertexts: vec![ct],
     }
     .encode(key)
@@ -98,7 +101,12 @@ fn server_rejects_overcount_and_double_hello() {
     let cts: Vec<_> = (0..5)
         .map(|_| key.encrypt_u64(0, &mut rng).unwrap())
         .collect();
-    let frame = IndexBatch { ciphertexts: cts }.encode(key).unwrap();
+    let frame = IndexBatch {
+        seq: 0,
+        ciphertexts: cts,
+    }
+    .encode(key)
+    .unwrap();
     assert!(
         server.on_frame(&frame).is_err(),
         "five indices for a four-row database"

@@ -10,6 +10,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use pps_protocol::messages::{HelloAck, MsgType};
 use pps_protocol::{
     run_tcp_query_with_retry, Database, FoldStrategy, ServerSession, SessionEvent, SessionLimits,
     SumClient, TcpQueryConfig, TcpServer,
@@ -213,13 +214,21 @@ fn retry_recovers_from_mid_query_disconnect() {
         let mut wire = TcpWire::new(stream);
         let _ = wire.recv();
         drop(wire);
-        // Connection 2: drive a full protocol session.
+        // Connection 2: drive a full protocol session, speaking the
+        // resumable dialect's one addition — every Hello is answered
+        // with a HelloAck before anything else.
         let (stream, _) = listener.accept().unwrap();
         let mut wire = TcpWire::new(stream);
         let mut session = ServerSession::new(&db);
         while !session.is_done() {
             let frame = wire.recv().unwrap();
-            if let Some(reply) = session.on_frame(&frame).unwrap() {
+            let is_hello = frame.msg_type == MsgType::Hello as u8;
+            let reply = session.on_frame(&frame).unwrap();
+            if is_hello {
+                wire.send(HelloAck { session_id: 7 }.encode().unwrap())
+                    .unwrap();
+            }
+            if let Some(reply) = reply {
                 wire.send(reply).unwrap();
             }
         }

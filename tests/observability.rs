@@ -179,6 +179,11 @@ fn live_metrics_reconcile_with_span_bridged_reports() {
     assert_eq!(sample(&body, "pps_sessions_evicted_total "), Some(1.0));
     assert_eq!(sample(&body, "pps_sessions_refused_total "), Some(0.0));
     assert_eq!(sample(&body, "pps_sessions_active "), Some(0.0));
+    // Resumption/containment families register eagerly and read zero in
+    // a run with no disconnect-resume traffic and no panics.
+    assert_eq!(sample(&body, "pps_sessions_resumed_total "), Some(0.0));
+    assert_eq!(sample(&body, "pps_sessions_panicked_total "), Some(0.0));
+    assert_eq!(sample(&body, "pps_checkpoints_evicted_total "), Some(0.0));
     assert_eq!(sample(&body, "pps_retry_attempts_total "), Some(3.0));
     assert_eq!(sample(&body, "pps_retry_failures_total "), Some(0.0));
     assert!(sample(&body, "pps_wire_bytes_sent_total ").unwrap() > 0.0);

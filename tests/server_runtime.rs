@@ -155,7 +155,14 @@ fn fold_with(
         .map(|&b| kp.public.encrypt_u64(b, rng).unwrap())
         .collect();
     let reply = session
-        .on_frame(&IndexBatch { ciphertexts: cts }.encode(&kp.public).unwrap())
+        .on_frame(
+            &IndexBatch {
+                seq: 0,
+                ciphertexts: cts,
+            }
+            .encode(&kp.public)
+            .unwrap(),
+        )
         .unwrap()
         .expect("single batch completes the session");
     let product = Product::decode(&reply, &kp.public).unwrap();
