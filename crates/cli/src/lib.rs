@@ -28,11 +28,12 @@ use std::time::Duration;
 use pps_crypto::{PaillierKeypair, PaillierSecretKey};
 use pps_obs::{MetricsServer, Registry};
 use pps_protocol::{
-    run_tcp_query_observed, run_tcp_query_with_retry, Admission, FoldStrategy, QueryObs,
-    ResumptionConfig, RunReport, ServerObs, SessionEvent, SessionLimits, SumClient, TcpQueryConfig,
-    TcpServer,
+    run_multiclient, run_multidb, run_multidb_blinded, run_sharded_query, run_tcp_query_observed,
+    run_tcp_query_with_retry, Admission, Database, FoldStrategy, Partition, QueryObs,
+    ResumptionConfig, RunReport, Selection, ServerObs, SessionEvent, SessionLimits,
+    ShardQueryConfig, SumClient, TcpQueryConfig, TcpServer,
 };
-use pps_transport::RetryPolicy;
+use pps_transport::{LinkProfile, RetryPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -97,6 +98,10 @@ pub enum Command {
         resume_ttl: Option<u64>,
         /// Fold-checkpoint table capacity (None = default 1024).
         resume_capacity: Option<usize>,
+        /// Serve as a shard worker: require the sharded-query handshake
+        /// (PROTOCOL.md §11) before any `Hello`, so every partial this
+        /// worker returns is blinded.
+        shard: bool,
     },
     /// Issue one private selected-sum query.
     Query {
@@ -113,6 +118,32 @@ pub enum Command {
         bits: usize,
         /// Output path for the secret key bytes.
         out: String,
+    },
+    /// Simulate the §3.5 multi-client blinded protocol in process
+    /// (Fig. 8 reproduction).
+    MultiClient {
+        /// Value file path, or None with `random`.
+        data: Option<String>,
+        /// Generate this many random 32-bit values instead of a file.
+        random: Option<usize>,
+        /// Number of cooperating clients.
+        k: usize,
+        /// Key size for the shared ephemeral key.
+        key_bits: usize,
+    },
+    /// Simulate the §3.5 multi-database protocol in process, plain or
+    /// blinded.
+    MultiDb {
+        /// Value file path, or None with `random`.
+        data: Option<String>,
+        /// Generate this many random 32-bit values instead of a file.
+        random: Option<usize>,
+        /// Number of horizontal partitions.
+        k: usize,
+        /// Blind the partial sums with correlated randomness.
+        blinded: bool,
+        /// Key size for the client's ephemeral key.
+        key_bits: usize,
     },
     /// Print usage.
     Help,
@@ -144,6 +175,9 @@ pub struct QueryOptions {
     pub retries: u32,
     /// Record the paper's phase decomposition and render it.
     pub trace: Option<TraceFormat>,
+    /// Shard worker addresses, in partition order. Non-empty switches
+    /// the query to the sharded fan-out engine (`--addr` is ignored).
+    pub shards: Vec<String>,
 }
 
 impl Default for QueryOptions {
@@ -157,6 +191,7 @@ impl Default for QueryOptions {
             client_threads: 1,
             retries: 0,
             trace: None,
+            shards: Vec::new(),
         }
     }
 }
@@ -169,8 +204,11 @@ USAGE:
   pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K] [--fold incremental|multiexp|parallel]
              [--max-concurrent K] [--admission queue|refuse] [--session-timeout SECS] [--shutdown-after SECS]
              [--metrics-addr HOST:PORT] [--resume-ttl SECS] [--resume-capacity K]
-  pps query  --addr ADDR --select i,j,k [--key-bits B | --key FILE] [--batch SIZE] [--client-threads T|auto]
-             [--retries N] [--trace json|pretty]
+  pps shard-serve  (same flags as serve; serves one horizontal partition as a shard worker)
+  pps query  --addr ADDR | --shards A1,A2,... --select i,j,k [--key-bits B | --key FILE] [--batch SIZE]
+             [--client-threads T|auto] [--retries N] [--trace json|pretty]
+  pps multiclient --data FILE | --random N [--k K] [--key-bits B]
+  pps multidb     --data FILE | --random N [--k K] [--blinded] [--key-bits B]
   pps keygen --bits B --out FILE
   pps help
 
@@ -189,6 +227,16 @@ survives, and re-issues the whole query up to N extra times on
 transient transport failures otherwise, with exponential backoff.
 --trace records the paper's four-component phase decomposition of the
 query and prints it as JSON or as a timeline table.
+Sharded queries: shard-serve runs a worker that answers only blinded
+partial sums (it rejects clients that skip the §11 shard handshake);
+query --shards fans one query out over the listed workers — --select
+takes global row indices over the concatenated partitions, each leg
+retries and resumes independently, and the partials combine to the
+exact sum with no worker revealing its share.
+multiclient / multidb reproduce the paper's §3.5 simulations in
+process: k cooperating clients (or k database partitions, optionally
+--blinded) over a modeled gigabit link, verified against the plaintext
+oracle.
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -219,7 +267,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     };
 
     match sub {
-        "serve" => {
+        "serve" | "shard-serve" => {
             let data = get("data");
             let random = get("random")
                 .map(|v| {
@@ -289,10 +337,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .ok_or_else(|| CliError::usage("bad --resume-capacity"))
                     })
                     .transpose()?,
+                shard: sub == "shard-serve",
             })
         }
         "query" => {
-            let addr = get("addr").ok_or_else(|| CliError::usage("query needs --addr"))?;
+            let shards: Vec<String> = get("shards")
+                .map(|v| {
+                    v.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                })
+                .unwrap_or_default();
+            let addr = match (get("addr"), shards.is_empty()) {
+                (Some(addr), _) => addr,
+                (None, false) => String::new(),
+                (None, true) => {
+                    return Err(CliError::usage("query needs --addr or --shards"));
+                }
+            };
             let select = get("select")
                 .ok_or_else(|| CliError::usage("query needs --select i,j,k"))?
                 .split(',')
@@ -335,6 +398,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     return Err(CliError::usage(format!("unknown trace format {other}")))
                 }
             };
+            if trace.is_some() && !shards.is_empty() {
+                return Err(CliError::usage(
+                    "--trace is not supported with --shards (per-leg spans land in the shard registry)",
+                ));
+            }
             Ok(Command::Query {
                 addr,
                 select,
@@ -348,8 +416,52 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .transpose()?
                         .unwrap_or(0),
                     trace,
+                    shards,
                 },
             })
+        }
+        "multiclient" | "multidb" => {
+            let data = get("data");
+            let random = get("random")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| CliError::usage("bad --random"))
+                })
+                .transpose()?;
+            if data.is_some() == random.is_some() {
+                return Err(CliError::usage(format!(
+                    "{sub} needs exactly one of --data or --random\n{USAGE}"
+                )));
+            }
+            let k = get("k")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&k| k > 0)
+                        .ok_or_else(|| CliError::usage("bad --k"))
+                })
+                .transpose()?
+                .unwrap_or(3);
+            let key_bits = get("key-bits")
+                .map(|v| v.parse().map_err(|_| CliError::usage("bad --key-bits")))
+                .transpose()?
+                .unwrap_or(pps_crypto::DEFAULT_KEY_BITS);
+            if sub == "multiclient" {
+                Ok(Command::MultiClient {
+                    data,
+                    random,
+                    k,
+                    key_bits,
+                })
+            } else {
+                Ok(Command::MultiDb {
+                    data,
+                    random,
+                    k,
+                    blinded: opts.iter().any(|(name, _)| name == "blinded"),
+                    key_bits,
+                })
+            }
         }
         "keygen" => {
             let bits = get("bits")
@@ -413,6 +525,10 @@ pub struct ServeOptions {
     /// Bounds for the session-resumption checkpoint table (None =
     /// [`ResumptionConfig::default`]: 1024 checkpoints, 120 s TTL).
     pub resumption: Option<ResumptionConfig>,
+    /// Serve as a shard worker: reject sessions that send `Hello`
+    /// without the §11 shard handshake, so no partial ever leaves this
+    /// server unblinded.
+    pub shard_only: bool,
 }
 
 /// Runs the concurrent server: accepts connections and serves one
@@ -448,6 +564,9 @@ pub fn run_server(
     if let Some(resumption) = opts.resumption {
         server = server.with_resumption(resumption);
     }
+    if opts.shard_only {
+        server = server.require_shard_handshake();
+    }
     let metrics = match opts.metrics_addr.as_deref() {
         Some(addr) => {
             let registry = std::sync::Arc::new(Registry::new());
@@ -463,7 +582,16 @@ pub fn run_server(
     let local = server
         .local_addr()
         .map_err(|e| CliError::runtime(e.to_string()))?;
-    let _ = writeln!(log, "serving {} rows on {local} ({fold:?})", db.len());
+    let shard_tag = if opts.shard_only {
+        " as shard worker"
+    } else {
+        ""
+    };
+    let _ = writeln!(
+        log,
+        "serving {} rows on {local} ({fold:?}){shard_tag}",
+        db.len()
+    );
     if let Some(metrics) = &metrics {
         let _ = writeln!(log, "metrics on http://{}/metrics", metrics.addr());
     }
@@ -593,6 +721,29 @@ pub fn run_query(
         },
         ..TcpQueryConfig::default()
     };
+    if !opts.shards.is_empty() {
+        let config = ShardQueryConfig {
+            tcp: config,
+            value_bound: None,
+        };
+        let outcome = run_sharded_query(&opts.shards, &client, select, &config, None, rng)
+            .map_err(|e| CliError::runtime(format!("query failed: {e}")))?;
+        let attempts = outcome.legs.iter().map(|l| l.attempts).max().unwrap_or(1);
+        let bytes = outcome.legs.iter().fold((0, 0), |acc, l| {
+            (
+                acc.0 + l.traffic.payload_bytes_sent,
+                acc.1 + l.traffic.payload_bytes_received,
+            )
+        });
+        return Ok(QueryOutcome {
+            sum: outcome.sum,
+            n: outcome.n,
+            selected: outcome.selected,
+            bytes,
+            attempts,
+            report: None,
+        });
+    }
     let (outcome, report) = if opts.trace.is_some() {
         let obs = QueryObs::new(std::sync::Arc::new(Registry::new()));
         let (outcome, report) = run_tcp_query_observed(addr, &client, select, &config, rng, &obs)
@@ -660,6 +811,115 @@ pub fn render_trace(report: &RunReport) -> String {
     out
 }
 
+/// Runs the §3.5 multi-client blinded protocol in process: `k`
+/// cooperating clients, each holding one contiguous shard of a random
+/// half-density selection, over a modeled gigabit link. The library
+/// verifies the combined ring total against the plaintext oracle, so
+/// success implies correctness.
+///
+/// # Errors
+/// [`CliError`] on a bad database, a degenerate split (`k` larger than
+/// the row count), or a key too narrow to blind.
+pub fn run_multiclient_sim(
+    values: Vec<u64>,
+    k: usize,
+    key_bits: usize,
+    rng: &mut StdRng,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let db = Database::new(values).map_err(|e| CliError::runtime(format!("bad database: {e}")))?;
+    let n = db.len();
+    let selection = Selection::random(n, 0.5, rng)
+        .map_err(|e| CliError::runtime(format!("bad selection: {e}")))?;
+    let report = run_multiclient(
+        &db,
+        &selection,
+        k,
+        key_bits,
+        LinkProfile::gigabit_lan(),
+        rng,
+    )
+    .map_err(|e| CliError::runtime(format!("multiclient failed: {e}")))?;
+    let _ = writeln!(
+        out,
+        "multi-client blinded sum: k={k} clients, {n} rows, {} selected, {key_bits}-bit key",
+        selection.selected_count(),
+    );
+    let _ = writeln!(
+        out,
+        "result {} (oracle-checked); parallel online {:?}, ring pass {:?}",
+        report.aggregate.result,
+        report.aggregate.total_online(),
+        report.ring_comm,
+    );
+    Ok(())
+}
+
+/// Runs the §3.5 multi-database protocol in process: the values split
+/// into `k` contiguous horizontal partitions, each privately queried
+/// with a random half-density selection; with `blinded` the partials
+/// carry correlated blinding that cancels in the combined total. The
+/// library verifies the total against the plaintext oracle.
+///
+/// # Errors
+/// [`CliError`] on a bad database, a degenerate split, or (blinded) a
+/// key too narrow to blind.
+pub fn run_multidb_sim(
+    values: Vec<u64>,
+    k: usize,
+    blinded: bool,
+    key_bits: usize,
+    rng: &mut StdRng,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let n = values.len();
+    if n < k {
+        return Err(CliError::runtime(format!(
+            "need at least one row per partition ({n} rows < {k} partitions)"
+        )));
+    }
+    let base = n / k;
+    let mut partitions = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let end = if i == k - 1 { n } else { start + base };
+        let db = Database::new(values[start..end].to_vec())
+            .map_err(|e| CliError::runtime(format!("bad partition: {e}")))?;
+        let selection = Selection::random(end - start, 0.5, rng)
+            .map_err(|e| CliError::runtime(format!("bad selection: {e}")))?;
+        partitions.push(Partition { db, selection });
+        start = end;
+    }
+    let client = SumClient::generate(key_bits, rng)
+        .map_err(|e| CliError::runtime(format!("keygen failed: {e}")))?;
+    let link = LinkProfile::gigabit_lan();
+    if blinded {
+        let (report, total) = run_multidb_blinded(&partitions, &client, link, rng)
+            .map_err(|e| CliError::runtime(format!("multidb failed: {e}")))?;
+        let _ = writeln!(
+            out,
+            "multi-DB blinded sum: k={k} partitions, {n} rows, {key_bits}-bit key",
+        );
+        let _ = writeln!(
+            out,
+            "total {total} (oracle-checked; every partial blinded mod 2^(key_bits-2)); parallel online {:?}",
+            report.total_online(),
+        );
+    } else {
+        let (reports, total) = run_multidb(&partitions, &client, link, rng)
+            .map_err(|e| CliError::runtime(format!("multidb failed: {e}")))?;
+        let _ = writeln!(
+            out,
+            "multi-DB sum: k={k} partitions, {n} rows, {key_bits}-bit key",
+        );
+        for (i, r) in reports.iter().enumerate() {
+            let _ = writeln!(out, "  partition {i}: partial {}", r.result);
+        }
+        let _ = writeln!(out, "total {total} (oracle-checked)");
+    }
+    Ok(())
+}
+
 /// Generates a keypair and writes the secret bytes to `out`.
 ///
 /// # Errors
@@ -670,6 +930,20 @@ pub fn run_keygen(bits: usize, out: &Path, rng: &mut StdRng) -> Result<(), CliEr
     std::fs::write(out, kp.secret.to_bytes())
         .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", out.display())))?;
     Ok(())
+}
+
+/// Resolves the `--data FILE | --random N` pair parse_args validated.
+fn resolve_values(data: Option<String>, random: Option<usize>) -> Result<Vec<u64>, CliError> {
+    match (data, random) {
+        (Some(path), None) => load_values(Path::new(&path)),
+        (None, Some(n)) => {
+            let mut rng = StdRng::from_entropy();
+            Ok((0..n)
+                .map(|_| rand::Rng::gen::<u32>(&mut rng) as u64)
+                .collect())
+        }
+        _ => unreachable!("parse_args enforces exactly one source"),
+    }
 }
 
 /// Entry point shared by `main` and the integration tests.
@@ -701,17 +975,9 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
             metrics_addr,
             resume_ttl,
             resume_capacity,
+            shard,
         } => {
-            let values = match (data, random) {
-                (Some(path), None) => load_values(Path::new(&path))?,
-                (None, Some(n)) => {
-                    let mut rng = StdRng::from_entropy();
-                    (0..n)
-                        .map(|_| rand::Rng::gen::<u32>(&mut rng) as u64)
-                        .collect()
-                }
-                _ => unreachable!("parse_args enforces exactly one source"),
-            };
+            let values = resolve_values(data, random)?;
             let limits = session_timeout.map(|secs| {
                 if secs == 0 {
                     SessionLimits::unlimited()
@@ -740,8 +1006,30 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
                 shutdown_after: shutdown_after.map(Duration::from_secs),
                 metrics_addr,
                 resumption,
+                shard_only: shard,
             };
             run_server(values, &listen, fold, &opts, out)
+        }
+        Command::MultiClient {
+            data,
+            random,
+            k,
+            key_bits,
+        } => {
+            let values = resolve_values(data, random)?;
+            let mut rng = StdRng::from_entropy();
+            run_multiclient_sim(values, k, key_bits, &mut rng, out)
+        }
+        Command::MultiDb {
+            data,
+            random,
+            k,
+            blinded,
+            key_bits,
+        } => {
+            let values = resolve_values(data, random)?;
+            let mut rng = StdRng::from_entropy();
+            run_multidb_sim(values, k, blinded, key_bits, &mut rng, out)
         }
         Command::Query { addr, select, opts } => {
             let mut rng = StdRng::from_entropy();
@@ -802,6 +1090,7 @@ mod tests {
                 metrics_addr: None,
                 resume_ttl: None,
                 resume_capacity: None,
+                shard: false,
             }
         );
         match parse_args(&args("serve --random 8 --fold parallel")).unwrap() {
@@ -942,6 +1231,90 @@ mod tests {
             }
         }
         assert!(parse_args(&args("query --addr a:1 --select 1 --client-threads x")).is_err());
+    }
+
+    #[test]
+    fn parse_shard_serve() {
+        match parse_args(&args("shard-serve --random 16 --fold multiexp")).unwrap() {
+            Command::Serve { shard, fold, .. } => {
+                assert!(shard, "shard-serve sets the worker flag");
+                assert_eq!(fold, FoldStrategy::MultiExp, "shares serve's flags");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("serve --random 16")).unwrap() {
+            Command::Serve { shard, .. } => assert!(!shard),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("shard-serve")).is_err(), "needs a source");
+    }
+
+    #[test]
+    fn parse_shards() {
+        match parse_args(&args("query --shards a:1,b:2,c:3 --select 0,5")).unwrap() {
+            Command::Query { addr, opts, .. } => {
+                assert_eq!(opts.shards, vec!["a:1", "b:2", "c:3"]);
+                assert_eq!(addr, "", "--addr not needed with --shards");
+            }
+            other => panic!("{other:?}"),
+        }
+        // --addr still accepted alongside (and ignored by the engine).
+        match parse_args(&args("query --addr x:9 --shards a:1 --select 0")).unwrap() {
+            Command::Query { addr, opts, .. } => {
+                assert_eq!(addr, "x:9");
+                assert_eq!(opts.shards, vec!["a:1"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse_args(&args("query --select 0")).is_err(),
+            "needs --addr or --shards"
+        );
+        assert!(
+            parse_args(&args("query --shards a:1 --select 0 --trace json")).is_err(),
+            "--trace conflicts with --shards"
+        );
+    }
+
+    #[test]
+    fn parse_multiclient_and_multidb() {
+        assert_eq!(
+            parse_args(&args("multiclient --random 24 --k 4 --key-bits 128")).unwrap(),
+            Command::MultiClient {
+                data: None,
+                random: Some(24),
+                k: 4,
+                key_bits: 128,
+            }
+        );
+        match parse_args(&args("multiclient --random 24")).unwrap() {
+            Command::MultiClient { k, key_bits, .. } => {
+                assert_eq!(k, 3, "paper-style default fan-out");
+                assert_eq!(key_bits, pps_crypto::DEFAULT_KEY_BITS);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_args(&args("multidb --random 24 --k 2 --blinded --key-bits 128")).unwrap(),
+            Command::MultiDb {
+                data: None,
+                random: Some(24),
+                k: 2,
+                blinded: true,
+                key_bits: 128,
+            }
+        );
+        match parse_args(&args("multidb --data f.txt")).unwrap() {
+            Command::MultiDb { blinded, data, .. } => {
+                assert!(!blinded);
+                assert_eq!(data.as_deref(), Some("f.txt"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("multiclient")).is_err(), "needs a source");
+        assert!(parse_args(&args("multidb --data f --random 5")).is_err());
+        assert!(parse_args(&args("multiclient --random 8 --k 0")).is_err());
+        assert!(parse_args(&args("multiclient --random 8 --k x")).is_err());
     }
 
     #[test]

@@ -56,6 +56,13 @@ pub const RETRY_ATTEMPTS_TOTAL: &str = "pps_retry_attempts_total";
 /// Attempts that failed with a retryable transport error.
 pub const RETRY_FAILURES_TOTAL: &str = "pps_retry_failures_total";
 
+/// Shard legs launched by the fan-out engine (one per shard per query,
+/// so a clean `k`-shard query records exactly `k`).
+pub const SHARD_LEGS_TOTAL: &str = "pps_shard_legs_total";
+/// Shard-leg attempts that continued from a surviving server checkpoint
+/// instead of re-issuing the leg's whole query.
+pub const SHARD_RESUMES_TOTAL: &str = "pps_shard_resumes_total";
+
 /// Server-side fold (homomorphic accumulation) time per batch.
 pub const FOLD_SECONDS: &str = "pps_fold_seconds";
 

@@ -43,7 +43,11 @@
 //!   query over a real socket, re-issued with exponential backoff on
 //!   transient transport failures, resuming from the server's last
 //!   acknowledged batch when a checkpoint survives
-//!   ([`SessionTable`], PROTOCOL.md §10).
+//!   ([`SessionTable`], PROTOCOL.md §10);
+//! * [`run_sharded_query`] — §3.5 over real sockets: `k` concurrent
+//!   shard legs, each answering with a correlated-blinded partial that
+//!   the client combines mod `M` (PROTOCOL.md §11), with per-leg
+//!   retry and resume.
 //!
 //! # Quick start
 //!
@@ -77,6 +81,7 @@ mod report;
 pub mod resume;
 mod run;
 mod server;
+mod shard;
 mod tcp_client;
 mod tcp_server;
 
@@ -85,8 +90,11 @@ pub use cost::{measure_encrypt_secs, CostModel, JAVA_SLOWDOWN, PAPER_ENCRYPT_SEC
 pub use data::{check_message_space, Database, Selection};
 pub use error::ProtocolError;
 pub use multiclient::{run_multiclient, ClientLeg, MultiClientReport};
-pub use multidb::{run_multidb, run_multidb_blinded, Partition};
-pub use obs::{PhaseTotals, QueryObs, ServerObs};
+pub use multidb::{
+    leg_blinding, pair_blinding, run_multidb, run_multidb_blinded, server_blinding, Partition,
+    MIN_BLINDING_KEY_BITS,
+};
+pub use obs::{PhaseTotals, QueryObs, ServerObs, ShardObs};
 pub use perturb::{flip_probability_for_epsilon, run_randomized_response, PerturbedReport};
 pub use report::{RunReport, Variant};
 pub use resume::{ResumptionConfig, SessionTable};
@@ -96,6 +104,9 @@ pub use run::{
     RunConfig,
 };
 pub use server::{FoldCheckpoint, FoldStrategy, ServerSession, ServerStats};
+pub use shard::{
+    run_sharded_query, run_sharded_query_with, ShardLegReport, ShardQueryConfig, ShardQueryOutcome,
+};
 pub use tcp_client::{
     run_stream_query_with_resume, run_tcp_query, run_tcp_query_observed, run_tcp_query_with_retry,
     TcpQueryConfig, TcpQueryOutcome,

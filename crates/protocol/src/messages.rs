@@ -45,6 +45,11 @@ pub enum MsgType {
     /// Server → client: resume verdict plus the authoritative
     /// next-expected batch sequence number.
     ResumeAck = 13,
+    /// Client → shard worker: sharded-query handshake (§3.5 networked) —
+    /// shard position, blinding-modulus width, and the pairwise blinding
+    /// seeds this worker needs to derive its correlated blinding `R_i`.
+    /// Sent before anything else on every connection to a shard.
+    ShardHello = 14,
 }
 
 impl MsgType {
@@ -63,6 +68,7 @@ impl MsgType {
             11 => Self::HelloAck,
             12 => Self::Resume,
             13 => Self::ResumeAck,
+            14 => Self::ShardHello,
             _ => return Err(TransportError::Malformed("unknown message type")),
         })
     }
@@ -83,9 +89,17 @@ impl Hello {
     /// Encodes to a frame: `[modulus_len u16][modulus][total u64][batch u32]`.
     ///
     /// # Errors
-    /// Propagates frame-size errors (cannot occur for real keys).
+    /// [`TransportError::Malformed`] when the modulus is too wide for
+    /// the u16 length prefix (a silent `as u16` cast here used to
+    /// truncate the length and corrupt the frame); otherwise propagates
+    /// frame-size errors (cannot occur for real keys).
     pub fn encode(&self) -> Result<Frame, TransportError> {
         let m = self.modulus.to_bytes_be();
+        if m.len() > u16::MAX as usize {
+            return Err(TransportError::Malformed(
+                "hello modulus exceeds u16 length prefix",
+            ));
+        }
         let mut buf = BytesMut::with_capacity(2 + m.len() + 12);
         buf.put_u16(m.len() as u16);
         buf.put_slice(&m);
@@ -137,8 +151,16 @@ impl IndexBatch {
     /// Encodes to a frame: `[seq u64][count u32][ct bytes fixed-width]…`.
     ///
     /// # Errors
-    /// Frame-size errors for absurdly large batches.
+    /// [`TransportError::Malformed`] when the batch holds more
+    /// ciphertexts than the u32 count field can carry (the silent
+    /// `as u32` cast here used to truncate the count and desynchronize
+    /// the stream); frame-size errors for absurdly large batches.
     pub fn encode(&self, key: &PaillierPublicKey) -> Result<Frame, TransportError> {
+        if self.ciphertexts.len() > u32::MAX as usize {
+            return Err(TransportError::Malformed(
+                "index batch count exceeds u32 field",
+            ));
+        }
         let w = key.ciphertext_bytes();
         let mut buf = BytesMut::with_capacity(12 + w * self.ciphertexts.len());
         buf.put_u64(self.seq);
@@ -360,8 +382,12 @@ impl PlainIndices {
     /// Encodes as `[count u32][index u64]…`.
     ///
     /// # Errors
-    /// Frame-size errors for absurd counts.
+    /// [`TransportError::Malformed`] when the index count exceeds the
+    /// u32 count field; frame-size errors for absurd counts.
     pub fn encode(&self) -> Result<Frame, TransportError> {
+        if self.indices.len() > u32::MAX as usize {
+            return Err(TransportError::Malformed("index count exceeds u32 field"));
+        }
         let mut buf = BytesMut::with_capacity(4 + 8 * self.indices.len());
         buf.put_u32(self.indices.len() as u32);
         for &i in &self.indices {
@@ -433,9 +459,13 @@ impl Dump {
     /// Encodes as `[count u32][value u64]…`.
     ///
     /// # Errors
-    /// [`TransportError::FrameTooLarge`] for databases beyond the frame
-    /// cap (~8M values).
+    /// [`TransportError::Malformed`] when the value count exceeds the
+    /// u32 count field; [`TransportError::FrameTooLarge`] for databases
+    /// beyond the frame cap (~8M values).
     pub fn encode(&self) -> Result<Frame, TransportError> {
+        if self.values.len() > u32::MAX as usize {
+            return Err(TransportError::Malformed("dump count exceeds u32 field"));
+        }
         let mut buf = BytesMut::with_capacity(4 + 8 * self.values.len());
         buf.put_u32(self.values.len() as u32);
         for &v in &self.values {
@@ -477,9 +507,10 @@ impl RingPartial {
     /// Encodes as `[len u16][bytes]`.
     ///
     /// # Errors
-    /// None for values below the frame cap.
+    /// [`TransportError::Malformed`] when the residue is too wide for
+    /// the u16 length prefix.
     pub fn encode(&self) -> Result<Frame, TransportError> {
-        Frame::new(MsgType::RingPartial as u8, encode_uint(&self.running))
+        Frame::new(MsgType::RingPartial as u8, encode_uint(&self.running)?)
     }
 
     /// Decodes.
@@ -505,9 +536,10 @@ impl RingTotal {
     /// Encodes as `[len u16][bytes]`.
     ///
     /// # Errors
-    /// None for values below the frame cap.
+    /// [`TransportError::Malformed`] when the total is too wide for the
+    /// u16 length prefix.
     pub fn encode(&self) -> Result<Frame, TransportError> {
-        Frame::new(MsgType::RingTotal as u8, encode_uint(&self.total))
+        Frame::new(MsgType::RingTotal as u8, encode_uint(&self.total)?)
     }
 
     /// Decodes.
@@ -580,12 +612,160 @@ impl SizeReply {
     }
 }
 
-fn encode_uint(v: &Uint) -> Bytes {
+/// Hard cap on the blinding-modulus width a [`ShardHello`] may request.
+/// Generous against any real Paillier key (≤ a few thousand bits) while
+/// keeping a hostile handshake from making the server allocate a huge
+/// `M = 2^m_bits`.
+pub const MAX_SHARD_M_BITS: u32 = 16_384;
+
+/// Hard cap on the shard count a [`ShardHello`] may claim.
+pub const MAX_SHARD_COUNT: u32 = 4_096;
+
+/// Widest pairwise blinding seed a [`ShardHello`] may carry.
+pub const MAX_SHARD_SEED_BYTES: usize = 64;
+
+/// Sharded-query handshake (§3.5, networked): sent by the fan-out
+/// engine as the very first message on every connection to a shard
+/// worker, before `Resume`, `SizeRequest`, or `Hello`.
+///
+/// The worker derives its correlated blinding
+/// `R_i = Σ_{j>i} r_ij − Σ_{j<i} r_ji (mod M)` from the pairwise seeds:
+/// `seeds_add` holds the seeds for pairs `(i, j)` with `j > i` (added)
+/// and `seeds_sub` the seeds for pairs `(j, i)` with `j < i`
+/// (subtracted), with `M = 2^m_bits`. Over all `k` workers the
+/// blindings telescope to `Σ R_i ≡ 0 (mod M)`, so the combined partials
+/// yield the true sum while each individual `Product` stays blinded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardHello {
+    /// This worker's position `i` in the fan-out, `0 ≤ i < k`.
+    pub shard_index: u32,
+    /// Total number of shards `k` in the query.
+    pub shard_count: u32,
+    /// Blinding-modulus width: `M = 2^m_bits` (the engine uses
+    /// `key_bits − 2` so every blinded partial fits the message space).
+    pub m_bits: u32,
+    /// Seeds for pairs `(i, j)`, `j > i`, ascending in `j` — their
+    /// derived blindings are *added* to `R_i`. Length `k − 1 − i`.
+    pub seeds_add: Vec<Vec<u8>>,
+    /// Seeds for pairs `(j, i)`, `j < i`, ascending in `j` — their
+    /// derived blindings are *subtracted*. Length `i`.
+    pub seeds_sub: Vec<Vec<u8>>,
+}
+
+impl ShardHello {
+    /// Encodes to a frame:
+    /// `[index u32][count u32][m_bits u32][n_add u16][n_sub u16][seed_len u16][seed]…`
+    /// with `seeds_add` first, then `seeds_sub`, all the same width.
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] when the seed lists are too long
+    /// for their u16 count fields or their widths are inconsistent.
+    pub fn encode(&self) -> Result<Frame, TransportError> {
+        let n_add = self.seeds_add.len();
+        let n_sub = self.seeds_sub.len();
+        if n_add > u16::MAX as usize || n_sub > u16::MAX as usize {
+            return Err(TransportError::Malformed(
+                "shard hello seed count exceeds u16 field",
+            ));
+        }
+        let seed_len = self
+            .seeds_add
+            .first()
+            .or(self.seeds_sub.first())
+            .map_or(0, Vec::len);
+        if seed_len > MAX_SHARD_SEED_BYTES {
+            return Err(TransportError::Malformed("shard hello seed too wide"));
+        }
+        if self
+            .seeds_add
+            .iter()
+            .chain(&self.seeds_sub)
+            .any(|s| s.len() != seed_len)
+        {
+            return Err(TransportError::Malformed(
+                "shard hello seeds differ in width",
+            ));
+        }
+        let mut buf = BytesMut::with_capacity(18 + seed_len * (n_add + n_sub));
+        buf.put_u32(self.shard_index);
+        buf.put_u32(self.shard_count);
+        buf.put_u32(self.m_bits);
+        buf.put_u16(n_add as u16);
+        buf.put_u16(n_sub as u16);
+        buf.put_u16(seed_len as u16);
+        for seed in self.seeds_add.iter().chain(&self.seeds_sub) {
+            buf.put_slice(seed);
+        }
+        Frame::new(MsgType::ShardHello as u8, buf.freeze())
+    }
+
+    /// Decodes and validates the shard geometry: `index < count ≤`
+    /// [`MAX_SHARD_COUNT`], `0 < m_bits ≤` [`MAX_SHARD_M_BITS`],
+    /// `n_add = k − 1 − i`, `n_sub = i`, and a sane seed width (zero
+    /// only when there are no seeds, i.e. `k = 1`).
+    ///
+    /// # Errors
+    /// [`TransportError::Malformed`] on truncation or any geometry
+    /// violation — a worker must reject an inconsistent handshake
+    /// rather than answer with blinding that cannot telescope to zero.
+    pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
+        expect_type(frame, MsgType::ShardHello)?;
+        let mut p = frame.payload.clone();
+        if p.remaining() < 18 {
+            return Err(TransportError::Malformed("shard hello truncated"));
+        }
+        let shard_index = p.get_u32();
+        let shard_count = p.get_u32();
+        let m_bits = p.get_u32();
+        let n_add = p.get_u16() as usize;
+        let n_sub = p.get_u16() as usize;
+        let seed_len = p.get_u16() as usize;
+        if shard_count == 0 || shard_count > MAX_SHARD_COUNT || shard_index >= shard_count {
+            return Err(TransportError::Malformed("shard hello bad geometry"));
+        }
+        if m_bits == 0 || m_bits > MAX_SHARD_M_BITS {
+            return Err(TransportError::Malformed(
+                "shard hello blinding width out of range",
+            ));
+        }
+        if n_add != (shard_count - 1 - shard_index) as usize || n_sub != shard_index as usize {
+            return Err(TransportError::Malformed(
+                "shard hello seed counts disagree with geometry",
+            ));
+        }
+        let total_seeds = n_add + n_sub;
+        if seed_len > MAX_SHARD_SEED_BYTES || (total_seeds > 0 && seed_len == 0) {
+            return Err(TransportError::Malformed("shard hello bad seed width"));
+        }
+        if p.remaining() != total_seeds * seed_len {
+            return Err(TransportError::Malformed("shard hello length mismatch"));
+        }
+        let mut take = |count: usize| -> Vec<Vec<u8>> {
+            (0..count)
+                .map(|_| p.copy_to_bytes(seed_len).to_vec())
+                .collect()
+        };
+        let seeds_add = take(n_add);
+        let seeds_sub = take(n_sub);
+        Ok(ShardHello {
+            shard_index,
+            shard_count,
+            m_bits,
+            seeds_add,
+            seeds_sub,
+        })
+    }
+}
+
+fn encode_uint(v: &Uint) -> Result<Bytes, TransportError> {
     let b = v.to_bytes_be();
+    if b.len() > u16::MAX as usize {
+        return Err(TransportError::Malformed("uint exceeds u16 length prefix"));
+    }
     let mut buf = BytesMut::with_capacity(2 + b.len());
     buf.put_u16(b.len() as u16);
     buf.put_slice(&b);
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 fn decode_uint(payload: &Bytes) -> Result<Uint, TransportError> {
@@ -793,6 +973,102 @@ mod tests {
         assert!(SizeRequest::decode(&bad).is_err());
         let bad = Frame::new(MsgType::SizeReply as u8, vec![1u8; 3]).unwrap();
         assert!(SizeReply::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn hello_oversized_modulus_rejected_not_truncated() {
+        // Regression: `put_u16(m.len() as u16)` used to silently wrap a
+        // >64 KiB modulus length and corrupt the frame. It must now be
+        // a typed encode error.
+        let h = Hello {
+            modulus: Uint::from_bytes_be(&vec![1u8; u16::MAX as usize + 1]),
+            total: 1,
+            batch_size: 1,
+        };
+        assert!(matches!(
+            h.encode(),
+            Err(TransportError::Malformed(
+                "hello modulus exceeds u16 length prefix"
+            ))
+        ));
+    }
+
+    #[test]
+    fn ring_oversized_residue_rejected_not_truncated() {
+        // Same truncation class via the shared uint codec's u16 prefix.
+        let rp = RingPartial {
+            running: Uint::from_bytes_be(&vec![1u8; u16::MAX as usize + 1]),
+        };
+        assert!(matches!(
+            rp.encode(),
+            Err(TransportError::Malformed("uint exceeds u16 length prefix"))
+        ));
+    }
+
+    fn seeds(n: usize, tag: u8) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![tag ^ i as u8; 32]).collect()
+    }
+
+    #[test]
+    fn shard_hello_round_trip() {
+        // Middle worker of k = 4: one seed subtracted (pair with worker
+        // 0), two added (pairs with workers 2 and 3).
+        let sh = ShardHello {
+            shard_index: 1,
+            shard_count: 4,
+            m_bits: 126,
+            seeds_add: seeds(2, 0xaa),
+            seeds_sub: seeds(1, 0x55),
+        };
+        let f = sh.encode().unwrap();
+        assert_eq!(ShardHello::decode(&f).unwrap(), sh);
+        // k = 1 degenerate: no seeds at all, zero seed width.
+        let solo = ShardHello {
+            shard_index: 0,
+            shard_count: 1,
+            m_bits: 126,
+            seeds_add: Vec::new(),
+            seeds_sub: Vec::new(),
+        };
+        let f = solo.encode().unwrap();
+        assert_eq!(ShardHello::decode(&f).unwrap(), solo);
+    }
+
+    #[test]
+    fn shard_hello_rejects_bad_geometry() {
+        let good = ShardHello {
+            shard_index: 1,
+            shard_count: 3,
+            m_bits: 126,
+            seeds_add: seeds(1, 1),
+            seeds_sub: seeds(1, 2),
+        };
+        let tamper = |f: &mut Vec<u8>, at: usize, v: u8| f[at] = v;
+        let base = good.encode().unwrap().payload.to_vec();
+        // index ≥ count (byte 3 is the low byte of shard_index).
+        let mut bad = base.clone();
+        tamper(&mut bad, 3, 7);
+        let f = Frame::new(MsgType::ShardHello as u8, bad).unwrap();
+        assert!(ShardHello::decode(&f).is_err());
+        // m_bits = 0.
+        let mut bad = base.clone();
+        for b in &mut bad[8..12] {
+            *b = 0;
+        }
+        let f = Frame::new(MsgType::ShardHello as u8, bad).unwrap();
+        assert!(ShardHello::decode(&f).is_err());
+        // Seed counts that disagree with the claimed geometry.
+        let mut bad = base.clone();
+        tamper(&mut bad, 13, 2); // n_add = 2 but k − 1 − i = 1
+        let f = Frame::new(MsgType::ShardHello as u8, bad).unwrap();
+        assert!(ShardHello::decode(&f).is_err());
+        // Truncated seed bytes.
+        let f = Frame::new(MsgType::ShardHello as u8, base[..base.len() - 1].to_vec()).unwrap();
+        assert!(ShardHello::decode(&f).is_err());
+        // Inconsistent widths refuse to encode.
+        let mut lop = good;
+        lop.seeds_sub[0].truncate(16);
+        assert!(lop.encode().is_err());
     }
 
     #[test]

@@ -111,6 +111,16 @@ pub fn run_multiclient(
             "selection/database length mismatch".into(),
         ));
     }
+    // `M = 2^(min_bits − 2)` below: with no floor on the requested key
+    // width the subtraction underflows (and `shl` then aborts on an
+    // absurd shift) instead of failing typed.
+    if key_bits < crate::multidb::MIN_BLINDING_KEY_BITS {
+        return Err(ProtocolError::Config(format!(
+            "key width {key_bits} bits is too small for a blinding modulus \
+             (need at least {})",
+            crate::multidb::MIN_BLINDING_KEY_BITS
+        )));
+    }
 
     // Each client generates its own key, "independently and in parallel".
     let clients: Vec<SumClient> = (0..k)
@@ -336,6 +346,33 @@ mod tests {
         assert!(
             run_multiclient(&db, &short, 2, 128, LinkProfile::gigabit_lan(), &mut rng).is_err()
         );
+    }
+
+    #[test]
+    fn tiny_key_is_a_config_error_not_a_panic() {
+        // Regression: `min_bits - 2` underflowed for degenerate key
+        // widths. The request must die as a typed Config error before
+        // any key is generated.
+        let (db, sel, mut rng) = setup(6);
+        for bits in [0usize, 1, 2, 8] {
+            match run_multiclient(&db, &sel, 2, bits, LinkProfile::gigabit_lan(), &mut rng) {
+                Err(ProtocolError::Config(msg)) => {
+                    assert!(msg.contains("too small"), "bits={bits}: {msg}")
+                }
+                other => panic!("bits={bits}: expected Config error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn one_row_per_client_degenerate_split() {
+        // db.len() == k: every shard is a single row, the other
+        // degenerate split besides k = 1.
+        let (db, sel, mut rng) = setup(4);
+        let r = run_multiclient(&db, &sel, 4, 128, LinkProfile::gigabit_lan(), &mut rng).unwrap();
+        assert_eq!(r.aggregate.result, db.oracle_sum(&sel).unwrap());
+        assert_eq!(r.legs.len(), 4);
+        assert!(r.legs.iter().all(|l| l.shard_len == 1));
     }
 
     #[test]

@@ -31,6 +31,11 @@ use crate::error::ProtocolError;
 use crate::report::{RunReport, Variant};
 use crate::server::ServerSession;
 
+/// Narrowest key the blinded flavors accept: the blinding modulus is
+/// `M = 2^(key_bits − 2)`, and below this floor `M` has no room for any
+/// actual sum (and the subtraction itself would underflow at 0/1 bits).
+pub const MIN_BLINDING_KEY_BITS: usize = 16;
+
 /// One partition: a server's database plus the client's selection over it.
 pub struct Partition {
     /// The server's rows.
@@ -41,35 +46,59 @@ pub struct Partition {
 
 /// Derives the blinding value shared by servers `i < j` from their pair
 /// seed: both endpoints compute the identical `r_ij ∈ [0, M)`.
-fn pair_blinding(seed: &[u8], m: &Uint) -> Result<Uint, ProtocolError> {
+///
+/// # Errors
+/// Propagates bignum sampling failures (a zero modulus).
+pub fn pair_blinding(seed: &[u8], m: &Uint) -> Result<Uint, ProtocolError> {
     let mut prg = CtrPrg::new(seed);
     Ok(Uint::random_below(&mut prg, m).map_err(pps_crypto::CryptoError::from)?)
 }
 
-/// Computes server `i`'s net blinding `R_i` from the pairwise seeds.
+/// Computes one worker's net blinding from the seed lists it was handed:
+/// shares derived from `seeds_add` are added, shares from `seeds_sub`
+/// subtracted (mod `M`). This is the wire-facing flavor of
+/// [`server_blinding`] — a networked shard receives exactly its own two
+/// lists in the `ShardHello` handshake and never sees the full pairwise
+/// matrix.
+///
+/// # Errors
+/// Propagates bignum sampling/arithmetic failures.
+pub fn leg_blinding(
+    seeds_add: &[Vec<u8>],
+    seeds_sub: &[Vec<u8>],
+    m: &Uint,
+) -> Result<Uint, ProtocolError> {
+    let mut r = Uint::zero();
+    for seed in seeds_add {
+        let share = pair_blinding(seed, m)?;
+        r = r
+            .mod_add(&share, m)
+            .map_err(pps_crypto::CryptoError::from)?;
+    }
+    for seed in seeds_sub {
+        let share = pair_blinding(seed, m)?;
+        let neg = share.mod_neg(m).map_err(pps_crypto::CryptoError::from)?;
+        r = r.mod_add(&neg, m).map_err(pps_crypto::CryptoError::from)?;
+    }
+    Ok(r)
+}
+
+/// Computes server `i`'s net blinding `R_i` from the full pairwise seed
+/// matrix: `R_i = Σ_{j>i} r_ij − Σ_{j<i} r_ji (mod M)`.
 ///
 /// `seeds[(i, j)]` for `i < j` is addressed as `seeds[i][j - i - 1]`.
-fn server_blinding(
+///
+/// # Errors
+/// Propagates bignum sampling/arithmetic failures.
+pub fn server_blinding(
     i: usize,
     k: usize,
     seeds: &[Vec<Vec<u8>>],
     m: &Uint,
 ) -> Result<Uint, ProtocolError> {
-    let mut r = Uint::zero();
-    // + r_ij for j > i.
-    for j in i + 1..k {
-        let share = pair_blinding(&seeds[i][j - i - 1], m)?;
-        r = r
-            .mod_add(&share, m)
-            .map_err(pps_crypto::CryptoError::from)?;
-    }
-    // − r_ji for j < i.
-    for j in 0..i {
-        let share = pair_blinding(&seeds[j][i - j - 1], m)?;
-        let neg = share.mod_neg(m).map_err(pps_crypto::CryptoError::from)?;
-        r = r.mod_add(&neg, m).map_err(pps_crypto::CryptoError::from)?;
-    }
-    Ok(r)
+    debug_assert_eq!(seeds[i].len(), k - i - 1);
+    let seeds_sub: Vec<Vec<u8>> = (0..i).map(|j| seeds[j][i - j - 1].clone()).collect();
+    leg_blinding(&seeds[i], &seeds_sub, m)
 }
 
 fn validate(partitions: &[Partition], client: &SumClient) -> Result<(), ProtocolError> {
@@ -129,6 +158,14 @@ pub fn run_multidb_blinded(
     validate(partitions, client)?;
     let k = partitions.len();
     let key_bits = client.keypair().public.key_bits();
+    // `M = 2^(key_bits − 2)` — without a floor this subtraction
+    // underflows for degenerate keys instead of failing typed.
+    if key_bits < MIN_BLINDING_KEY_BITS {
+        return Err(ProtocolError::Config(format!(
+            "key width {key_bits} bits is too small for a blinding modulus \
+             (need at least {MIN_BLINDING_KEY_BITS})"
+        )));
+    }
     let m = Uint::one().shl(key_bits - 2);
 
     // Worst-case combined total must stay below M.
@@ -388,6 +425,35 @@ mod tests {
                 acc = acc.mod_add(&r, &m).unwrap();
             }
             assert_eq!(acc, Uint::zero(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn leg_blinding_agrees_with_matrix_addressing() {
+        // The wire-facing flavor (two flat lists, what a ShardHello
+        // carries) must derive the same R_i as the in-process matrix.
+        let mut rng = StdRng::seed_from_u64(507);
+        let m = Uint::one().shl(100);
+        let k = 4;
+        let mut seeds: Vec<Vec<Vec<u8>>> = Vec::new();
+        for i in 0..k {
+            seeds.push(
+                (i + 1..k)
+                    .map(|_| {
+                        let mut s = vec![0u8; 32];
+                        rng.fill_bytes(&mut s);
+                        s
+                    })
+                    .collect(),
+            );
+        }
+        for i in 0..k {
+            let seeds_sub: Vec<Vec<u8>> = (0..i).map(|j| seeds[j][i - j - 1].clone()).collect();
+            assert_eq!(
+                leg_blinding(&seeds[i], &seeds_sub, &m).unwrap(),
+                server_blinding(i, k, &seeds, &m).unwrap(),
+                "i={i}"
+            );
         }
     }
 }

@@ -185,6 +185,53 @@ impl QueryObs {
     }
 }
 
+/// Metric handles the sharded fan-out engine updates: a counter per
+/// launched shard leg, a counter per resumed leg attempt, and the
+/// tracer per-leg `shard_leg` spans are emitted through.
+#[derive(Clone)]
+pub struct ShardObs {
+    registry: Arc<Registry>,
+    tracer: Tracer,
+    pub(crate) legs: Arc<Counter>,
+    pub(crate) resumes: Arc<Counter>,
+}
+
+impl ShardObs {
+    /// Registers the shard metric families in `registry`, with spans
+    /// discarded. Use [`ShardObs::with_tracer`] to also collect spans.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self::with_tracer(registry, Tracer::disabled())
+    }
+
+    /// Registers the shard metric families in `registry` and emits one
+    /// `shard_leg` span per leg through `tracer` (tagged with the leg
+    /// index as its session id).
+    pub fn with_tracer(registry: Arc<Registry>, tracer: Tracer) -> Self {
+        ShardObs {
+            legs: registry.counter(
+                names::SHARD_LEGS_TOTAL,
+                "shard legs launched by the fan-out engine",
+            ),
+            resumes: registry.counter(
+                names::SHARD_RESUMES_TOTAL,
+                "shard-leg attempts resumed from a server checkpoint",
+            ),
+            registry,
+            tracer,
+        }
+    }
+
+    /// The registry every handle was registered in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The tracer per-leg spans are emitted through.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
 /// The paper's four-component decomposition, summed from phase-tagged
 /// spans — the bridge from a span trace back to a [`RunReport`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

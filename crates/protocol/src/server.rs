@@ -72,6 +72,11 @@ pub struct FoldCheckpoint {
     /// Statistics accumulated so far, carried across the resume so the
     /// final report covers the whole logical session.
     pub stats: ServerStats,
+    /// §3.5 blinding installed on the session, if any. Carried in the
+    /// checkpoint so a *resumed* shard leg still blinds its product —
+    /// dropping it here would hand the reconnecting client an unblinded
+    /// partial sum.
+    pub blinding: Option<pps_bignum::Uint>,
 }
 
 /// How the server folds a batch of `E(I_i)` into its running product.
@@ -185,6 +190,7 @@ impl<'db> ServerSession<'db> {
                 cursor: *cursor,
                 next_seq: *next_seq,
                 stats: self.stats.clone(),
+                blinding: self.blinding.clone(),
             }),
             _ => None,
         }
@@ -231,8 +237,36 @@ impl<'db> ServerSession<'db> {
             },
             stats: cp.stats,
             fold,
-            blinding: None,
+            blinding: cp.blinding,
         })
+    }
+
+    /// Installs a §3.5 blinding value on a pristine session — the
+    /// networked shard handshake arrives before `Hello`, after which the
+    /// blinding travels with every checkpoint.
+    ///
+    /// # Errors
+    /// [`ProtocolError::UnexpectedMessage`] once the session has started
+    /// or when a blinding is already installed: re-keying the blinding
+    /// mid-stream would break the telescoping cancellation.
+    pub fn set_blinding(&mut self, r: pps_bignum::Uint) -> Result<(), ProtocolError> {
+        if !matches!(self.state, State::AwaitHello) {
+            return Err(ProtocolError::UnexpectedMessage(
+                "shard handshake mid-session",
+            ));
+        }
+        if self.blinding.is_some() {
+            return Err(ProtocolError::UnexpectedMessage(
+                "duplicate shard handshake",
+            ));
+        }
+        self.blinding = Some(r);
+        Ok(())
+    }
+
+    /// Whether a §3.5 blinding value is installed.
+    pub fn has_blinding(&self) -> bool {
+        self.blinding.is_some()
     }
 
     /// Consumes one frame; returns a reply frame when the protocol calls
@@ -835,6 +869,61 @@ mod tests {
         // Stats carried across the resume cover the whole session.
         assert_eq!(resumed.stats().folded, 5);
         assert_eq!(resumed.stats().per_batch_compute.len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_carries_blinding_across_resume() {
+        // A resumed shard leg must stay blinded: the checkpoint carries
+        // R and the rebuilt session applies it at finalize. (Resume used
+        // to hardcode `blinding: None`, silently unblinding the leg.)
+        let (kp, db, mut rng) = setup();
+        let r = pps_bignum::Uint::from_u64(7_000);
+        let mut s = ServerSession::with_blinding(&db, r);
+        s.on_frame(&hello(&kp, 5, 2)).unwrap();
+        s.on_frame(&batch_frame(&kp, 0, &[1, 1], &mut rng)).unwrap();
+        let cp = s.checkpoint().unwrap();
+        assert!(cp.blinding.is_some(), "checkpoint snapshots the blinding");
+        drop(s);
+
+        let mut resumed = ServerSession::resume(&db, FoldStrategy::Incremental, cp).unwrap();
+        assert!(resumed.has_blinding());
+        resumed
+            .on_frame(&batch_frame(&kp, 1, &[0, 0], &mut rng))
+            .unwrap();
+        let reply = resumed
+            .on_frame(&batch_frame(&kp, 2, &[1], &mut rng))
+            .unwrap()
+            .unwrap();
+        let product = Product::decode(&reply, &kp.public).unwrap();
+        // Rows 0, 1, 4 → 10 + 20 + 50, plus the blinding 7000.
+        assert_eq!(
+            kp.secret.decrypt(&product.ciphertext).unwrap().to_u64(),
+            Some(7_080)
+        );
+    }
+
+    #[test]
+    fn set_blinding_only_on_pristine_sessions() {
+        let (kp, db, mut rng) = setup();
+        let mut s = ServerSession::new(&db);
+        s.set_blinding(pps_bignum::Uint::from_u64(1)).unwrap();
+        assert!(s.has_blinding());
+        assert!(matches!(
+            s.set_blinding(pps_bignum::Uint::from_u64(2)),
+            Err(ProtocolError::UnexpectedMessage(
+                "duplicate shard handshake"
+            ))
+        ));
+        s.on_frame(&hello(&kp, 5, 2)).unwrap();
+        s.on_frame(&batch_frame(&kp, 0, &[1, 1], &mut rng)).unwrap();
+        let mut started = ServerSession::new(&db);
+        started.on_frame(&hello(&kp, 5, 2)).unwrap();
+        assert!(matches!(
+            started.set_blinding(pps_bignum::Uint::from_u64(3)),
+            Err(ProtocolError::UnexpectedMessage(
+                "shard handshake mid-session"
+            ))
+        ));
     }
 
     #[test]

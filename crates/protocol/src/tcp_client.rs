@@ -33,6 +33,7 @@ use std::io::{Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
+use pps_bignum::Uint;
 use pps_obs::{Collector, Phase, RingCollector, SpanRecord, TeeCollector, Tracer};
 use pps_transport::{
     RetryPolicy, RetryStats, StreamWire, TcpWire, TimedWire, TrafficStats, TransportError, Wire,
@@ -101,6 +102,32 @@ pub struct TcpQueryOutcome {
     pub attempt_payload_bytes: Vec<usize>,
 }
 
+/// A query outcome whose sum is still a full-width [`Uint`]. The shard
+/// fan-out engine needs this: a *blinded* partial sum is uniform in the
+/// blinding modulus `M = 2^(key_bits - 2)` and overflows `u128` for any
+/// key wider than 130 bits, so the conversion to `u128` must wait until
+/// the blindings have cancelled.
+#[derive(Clone, Debug)]
+pub(crate) struct RawQueryOutcome {
+    pub(crate) sum: Uint,
+    pub(crate) n: usize,
+    pub(crate) selected: usize,
+    pub(crate) traffic: TrafficStats,
+    pub(crate) retry: RetryStats,
+    pub(crate) resumed_attempts: u32,
+    pub(crate) attempt_payload_bytes: Vec<usize>,
+}
+
+/// A query whose size and selection are already known, so the attempt
+/// loop skips size discovery. A shard leg uses this: the fan-out engine
+/// discovers every shard's row count up front (it needs the global
+/// offsets to split the selection) and each leg then queries its
+/// pre-computed local selection.
+pub(crate) struct PresetQuery {
+    pub(crate) n: usize,
+    pub(crate) selection: Selection,
+}
+
 /// Whether a failure is worth retrying: transient transport weather
 /// (peer gone, deadline expired, OS-level socket error) yes; protocol,
 /// crypto, and configuration errors no.
@@ -146,7 +173,7 @@ fn resumable_attempt<S: Read + Write>(
     config: &TcpQueryConfig,
     rng: &mut dyn RngCore,
     state: &mut AttemptState,
-) -> Result<u128, ProtocolError> {
+) -> Result<Uint, ProtocolError> {
     if let Some(sid) = state.session {
         wire.send(
             Resume {
@@ -173,9 +200,7 @@ fn resumable_attempt<S: Read + Write>(
                 ack.next_seq,
             )?;
             let (sum, _) = client.receive_result(wire)?;
-            return sum
-                .to_u128()
-                .ok_or_else(|| ProtocolError::Config("sum exceeds 128 bits".into()));
+            return Ok(sum);
         }
         // Checkpoint gone (TTL, capacity, restart). The server is back
         // at AwaitHello on this very connection; fall through to a full
@@ -209,8 +234,7 @@ fn resumable_attempt<S: Read + Write>(
     let mut source = index_source(config, rng);
     client.stream_batches(wire, selection, config.batch_size, &mut source, 0)?;
     let (sum, _) = client.receive_result(wire)?;
-    sum.to_u128()
-        .ok_or_else(|| ProtocolError::Config("sum exceeds 128 bits".into()))
+    Ok(sum)
 }
 
 /// Runs one private selected-sum query over a stream transport built by
@@ -237,11 +261,61 @@ where
     S: Read + Write,
     F: FnMut(u32) -> Result<StreamWire<S>, ProtocolError>,
 {
-    let mut state = AttemptState {
-        n: None,
-        selection: None,
-        session: None,
-        resumed_attempts: 0,
+    let raw = run_stream_query_raw(connect, client, select, config, rng, None)?;
+    let sum = raw
+        .sum
+        .to_u128()
+        .ok_or_else(|| ProtocolError::Config("sum exceeds 128 bits".into()))?;
+    Ok(TcpQueryOutcome {
+        sum,
+        n: raw.n,
+        selected: raw.selected,
+        traffic: raw.traffic,
+        retry: raw.retry,
+        resumed_attempts: raw.resumed_attempts,
+        attempt_payload_bytes: raw.attempt_payload_bytes,
+    })
+}
+
+/// The engine under [`run_stream_query_with_resume`]: same retry/resume
+/// loop, but the sum stays a full-width [`Uint`] and an optional
+/// [`PresetQuery`] skips size discovery. Shard legs use both: blinded
+/// partials don't fit `u128`, and the fan-out engine already knows each
+/// shard's size and local selection.
+pub(crate) fn run_stream_query_raw<S, F>(
+    connect: &mut F,
+    client: &SumClient,
+    select: &[usize],
+    config: &TcpQueryConfig,
+    rng: &mut dyn RngCore,
+    preset: Option<PresetQuery>,
+) -> Result<RawQueryOutcome, ProtocolError>
+where
+    S: Read + Write,
+    F: FnMut(u32) -> Result<StreamWire<S>, ProtocolError>,
+{
+    let (mut state, selected) = match preset {
+        Some(p) => {
+            let selected = p.selection.selected_count();
+            (
+                AttemptState {
+                    n: Some(p.n),
+                    selection: Some(p.selection),
+                    session: None,
+                    resumed_attempts: 0,
+                },
+                selected,
+            )
+        }
+        None => (
+            AttemptState {
+                n: None,
+                selection: None,
+                session: None,
+                resumed_attempts: 0,
+            },
+            select.len(),
+        ),
     };
     let mut retry = RetryStats::default();
     let mut attempt_payload_bytes = Vec::new();
@@ -257,10 +331,10 @@ where
         };
         match outcome {
             Ok((sum, traffic)) => {
-                return Ok(TcpQueryOutcome {
+                return Ok(RawQueryOutcome {
                     sum,
                     n: state.n.unwrap_or(0),
-                    selected: select.len(),
+                    selected,
                     traffic,
                     retry,
                     resumed_attempts: state.resumed_attempts,

@@ -61,7 +61,8 @@ use pps_transport::{TcpWire, TransportError, Wire, WireMetrics};
 
 use crate::data::Database;
 use crate::error::ProtocolError;
-use crate::messages::{HelloAck, MsgType, Resume, ResumeAck};
+use crate::messages::{HelloAck, MsgType, Resume, ResumeAck, ShardHello};
+use crate::multidb::leg_blinding;
 use crate::obs::ServerObs;
 use crate::resume::{ResumptionConfig, SessionTable};
 use crate::server::{FoldStrategy, ServerSession, ServerStats};
@@ -366,6 +367,7 @@ pub struct TcpServer {
     obs: Option<ServerObs>,
     resumption: SessionTable,
     fault_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+    require_shard: bool,
 }
 
 impl TcpServer {
@@ -389,7 +391,19 @@ impl TcpServer {
             obs: None,
             resumption: SessionTable::default(),
             fault_hook: None,
+            require_shard: false,
         })
+    }
+
+    /// Marks this server as a shard worker: every session must open with
+    /// a `ShardHello` handshake before `Hello`, so the worker never
+    /// answers a query with an *unblinded* partial sum. (Any server —
+    /// shard worker or not — accepts the handshake when offered; this
+    /// flag makes it mandatory.)
+    #[must_use]
+    pub fn require_shard_handshake(mut self) -> Self {
+        self.require_shard = true;
+        self
     }
 
     /// Attaches a [`ServerObs`] bundle: session lifecycle counters, the
@@ -578,6 +592,7 @@ impl TcpServer {
                 let fold = self.fold;
                 let limits = &self.limits;
                 let table = &self.resumption;
+                let require_shard = self.require_shard;
                 let gated = self.max_concurrent.is_some();
                 let obs = self.obs.as_ref();
                 let fault_hook = self.fault_hook.clone();
@@ -604,7 +619,15 @@ impl TcpServer {
                             hook(id);
                         }
                         let wire_metrics = obs.map(|o| o.wire.clone());
-                        drive_connection(db, fold, stream, limits, wire_metrics, table)
+                        drive_connection(
+                            db,
+                            fold,
+                            stream,
+                            limits,
+                            wire_metrics,
+                            table,
+                            require_shard,
+                        )
                     }));
                     match outcome {
                         Ok(out) => {
@@ -710,6 +733,10 @@ struct DriveOutcome {
 /// dialect: `Hello` is acknowledged with a session ID, the fold state is
 /// checkpointed into `table` after every acknowledged batch, and a
 /// `Resume` as the first protocol message restores a stored checkpoint.
+/// A `ShardHello` before the session starts installs a §3.5 blinding on
+/// the accumulator (PROTOCOL.md §11); with `require_shard` set, a plain
+/// `Hello` without one is rejected so the worker can never reply
+/// unblinded.
 fn drive_connection(
     db: &Database,
     fold: FoldStrategy,
@@ -717,6 +744,7 @@ fn drive_connection(
     limits: &SessionLimits,
     metrics: Option<WireMetrics>,
     table: &SessionTable,
+    require_shard: bool,
 ) -> DriveOutcome {
     let mut session = ServerSession::with_fold(db, fold);
     let mut resumed = false;
@@ -735,6 +763,28 @@ fn drive_connection(
         while !session.is_done() {
             wire.set_read_timeout(deadline.next_read_timeout()?)?;
             let frame = wire.recv()?;
+            if frame.msg_type == MsgType::ShardHello as u8 {
+                // Shard handshake: derive this worker's correlated
+                // blinding from the pairwise seeds and install it before
+                // the session starts. No reply — the client pipelines
+                // its next message immediately. On a *resume*, the
+                // restored checkpoint's own blinding (the same value —
+                // seeds are per-query) supersedes this fresh session.
+                let sh = ShardHello::decode(&frame)?;
+                let m = pps_bignum::Uint::one().shl(sh.m_bits as usize);
+                let r = leg_blinding(&sh.seeds_add, &sh.seeds_sub, &m)?;
+                session.set_blinding(r)?;
+                continue;
+            }
+            if require_shard
+                && frame.msg_type == MsgType::Hello as u8
+                && session.is_awaiting_hello()
+                && !session.has_blinding()
+            {
+                return Err(ProtocolError::UnexpectedMessage(
+                    "shard worker requires a shard handshake before hello",
+                ));
+            }
             if frame.msg_type == MsgType::Resume as u8 {
                 if !session.is_awaiting_hello() {
                     return Err(ProtocolError::UnexpectedMessage("resume mid-session"));

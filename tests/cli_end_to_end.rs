@@ -5,7 +5,10 @@
 use std::net::TcpListener;
 use std::path::PathBuf;
 
-use pps_cli::{load_values, run_keygen, run_query, run_server, QueryOptions, ServeOptions};
+use pps_cli::{
+    load_values, run_keygen, run_multiclient_sim, run_multidb_sim, run_query, run_server,
+    QueryOptions, ServeOptions,
+};
 use pps_protocol::FoldStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,13 +28,21 @@ fn free_addr() -> String {
 }
 
 fn spawn_server(values: Vec<u64>, addr: String, sessions: usize, fold: FoldStrategy) {
+    spawn_server_opts(
+        values,
+        addr,
+        fold,
+        ServeOptions {
+            max_sessions: Some(sessions),
+            ..ServeOptions::default()
+        },
+    );
+}
+
+fn spawn_server_opts(values: Vec<u64>, addr: String, fold: FoldStrategy, opts: ServeOptions) {
     let server_addr = addr.clone();
     std::thread::spawn(move || {
         let mut log = Vec::new();
-        let opts = ServeOptions {
-            max_sessions: Some(sessions),
-            ..ServeOptions::default()
-        };
         run_server(values, &server_addr, fold, &opts, &mut log).unwrap();
     });
     // Wait for the listener to come up.
@@ -133,6 +144,80 @@ fn connection_refused_is_a_runtime_error() {
     };
     let err = run_query("127.0.0.1:1", &[0], &opts, &mut rng).unwrap_err();
     assert_eq!(err.code, 1);
+}
+
+#[test]
+fn sharded_query_round_trip() {
+    // Three `pps shard-serve` workers, each owning one contiguous
+    // horizontal partition of the global rows 1..=30; `pps query
+    // --shards` fans out, combines the blinded partials, and recovers
+    // the exact global sum.
+    let shards: Vec<String> = (0..3)
+        .map(|i| {
+            let addr = free_addr();
+            let lo = i * 10 + 1;
+            // The probe connection in spawn_server_opts consumes one
+            // session slot, so allow two.
+            spawn_server_opts(
+                (lo..lo + 10).collect(),
+                addr.clone(),
+                FoldStrategy::MultiExp,
+                ServeOptions {
+                    max_sessions: Some(2),
+                    shard_only: true,
+                    ..ServeOptions::default()
+                },
+            );
+            addr
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let opts = QueryOptions {
+        key_bits: 128,
+        batch: 4,
+        shards,
+        ..QueryOptions::default()
+    };
+    // Global rows 0, 10, 20, 29 hold values 1, 11, 21, 30.
+    let outcome = run_query("", &[0, 10, 20, 29], &opts, &mut rng).unwrap();
+    assert_eq!(outcome.sum, 63);
+    assert_eq!(outcome.n, 30);
+    assert_eq!(outcome.selected, 4);
+    assert!(outcome.bytes.0 > 0 && outcome.bytes.1 > 0);
+}
+
+#[test]
+fn multiclient_sim_reports_oracle_checked_total() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut out = Vec::new();
+    run_multiclient_sim((1..=40).collect(), 4, 128, &mut rng, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("k=4 clients"), "{text}");
+    assert!(text.contains("oracle-checked"), "{text}");
+}
+
+#[test]
+fn multidb_sim_blinded_and_plain() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut out = Vec::new();
+    run_multidb_sim((1..=30).collect(), 3, true, 128, &mut rng, &mut out).unwrap();
+    let blinded = String::from_utf8(out).unwrap();
+    assert!(blinded.contains("oracle-checked"), "{blinded}");
+    assert!(blinded.contains("blinded mod 2^(key_bits-2)"), "{blinded}");
+
+    let mut out = Vec::new();
+    run_multidb_sim((1..=30).collect(), 3, false, 128, &mut rng, &mut out).unwrap();
+    let plain = String::from_utf8(out).unwrap();
+    assert!(plain.contains("partition 2: partial"), "{plain}");
+    assert!(plain.contains("oracle-checked"), "{plain}");
+
+    let err = run_multidb_sim(vec![1, 2], 3, true, 128, &mut rng, &mut Vec::new()).unwrap_err();
+    assert!(
+        err.message.contains("at least one row per partition"),
+        "{}",
+        err.message
+    );
 }
 
 #[test]
