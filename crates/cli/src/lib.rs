@@ -99,8 +99,9 @@ pub enum Command {
         /// Fold-checkpoint table capacity (None = default 1024).
         resume_capacity: Option<usize>,
         /// Serve as a shard worker: require the sharded-query handshake
-        /// (PROTOCOL.md §11) before any `Hello`, so every partial this
-        /// worker returns is blinded.
+        /// (PROTOCOL.md §11) before any query, and refuse plaintext
+        /// baselines outright, so every partial this worker returns is
+        /// blinded.
         shard: bool,
     },
     /// Issue one private selected-sum query.
@@ -525,9 +526,10 @@ pub struct ServeOptions {
     /// Bounds for the session-resumption checkpoint table (None =
     /// [`ResumptionConfig::default`]: 1024 checkpoints, 120 s TTL).
     pub resumption: Option<ResumptionConfig>,
-    /// Serve as a shard worker: reject sessions that send `Hello`
-    /// without the §11 shard handshake, so no partial ever leaves this
-    /// server unblinded.
+    /// Serve as a shard worker: reject any query frame that arrives
+    /// without the §11 shard handshake (and plaintext baselines
+    /// unconditionally), so no partial ever leaves this server
+    /// unblinded.
     pub shard_only: bool,
 }
 

@@ -8,8 +8,9 @@
 //! pairwise blinding seeds for that worker's position in the fan-out.
 //! The worker folds its correlated blinding
 //! `R_i = Σ_{j>i} r_ij − Σ_{j<i} r_ji (mod M)` into its accumulator, so
-//! the value it returns is uniform in `M = 2^(key_bits − 2)`: neither
-//! the client nor any single worker observes an unblinded partial. Over
+//! the value it returns is uniform in `M = 2^(key_bits − 2)` to anyone
+//! who is missing even one of its pairwise seeds: no single worker or
+//! transport observer learns another partition's true partial. Over
 //! all `k` workers the blindings telescope to `Σ R_i ≡ 0 (mod M)` —
 //! summing the decrypted partials mod `M` cancels every blinding and
 //! yields the true selected sum, with **no worker-to-worker traffic at
@@ -24,14 +25,22 @@
 //!
 //! **Trust model.** The client distributes the pairwise seeds at query
 //! time, standing in for the out-of-band pairwise enrollment the paper
-//! assumes between servers. This keeps the privacy property against
-//! the *client* (each partial it sees is blinded; only the total is
-//! learnable) and against any single *worker* (its own partial never
-//! leaves it unblinded). A coalition of client and `k − 1` workers can
-//! of course unblind the remaining partial — exactly the paper's
-//! collusion bound. The `k = 1` degenerate fan-out has no pairs and
-//! therefore `R_0 = 0`: the one partial *is* the total, which the
-//! client learns anyway.
+//! assumes between servers. That shortcut has a real cost: because the
+//! client dealt **every** seed, it can recompute each worker's `R_i`
+//! ([`leg_blinding`](crate::multidb::leg_blinding) is deterministic in
+//! the seeds) and unblind each partial by itself — in this deployment
+//! the blinding provides **no privacy against the client**. What it
+//! does protect is the workers from *each other* and from transport
+//! observers: worker `i` misses the pairwise seeds it is not party to,
+//! so worker `j`'s partial is uniform in `M` from its point of view,
+//! and a coalition must reach `k − 1` workers (plus the wire) before
+//! the remaining partial falls. The paper's stronger bound — partials
+//! hidden even from the querier, colluding with up to `k − 1` servers
+//! — requires the servers to establish the pairwise seeds out-of-band
+//! among themselves; the wire protocol already carries everything else
+//! needed for that deployment, only the seed dealer changes. The
+//! `k = 1` degenerate fan-out has no pairs and therefore `R_0 = 0`:
+//! the one partial *is* the total, which the client learns anyway.
 
 use std::io::{Read, Write};
 
@@ -51,6 +60,12 @@ use crate::tcp_client::{run_stream_query_raw, PresetQuery, RawQueryOutcome, TcpQ
 
 /// Width in bytes of each pairwise blinding seed the engine generates.
 const SEED_BYTES: usize = 32;
+
+/// Upper bound on the row count a single shard may claim at size
+/// discovery. `SizeReply.n` is attacker-controlled (a malicious or
+/// buggy worker can report anything); an implausible size is refused
+/// instead of being folded into the offset arithmetic.
+const MAX_SHARD_ROWS: u64 = 1 << 40;
 
 /// Configuration for a sharded query.
 #[derive(Clone, Debug, Default)]
@@ -74,7 +89,9 @@ pub struct ShardLegReport {
     /// Rows this shard reported owning at size discovery.
     pub rows: usize,
     /// The decrypted **blinded** partial `(data_i + R_i)` — uniform in
-    /// `M` for `k > 1`, so it reveals nothing about `data_i` alone.
+    /// `M` for `k > 1` to any party missing one of leg `i`'s pairwise
+    /// seeds. The seed-dealing client itself can reconstruct `R_i` and
+    /// unblind it (see the module-level trust model).
     pub blinded_partial: Uint,
     /// Attempts this leg made (1 = clean).
     pub attempts: u32,
@@ -115,7 +132,7 @@ struct LegPlan<S, F> {
     hello: pps_transport::Frame,
     rows: usize,
     local: Vec<usize>,
-    rng_seed: u64,
+    rng_seed: [u8; 32],
 }
 
 fn run_leg<S, F>(
@@ -145,7 +162,7 @@ where
         wire.send(hello.clone())?;
         Ok(wire)
     };
-    let mut rng = StdRng::seed_from_u64(plan.rng_seed);
+    let mut rng = StdRng::from_seed(plan.rng_seed);
     run_stream_query_raw(&mut connect, client, &[], config, &mut rng, Some(preset))
 }
 
@@ -235,11 +252,31 @@ where
         let mut wire = connect(1)?;
         wire.send(hellos[i].clone())?;
         wire.send(SizeRequest.encode()?)?;
-        let n = SizeReply::decode(&wire.recv()?)?.n as usize;
+        let reported = SizeReply::decode(&wire.recv()?)?.n;
+        // The reply is worker-controlled: cap it before it enters the
+        // offset arithmetic below, where a huge value would wrap in
+        // release builds and silently misroute the selection split.
+        if reported > MAX_SHARD_ROWS {
+            return Err(ProtocolError::Config(format!(
+                "shard {i} claims {reported} rows, above the \
+                 {MAX_SHARD_ROWS}-row cap"
+            )));
+        }
         wires.push(wire);
-        shard_rows.push(n);
+        shard_rows.push(reported as usize);
     }
-    let n_total: usize = shard_rows.iter().sum();
+
+    // Partition offsets and the global row count, with the accumulation
+    // checked: even capped sizes must not be allowed to wrap the total.
+    let mut offsets = Vec::with_capacity(k);
+    let mut acc = 0usize;
+    for (i, &rows) in shard_rows.iter().enumerate() {
+        offsets.push(acc);
+        acc = acc
+            .checked_add(rows)
+            .ok_or_else(|| ProtocolError::Config(format!("shard sizes overflow at shard {i}")))?;
+    }
+    let n_total = acc;
 
     if let Some(bound) = config.value_bound {
         // Mirror of check_message_space, against the blinding modulus:
@@ -258,12 +295,6 @@ where
     }
 
     // Split the global selection into per-shard local index lists.
-    let mut offsets = Vec::with_capacity(k);
-    let mut acc = 0usize;
-    for &rows in &shard_rows {
-        offsets.push(acc);
-        acc += rows;
-    }
     let mut locals: Vec<Vec<usize>> = vec![Vec::new(); k];
     for &g in select {
         if g >= n_total {
@@ -276,7 +307,10 @@ where
     }
 
     // Per-leg rng seeds drawn before the fan-out: the engine takes one
-    // &mut rng but each thread needs its own independent stream.
+    // &mut rng but each thread needs its own independent stream. Seeds
+    // are full-width (256-bit) — the leg rng drives the Paillier
+    // encryption randomness, whose entropy must not collapse to 64
+    // bits below the key's security level.
     let plans: Vec<LegPlan<S, F>> = {
         let mut plans = Vec::with_capacity(k);
         let mut locals = locals.into_iter();
@@ -290,7 +324,11 @@ where
                 hello: hellos.next().expect("one hello per leg"),
                 rows: shard_rows[i],
                 local: locals.next().expect("one split per leg"),
-                rng_seed: rng.next_u64(),
+                rng_seed: {
+                    let mut seed = [0u8; 32];
+                    rng.fill_bytes(&mut seed);
+                    seed
+                },
             });
         }
         plans

@@ -395,11 +395,14 @@ impl TcpServer {
         })
     }
 
-    /// Marks this server as a shard worker: every session must open with
-    /// a `ShardHello` handshake before `Hello`, so the worker never
-    /// answers a query with an *unblinded* partial sum. (Any server —
-    /// shard worker or not — accepts the handshake when offered; this
-    /// flag makes it mandatory.)
+    /// Marks this server as a shard worker: until a `ShardHello`
+    /// handshake (or a granted `Resume`, whose checkpoint carries its
+    /// own blinding) installs a blinding, only the handshake, resume,
+    /// and size-discovery frames are accepted — and `PlainIndices` is
+    /// refused outright, blinded or not — so the worker never answers a
+    /// query with an *unblinded* partial sum. (Any server — shard
+    /// worker or not — accepts the handshake when offered; this flag
+    /// makes it mandatory.)
     #[must_use]
     pub fn require_shard_handshake(mut self) -> Self {
         self.require_shard = true;
@@ -734,9 +737,11 @@ struct DriveOutcome {
 /// checkpointed into `table` after every acknowledged batch, and a
 /// `Resume` as the first protocol message restores a stored checkpoint.
 /// A `ShardHello` before the session starts installs a §3.5 blinding on
-/// the accumulator (PROTOCOL.md §11); with `require_shard` set, a plain
-/// `Hello` without one is rejected so the worker can never reply
-/// unblinded.
+/// the accumulator (PROTOCOL.md §11); with `require_shard` set, only
+/// `ShardHello`, `Resume` (whose checkpoint carries its own blinding),
+/// and `SizeRequest` are accepted until a blinding is installed, and
+/// `PlainIndices` is refused outright — that baseline path never folds
+/// the blinding in — so the worker can never reply unblinded.
 fn drive_connection(
     db: &Database,
     fold: FoldStrategy,
@@ -776,14 +781,27 @@ fn drive_connection(
                 session.set_blinding(r)?;
                 continue;
             }
-            if require_shard
-                && frame.msg_type == MsgType::Hello as u8
-                && session.is_awaiting_hello()
-                && !session.has_blinding()
-            {
-                return Err(ProtocolError::UnexpectedMessage(
-                    "shard worker requires a shard handshake before hello",
-                ));
+            if require_shard {
+                let allowed = match frame.msg_type {
+                    // Always acceptable: the handshake itself, a resume
+                    // (its checkpoint carries the session's blinding),
+                    // and size discovery (reveals only the row count).
+                    t if t == MsgType::ShardHello as u8 => true,
+                    t if t == MsgType::Resume as u8 => true,
+                    t if t == MsgType::SizeRequest as u8 => true,
+                    // Never acceptable: the plaintext baseline replies
+                    // with the raw partition sum and the blinding never
+                    // touches that path — per-index probes would read
+                    // the whole partition out unblinded.
+                    t if t == MsgType::PlainIndices as u8 => false,
+                    // Everything else only once a blinding is installed.
+                    _ => session.has_blinding(),
+                };
+                if !allowed {
+                    return Err(ProtocolError::UnexpectedMessage(
+                        "shard worker accepts only blinded queries",
+                    ));
+                }
             }
             if frame.msg_type == MsgType::Resume as u8 {
                 if !session.is_awaiting_hello() {

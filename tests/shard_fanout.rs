@@ -324,3 +324,110 @@ fn shard_worker_rejects_plain_queries() {
     assert_eq!(stats.sessions, 0, "no session may complete unblinded");
     assert_eq!(stats.failed, 1);
 }
+
+/// The non-private baseline is the sharpest leak: `PlainIndices` in,
+/// raw plaintext sum out, one index at a time. A shard worker must
+/// refuse it on an unblinded session — the gate covers every query
+/// entry point, not just `Hello`.
+#[test]
+fn shard_worker_rejects_plain_indices_without_handshake() {
+    use pps_protocol::messages::PlainIndices;
+    use pps_transport::{TcpWire, Wire};
+
+    let server = TcpServer::bind(shard_db(0), "127.0.0.1:0", FoldStrategy::default())
+        .unwrap()
+        .require_shard_handshake();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.serve(Some(1)));
+
+    let mut wire = TcpWire::connect(&addr.to_string()).unwrap();
+    wire.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    wire.send(PlainIndices { indices: vec![0] }.encode().unwrap())
+        .unwrap();
+    // The worker hangs up instead of answering with a raw row value.
+    assert!(
+        wire.recv().is_err(),
+        "an unblinded plaintext probe must get no reply"
+    );
+
+    let stats = server_thread.join().unwrap();
+    assert_eq!(stats.sessions, 0);
+    assert_eq!(stats.failed, 1);
+}
+
+/// Even *after* a valid shard handshake, `PlainIndices` stays refused:
+/// the plaintext baseline never folds the blinding into its reply, so
+/// answering it would read the partition out unblinded regardless.
+#[test]
+fn shard_worker_rejects_plain_indices_even_after_handshake() {
+    use pps_protocol::messages::{PlainIndices, ShardHello};
+    use pps_transport::{TcpWire, Wire};
+
+    let server = TcpServer::bind(shard_db(0), "127.0.0.1:0", FoldStrategy::default())
+        .unwrap()
+        .require_shard_handshake();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.serve(Some(1)));
+
+    let mut wire = TcpWire::connect(&addr.to_string()).unwrap();
+    wire.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    wire.send(
+        ShardHello {
+            shard_index: 0,
+            shard_count: 2,
+            m_bits: 126,
+            seeds_add: vec![vec![7u8; 32]],
+            seeds_sub: vec![],
+        }
+        .encode()
+        .unwrap(),
+    )
+    .unwrap();
+    wire.send(PlainIndices { indices: vec![0] }.encode().unwrap())
+        .unwrap();
+    assert!(
+        wire.recv().is_err(),
+        "a blinded session must still refuse the plaintext baseline"
+    );
+
+    let stats = server_thread.join().unwrap();
+    assert_eq!(stats.sessions, 0);
+    assert_eq!(stats.failed, 1);
+}
+
+/// A worker that claims an absurd partition size at discovery is
+/// refused before its reply can wrap the client's offset arithmetic
+/// and misroute the selection split.
+#[test]
+fn implausible_shard_size_is_a_config_error() {
+    use pps_protocol::messages::SizeReply;
+    use pps_transport::{TcpWire, Wire};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let worker = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut wire = TcpWire::new(stream);
+        let _shard_hello = wire.recv().unwrap();
+        let _size_request = wire.recv().unwrap();
+        wire.send(SizeReply { n: u64::MAX }.encode().unwrap())
+            .unwrap();
+    });
+
+    let mut rng = StdRng::seed_from_u64(74);
+    let client = SumClient::generate(128, &mut rng).unwrap();
+    let err = run_sharded_query(
+        &[addr.to_string()],
+        &client,
+        &[0],
+        &config(RetryPolicy::default()),
+        None,
+        &mut rng,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&err, ProtocolError::Config(msg) if msg.contains("cap")),
+        "expected the size cap to trip, got {err:?}"
+    );
+    worker.join().unwrap();
+}
