@@ -55,6 +55,7 @@ mod modular;
 mod montgomery;
 mod mul;
 mod multiexp;
+mod multiexp_plan;
 mod prime;
 mod rand;
 mod uint;
@@ -64,4 +65,5 @@ pub use crt::{crt_combine, Crt2};
 pub use error::BignumError;
 pub use montgomery::{MontElem, Montgomery};
 pub use mul::KARATSUBA_THRESHOLD;
+pub use multiexp_plan::{FixedExponentPlan, MultiExpPlan};
 pub use uint::{Uint, LIMB_BITS};

@@ -202,10 +202,12 @@ pub const USAGE: &str = "\
 pps — private selected-sum queries over TCP
 
 USAGE:
-  pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K] [--fold incremental|multiexp|parallel]
+  pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K]
+             [--fold incremental|multiexp|parallel|precomputed]
              [--max-concurrent K] [--admission queue|refuse] [--session-timeout SECS] [--shutdown-after SECS]
              [--metrics-addr HOST:PORT] [--resume-ttl SECS] [--resume-capacity K]
-  pps shard-serve  (same flags as serve; serves one horizontal partition as a shard worker)
+  pps shard-serve  (same flags as serve; serves one horizontal partition
+             as a shard worker; --fold defaults to precomputed)
   pps query  --addr ADDR | --shards A1,A2,... --select i,j,k [--key-bits B | --key FILE] [--batch SIZE]
              [--client-threads T|auto] [--retries N] [--trace json|pretty]
   pps multiclient --data FILE | --random N [--k K] [--key-bits B]
@@ -217,6 +219,8 @@ Serve hardening: --max-concurrent caps simultaneously active sessions
 (excess connections queue, or are refused with --admission refuse);
 --session-timeout bounds each session's wall clock (0 disables every
 deadline); --shutdown-after drains and exits gracefully after N seconds.
+--fold precomputed digit-decomposes every database row once (~8 bytes
+per row) into a plan shared by all sessions, shard legs, and resumes.
 Serve telemetry: --metrics-addr exposes GET /metrics (Prometheus text
 format: session lifecycle counters, wire bytes, per-phase latency
 histograms) and GET /healthz (JSON) while the server runs.
@@ -282,9 +286,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 )));
             }
             let fold = match get("fold").as_deref() {
+                // A shard worker serves one fixed partition for its
+                // whole lifetime, so the per-database plan always
+                // amortizes: precomputed is its default.
+                None if sub == "shard-serve" => FoldStrategy::Precomputed,
                 None | Some("incremental") => FoldStrategy::Incremental,
                 Some("multiexp") => FoldStrategy::MultiExp,
                 Some("parallel") => FoldStrategy::ParallelMultiExp,
+                Some("precomputed") => FoldStrategy::Precomputed,
                 Some(other) => {
                     return Err(CliError::usage(format!("unknown fold strategy {other}")))
                 }
@@ -1099,6 +1108,16 @@ mod tests {
             Command::Serve { fold, .. } => assert_eq!(fold, FoldStrategy::ParallelMultiExp),
             other => panic!("{other:?}"),
         }
+        match parse_args(&args("serve --random 8 --fold precomputed")).unwrap() {
+            Command::Serve { fold, .. } => assert_eq!(fold, FoldStrategy::Precomputed),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("serve --random 8")).unwrap() {
+            Command::Serve { fold, .. } => {
+                assert_eq!(fold, FoldStrategy::Incremental, "serve default unchanged")
+            }
+            other => panic!("{other:?}"),
+        }
         assert!(parse_args(&args("serve")).is_err(), "needs a data source");
         assert!(
             parse_args(&args("serve --data f --random 5")).is_err(),
@@ -1241,6 +1260,17 @@ mod tests {
             Command::Serve { shard, fold, .. } => {
                 assert!(shard, "shard-serve sets the worker flag");
                 assert_eq!(fold, FoldStrategy::MultiExp, "shares serve's flags");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("shard-serve --random 16")).unwrap() {
+            Command::Serve { shard, fold, .. } => {
+                assert!(shard);
+                assert_eq!(
+                    fold,
+                    FoldStrategy::Precomputed,
+                    "shard workers default to the precomputed plan"
+                );
             }
             other => panic!("{other:?}"),
         }

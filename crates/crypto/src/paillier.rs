@@ -18,7 +18,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use pps_bignum::{Crt2, Montgomery, Uint};
+use pps_bignum::{Crt2, FixedExponentPlan, Montgomery, MultiExpPlan, Uint};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -74,6 +74,10 @@ struct PublicInner {
     mont: Montgomery,
     /// `N/2`, cached for signed decoding.
     half_n: Uint,
+    /// The window recoding of the fixed exponent `N`, paid once per key
+    /// and reused by every `r^N` randomizer sampling (and so by every
+    /// pool fill) instead of re-scanning `N`'s bits per call.
+    n_plan: FixedExponentPlan,
 }
 
 /// A Paillier ciphertext: an element of `Z*_{N²}`.
@@ -172,12 +176,14 @@ impl PaillierKeypair {
         let mont = Montgomery::new(n_squared.clone())
             .map_err(|e| CryptoError::KeyGeneration(e.to_string()))?;
         let half_n = n.shr(1);
+        let n_plan = FixedExponentPlan::new(&n);
         let public = PaillierPublicKey {
             inner: Arc::new(PublicInner {
                 n: n.clone(),
                 n_squared,
                 mont,
                 half_n,
+                n_plan,
             }),
         };
 
@@ -256,12 +262,14 @@ impl PaillierPublicKey {
         let mont = Montgomery::new(n_squared.clone())
             .map_err(|_| CryptoError::Decode("modulus not usable"))?;
         let half_n = n.shr(1);
+        let n_plan = FixedExponentPlan::new(&n);
         Ok(PaillierPublicKey {
             inner: Arc::new(PublicInner {
                 n,
                 n_squared,
                 mont,
                 half_n,
+                n_plan,
             }),
         })
     }
@@ -297,10 +305,12 @@ impl PaillierPublicKey {
 
     /// Draws a fresh encryption randomizer `r ∈ Z*_N` and returns
     /// `r^N mod N²` — the expensive half of an encryption, reusable for
-    /// offline precomputation.
+    /// offline precomputation. The fixed exponent `N` is recoded once
+    /// per key ([`pps_bignum::FixedExponentPlan`]), so each call pays
+    /// only the per-base work.
     pub fn sample_randomizer(&self, rng: &mut dyn RngCore) -> Result<Uint, CryptoError> {
         let r = Uint::random_coprime(rng, &self.inner.n)?;
-        Ok(self.inner.mont.pow(&r, &self.inner.n)?)
+        Ok(self.inner.n_plan.pow(&self.inner.mont, &r))
     }
 
     /// Encrypts `m ∈ [0, N)` with fresh randomness.
@@ -355,13 +365,21 @@ impl PaillierPublicKey {
     /// Encrypts a slice of plaintexts across up to `threads` scoped
     /// worker threads, preserving input order.
     ///
-    /// The slice is split into per-worker contiguous chunks; each worker
-    /// encrypts its chunk with an independent CSPRNG stream derived
-    /// deterministically from `rng` (see the module's stream-splitting
-    /// helper), so for a fixed caller RNG state and thread count the
-    /// output is reproducible. Workers share this key's Montgomery
-    /// context for `N²` read-only (`Montgomery` is `Sync`; see the
-    /// compile-time audit in `pps_bignum::montgomery`).
+    /// The slice is split into contiguous chunks — the chunk layout and
+    /// per-chunk CSPRNG streams are a pure function of `(ms.len(),
+    /// threads)` and the caller's RNG state (see the module's
+    /// stream-splitting helper), so for a fixed caller RNG state and
+    /// thread count the output is reproducible **on any host**. Workers
+    /// share this key's Montgomery context for `N²` read-only
+    /// (`Montgomery` is `Sync`; see the compile-time audit in
+    /// `pps_bignum::montgomery`).
+    ///
+    /// The number of OS threads actually spawned is additionally capped
+    /// at [`crate::host_parallelism`] — requesting more threads than
+    /// cores used to *lose* to the sequential path (oversubscribed
+    /// workers fight for the same cores) — with surplus chunks handed to
+    /// the existing workers in order. Because seeds are bound to chunks,
+    /// not threads, this clamp never changes the ciphertext stream.
     ///
     /// `threads <= 1`, or batches too small to amortize thread spawn,
     /// fall back to the sequential path *using the same stream-split
@@ -395,14 +413,14 @@ impl PaillierPublicKey {
         rng: &mut dyn RngCore,
         on_chunk: Option<&(dyn Fn(std::time::Duration) + Sync)>,
     ) -> Result<Vec<Ciphertext>, CryptoError> {
-        let workers = threads
+        let wanted = threads
             .max(1)
             .min(ms.len() / MIN_ENCRYPTIONS_PER_THREAD.max(1))
             .max(1);
-        let chunk = ms.len().div_ceil(workers).max(1);
+        let chunk = ms.len().div_ceil(wanted).max(1);
         // Seeds are drawn per *chunk*, before any spawning, so the
         // ciphertext stream depends only on (rng state, threads), never
-        // on scheduling.
+        // on scheduling or on how many OS threads actually run below.
         let mut streams = split_rng_streams(rng, ms.len().div_ceil(chunk));
         let timed_chunk = |mc: &[Uint], stream: &mut StdRng| {
             let start = std::time::Instant::now();
@@ -412,25 +430,44 @@ impl PaillierPublicKey {
             }
             result
         };
+        // Oversubscription clamp: spawn at most one worker per core;
+        // surplus chunks run on the existing workers, in chunk order.
+        let workers = streams.len().min(crate::parallel::host_parallelism());
         if workers <= 1 {
-            let mut stream_rng = streams.pop().unwrap_or_else(|| StdRng::from_seed([0; 32]));
-            return timed_chunk(ms, &mut stream_rng);
+            let mut out = Vec::with_capacity(ms.len());
+            for (mc, stream) in ms.chunks(chunk).zip(streams.iter_mut()) {
+                out.extend(timed_chunk(mc, stream)?);
+            }
+            return Ok(out);
         }
         let timed_chunk = &timed_chunk;
-        let chunk_results: Vec<Result<Vec<Ciphertext>, CryptoError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = ms
-                .chunks(chunk)
-                .zip(streams.iter_mut())
-                .map(|(mc, stream)| s.spawn(move || timed_chunk(mc, stream)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("encryption worker panicked"))
-                .collect()
-        });
+        let chunk_slices: Vec<&[Uint]> = ms.chunks(chunk).collect();
+        let per_worker = chunk_slices.len().div_ceil(workers);
+        let group_results: Vec<Result<Vec<Vec<Ciphertext>>, CryptoError>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunk_slices
+                    .chunks(per_worker)
+                    .zip(streams.chunks_mut(per_worker))
+                    .map(|(group, group_streams)| {
+                        s.spawn(move || {
+                            group
+                                .iter()
+                                .zip(group_streams.iter_mut())
+                                .map(|(mc, stream)| timed_chunk(mc, stream))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("encryption worker panicked"))
+                    .collect()
+            });
         let mut out = Vec::with_capacity(ms.len());
-        for r in chunk_results {
-            out.extend(r?);
+        for group in group_results {
+            for chunk_cts in group? {
+                out.extend(chunk_cts);
+            }
         }
         Ok(out)
     }
@@ -449,29 +486,45 @@ impl PaillierPublicKey {
         threads: usize,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<Uint>, CryptoError> {
-        let workers = threads
+        let wanted = threads
             .max(1)
             .min(count / MIN_ENCRYPTIONS_PER_THREAD.max(1))
             .max(1);
-        let chunk = count.div_ceil(workers).max(1);
+        let chunk = count.div_ceil(wanted).max(1);
         let mut streams = split_rng_streams(rng, count.div_ceil(chunk));
         let sample_chunk = |len: usize, stream: &mut StdRng| -> Result<Vec<Uint>, CryptoError> {
             (0..len).map(|_| self.sample_randomizer(stream)).collect()
         };
-        if workers <= 1 {
-            let mut stream_rng = streams.pop().unwrap_or_else(|| StdRng::from_seed([0; 32]));
-            return sample_chunk(count, &mut stream_rng);
-        }
         let mut lens = vec![chunk; count / chunk];
         if !count.is_multiple_of(chunk) {
             lens.push(count % chunk);
         }
+        // Same oversubscription clamp as `encrypt_batch_parallel`: the
+        // chunk/seed layout above is already fixed, so capping spawned
+        // threads never changes the randomizer stream.
+        let workers = streams.len().min(crate::parallel::host_parallelism());
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(count);
+            for (&len, stream) in lens.iter().zip(streams.iter_mut()) {
+                out.extend(sample_chunk(len, stream)?);
+            }
+            return Ok(out);
+        }
         let sample_chunk = &sample_chunk;
-        let chunk_results: Vec<Result<Vec<Uint>, CryptoError>> = std::thread::scope(|s| {
+        let per_worker = lens.len().div_ceil(workers);
+        let group_results: Vec<Result<Vec<Vec<Uint>>, CryptoError>> = std::thread::scope(|s| {
             let handles: Vec<_> = lens
-                .iter()
-                .zip(streams.iter_mut())
-                .map(|(&len, stream)| s.spawn(move || sample_chunk(len, stream)))
+                .chunks(per_worker)
+                .zip(streams.chunks_mut(per_worker))
+                .map(|(group, group_streams)| {
+                    s.spawn(move || {
+                        group
+                            .iter()
+                            .zip(group_streams.iter_mut())
+                            .map(|(&len, stream)| sample_chunk(len, stream))
+                            .collect()
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -479,8 +532,10 @@ impl PaillierPublicKey {
                 .collect()
         });
         let mut out = Vec::with_capacity(count);
-        for r in chunk_results {
-            out.extend(r?);
+        for group in group_results {
+            for chunk_rs in group? {
+                out.extend(chunk_rs);
+            }
         }
         Ok(out)
     }
@@ -564,6 +619,51 @@ impl PaillierPublicKey {
         Ok(Ciphertext(
             self.inner.mont.multi_pow_parallel(&bases, weights, threads),
         ))
+    }
+
+    /// The server's batch fold against a precomputed per-database
+    /// [`MultiExpPlan`]: `Π ctsᵢ^{x_{start+i}}` where the plan holds the
+    /// window recoding and Pippenger bucket assignment of every fixed
+    /// database exponent, built once and shared across queries. Decrypts
+    /// to the identical selected sum as
+    /// [`PaillierPublicKey::fold_product`].
+    ///
+    /// # Errors
+    /// Propagates bignum errors — notably when
+    /// `start + cts.len()` exceeds the plan's rows (plan built for a
+    /// different database).
+    pub fn fold_product_planned(
+        &self,
+        cts: &[Ciphertext],
+        plan: &MultiExpPlan,
+        start: usize,
+    ) -> Result<Ciphertext, CryptoError> {
+        let bases: Vec<Uint> = cts.iter().map(|c| c.0.clone()).collect();
+        Ok(Ciphertext(plan.fold_range(
+            &self.inner.mont,
+            &bases,
+            start,
+        )?))
+    }
+
+    /// [`PaillierPublicKey::fold_product_planned`] with a caller-forced
+    /// effective window width instead of the plan's cost-model choice —
+    /// the `fold_precompute` bench uses this for its window sweep.
+    ///
+    /// # Errors
+    /// As [`PaillierPublicKey::fold_product_planned`]; additionally when
+    /// `window_bits` is not a positive multiple of 4 up to 16.
+    pub fn fold_product_planned_with_window(
+        &self,
+        cts: &[Ciphertext],
+        plan: &MultiExpPlan,
+        start: usize,
+        window_bits: usize,
+    ) -> Result<Ciphertext, CryptoError> {
+        let ctx = &self.inner.mont;
+        let bases: Vec<_> = cts.iter().map(|c| ctx.to_mont(&c.0)).collect();
+        let folded = plan.fold_range_mont_with_window(ctx, &bases, start, window_bits)?;
+        Ok(Ciphertext(ctx.from_mont(&folded)))
     }
 
     /// Homomorphic negation: `E(a) ↦ E(N - a) = E(-a mod N)`.
@@ -1002,6 +1102,124 @@ mod tests {
         assert!(PaillierPublicKey::from_modulus(Uint::from_u64(15)).is_err()); // too small
         let even = Uint::one().shl(128);
         assert!(PaillierPublicKey::from_modulus(even).is_err());
+    }
+
+    #[test]
+    fn fold_product_planned_matches_straus() {
+        let kp = small_keypair();
+        let mut r = rng();
+        let exps: Vec<u64> = (0..23).map(|i| (i * 37 + 5) % 997).collect();
+        let cts: Vec<Ciphertext> = (0..23)
+            .map(|i| kp.public.encrypt_u64(i % 2, &mut r).unwrap())
+            .collect();
+        let weights: Vec<Uint> = exps.iter().map(|&x| Uint::from_u64(x)).collect();
+        let plan = MultiExpPlan::build(&exps);
+        let want = kp.public.fold_product(&cts, &weights).unwrap();
+        let got = kp.public.fold_product_planned(&cts, &plan, 0).unwrap();
+        assert_eq!(
+            kp.secret.decrypt(&got).unwrap(),
+            kp.secret.decrypt(&want).unwrap()
+        );
+        // Mid-stream ranges fold the matching exponent rows.
+        let part = kp
+            .public
+            .fold_product_planned(&cts[5..9], &plan, 5)
+            .unwrap();
+        let part_want = kp.public.fold_product(&cts[5..9], &weights[5..9]).unwrap();
+        assert_eq!(
+            kp.secret.decrypt(&part).unwrap(),
+            kp.secret.decrypt(&part_want).unwrap()
+        );
+        // A range beyond the plan is a caller bug, reported not folded.
+        assert!(kp.public.fold_product_planned(&cts, &plan, 1).is_err());
+    }
+
+    #[test]
+    fn oversubscribed_threads_preserve_the_ciphertext_stream() {
+        // The documented invariant: the ciphertext stream is a pure
+        // function of (rng state, threads, batch len). Reconstruct the
+        // expected stream by hand from the same chunk/seed layout and
+        // check the parallel path reproduces it for thread counts far
+        // beyond any host's core count.
+        let kp = small_keypair();
+        let ms: Vec<Uint> = (0..48).map(Uint::from_u64).collect();
+        for threads in [1usize, 2, 7, 64, 1024] {
+            let wanted = threads.max(1).min(ms.len() / 4).max(1);
+            let chunk = ms.len().div_ceil(wanted).max(1);
+            let mut seed_rng = StdRng::seed_from_u64(99);
+            let mut expected = Vec::new();
+            for mc in ms.chunks(chunk) {
+                let mut seed = [0u8; 32];
+                seed_rng.fill_bytes(&mut seed);
+                let mut stream = StdRng::from_seed(seed);
+                expected.extend(kp.public.encrypt_batch(mc, &mut stream).unwrap());
+            }
+            let mut r = StdRng::seed_from_u64(99);
+            let got = kp
+                .public
+                .encrypt_batch_parallel(&ms, threads, &mut r)
+                .unwrap();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_threads_spawn_at_most_host_parallelism_workers() {
+        use std::collections::HashSet;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let kp = small_keypair();
+        let ms: Vec<Uint> = (0..96).map(Uint::from_u64).collect();
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let chunks = AtomicUsize::new(0);
+        let observer = |_d: std::time::Duration| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            chunks.fetch_add(1, Ordering::SeqCst);
+        };
+        let mut r = rng();
+        kp.public
+            .encrypt_batch_parallel_observed(&ms, 1024, &mut r, Some(&observer))
+            .unwrap();
+        // 1024 requested threads clamp to 24 chunks (96 / 4): the chunk
+        // layout — and so the seeded stream — survives the worker clamp.
+        assert_eq!(chunks.load(Ordering::SeqCst), 24);
+        let distinct = ids.lock().unwrap().len();
+        assert!(
+            distinct <= crate::parallel::host_parallelism().max(1),
+            "spawned {distinct} workers on a {}-way host",
+            crate::parallel::host_parallelism()
+        );
+    }
+
+    #[test]
+    fn oversubscribed_parallel_not_slower_than_sequential_beyond_noise() {
+        // The satellite bug: requesting threads > host_parallelism used
+        // to spawn one OS thread per chunk, all fighting for the same
+        // cores, and lost to the plain sequential path
+        // (BENCH_client_encrypt.json recorded 0.845× at n=100k on one
+        // core). With the clamp the oversubscribed call does the same
+        // work on at most `host_parallelism` threads; allow a generous
+        // noise factor so the assertion stays robust on busy CI hosts.
+        let kp = small_keypair();
+        let ms: Vec<Uint> = (0..64).map(Uint::from_u64).collect();
+        let best =
+            |f: &dyn Fn() -> std::time::Duration| (0..3).map(|_| f()).min().expect("three runs");
+        let sequential = best(&|| {
+            let mut r = rng();
+            let start = std::time::Instant::now();
+            kp.public.encrypt_batch(&ms, &mut r).unwrap();
+            start.elapsed()
+        });
+        let oversubscribed = best(&|| {
+            let mut r = rng();
+            let start = std::time::Instant::now();
+            kp.public.encrypt_batch_parallel(&ms, 1024, &mut r).unwrap();
+            start.elapsed()
+        });
+        assert!(
+            oversubscribed <= sequential * 2,
+            "oversubscribed parallel path took {oversubscribed:?} vs sequential {sequential:?}"
+        );
     }
 
     #[test]

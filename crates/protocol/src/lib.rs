@@ -77,6 +77,7 @@ mod multiclient;
 mod multidb;
 mod obs;
 mod perturb;
+mod plan;
 mod report;
 pub mod resume;
 mod run;
@@ -94,8 +95,9 @@ pub use multidb::{
     leg_blinding, pair_blinding, run_multidb, run_multidb_blinded, server_blinding, Partition,
     MIN_BLINDING_KEY_BITS,
 };
-pub use obs::{PhaseTotals, QueryObs, ServerObs, ShardObs};
+pub use obs::{FoldPlanObs, PhaseTotals, QueryObs, ServerObs, ShardObs};
 pub use perturb::{flip_probability_for_epsilon, run_randomized_response, PerturbedReport};
+pub use plan::{FoldPlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use report::{RunReport, Variant};
 pub use resume::{ResumptionConfig, SessionTable};
 pub use run::{

@@ -6,8 +6,10 @@
 //! and real concurrent threads over a blocking wire — and records
 //! per-batch compute times for the pipeline analysis of §3.2.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pps_bignum::MultiExpPlan;
 use pps_crypto::{Ciphertext, PaillierPublicKey};
 use pps_transport::{Frame, MAX_PAYLOAD};
 
@@ -94,13 +96,21 @@ pub enum FoldStrategy {
     /// (`Π(partials) = E(Σ partial sums)`). Decrypts identically to the
     /// sequential strategies.
     ParallelMultiExp,
+    /// Fold against a per-database [`MultiExpPlan`]: the window recoding
+    /// and Pippenger bucket assignment of every fixed exponent `x_i` is
+    /// precomputed **once per database** and shared (`Arc`) across all
+    /// sessions, shard workers, and resumed checkpoints, so each batch
+    /// pays ≈ one modular multiplication per base per window plus a
+    /// shared bucket-reduction chain. Decrypts identically to the other
+    /// strategies.
+    Precomputed,
 }
 
 impl FoldStrategy {
     /// Worker threads the strategy will use for one batch.
     pub fn threads(self) -> usize {
         match self {
-            FoldStrategy::Incremental | FoldStrategy::MultiExp => 1,
+            FoldStrategy::Incremental | FoldStrategy::MultiExp | FoldStrategy::Precomputed => 1,
             FoldStrategy::ParallelMultiExp => std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
@@ -115,6 +125,9 @@ pub struct ServerSession<'db> {
     stats: ServerStats,
     /// Batch folding strategy.
     fold: FoldStrategy,
+    /// The shared per-database plan; `Some` iff `fold` is
+    /// [`FoldStrategy::Precomputed`] (enforced by every constructor).
+    plan: Option<Arc<MultiExpPlan>>,
     /// Optional blinding added to the product before replying (the
     /// multi-client protocol, §3.5): `E(R_i)` is multiplied in.
     blinding: Option<pps_bignum::Uint>,
@@ -128,15 +141,55 @@ impl<'db> ServerSession<'db> {
             state: State::AwaitHello,
             stats: ServerStats::default(),
             fold: FoldStrategy::default(),
+            plan: None,
             blinding: None,
         }
     }
 
     /// Creates a session using the given fold strategy.
+    ///
+    /// A [`FoldStrategy::Precomputed`] session built this way recodes
+    /// its own private plan from `db` — convenient for one-shot,
+    /// in-process use. Concurrent runtimes should build the plan once
+    /// and share it via [`ServerSession::with_fold_plan`].
     pub fn with_fold(db: &'db Database, fold: FoldStrategy) -> Self {
         let mut s = Self::new(db);
         s.fold = fold;
+        if fold == FoldStrategy::Precomputed {
+            s.plan = Some(Arc::new(MultiExpPlan::build(db.values())));
+        }
         s
+    }
+
+    /// Creates a [`FoldStrategy::Precomputed`] session that folds
+    /// against an already-built shared plan — the concurrent runtime's
+    /// path, where one plan serves every session over the database.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Config`] when the plan's row count does not
+    /// match `db` (a plan built for a different database would silently
+    /// weight rows wrong).
+    pub fn with_fold_plan(
+        db: &'db Database,
+        plan: Arc<MultiExpPlan>,
+    ) -> Result<Self, ProtocolError> {
+        Self::check_plan(db, &plan)?;
+        let mut s = Self::new(db);
+        s.fold = FoldStrategy::Precomputed;
+        s.plan = Some(plan);
+        Ok(s)
+    }
+
+    /// Rejects plans built for a different database.
+    fn check_plan(db: &Database, plan: &MultiExpPlan) -> Result<(), ProtocolError> {
+        if plan.rows() != db.len() {
+            return Err(ProtocolError::Config(format!(
+                "fold plan covers {} rows for a database of {}",
+                plan.rows(),
+                db.len()
+            )));
+        }
+        Ok(())
     }
 
     /// Creates a session that blinds its product by adding the plaintext
@@ -150,6 +203,12 @@ impl<'db> ServerSession<'db> {
     /// Statistics so far.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The shared per-database plan this session folds with, when the
+    /// strategy is [`FoldStrategy::Precomputed`].
+    pub fn fold_plan(&self) -> Option<&Arc<MultiExpPlan>> {
+        self.plan.as_ref()
     }
 
     /// True once the product has been produced.
@@ -210,6 +269,39 @@ impl<'db> ServerSession<'db> {
         fold: FoldStrategy,
         cp: FoldCheckpoint,
     ) -> Result<Self, ProtocolError> {
+        let plan =
+            (fold == FoldStrategy::Precomputed).then(|| Arc::new(MultiExpPlan::build(db.values())));
+        Self::resume_inner(db, fold, plan, cp)
+    }
+
+    /// As [`ServerSession::resume`] under [`FoldStrategy::Precomputed`],
+    /// reusing an already-built shared plan instead of recoding one —
+    /// so a resumed checkpoint folds with the **same** cached plan as
+    /// every live session over the database.
+    ///
+    /// # Errors
+    /// As [`ServerSession::resume`], plus [`ProtocolError::Config`]
+    /// when the plan does not cover `db`.
+    ///
+    /// The checkpoint itself is strategy-agnostic (it snapshots only
+    /// the homomorphic accumulator and stream position), so resuming a
+    /// checkpoint taken under any other strategy here is sound, and
+    /// vice versa.
+    pub fn resume_with_plan(
+        db: &'db Database,
+        plan: Arc<MultiExpPlan>,
+        cp: FoldCheckpoint,
+    ) -> Result<Self, ProtocolError> {
+        Self::check_plan(db, &plan)?;
+        Self::resume_inner(db, FoldStrategy::Precomputed, Some(plan), cp)
+    }
+
+    fn resume_inner(
+        db: &'db Database,
+        fold: FoldStrategy,
+        plan: Option<Arc<MultiExpPlan>>,
+        cp: FoldCheckpoint,
+    ) -> Result<Self, ProtocolError> {
         if cp.expected as usize != db.len() {
             return Err(ProtocolError::Config(format!(
                 "checkpoint expects {} indices for a database of {}",
@@ -237,6 +329,7 @@ impl<'db> ServerSession<'db> {
             },
             stats: cp.stats,
             fold,
+            plan,
             blinding: cp.blinding,
         })
     }
@@ -426,6 +519,19 @@ impl<'db> ServerSession<'db> {
                 } else {
                     key.fold_product(&batch.ciphertexts, &weights)?
                 };
+                *accumulator = key.add(accumulator, &folded)?;
+                *cursor += batch.ciphertexts.len();
+            }
+            FoldStrategy::Precomputed => {
+                // Bucket fold against the shared per-database plan: the
+                // exponent recoding was paid once at plan build, so the
+                // batch costs ≈ one multiplication per base per window
+                // plus the shared bucket reduction.
+                let plan = self
+                    .plan
+                    .as_ref()
+                    .expect("Precomputed sessions always hold a plan");
+                let folded = key.fold_product_planned(&batch.ciphertexts, plan, *cursor)?;
                 *accumulator = key.add(accumulator, &folded)?;
                 *cursor += batch.ciphertexts.len();
             }
@@ -937,6 +1043,147 @@ mod tests {
             .unwrap();
         assert!(s.is_done());
         assert!(s.checkpoint().is_none(), "done sessions have no remainder");
+    }
+
+    #[test]
+    fn precomputed_fold_matches_incremental() {
+        let (kp, db, mut rng) = setup();
+        let bits = [1u64, 0, 1, 1, 0];
+
+        let mut inc = ServerSession::new(&db);
+        inc.on_frame(&hello(&kp, 5, 5)).unwrap();
+        let r1 = inc
+            .on_frame(&batch_frame(&kp, 0, &bits, &mut rng))
+            .unwrap()
+            .unwrap();
+        let s1 = kp
+            .secret
+            .decrypt(&Product::decode(&r1, &kp.public).unwrap().ciphertext)
+            .unwrap();
+
+        let mut pre = ServerSession::with_fold(&db, FoldStrategy::Precomputed);
+        assert!(
+            pre.fold_plan().is_some(),
+            "Precomputed sessions hold a plan"
+        );
+        pre.on_frame(&hello(&kp, 5, 5)).unwrap();
+        let r2 = pre
+            .on_frame(&batch_frame(&kp, 0, &bits, &mut rng))
+            .unwrap()
+            .unwrap();
+        let s2 = kp
+            .secret
+            .decrypt(&Product::decode(&r2, &kp.public).unwrap().ciphertext)
+            .unwrap();
+
+        assert_eq!(s1, s2);
+        assert_eq!(s1.to_u64(), Some(80));
+    }
+
+    #[test]
+    fn precomputed_fold_with_shared_plan_batched_session() {
+        let (kp, db, mut rng) = setup();
+        let plan = Arc::new(MultiExpPlan::build(db.values()));
+        let mut s = ServerSession::with_fold_plan(&db, Arc::clone(&plan)).unwrap();
+        assert!(
+            Arc::ptr_eq(s.fold_plan().unwrap(), &plan),
+            "the session folds with the caller's shared plan, not a copy"
+        );
+        s.on_frame(&hello(&kp, 5, 2)).unwrap();
+        s.on_frame(&batch_frame(&kp, 0, &[1, 0], &mut rng)).unwrap();
+        s.on_frame(&batch_frame(&kp, 1, &[0, 1], &mut rng)).unwrap();
+        let reply = s
+            .on_frame(&batch_frame(&kp, 2, &[1], &mut rng))
+            .unwrap()
+            .unwrap();
+        let product = Product::decode(&reply, &kp.public).unwrap();
+        // Rows 0, 3, 4 → 10 + 40 + 50.
+        assert_eq!(
+            kp.secret.decrypt(&product.ciphertext).unwrap().to_u64(),
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn with_fold_plan_rejects_mismatched_plan() {
+        let (_, db, _) = setup();
+        let other = MultiExpPlan::build(&[1, 2, 3]);
+        assert!(matches!(
+            ServerSession::with_fold_plan(&db, Arc::new(other)),
+            Err(ProtocolError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn precomputed_checkpoint_resumes_with_the_shared_plan() {
+        let (kp, db, mut rng) = setup();
+        let plan = Arc::new(MultiExpPlan::build(db.values()));
+        let mut s = ServerSession::with_fold_plan(&db, Arc::clone(&plan)).unwrap();
+        s.on_frame(&hello(&kp, 5, 2)).unwrap();
+        s.on_frame(&batch_frame(&kp, 0, &[1, 1], &mut rng)).unwrap();
+        let cp = s.checkpoint().expect("mid-stream checkpoint");
+        drop(s); // the original connection died here
+
+        let mut resumed = ServerSession::resume_with_plan(&db, Arc::clone(&plan), cp).unwrap();
+        assert!(
+            Arc::ptr_eq(resumed.fold_plan().unwrap(), &plan),
+            "resume selects the same cached plan as the live sessions"
+        );
+        resumed
+            .on_frame(&batch_frame(&kp, 1, &[0, 0], &mut rng))
+            .unwrap();
+        let reply = resumed
+            .on_frame(&batch_frame(&kp, 2, &[1], &mut rng))
+            .unwrap()
+            .unwrap();
+        let product = Product::decode(&reply, &kp.public).unwrap();
+        // Rows 0, 1, 4 → 10 + 20 + 50: the pre-disconnect fold survived.
+        assert_eq!(
+            kp.secret.decrypt(&product.ciphertext).unwrap().to_u64(),
+            Some(80)
+        );
+
+        // The plan must actually cover the resumed database.
+        let other = Database::new(vec![1, 2, 3]).unwrap();
+        let mut s = ServerSession::with_fold_plan(&db, Arc::clone(&plan)).unwrap();
+        s.on_frame(&hello(&kp, 5, 2)).unwrap();
+        s.on_frame(&batch_frame(&kp, 0, &[1, 1], &mut rng)).unwrap();
+        let cp = s.checkpoint().unwrap();
+        assert!(ServerSession::resume_with_plan(&other, plan, cp).is_err());
+    }
+
+    #[test]
+    fn cross_strategy_resume_is_correct() {
+        // A checkpoint snapshots only the homomorphic accumulator and
+        // stream position — nothing strategy-specific — so a session
+        // may checkpoint under one strategy and resume under another.
+        let (kp, db, mut rng) = setup();
+        for (first, second) in [
+            (FoldStrategy::Precomputed, FoldStrategy::MultiExp),
+            (FoldStrategy::MultiExp, FoldStrategy::Precomputed),
+            (FoldStrategy::Incremental, FoldStrategy::Precomputed),
+        ] {
+            let mut s = ServerSession::with_fold(&db, first);
+            s.on_frame(&hello(&kp, 5, 2)).unwrap();
+            s.on_frame(&batch_frame(&kp, 0, &[1, 1], &mut rng)).unwrap();
+            let cp = s.checkpoint().unwrap();
+            drop(s);
+
+            let mut resumed = ServerSession::resume(&db, second, cp).unwrap();
+            resumed
+                .on_frame(&batch_frame(&kp, 1, &[0, 0], &mut rng))
+                .unwrap();
+            let reply = resumed
+                .on_frame(&batch_frame(&kp, 2, &[1], &mut rng))
+                .unwrap()
+                .unwrap();
+            let product = Product::decode(&reply, &kp.public).unwrap();
+            assert_eq!(
+                kp.secret.decrypt(&product.ciphertext).unwrap().to_u64(),
+                Some(80),
+                "checkpoint under {first:?} resumed under {second:?}"
+            );
+        }
     }
 
     #[test]

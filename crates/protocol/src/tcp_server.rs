@@ -57,6 +57,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use pps_bignum::MultiExpPlan;
 use pps_transport::{TcpWire, TransportError, Wire, WireMetrics};
 
 use crate::data::Database;
@@ -64,6 +65,7 @@ use crate::error::ProtocolError;
 use crate::messages::{HelloAck, MsgType, Resume, ResumeAck, ShardHello};
 use crate::multidb::leg_blinding;
 use crate::obs::ServerObs;
+use crate::plan::FoldPlanCache;
 use crate::resume::{ResumptionConfig, SessionTable};
 use crate::server::{FoldStrategy, ServerSession, ServerStats};
 
@@ -368,6 +370,7 @@ pub struct TcpServer {
     resumption: SessionTable,
     fault_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
     require_shard: bool,
+    plan_cache: Option<Arc<FoldPlanCache>>,
 }
 
 impl TcpServer {
@@ -392,7 +395,19 @@ impl TcpServer {
             resumption: SessionTable::default(),
             fault_hook: None,
             require_shard: false,
+            plan_cache: None,
         })
+    }
+
+    /// Replaces the fold-plan cache consulted when the strategy is
+    /// [`FoldStrategy::Precomputed`]. By default the process-wide
+    /// [`FoldPlanCache::global`] is used, so every server (and shard
+    /// worker) sharing an `Arc<Database>` also shares one digit table;
+    /// pass a private cache to isolate a server's plan lifetime.
+    #[must_use]
+    pub fn with_fold_plan_cache(mut self, cache: Arc<FoldPlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
     }
 
     /// Marks this server as a shard worker: until a `ShardHello`
@@ -520,6 +535,16 @@ impl TcpServer {
     ) -> AggregateStats {
         let start = Instant::now();
         let checkpoints_evicted_before = self.resumption.evicted();
+        // One shared plan for every session this loop admits (fresh or
+        // resumed): built at most once per database process-wide, via
+        // the configured cache or the global one.
+        let plan = (self.fold == FoldStrategy::Precomputed).then(|| {
+            let cache: &FoldPlanCache = match &self.plan_cache {
+                Some(cache) => cache,
+                None => FoldPlanCache::global(),
+            };
+            cache.get_or_build(&self.db, self.obs.as_ref().map(|o| o.fold_plan()))
+        });
         let agg = Mutex::new(AggregateStats::default());
         // Active-session gate for admission control: count + wakeup.
         let gate = (Mutex::new(0usize), Condvar::new());
@@ -593,6 +618,7 @@ impl TcpServer {
                 let gate = &gate;
                 let db = &*self.db;
                 let fold = self.fold;
+                let plan = plan.as_ref();
                 let limits = &self.limits;
                 let table = &self.resumption;
                 let require_shard = self.require_shard;
@@ -625,6 +651,7 @@ impl TcpServer {
                         drive_connection(
                             db,
                             fold,
+                            plan,
                             stream,
                             limits,
                             wire_metrics,
@@ -742,16 +769,26 @@ struct DriveOutcome {
 /// and `SizeRequest` are accepted until a blinding is installed, and
 /// `PlainIndices` is refused outright — that baseline path never folds
 /// the blinding in — so the worker can never reply unblinded.
+#[allow(clippy::too_many_arguments)]
 fn drive_connection(
     db: &Database,
     fold: FoldStrategy,
+    plan: Option<&Arc<MultiExpPlan>>,
     stream: TcpStream,
     limits: &SessionLimits,
     metrics: Option<WireMetrics>,
     table: &SessionTable,
     require_shard: bool,
 ) -> DriveOutcome {
-    let mut session = ServerSession::with_fold(db, fold);
+    // `plan` is Some exactly when `fold` is Precomputed; it was built
+    // from this very database by the serve loop, so attaching it cannot
+    // fail. Sharing it here (instead of letting `with_fold` build one)
+    // is the whole point: one digit table serves every session.
+    let mut session = match plan {
+        Some(plan) => ServerSession::with_fold_plan(db, Arc::clone(plan))
+            .expect("plan was built from this database"),
+        None => ServerSession::with_fold(db, fold),
+    };
     let mut resumed = false;
     let mut ticket: Option<u64> = None;
     let result = (|| {
@@ -811,9 +848,10 @@ fn drive_connection(
                 // `take` makes the grant exclusive; a checkpoint that
                 // fails validation against this database is discarded,
                 // not granted.
-                let restored = table
-                    .take(req.session_id)
-                    .and_then(|cp| ServerSession::resume(db, fold, cp).ok());
+                let restored = table.take(req.session_id).and_then(|cp| match plan {
+                    Some(plan) => ServerSession::resume_with_plan(db, Arc::clone(plan), cp).ok(),
+                    None => ServerSession::resume(db, fold, cp).ok(),
+                });
                 match restored {
                     Some(restored) => {
                         session = restored;
@@ -1078,6 +1116,42 @@ mod tests {
         let text = registry.render_prometheus();
         assert!(text.contains("pps_sessions_completed_total 1"));
         assert!(text.contains(r#"pps_phase_duration_seconds_count{phase="server_compute"} 1"#));
+    }
+
+    #[test]
+    fn precomputed_server_builds_one_plan_and_reuses_it() {
+        use crate::obs::ServerObs;
+        use pps_obs::Registry;
+
+        let registry = Arc::new(Registry::new());
+        let obs = ServerObs::new(Arc::clone(&registry));
+        let db = Arc::new(Database::new(vec![10, 20, 30, 40]).unwrap());
+        let cache = Arc::new(FoldPlanCache::new(2));
+        let server = TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::Precomputed)
+            .unwrap()
+            .with_fold_plan_cache(Arc::clone(&cache))
+            .with_observability(obs.clone());
+        let addr = server.local_addr().unwrap();
+
+        // Two separate serve loops: the first builds the plan, the
+        // second finds it in the cache.
+        for (round, seed) in [(0u64, 31u64), (1, 32)] {
+            let clients = std::thread::spawn(move || {
+                query(addr, &Selection::from_indices(4, &[1, 3]).unwrap(), seed)
+            });
+            let stats = server.serve(Some(1));
+            assert_eq!(clients.join().unwrap(), 60);
+            assert_eq!(stats.sessions, 1, "round {round}");
+        }
+
+        assert_eq!(obs.fold_plan.builds.get(), 1, "built once, then cached");
+        assert_eq!(obs.fold_plan.hits.get(), 1);
+        assert!(obs.fold_plan.bytes.get() > 0);
+        assert_eq!(obs.fold_plan.build_seconds.count(), 1);
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("pps_fold_plan_builds_total 1"));
+        assert!(text.contains("pps_fold_plan_hits_total 1"));
     }
 
     #[test]
