@@ -30,7 +30,7 @@ use pps_obs::{MetricsServer, Registry};
 use pps_protocol::{
     run_multiclient, run_multidb, run_multidb_blinded, run_sharded_query, run_tcp_query_observed,
     run_tcp_query_with_retry, Admission, Database, FoldStrategy, Partition, QueryObs,
-    ResumptionConfig, RunReport, Selection, ServerObs, SessionEvent, SessionLimits,
+    ResumptionConfig, RunReport, Selection, ServeEngine, ServerObs, SessionEvent, SessionLimits,
     ShardQueryConfig, SumClient, TcpQueryConfig, TcpServer,
 };
 use pps_transport::{LinkProfile, RetryPolicy};
@@ -87,6 +87,11 @@ pub enum Command {
         max_concurrent: Option<usize>,
         /// What to do with connections over the `max_concurrent` cap.
         admission: Admission,
+        /// Which runtime drives accepted connections.
+        engine: ServeEngine,
+        /// Event-engine worker-pool size (None = host parallelism,
+        /// capped at 8). Ignored by the threaded engine.
+        workers: Option<usize>,
         /// Whole-session wall-clock budget in seconds (0 = no limits at
         /// all, None = defaults).
         session_timeout: Option<u64>,
@@ -205,6 +210,7 @@ USAGE:
   pps serve  --data FILE | --random N   [--listen ADDR] [--max-sessions K]
              [--fold incremental|multiexp|parallel|precomputed]
              [--max-concurrent K] [--admission queue|refuse] [--session-timeout SECS] [--shutdown-after SECS]
+             [--engine threaded|event] [--workers W]
              [--metrics-addr HOST:PORT] [--resume-ttl SECS] [--resume-capacity K]
   pps shard-serve  (same flags as serve; serves one horizontal partition
              as a shard worker; --fold defaults to precomputed)
@@ -221,6 +227,10 @@ Serve hardening: --max-concurrent caps simultaneously active sessions
 deadline); --shutdown-after drains and exits gracefully after N seconds.
 --fold precomputed digit-decomposes every database row once (~8 bytes
 per row) into a plan shared by all sessions, shard legs, and resumes.
+--engine event multiplexes every connection over one reactor thread
+plus --workers W protocol-step workers (default: host parallelism,
+capped at 8) instead of one thread per connection; the wire format is
+identical, so clients cannot tell the engines apart.
 Serve telemetry: --metrics-addr exposes GET /metrics (Prometheus text
 format: session lifecycle counters, wire bytes, per-phase latency
 histograms) and GET /healthz (JSON) while the server runs.
@@ -313,6 +323,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     return Err(CliError::usage(format!("unknown admission policy {other}")))
                 }
             };
+            let engine = match get("engine").as_deref() {
+                None | Some("threaded") => ServeEngine::Threaded,
+                Some("event") => ServeEngine::Event,
+                Some(other) => return Err(CliError::usage(format!("unknown engine {other}"))),
+            };
+            let workers = get("workers")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&k| k > 0)
+                        .ok_or_else(|| CliError::usage("bad --workers"))
+                })
+                .transpose()?;
             Ok(Command::Serve {
                 data,
                 random,
@@ -323,6 +346,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 fold,
                 max_concurrent,
                 admission,
+                engine,
+                workers,
                 session_timeout: get("session-timeout")
                     .map(|v| {
                         v.parse()
@@ -525,6 +550,11 @@ pub struct ServeOptions {
     pub max_concurrent: Option<usize>,
     /// Policy for connections arriving over the cap.
     pub admission: Option<Admission>,
+    /// Which runtime drives accepted connections (None = threaded).
+    pub engine: Option<ServeEngine>,
+    /// Event-engine worker-pool size (None = host parallelism, capped
+    /// at 8).
+    pub workers: Option<usize>,
     /// Per-session I/O limits (None = [`SessionLimits::default`]).
     pub limits: Option<SessionLimits>,
     /// Trigger a graceful shutdown after this long.
@@ -571,6 +601,12 @@ pub fn run_server(
     }
     if let Some(max) = opts.max_concurrent {
         server = server.with_admission(max, opts.admission.unwrap_or(Admission::Queue));
+    }
+    if let Some(engine) = opts.engine {
+        server = server.with_engine(engine);
+    }
+    if let Some(workers) = opts.workers {
+        server = server.with_workers(workers);
     }
     if let Some(resumption) = opts.resumption {
         server = server.with_resumption(resumption);
@@ -981,6 +1017,8 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
             fold,
             max_concurrent,
             admission,
+            engine,
+            workers,
             session_timeout,
             shutdown_after,
             metrics_addr,
@@ -1013,6 +1051,8 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
                 max_sessions,
                 max_concurrent,
                 admission: Some(admission),
+                engine: Some(engine),
+                workers,
                 limits,
                 shutdown_after: shutdown_after.map(Duration::from_secs),
                 metrics_addr,
@@ -1096,6 +1136,8 @@ mod tests {
                 fold: FoldStrategy::MultiExp,
                 max_concurrent: None,
                 admission: Admission::Queue,
+                engine: ServeEngine::Threaded,
+                workers: None,
                 session_timeout: None,
                 shutdown_after: None,
                 metrics_addr: None,
@@ -1152,6 +1194,39 @@ mod tests {
         assert!(parse_args(&args("serve --random 8 --admission sometimes")).is_err());
         assert!(parse_args(&args("serve --random 8 --session-timeout x")).is_err());
         assert!(parse_args(&args("serve --random 8 --shutdown-after x")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_engine_flags() {
+        match parse_args(&args("serve --random 8 --engine event --workers 4")).unwrap() {
+            Command::Serve {
+                engine, workers, ..
+            } => {
+                assert_eq!(engine, ServeEngine::Event);
+                assert_eq!(workers, Some(4));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("serve --random 8 --engine threaded")).unwrap() {
+            Command::Serve {
+                engine, workers, ..
+            } => {
+                assert_eq!(engine, ServeEngine::Threaded);
+                assert_eq!(workers, None, "worker pool defaults to host parallelism");
+            }
+            other => panic!("{other:?}"),
+        }
+        // shard-serve takes the same engine flags.
+        match parse_args(&args("shard-serve --random 8 --engine event")).unwrap() {
+            Command::Serve { engine, shard, .. } => {
+                assert_eq!(engine, ServeEngine::Event);
+                assert!(shard);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("serve --random 8 --engine coroutine")).is_err());
+        assert!(parse_args(&args("serve --random 8 --workers 0")).is_err());
+        assert!(parse_args(&args("serve --random 8 --workers x")).is_err());
     }
 
     #[test]

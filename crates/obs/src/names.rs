@@ -47,6 +47,13 @@ pub const SESSIONS_PANICKED_TOTAL: &str = "pps_sessions_panicked_total";
 pub const CHECKPOINTS_EVICTED_TOTAL: &str = "pps_checkpoints_evicted_total";
 /// Sessions currently being served.
 pub const SESSIONS_ACTIVE: &str = "pps_sessions_active";
+/// Connections currently parked in the bounded admission queue.
+pub const SESSIONS_QUEUED: &str = "pps_sessions_queued";
+/// Time connections spent in the admission queue before being admitted,
+/// evicted, or dropped by shutdown.
+pub const QUEUE_WAIT_SECONDS: &str = "pps_queue_wait_seconds";
+/// Event-engine workers currently executing a protocol step.
+pub const WORKERS_BUSY: &str = "pps_workers_busy";
 /// End-to-end duration of completed sessions.
 pub const SESSION_SECONDS: &str = "pps_session_seconds";
 

@@ -72,10 +72,12 @@ mod client;
 mod cost;
 mod data;
 mod error;
+mod flow;
 pub mod messages;
 mod multiclient;
 mod multidb;
 mod obs;
+mod orchestrator;
 mod perturb;
 mod plan;
 mod report;
@@ -114,6 +116,6 @@ pub use tcp_client::{
     TcpQueryConfig, TcpQueryOutcome,
 };
 pub use tcp_server::{
-    Admission, AggregateStats, SessionDeadline, SessionEvent, SessionLimits, ShutdownHandle,
-    TcpServer, MAX_CONSECUTIVE_ACCEPT_ERRORS,
+    Admission, AggregateStats, ServeEngine, SessionDeadline, SessionEvent, SessionLimits,
+    ShutdownHandle, TcpServer, DEFAULT_QUEUE_CAPACITY, MAX_CONSECUTIVE_ACCEPT_ERRORS,
 };

@@ -87,7 +87,10 @@ pub struct ServerObs {
     pub(crate) panicked: Arc<Counter>,
     pub(crate) checkpoints_evicted: Arc<Counter>,
     pub(crate) active: Arc<Gauge>,
+    pub(crate) queued: Arc<Gauge>,
+    pub(crate) workers_busy: Arc<Gauge>,
     pub(crate) session_seconds: Arc<Histogram>,
+    pub(crate) queue_wait_seconds: Arc<Histogram>,
     pub(crate) fold_seconds: Arc<Histogram>,
     pub(crate) server_compute: Arc<Histogram>,
 }
@@ -143,9 +146,21 @@ impl ServerObs {
                 "fold checkpoints dropped by capacity pressure or TTL expiry",
             ),
             active: registry.gauge(names::SESSIONS_ACTIVE, "sessions currently being served"),
+            queued: registry.gauge(
+                names::SESSIONS_QUEUED,
+                "connections parked in the bounded admission queue",
+            ),
+            workers_busy: registry.gauge(
+                names::WORKERS_BUSY,
+                "event-engine workers currently executing a protocol step",
+            ),
             session_seconds: registry.histogram(
                 names::SESSION_SECONDS,
                 "end-to-end duration of completed sessions",
+            ),
+            queue_wait_seconds: registry.histogram(
+                names::QUEUE_WAIT_SECONDS,
+                "time spent in the admission queue before admission or eviction",
             ),
             fold_seconds: registry.histogram(
                 names::FOLD_SECONDS,

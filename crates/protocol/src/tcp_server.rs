@@ -53,7 +53,7 @@
 
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -62,12 +62,11 @@ use pps_transport::{TcpWire, TransportError, Wire, WireMetrics};
 
 use crate::data::Database;
 use crate::error::ProtocolError;
-use crate::messages::{HelloAck, MsgType, Resume, ResumeAck, ShardHello};
-use crate::multidb::leg_blinding;
+use crate::flow::SessionFlow;
 use crate::obs::ServerObs;
 use crate::plan::FoldPlanCache;
 use crate::resume::{ResumptionConfig, SessionTable};
-use crate::server::{FoldStrategy, ServerSession, ServerStats};
+use crate::server::{FoldStrategy, ServerStats};
 
 /// Locks a mutex, recovering from poison. Every value guarded in this
 /// module (aggregate counters, the admission gate count) is valid at
@@ -75,7 +74,7 @@ use crate::server::{FoldStrategy, ServerSession, ServerStats};
 /// always safe — and refusing would let one panicked session wedge
 /// admission and final stats for the whole server (the exact failure
 /// the crash-containment layer exists to prevent).
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
@@ -111,6 +110,12 @@ pub struct AggregateStats {
     pub checkpoints_evicted: u64,
     /// `accept()` failures (no session was ever assigned).
     pub accept_errors: usize,
+    /// Connections that entered the bounded admission queue (whether
+    /// they were later admitted, evicted while waiting, or dropped by
+    /// shutdown).
+    pub queued: usize,
+    /// Highest number of simultaneously admitted sessions observed.
+    pub peak_active: usize,
     /// Index ciphertexts folded across all completed sessions.
     pub folded: usize,
     /// Server compute time summed across completed sessions (exceeds
@@ -140,7 +145,7 @@ impl AggregateStats {
 
 /// Whether a session error is a deadline eviction (the runtime timed
 /// the peer out) rather than a fault of the peer's own making.
-fn is_eviction(error: &ProtocolError) -> bool {
+pub(crate) fn is_eviction(error: &ProtocolError) -> bool {
     matches!(error, ProtocolError::Transport(TransportError::TimedOut))
 }
 
@@ -319,7 +324,7 @@ const ACCEPT_ERROR_BACKOFF_MAX: Duration = Duration::from_secs(1);
 
 /// Exponential accept-error backoff: 50 ms after the first failure,
 /// doubling per consecutive failure, capped at ~1 s.
-fn accept_backoff(consecutive_errors: usize) -> Duration {
+pub(crate) fn accept_backoff(consecutive_errors: usize) -> Duration {
     let doublings = consecutive_errors.saturating_sub(1).min(5) as u32;
     ACCEPT_ERROR_BACKOFF_BASE
         .saturating_mul(1u32 << doublings)
@@ -335,17 +340,26 @@ fn accept_backoff(consecutive_errors: usize) -> Duration {
 #[derive(Clone, Debug)]
 pub struct ShutdownHandle {
     flag: Arc<AtomicBool>,
+    wake: Arc<(Mutex<()>, Condvar)>,
     addr: SocketAddr,
 }
 
 impl ShutdownHandle {
     /// Raises the shutdown flag and pokes the listener awake. The
     /// server finishes draining in-flight sessions before its
-    /// `serve`/`serve_with` call returns.
+    /// `serve`/`serve_with` call returns. Also interrupts an
+    /// accept-error backoff wait, so shutdown is never delayed by the
+    /// up-to-1 s exponential backoff.
     pub fn shutdown(&self) {
         if self.flag.swap(true, Ordering::SeqCst) {
             return; // already raised; one wake-up is enough
         }
+        // Take the wake lock between raising the flag and notifying:
+        // a backoff waiter checks the flag *under this lock*, so it
+        // either sees the flag or is parked when the notify fires —
+        // never the lost-wakeup window in between.
+        drop(lock_recover(&self.wake.0));
+        self.wake.1.notify_all();
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
     }
 
@@ -355,22 +369,58 @@ impl ShutdownHandle {
     }
 }
 
-/// A concurrent selected-sum server: accept loop plus thread-per-session
-/// dispatch over a shared database, with per-session deadlines,
-/// admission control, and graceful shutdown.
+/// Which runtime drives accepted connections (see
+/// [`TcpServer::with_engine`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeEngine {
+    /// One OS thread per connection, blocking I/O (the original
+    /// runtime). Simple and fair, but the concurrency ceiling is the
+    /// thread count.
+    #[default]
+    Threaded,
+    /// Reactor + bounded worker pool: one thread polls every connection
+    /// for readiness and `W` workers execute the protocol steps, so
+    /// thousands of idle-ish sessions cost no threads. Wire bytes are
+    /// identical to the threaded engine (PROTOCOL.md §12).
+    Event,
+}
+
+/// Default bound on the [`Admission::Queue`] admission queue. Beyond
+/// this many waiting connections the server refuses instead — an
+/// unbounded queue just converts overload into unbounded latency.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Connections the admission gate tracks: sessions holding a slot and
+/// connections parked in the bounded queue waiting for one.
+#[derive(Default)]
+struct GateState {
+    active: usize,
+    queued: usize,
+}
+
+/// A concurrent selected-sum server over a shared database, with
+/// per-session deadlines, admission control, and graceful shutdown.
+/// Two interchangeable runtimes drive the same protocol surface: the
+/// default thread-per-connection loop and the event-driven reactor +
+/// worker-pool orchestrator ([`TcpServer::with_engine`]).
 pub struct TcpServer {
-    listener: TcpListener,
-    db: Arc<Database>,
-    fold: FoldStrategy,
-    limits: SessionLimits,
-    max_concurrent: Option<usize>,
-    admission: Admission,
-    shutdown: Arc<AtomicBool>,
-    obs: Option<ServerObs>,
-    resumption: SessionTable,
-    fault_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
-    require_shard: bool,
-    plan_cache: Option<Arc<FoldPlanCache>>,
+    pub(crate) listener: TcpListener,
+    pub(crate) db: Arc<Database>,
+    pub(crate) fold: FoldStrategy,
+    pub(crate) limits: SessionLimits,
+    pub(crate) max_concurrent: Option<usize>,
+    pub(crate) admission: Admission,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) shutdown_wake: Arc<(Mutex<()>, Condvar)>,
+    pub(crate) obs: Option<ServerObs>,
+    pub(crate) resumption: SessionTable,
+    pub(crate) fault_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+    pub(crate) require_shard: bool,
+    pub(crate) plan_cache: Option<Arc<FoldPlanCache>>,
+    pub(crate) engine: ServeEngine,
+    pub(crate) workers: Option<usize>,
+    pub(crate) queue_capacity: usize,
+    pub(crate) fair_share: Option<usize>,
 }
 
 impl TcpServer {
@@ -391,12 +441,57 @@ impl TcpServer {
             max_concurrent: None,
             admission: Admission::Refuse,
             shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown_wake: Arc::new((Mutex::new(()), Condvar::new())),
             obs: None,
             resumption: SessionTable::default(),
             fault_hook: None,
             require_shard: false,
             plan_cache: None,
+            engine: ServeEngine::Threaded,
+            workers: None,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            fair_share: None,
         })
+    }
+
+    /// Selects the runtime that drives accepted connections. The
+    /// default is [`ServeEngine::Threaded`]; [`ServeEngine::Event`]
+    /// multiplexes every connection over a reactor thread plus a
+    /// bounded worker pool (see [`TcpServer::with_workers`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: ServeEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the event engine's worker-pool size (protocol steps execute
+    /// on these threads). Ignored by the threaded engine. The default
+    /// is the host's available parallelism, capped at 8.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Bounds the [`Admission::Queue`] admission queue (default
+    /// [`DEFAULT_QUEUE_CAPACITY`]). Connections arriving when the cap
+    /// *and* the queue are both full are refused with a clean close.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Caps how many protocol steps from the same peer IP may occupy
+    /// event-engine workers at once (default: no cap). With `k` set, a
+    /// single chatty peer can hold at most `k` workers while other
+    /// peers have frames waiting — the rest of the pool stays available
+    /// to them. Ignored by the threaded engine (its fairness is the OS
+    /// scheduler's).
+    #[must_use]
+    pub fn with_peer_fair_share(mut self, jobs: usize) -> Self {
+        self.fair_share = Some(jobs.max(1));
+        self
     }
 
     /// Replaces the fold-plan cache consulted when the strategy is
@@ -503,8 +598,56 @@ impl TcpServer {
         }
         Ok(ShutdownHandle {
             flag: Arc::clone(&self.shutdown),
+            wake: Arc::clone(&self.shutdown_wake),
             addr,
         })
+    }
+
+    /// Builds (or fetches from the cache) the shared fold plan when the
+    /// strategy is [`FoldStrategy::Precomputed`]: one digit table
+    /// serves every session a serve loop admits, fresh or resumed.
+    pub(crate) fn shared_plan(&self) -> Option<Arc<MultiExpPlan>> {
+        (self.fold == FoldStrategy::Precomputed).then(|| {
+            let cache: &FoldPlanCache = match &self.plan_cache {
+                Some(cache) => cache,
+                None => FoldPlanCache::global(),
+            };
+            cache.get_or_build(&self.db, self.obs.as_ref().map(|o| o.fold_plan()))
+        })
+    }
+
+    /// The event engine's worker-pool size: the configured value, or
+    /// the host's available parallelism capped at 8.
+    pub(crate) fn worker_count(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        })
+    }
+
+    /// Sleeps for `backoff` or until shutdown is raised, whichever
+    /// comes first — the accept-error backoff must never delay a
+    /// [`ShutdownHandle::shutdown`] (satellite fix: the old
+    /// `thread::sleep` here ignored the flag for up to ~1 s).
+    pub(crate) fn backoff_wait(&self, backoff: Duration) {
+        let deadline = Instant::now() + backoff;
+        let (lock, cv) = &*self.shutdown_wake;
+        let mut guard = lock_recover(lock);
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (g, _) = cv
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            guard = g;
+        }
     }
 
     /// Serves sessions without observing their lifecycle. See
@@ -515,20 +658,34 @@ impl TcpServer {
 
     /// Accepts connections until `max_sessions` have been accepted
     /// (`None` = forever, or until [`ShutdownHandle::shutdown`]),
-    /// driving each on its own thread against the shared database, then
-    /// waits for every in-flight session to finish and returns the
-    /// aggregate. `on_event` fires from session threads as connections
-    /// arrive and complete.
+    /// driving each against the shared database on the configured
+    /// [`ServeEngine`], then waits for every in-flight session to
+    /// finish and returns the aggregate. `on_event` fires as
+    /// connections arrive and complete (from session threads on the
+    /// threaded engine, from the reactor thread on the event engine).
     ///
     /// A failed session (malformed frames, disconnect, expired
     /// deadline) is counted and reported, never fatal to the server.
-    /// Connections over the concurrency cap are queued or refused per
-    /// the [`Admission`] policy. A failed `accept()` is reported as
-    /// [`SessionEvent::AcceptError`] and retried after an exponential
+    /// Connections over the concurrency cap are queued (in a bounded,
+    /// deadline-aware queue) or refused per the [`Admission`] policy.
+    /// A failed `accept()` is reported as [`SessionEvent::AcceptError`]
+    /// and retried after an exponential, shutdown-interruptible
     /// backoff; [`MAX_CONSECUTIVE_ACCEPT_ERRORS`] failures in a row end
     /// the loop (returning whatever was aggregated) rather than
     /// spinning on a persistently broken listener.
     pub fn serve_with(
+        &self,
+        max_sessions: Option<usize>,
+        on_event: &(dyn Fn(SessionEvent<'_>) + Sync),
+    ) -> AggregateStats {
+        match self.engine {
+            ServeEngine::Threaded => self.serve_threaded(max_sessions, on_event),
+            ServeEngine::Event => crate::orchestrator::serve_event(self, max_sessions, on_event),
+        }
+    }
+
+    /// The thread-per-connection runtime (see [`ServeEngine::Threaded`]).
+    fn serve_threaded(
         &self,
         max_sessions: Option<usize>,
         on_event: &(dyn Fn(SessionEvent<'_>) + Sync),
@@ -538,16 +695,13 @@ impl TcpServer {
         // One shared plan for every session this loop admits (fresh or
         // resumed): built at most once per database process-wide, via
         // the configured cache or the global one.
-        let plan = (self.fold == FoldStrategy::Precomputed).then(|| {
-            let cache: &FoldPlanCache = match &self.plan_cache {
-                Some(cache) => cache,
-                None => FoldPlanCache::global(),
-            };
-            cache.get_or_build(&self.db, self.obs.as_ref().map(|o| o.fold_plan()))
-        });
+        let plan = self.shared_plan();
         let agg = Mutex::new(AggregateStats::default());
-        // Active-session gate for admission control: count + wakeup.
-        let gate = (Mutex::new(0usize), Condvar::new());
+        // Admission gate: slot/queue counts + wakeup for queued waiters.
+        let gate = (Mutex::new(GateState::default()), Condvar::new());
+        // Concurrency high-water mark (gated or not).
+        let active_now = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let mut accepted = 0usize;
             let mut accept_errors = 0usize;
@@ -568,7 +722,10 @@ impl TcpServer {
                         if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
                             break;
                         }
-                        std::thread::sleep(accept_backoff(accept_errors));
+                        self.backoff_wait(accept_backoff(accept_errors));
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
                         continue;
                     }
                 };
@@ -578,63 +735,122 @@ impl TcpServer {
                     drop(stream);
                     break;
                 }
+                // Admission decides *without ever blocking this thread*:
+                // the old Queue path parked the lone accept thread on
+                // the gate condvar, head-of-line-blocking every later
+                // connection. Now a queued connection waits on its own
+                // session thread and the queue itself is bounded.
+                let mut wait_in_queue = false;
                 if let Some(max) = self.max_concurrent {
-                    let mut active = lock_recover(&gate.0);
-                    if *active >= max {
-                        match self.admission {
-                            Admission::Refuse => {
-                                let peer = stream.peer_addr().ok();
-                                drop(active);
-                                drop(stream); // clean close (FIN)
-                                lock_recover(&agg).refused += 1;
-                                if let Some(obs) = &self.obs {
-                                    obs.refused.inc();
-                                }
-                                on_event(SessionEvent::Refused { peer });
-                                continue;
+                    let mut g = lock_recover(&gate.0);
+                    if g.active >= max {
+                        if self.admission == Admission::Refuse || g.queued >= self.queue_capacity {
+                            drop(g);
+                            let peer = stream.peer_addr().ok();
+                            drop(stream); // clean close (FIN)
+                            lock_recover(&agg).refused += 1;
+                            if let Some(obs) = &self.obs {
+                                obs.refused.inc();
                             }
-                            Admission::Queue => {
-                                // Hold the connection; poll the gate so a
-                                // shutdown request still gets through.
-                                while *active >= max && !self.shutdown.load(Ordering::SeqCst) {
-                                    let (g, _timeout) = gate
-                                        .1
-                                        .wait_timeout(active, Duration::from_millis(50))
-                                        .unwrap_or_else(|p| p.into_inner());
-                                    active = g;
-                                }
-                                if self.shutdown.load(Ordering::SeqCst) {
-                                    drop(stream);
-                                    break;
-                                }
-                            }
+                            on_event(SessionEvent::Refused { peer });
+                            continue;
                         }
+                        g.queued += 1;
+                        wait_in_queue = true;
+                    } else {
+                        g.active += 1;
                     }
-                    *active += 1;
                 }
                 accepted += 1;
                 let id = accepted;
+                if wait_in_queue {
+                    lock_recover(&agg).queued += 1;
+                }
                 let agg = &agg;
                 let gate = &gate;
+                let active_now = &active_now;
+                let peak = &peak;
                 let db = &*self.db;
                 let fold = self.fold;
                 let plan = plan.as_ref();
                 let limits = &self.limits;
                 let table = &self.resumption;
                 let require_shard = self.require_shard;
-                let gated = self.max_concurrent.is_some();
+                let max_concurrent = self.max_concurrent;
                 let obs = self.obs.as_ref();
                 let fault_hook = self.fault_hook.clone();
+                let shutdown = &self.shutdown;
+                // The session clock starts at accept: a connection
+                // waiting in the admission queue spends its own
+                // deadline, so a queued slow-loris cannot outlive the
+                // budget an admitted one gets.
+                let deadline = SessionDeadline::new(&self.limits);
                 if let Some(obs) = obs {
                     obs.accepted.inc();
-                    obs.active.add(1);
+                    if wait_in_queue {
+                        obs.queued.add(1);
+                    }
                 }
                 scope.spawn(move || {
+                    // Direct admissions already hold a gate slot taken
+                    // on the accept thread; own it via RAII immediately
+                    // so *every* exit path — including a panicking
+                    // event observer — releases the slot and the active
+                    // gauge exactly once.
+                    let mut slot = if wait_in_queue {
+                        None
+                    } else {
+                        Some(ActiveGuard::new(
+                            obs,
+                            max_concurrent.is_some().then_some(gate),
+                            active_now,
+                            peak,
+                        ))
+                    };
                     on_event(SessionEvent::Accepted {
                         session: id,
                         peer: stream.peer_addr().ok(),
                     });
                     let session_start = Instant::now();
+                    if wait_in_queue {
+                        let max = max_concurrent.expect("queued implies a concurrency cap");
+                        let wait_start = Instant::now();
+                        let outcome = wait_for_slot(gate, max, &deadline, shutdown);
+                        if let Some(obs) = obs {
+                            obs.queued.sub(1);
+                            obs.queue_wait_seconds.record_duration(wait_start.elapsed());
+                        }
+                        match outcome {
+                            QueueOutcome::Admitted => {
+                                slot = Some(ActiveGuard::new(obs, Some(gate), active_now, peak));
+                            }
+                            QueueOutcome::Shutdown => {
+                                // Admission was never granted; the
+                                // connection is turned away cleanly.
+                                lock_recover(agg).refused += 1;
+                                if let Some(obs) = obs {
+                                    obs.refused.inc();
+                                }
+                                on_event(SessionEvent::Refused {
+                                    peer: stream.peer_addr().ok(),
+                                });
+                                return;
+                            }
+                            QueueOutcome::Expired => {
+                                let error = ProtocolError::Transport(TransportError::TimedOut);
+                                lock_recover(agg).evicted += 1;
+                                if let Some(obs) = obs {
+                                    obs.evicted.inc();
+                                }
+                                on_event(SessionEvent::Evicted {
+                                    session: id,
+                                    error: &error,
+                                });
+                                return;
+                            }
+                        }
+                    }
+                    let _slot = slot;
                     // Everything the session does — including the chaos
                     // hook and the span guard — runs inside the panic
                     // boundary, so an unwinding session can only reach
@@ -648,29 +864,23 @@ impl TcpServer {
                             hook(id);
                         }
                         let wire_metrics = obs.map(|o| o.wire.clone());
-                        drive_connection(
-                            db,
-                            fold,
-                            plan,
-                            stream,
-                            limits,
-                            wire_metrics,
-                            table,
-                            require_shard,
-                        )
+                        let mut flow =
+                            SessionFlow::new(db, fold, plan.cloned(), table, require_shard);
+                        let result =
+                            drive_connection(&mut flow, stream, limits, deadline, wire_metrics);
+                        (flow.resumed(), flow.stats().clone(), result)
                     }));
                     match outcome {
-                        Ok(out) => {
-                            if out.resumed {
+                        Ok((resumed, stats, result)) => {
+                            if resumed {
                                 lock_recover(agg).resumed += 1;
                                 if let Some(obs) = obs {
                                     obs.resumed.inc();
                                 }
                                 on_event(SessionEvent::Resumed { session: id });
                             }
-                            match out.result {
+                            match result {
                                 Ok(()) => {
-                                    let stats = &out.stats;
                                     let mut a = lock_recover(agg);
                                     a.sessions += 1;
                                     a.folded += stats.folded;
@@ -695,7 +905,10 @@ impl TcpServer {
                                             stats.compute,
                                         );
                                     }
-                                    on_event(SessionEvent::Finished { session: id, stats });
+                                    on_event(SessionEvent::Finished {
+                                        session: id,
+                                        stats: &stats,
+                                    });
                                 }
                                 Err(e) if is_eviction(&e) => {
                                     lock_recover(agg).evicted += 1;
@@ -727,13 +940,6 @@ impl TcpServer {
                             on_event(SessionEvent::Panicked { session: id });
                         }
                     }
-                    if let Some(obs) = obs {
-                        obs.active.sub(1);
-                    }
-                    if gated {
-                        *lock_recover(&gate.0) -= 1;
-                        gate.1.notify_all();
-                    }
                 });
                 if max_sessions.is_some_and(|m| accepted >= m) {
                     break;
@@ -742,6 +948,7 @@ impl TcpServer {
         });
         let mut stats = agg.into_inner().unwrap_or_else(|p| p.into_inner());
         stats.wall = start.elapsed();
+        stats.peak_active = peak.load(Ordering::SeqCst);
         stats.checkpoints_evicted = self.resumption.evicted() - checkpoints_evicted_before;
         if let Some(obs) = &self.obs {
             obs.checkpoints_evicted.add(stats.checkpoints_evicted);
@@ -750,167 +957,134 @@ impl TcpServer {
     }
 }
 
-/// What one connection's drive produced: whether it continued from a
-/// checkpoint, the session's final statistics, and how it ended.
-struct DriveOutcome {
-    resumed: bool,
-    stats: ServerStats,
-    result: Result<(), ProtocolError>,
+/// Why a queued connection's wait ended.
+enum QueueOutcome {
+    /// A slot freed; the session now holds it.
+    Admitted,
+    /// Shutdown was raised while waiting; admission is never granted.
+    Shutdown,
+    /// The session deadline (running since accept) expired in-queue.
+    Expired,
 }
 
-/// Pumps frames between the wire and the session until the product has
-/// been sent, under the deadlines of `limits`, speaking the resumable
-/// dialect: `Hello` is acknowledged with a session ID, the fold state is
-/// checkpointed into `table` after every acknowledged batch, and a
-/// `Resume` as the first protocol message restores a stored checkpoint.
-/// A `ShardHello` before the session starts installs a §3.5 blinding on
-/// the accumulator (PROTOCOL.md §11); with `require_shard` set, only
-/// `ShardHello`, `Resume` (whose checkpoint carries its own blinding),
-/// and `SizeRequest` are accepted until a blinding is installed, and
-/// `PlainIndices` is refused outright — that baseline path never folds
-/// the blinding in — so the worker can never reply unblinded.
-#[allow(clippy::too_many_arguments)]
+/// Parks a queued session thread until a concurrency slot frees, the
+/// server shuts down, or the session's own deadline (started at accept)
+/// expires. On every outcome the queue count is released; on
+/// [`QueueOutcome::Admitted`] the slot count has been taken.
+fn wait_for_slot(
+    gate: &(Mutex<GateState>, Condvar),
+    max: usize,
+    deadline: &SessionDeadline,
+    shutdown: &AtomicBool,
+) -> QueueOutcome {
+    let mut g = lock_recover(&gate.0);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            g.queued -= 1;
+            return QueueOutcome::Shutdown;
+        }
+        if deadline
+            .expires_at()
+            .is_some_and(|expires| Instant::now() >= expires)
+        {
+            g.queued -= 1;
+            return QueueOutcome::Expired;
+        }
+        if g.active < max {
+            g.active += 1;
+            g.queued -= 1;
+            return QueueOutcome::Admitted;
+        }
+        // Bound each wait so shutdown and deadline stay responsive even
+        // if a notification is missed.
+        let mut wait = Duration::from_millis(50);
+        if let Some(expires) = deadline.expires_at() {
+            wait = wait.min(expires.saturating_duration_since(Instant::now()));
+        }
+        let (next, _) = gate
+            .1
+            .wait_timeout(g, wait.max(Duration::from_millis(1)))
+            .unwrap_or_else(|p| p.into_inner());
+        g = next;
+    }
+}
+
+/// RAII ownership of everything an admitted session holds: the active
+/// gauge, the shared concurrency high-water counter, and (when gated)
+/// its admission slot. Construction takes the gauge/counter; the gate
+/// slot must already be held. Drop releases all of it exactly once, on
+/// every exit path — clean completion, failure, eviction, a panicking
+/// session, or a panicking event observer.
+struct ActiveGuard<'a> {
+    obs: Option<&'a ServerObs>,
+    gate: Option<&'a (Mutex<GateState>, Condvar)>,
+    active_now: &'a AtomicUsize,
+}
+
+impl<'a> ActiveGuard<'a> {
+    fn new(
+        obs: Option<&'a ServerObs>,
+        gate: Option<&'a (Mutex<GateState>, Condvar)>,
+        active_now: &'a AtomicUsize,
+        peak: &'a AtomicUsize,
+    ) -> Self {
+        if let Some(obs) = obs {
+            obs.active.add(1);
+        }
+        let now = active_now.fetch_add(1, Ordering::SeqCst) + 1;
+        peak.fetch_max(now, Ordering::SeqCst);
+        ActiveGuard {
+            obs,
+            gate,
+            active_now,
+        }
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.active_now.fetch_sub(1, Ordering::SeqCst);
+        if let Some(obs) = self.obs {
+            obs.active.sub(1);
+        }
+        if let Some(gate) = self.gate {
+            lock_recover(&gate.0).active -= 1;
+            gate.1.notify_all();
+        }
+    }
+}
+
+/// Pumps frames between the blocking wire and the [`SessionFlow`] until
+/// the product has been sent, under `limits` and the caller's
+/// `deadline` (started at accept, so time spent in the admission queue
+/// counts against the session budget). The protocol surface — resume
+/// tickets, checkpointing, shard gating — lives entirely in the flow;
+/// this function owns only the I/O and the deadlines.
 fn drive_connection(
-    db: &Database,
-    fold: FoldStrategy,
-    plan: Option<&Arc<MultiExpPlan>>,
+    flow: &mut SessionFlow<'_>,
     stream: TcpStream,
     limits: &SessionLimits,
+    deadline: SessionDeadline,
     metrics: Option<WireMetrics>,
-    table: &SessionTable,
-    require_shard: bool,
-) -> DriveOutcome {
-    // `plan` is Some exactly when `fold` is Precomputed; it was built
-    // from this very database by the serve loop, so attaching it cannot
-    // fail. Sharing it here (instead of letting `with_fold` build one)
-    // is the whole point: one digit table serves every session.
-    let mut session = match plan {
-        Some(plan) => ServerSession::with_fold_plan(db, Arc::clone(plan))
-            .expect("plan was built from this database"),
-        None => ServerSession::with_fold(db, fold),
-    };
-    let mut resumed = false;
-    let mut ticket: Option<u64> = None;
-    let result = (|| {
-        let mut wire = TcpWire::new(stream);
-        if let Some(metrics) = metrics {
-            wire.set_metrics(metrics);
-        }
-        wire.set_write_timeout(limits.write_timeout)?;
-        let deadline = SessionDeadline::new(limits);
-        // Two-tier eviction: the per-read socket timeout (re-armed below)
-        // catches silent stalls, while the absolute mid-frame deadline
-        // catches tricklers that feed a byte per interval to reset it.
-        wire.set_recv_deadline(deadline.expires_at());
-        while !session.is_done() {
-            wire.set_read_timeout(deadline.next_read_timeout()?)?;
-            let frame = wire.recv()?;
-            if frame.msg_type == MsgType::ShardHello as u8 {
-                // Shard handshake: derive this worker's correlated
-                // blinding from the pairwise seeds and install it before
-                // the session starts. No reply — the client pipelines
-                // its next message immediately. On a *resume*, the
-                // restored checkpoint's own blinding (the same value —
-                // seeds are per-query) supersedes this fresh session.
-                let sh = ShardHello::decode(&frame)?;
-                let m = pps_bignum::Uint::one().shl(sh.m_bits as usize);
-                let r = leg_blinding(&sh.seeds_add, &sh.seeds_sub, &m)?;
-                session.set_blinding(r)?;
-                continue;
-            }
-            if require_shard {
-                let allowed = match frame.msg_type {
-                    // Always acceptable: the handshake itself, a resume
-                    // (its checkpoint carries the session's blinding),
-                    // and size discovery (reveals only the row count).
-                    t if t == MsgType::ShardHello as u8 => true,
-                    t if t == MsgType::Resume as u8 => true,
-                    t if t == MsgType::SizeRequest as u8 => true,
-                    // Never acceptable: the plaintext baseline replies
-                    // with the raw partition sum and the blinding never
-                    // touches that path — per-index probes would read
-                    // the whole partition out unblinded.
-                    t if t == MsgType::PlainIndices as u8 => false,
-                    // Everything else only once a blinding is installed.
-                    _ => session.has_blinding(),
-                };
-                if !allowed {
-                    return Err(ProtocolError::UnexpectedMessage(
-                        "shard worker accepts only blinded queries",
-                    ));
-                }
-            }
-            if frame.msg_type == MsgType::Resume as u8 {
-                if !session.is_awaiting_hello() {
-                    return Err(ProtocolError::UnexpectedMessage("resume mid-session"));
-                }
-                let req = Resume::decode(&frame)?;
-                // `take` makes the grant exclusive; a checkpoint that
-                // fails validation against this database is discarded,
-                // not granted.
-                let restored = table.take(req.session_id).and_then(|cp| match plan {
-                    Some(plan) => ServerSession::resume_with_plan(db, Arc::clone(plan), cp).ok(),
-                    None => ServerSession::resume(db, fold, cp).ok(),
-                });
-                match restored {
-                    Some(restored) => {
-                        session = restored;
-                        resumed = true;
-                        ticket = Some(req.session_id);
-                        let next_seq = session.next_seq().unwrap_or(0);
-                        // Re-store at once: a disconnect between the
-                        // grant and the next batch must not lose the
-                        // checkpointed work.
-                        if let Some(cp) = session.checkpoint() {
-                            table.store(req.session_id, cp);
-                        }
-                        wire.send(
-                            ResumeAck {
-                                granted: true,
-                                next_seq,
-                            }
-                            .encode()?,
-                        )?;
-                    }
-                    None => {
-                        // Stale / evicted / unknown: the client falls
-                        // back to a fresh Hello on this connection.
-                        wire.send(
-                            ResumeAck {
-                                granted: false,
-                                next_seq: 0,
-                            }
-                            .encode()?,
-                        )?;
-                    }
-                }
-                continue;
-            }
-            let fresh_hello = frame.msg_type == MsgType::Hello as u8 && session.is_awaiting_hello();
-            let reply = session.on_frame(&frame)?;
-            if fresh_hello {
-                let id = table.allocate();
-                ticket = Some(id);
-                wire.send(HelloAck { session_id: id }.encode()?)?;
-            }
-            if let (Some(id), Some(cp)) = (ticket, session.checkpoint()) {
-                table.store(id, cp);
-            }
-            if let Some(reply) = reply {
-                wire.send(reply)?;
-            }
-        }
-        // Clean completion: the checkpoint is spent, not evicted.
-        if let Some(id) = ticket {
-            table.remove(id);
-        }
-        Ok(())
-    })();
-    DriveOutcome {
-        resumed,
-        stats: session.stats().clone(),
-        result,
+) -> Result<(), ProtocolError> {
+    let mut wire = TcpWire::new(stream);
+    if let Some(metrics) = metrics {
+        wire.set_metrics(metrics);
     }
+    wire.set_write_timeout(limits.write_timeout)?;
+    // Two-tier eviction: the per-read socket timeout (re-armed below)
+    // catches silent stalls, while the absolute mid-frame deadline
+    // catches tricklers that feed a byte per interval to reset it.
+    wire.set_recv_deadline(deadline.expires_at());
+    while !flow.is_done() {
+        wire.set_read_timeout(deadline.next_read_timeout()?)?;
+        let frame = wire.recv()?;
+        let step = flow.on_frame(&frame)?;
+        for reply in step.replies {
+            wire.send(reply)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1152,6 +1326,110 @@ mod tests {
         let text = registry.render_prometheus();
         assert!(text.contains("pps_fold_plan_builds_total 1"));
         assert!(text.contains("pps_fold_plan_hits_total 1"));
+    }
+
+    #[test]
+    fn event_engine_serves_sessions_end_to_end() {
+        let db = Arc::new(Database::new(vec![10, 20, 30, 40, 50]).unwrap());
+        let server = TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::MultiExp)
+            .unwrap()
+            .with_engine(ServeEngine::Event)
+            .with_workers(2);
+        let addr = server.local_addr().unwrap();
+
+        let clients = std::thread::spawn(move || {
+            let a = query(addr, &Selection::from_indices(5, &[0, 2]).unwrap(), 41);
+            let b = query(addr, &Selection::from_indices(5, &[4]).unwrap(), 42);
+            (a, b)
+        });
+        let stats = server.serve(Some(2));
+        let (a, b) = clients.join().unwrap();
+        assert_eq!(a, 40, "same answers as the threaded engine");
+        assert_eq!(b, 50);
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.folded, 10);
+        assert!(stats.peak_active >= 1);
+    }
+
+    #[test]
+    fn event_engine_shutdown_stops_unbounded_serve() {
+        let db = Arc::new(Database::new(vec![4, 5, 6]).unwrap());
+        let server = TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::default())
+            .unwrap()
+            .with_engine(ServeEngine::Event);
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+
+        let server_thread = std::thread::spawn(move || server.serve(None));
+        let sum = query(addr, &Selection::from_indices(3, &[0, 2]).unwrap(), 43);
+        assert_eq!(sum, 10);
+        handle.shutdown();
+        let stats = server_thread.join().unwrap();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    /// Satellite regression: the active-session gauge must return to
+    /// zero after a campaign that exercises every exit path — a refused
+    /// connection, an evicted idler, a panicked session (chaos hook),
+    /// and a clean completion. The old runtime incremented the gauge on
+    /// the accept thread before spawning, so early-exit paths could
+    /// leak or underflow it.
+    #[test]
+    fn active_gauge_returns_to_zero_after_mixed_outcomes() {
+        use crate::obs::ServerObs;
+        use pps_obs::Registry;
+        use std::io::Read;
+
+        let registry = Arc::new(Registry::new());
+        let obs = ServerObs::new(Arc::clone(&registry));
+        let db = Arc::new(Database::new(vec![10, 20, 30]).unwrap());
+        let server = TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::default())
+            .unwrap()
+            .with_observability(obs.clone())
+            .with_admission(1, Admission::Refuse)
+            .with_limits(SessionLimits {
+                read_timeout: Some(Duration::from_millis(200)),
+                write_timeout: Some(Duration::from_secs(5)),
+                session_deadline: Some(Duration::from_secs(30)),
+            })
+            // Session 2 hits a server-side bug (contained panic).
+            .with_session_fault_hook(|id| {
+                if id == 2 {
+                    panic!("chaos: session {id}");
+                }
+            });
+        let addr = server.local_addr().unwrap();
+
+        let clients = std::thread::spawn(move || {
+            let wait_eof = |mut s: TcpStream| {
+                let mut buf = [0u8; 16];
+                while matches!(s.read(&mut buf), Ok(n) if n > 0) {}
+            };
+            // Session 1 admitted and idle: holds the only slot.
+            let idler = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+            // Over the cap with Refuse: turned away with a clean close.
+            wait_eof(TcpStream::connect(addr).unwrap());
+            // The idler trips the 200 ms read timeout: evicted.
+            wait_eof(idler);
+            // Session 2: the chaos hook panics it immediately.
+            wait_eof(TcpStream::connect(addr).unwrap());
+            std::thread::sleep(Duration::from_millis(200));
+            // Session 3 completes normally.
+            query(addr, &Selection::from_indices(3, &[0, 1]).unwrap(), 44)
+        });
+        let stats = server.serve(Some(3));
+        assert_eq!(clients.join().unwrap(), 30);
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.refused, 1);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(obs.active.get(), 0, "every exit path released the gauge");
+        assert_eq!(obs.queued.get(), 0);
+        let text = registry.render_prometheus();
+        assert!(text.contains("pps_sessions_active 0"));
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Nonblocking framing for readiness-polled runtimes.
+//!
+//! [`StreamWire`](crate::StreamWire) assumes a *blocking* stream: its
+//! `recv` parks the calling thread until a whole frame arrives, which is
+//! exactly right for thread-per-connection runtimes and exactly wrong
+//! for an event loop multiplexing thousands of sockets on a handful of
+//! threads. [`NonBlockingWire`] is the event-loop counterpart:
+//!
+//! * the socket is switched to nonblocking mode at construction;
+//! * [`NonBlockingWire::poll_recv`] drains whatever bytes the kernel has
+//!   ready into the same incremental [`Frame::decode`] reassembly buffer
+//!   the blocking wire uses (partial frames persist across polls) and
+//!   returns `Ok(None)` instead of blocking when no complete frame is
+//!   available yet;
+//! * sends are split into [`NonBlockingWire::queue`] (encode into a
+//!   pending-write buffer, never touches the socket) and
+//!   [`NonBlockingWire::flush`] (write as much as the socket accepts,
+//!   reporting whether the buffer drained).
+//!
+//! Error classification is shared with the blocking wire — EOF/reset →
+//! [`TransportError::Disconnected`], everything else with its OS message
+//! — except that `WouldBlock` is *not* an error here: it is the normal
+//! "try again next tick" signal and maps to `Ok(None)` / `Ok(false)`.
+//! `Interrupted` (EINTR) is retried, never surfaced, as everywhere else
+//! in this crate.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+use bytes::BytesMut;
+
+use crate::error::TransportError;
+use crate::frame::Frame;
+use crate::obs::WireMetrics;
+use crate::tcp::classify_io;
+use crate::wire::TrafficStats;
+
+/// Most bytes one [`NonBlockingWire::poll_recv`] call will read before
+/// yielding, so a firehose peer cannot monopolize the event loop tick.
+/// A complete frame already in the buffer is still returned.
+const READ_BUDGET_PER_POLL: usize = 1 << 20;
+
+/// A framed, nonblocking wire over a [`TcpStream`], for readiness-polled
+/// event loops: `poll_recv` never blocks, writes are buffered and
+/// flushed incrementally.
+pub struct NonBlockingWire {
+    stream: TcpStream,
+    /// Receive reassembly buffer (partial frames persist across polls).
+    rbuf: BytesMut,
+    /// Encoded-but-unwritten bytes awaiting socket writability.
+    wbuf: BytesMut,
+    stats: TrafficStats,
+    metrics: Option<WireMetrics>,
+}
+
+impl std::fmt::Debug for NonBlockingWire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NonBlockingWire")
+            .field("stream", &self.stream)
+            .field("buffered_read", &self.rbuf.len())
+            .field("pending_write", &self.wbuf.len())
+            .finish()
+    }
+}
+
+impl NonBlockingWire {
+    /// Wraps an accepted stream, switching it to nonblocking mode and
+    /// enabling `TCP_NODELAY` (replies are latency-sensitive and the
+    /// event loop already batches writes).
+    ///
+    /// # Errors
+    /// [`TransportError::Io`] when the socket options cannot be set.
+    pub fn new(stream: TcpStream) -> Result<Self, TransportError> {
+        stream.set_nonblocking(true).map_err(|e| classify_io(&e))?;
+        stream.set_nodelay(true).map_err(|e| classify_io(&e))?;
+        Ok(NonBlockingWire {
+            stream,
+            rbuf: BytesMut::new(),
+            wbuf: BytesMut::new(),
+            stats: TrafficStats::default(),
+            metrics: None,
+        })
+    }
+
+    /// Attaches shared [`WireMetrics`] counters (see
+    /// [`StreamWire::set_metrics`](crate::StreamWire::set_metrics)).
+    pub fn set_metrics(&mut self, metrics: WireMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Shared access to the underlying stream.
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Decodes the next complete frame, reading whatever bytes the
+    /// kernel has ready (up to an internal per-call budget). Returns
+    /// `Ok(None)` when no complete frame is available yet — poll again
+    /// after the next readiness tick.
+    ///
+    /// # Errors
+    /// [`TransportError::Disconnected`] on EOF or a peer-gone error,
+    /// [`TransportError::Malformed`] on framing violations,
+    /// [`TransportError::Io`] otherwise. `WouldBlock` is not an error.
+    pub fn poll_recv(&mut self) -> Result<Option<Frame>, TransportError> {
+        let mut read = 0usize;
+        loop {
+            if let Some(frame) = Frame::decode(&mut self.rbuf)? {
+                self.stats.messages_received += 1;
+                self.stats.payload_bytes_received += frame.payload.len();
+                self.stats.wire_bytes_received += frame.encoded_len();
+                if let Some(metrics) = &self.metrics {
+                    metrics.on_recv(&frame);
+                }
+                return Ok(Some(frame));
+            }
+            if read >= READ_BUDGET_PER_POLL {
+                return Ok(None); // mid-frame; resume next tick
+            }
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => {
+                    read += n;
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(self.note_error(classify_io(&e))),
+            }
+        }
+    }
+
+    /// Encodes `frame` into the pending-write buffer. Nothing touches
+    /// the socket until [`NonBlockingWire::flush`].
+    pub fn queue(&mut self, frame: &Frame) {
+        self.wbuf.extend_from_slice(&frame.encode());
+        self.stats.messages_sent += 1;
+        self.stats.payload_bytes_sent += frame.payload.len();
+        self.stats.wire_bytes_sent += frame.encoded_len();
+        if let Some(metrics) = &self.metrics {
+            metrics.on_send(frame);
+        }
+    }
+
+    /// Writes as much of the pending buffer as the socket accepts.
+    /// Returns `Ok(true)` when the buffer fully drained, `Ok(false)`
+    /// when the socket stopped accepting bytes (try again next tick).
+    ///
+    /// # Errors
+    /// [`TransportError::Disconnected`] / [`TransportError::Io`] on
+    /// write failures (`WouldBlock` is not an error).
+    pub fn flush(&mut self) -> Result<bool, TransportError> {
+        while !self.wbuf.is_empty() {
+            match self.stream.write(&self.wbuf) {
+                Ok(0) => return Err(self.note_error(TransportError::Disconnected)),
+                Ok(n) => {
+                    let _ = self.wbuf.split_to(n);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(self.note_error(classify_io(&e))),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether encoded bytes are still waiting for socket writability.
+    pub fn has_pending_write(&self) -> bool {
+        !self.wbuf.is_empty()
+    }
+
+    /// Bytes currently queued for write.
+    pub fn pending_write_len(&self) -> usize {
+        self.wbuf.len()
+    }
+
+    /// Per-connection traffic totals.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats.clone()
+    }
+
+    fn note_error(&self, error: TransportError) -> TransportError {
+        if let Some(metrics) = &self.metrics {
+            metrics.on_error(&error);
+        }
+        error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    fn raw_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    /// Polls until a frame arrives or the deadline passes.
+    fn poll_until(wire: &mut NonBlockingWire, timeout: Duration) -> Frame {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(f) = wire.poll_recv().unwrap() {
+                return f;
+            }
+            assert!(std::time::Instant::now() < deadline, "no frame in time");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn empty_socket_polls_none_not_error() {
+        let (_client, server) = raw_pair();
+        let mut wire = NonBlockingWire::new(server).unwrap();
+        assert_eq!(wire.poll_recv().unwrap(), None);
+        assert_eq!(wire.poll_recv().unwrap(), None, "polling is idempotent");
+    }
+
+    #[test]
+    fn partial_frame_reassembles_across_polls() {
+        let (mut client, server) = raw_pair();
+        let mut wire = NonBlockingWire::new(server).unwrap();
+        let frame = Frame::new(9, vec![7u8; 64]).unwrap();
+        let encoded = frame.encode();
+        client.write_all(&encoded[..10]).unwrap();
+        client.flush().unwrap();
+        // Give the kernel a moment to deliver, then poll: header bytes
+        // alone must not produce a frame, and must not be lost.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(wire.poll_recv().unwrap(), None);
+        client.write_all(&encoded[10..]).unwrap();
+        assert_eq!(poll_until(&mut wire, Duration::from_secs(2)), frame);
+    }
+
+    #[test]
+    fn back_to_back_frames_come_out_one_per_poll() {
+        let (mut client, server) = raw_pair();
+        let mut wire = NonBlockingWire::new(server).unwrap();
+        let mut blob = Vec::new();
+        for i in 0..5u8 {
+            blob.extend_from_slice(&Frame::new(i, vec![i; i as usize]).unwrap().encode());
+        }
+        client.write_all(&blob).unwrap();
+        for i in 0..5u8 {
+            let f = poll_until(&mut wire, Duration::from_secs(2));
+            assert_eq!(f.msg_type, i);
+            assert_eq!(f.payload.len(), i as usize);
+        }
+        assert_eq!(wire.poll_recv().unwrap(), None);
+        assert_eq!(wire.stats().messages_received, 5);
+    }
+
+    #[test]
+    fn disconnect_surfaces_after_buffered_frames() {
+        let (mut client, server) = raw_pair();
+        let mut wire = NonBlockingWire::new(server).unwrap();
+        client
+            .write_all(&Frame::new(3, vec![1, 2]).unwrap().encode())
+            .unwrap();
+        drop(client);
+        assert_eq!(
+            poll_until(&mut wire, Duration::from_secs(2)).msg_type,
+            3,
+            "buffered frame still delivered"
+        );
+        // EOF may race the last poll; keep polling briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match wire.poll_recv() {
+                Err(TransportError::Disconnected) => break,
+                Ok(None) => {
+                    assert!(std::time::Instant::now() < deadline);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                other => panic!("expected disconnect, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn queue_buffers_and_flush_delivers() {
+        let (client, server) = raw_pair();
+        let mut wire = NonBlockingWire::new(server).unwrap();
+        let frame = Frame::new(4, vec![9u8; 300]).unwrap();
+        wire.queue(&frame);
+        assert!(wire.has_pending_write());
+        assert_eq!(wire.pending_write_len(), frame.encoded_len());
+        assert!(wire.flush().unwrap());
+        assert!(!wire.has_pending_write());
+        let mut peer = crate::StreamWire::new(client);
+        use crate::wire::Wire as _;
+        assert_eq!(peer.recv().unwrap(), frame);
+        assert_eq!(wire.stats().messages_sent, 1);
+    }
+
+    #[test]
+    fn flush_survives_backpressure() {
+        // Fill the socket until WouldBlock, then drain from the peer and
+        // verify every byte arrives in order.
+        let (client, server) = raw_pair();
+        let mut wire = NonBlockingWire::new(server).unwrap();
+        let frame = Frame::new(1, vec![0xAB; 1 << 20]).unwrap(); // 1 MiB
+        wire.queue(&frame);
+        // First flush may or may not complete depending on kernel buffer
+        // sizes; keep flushing while a reader drains.
+        let reader = std::thread::spawn(move || {
+            let mut peer = crate::StreamWire::new(client);
+            use crate::wire::Wire as _;
+            peer.recv().unwrap()
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !wire.flush().unwrap() {
+            assert!(std::time::Instant::now() < deadline, "flush never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(reader.join().unwrap(), frame);
+    }
+}

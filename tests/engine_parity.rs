@@ -1,0 +1,309 @@
+//! Engine parity: every externally observable behaviour of the server
+//! runtime — eviction, queued admission, graceful shutdown, resume,
+//! and bounded-queue refusal — must be identical whether sessions run
+//! on the thread-per-connection engine or the event-driven orchestrator.
+//! Each scenario below runs verbatim against both [`ServeEngine`]s.
+//!
+//! The head-of-line test is the acceptance proof for the admission
+//! bugfix: with a one-slot server and a full bounded queue, a fourth
+//! connection must be *refused promptly* while earlier clients are
+//! still waiting — the old accept loop parked itself inside the
+//! admission wait and could not even accept the fourth socket until
+//! the slot-holder finished.
+
+use std::io::{Read as IoRead, Write as IoWrite};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pps_protocol::{
+    run_stream_query_with_resume, run_tcp_query_with_retry, Admission, Database, FoldStrategy,
+    ProtocolError, ServeEngine, SessionEvent, SessionLimits, SumClient, TcpQueryConfig,
+    TcpQueryOutcome, TcpServer,
+};
+use pps_transport::{
+    Fault, FaultSchedule, FaultyStream, RetryPolicy, StreamWire, TransportError, FRAME_MAGIC,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ENGINES: [ServeEngine; 2] = [ServeEngine::Threaded, ServeEngine::Event];
+
+fn db4() -> Arc<Database> {
+    Arc::new(Database::new(vec![10, 20, 30, 40]).unwrap())
+}
+
+/// Runs one healthy query and returns the sum.
+fn healthy_query(addr: SocketAddr, select: &[usize], seed: u64) -> u128 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client = SumClient::generate(128, &mut rng).unwrap();
+    let out = run_tcp_query_with_retry(
+        &addr.to_string(),
+        &client,
+        select,
+        &TcpQueryConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    out.sum
+}
+
+#[test]
+fn slow_loris_is_evicted_on_both_engines() {
+    for engine in ENGINES {
+        let server = TcpServer::bind(db4(), "127.0.0.1:0", FoldStrategy::Incremental)
+            .unwrap()
+            .with_engine(engine)
+            .with_workers(2)
+            .with_limits(SessionLimits {
+                read_timeout: Some(Duration::from_millis(250)),
+                write_timeout: Some(Duration::from_secs(2)),
+                session_deadline: Some(Duration::from_millis(400)),
+            });
+        let addr = server.local_addr().unwrap();
+
+        let staller = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_nodelay(true).unwrap();
+            let mut header = FRAME_MAGIC.to_be_bytes().to_vec();
+            header.push(1);
+            header.extend_from_slice(&64u32.to_be_bytes());
+            s.write_all(&header).unwrap();
+            for _ in 0..200 {
+                std::thread::sleep(Duration::from_millis(30));
+                if s.write_all(&[0]).is_err() {
+                    break;
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let healthy = std::thread::spawn(move || healthy_query(addr, &[1, 3], 9));
+
+        let evictions = Mutex::new(Vec::new());
+        let start = Instant::now();
+        let stats = server.serve_with(Some(2), &|event| {
+            if let SessionEvent::Evicted { error, .. } = event {
+                evictions.lock().unwrap().push(error.to_string());
+            }
+        });
+        let served_in = start.elapsed();
+
+        assert_eq!(healthy.join().unwrap(), 60, "{engine:?}: healthy client");
+        assert_eq!(stats.sessions, 1, "{engine:?}: one completed session");
+        assert_eq!(stats.evicted, 1, "{engine:?}: staller evicted");
+        assert_eq!(stats.failed, 0, "{engine:?}: eviction is not a failure");
+        let evictions = evictions.into_inner().unwrap();
+        assert!(
+            evictions.iter().any(|m| m.contains("timed out")),
+            "{engine:?}: eviction surfaced as a timeout: {evictions:?}"
+        );
+        assert!(
+            served_in < Duration::from_secs(5),
+            "{engine:?}: eviction prompt ({served_in:?})"
+        );
+        staller.join().unwrap();
+    }
+}
+
+#[test]
+fn queued_admission_serves_every_client_on_both_engines() {
+    for engine in ENGINES {
+        let server = TcpServer::bind(db4(), "127.0.0.1:0", FoldStrategy::Incremental)
+            .unwrap()
+            .with_engine(engine)
+            .with_workers(2)
+            .with_admission(2, Admission::Queue);
+        let addr = server.local_addr().unwrap();
+
+        let clients = std::thread::spawn(move || {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..6)
+                    .map(|i| scope.spawn(move || healthy_query(addr, &[0, 3], 40 + i)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+
+        let stats = server.serve(Some(6));
+        let sums = clients.join().unwrap();
+        assert_eq!(sums, vec![50u128; 6], "{engine:?}");
+        assert_eq!(stats.sessions, 6, "{engine:?}");
+        assert_eq!(stats.failed, 0, "{engine:?}");
+        assert_eq!(stats.refused, 0, "{engine:?}");
+        assert!(stats.queued >= 1, "{engine:?}: someone waited in queue");
+    }
+}
+
+#[test]
+fn graceful_shutdown_drains_on_both_engines() {
+    for engine in ENGINES {
+        let server = TcpServer::bind(db4(), "127.0.0.1:0", FoldStrategy::Incremental)
+            .unwrap()
+            .with_engine(engine)
+            .with_workers(2);
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+
+        let server_thread = std::thread::spawn(move || server.serve(None));
+        let sum = healthy_query(addr, &[0, 2], 77);
+        handle.shutdown();
+        let stats = server_thread.join().unwrap();
+
+        assert_eq!(sum, 40, "{engine:?}: query served before shutdown");
+        assert_eq!(stats.sessions, 1, "{engine:?}");
+        assert_eq!(stats.failed, 0, "{engine:?}");
+        // A second shutdown is an idempotent no-op.
+        handle.shutdown();
+    }
+}
+
+/// One query whose `attempt`-th connection gets `schedule(attempt)`
+/// injected under the framing layer (chaos_resume's idiom).
+fn faulty_query(
+    addr: SocketAddr,
+    client: &SumClient,
+    select: &[usize],
+    cfg: &TcpQueryConfig,
+    rng: &mut StdRng,
+    schedule: impl Fn(u32) -> FaultSchedule,
+) -> Result<TcpQueryOutcome, ProtocolError> {
+    let read_timeout = cfg.read_timeout;
+    let mut connect = |attempt: u32| -> Result<StreamWire<FaultyStream<TcpStream>>, ProtocolError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ProtocolError::Transport(TransportError::Io(e.to_string())))?;
+        stream
+            .set_read_timeout(read_timeout)
+            .map_err(|e| ProtocolError::Transport(TransportError::Io(e.to_string())))?;
+        Ok(FaultyStream::wire(stream, schedule(attempt)))
+    };
+    run_stream_query_with_resume(&mut connect, client, select, cfg, rng)
+}
+
+#[test]
+fn resume_after_disconnect_works_on_both_engines() {
+    let n = 24usize;
+    let db = Arc::new(Database::new((0..n as u64).map(|i| i * 7 + 3).collect()).unwrap());
+    let select: Vec<usize> = (0..n).step_by(3).collect();
+    let expected: u128 = select.iter().map(|&i| (i as u128) * 7 + 3).sum();
+
+    for engine in ENGINES {
+        let server = TcpServer::bind(Arc::clone(&db), "127.0.0.1:0", FoldStrategy::Incremental)
+            .unwrap()
+            .with_engine(engine)
+            .with_workers(2);
+        let addr = server.local_addr().unwrap();
+
+        let stats = std::thread::scope(|scope| {
+            let server_thread = scope.spawn(|| server.serve(Some(2)));
+
+            let mut rng = StdRng::seed_from_u64(404);
+            let client = SumClient::generate(128, &mut rng).unwrap();
+            let cfg = TcpQueryConfig {
+                batch_size: 4,
+                client_threads: 1,
+                read_timeout: Some(Duration::from_secs(10)),
+                write_timeout: Some(Duration::from_secs(10)),
+                retry: RetryPolicy {
+                    max_attempts: 4,
+                    base_delay: Duration::from_millis(50),
+                    max_delay: Duration::from_millis(200),
+                },
+            };
+            // Client write ops: 0 = SizeRequest, 1 = Hello, 2.. = batches;
+            // killing at write 4 leaves at least one batch checkpointed.
+            let out = faulty_query(addr, &client, &select, &cfg, &mut rng, |attempt| {
+                if attempt == 1 {
+                    FaultSchedule::new().on_write(4, Fault::Disconnect)
+                } else {
+                    FaultSchedule::new()
+                }
+            })
+            .unwrap();
+            assert_eq!(out.sum, expected, "{engine:?}: resumed sum");
+            assert_eq!(out.retry.attempts, 2, "{engine:?}");
+            assert_eq!(
+                out.resumed_attempts, 1,
+                "{engine:?}: resumed, not re-issued"
+            );
+            server_thread.join().unwrap()
+        });
+
+        assert_eq!(stats.sessions, 1, "{engine:?}: one completed session");
+        assert_eq!(stats.resumed, 1, "{engine:?}: server counted the resume");
+        assert_eq!(stats.failed, 1, "{engine:?}: the killed first leg");
+    }
+}
+
+#[test]
+fn full_queue_refuses_promptly_while_accept_loop_stays_live() {
+    // One slot, Queue admission, queue capacity 2. A staller holds the
+    // slot; two healthy clients fill the queue; a probe connection must
+    // then be refused (EOF) long before the staller releases the slot.
+    // Under the old accept-thread-blocking admission the probe would not
+    // even be accepted until the staller finished.
+    for engine in ENGINES {
+        let server = TcpServer::bind(db4(), "127.0.0.1:0", FoldStrategy::Incremental)
+            .unwrap()
+            .with_engine(engine)
+            .with_workers(2)
+            .with_admission(1, Admission::Queue)
+            .with_queue_capacity(2)
+            .with_limits(SessionLimits {
+                read_timeout: Some(Duration::from_secs(3)),
+                write_timeout: Some(Duration::from_secs(3)),
+                session_deadline: Some(Duration::from_secs(10)),
+            });
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let server_thread = std::thread::spawn(move || server.serve(None));
+
+        let hold_for = Duration::from_millis(1200);
+        let staller = std::thread::spawn(move || {
+            // Holds the single slot by connecting and then going quiet;
+            // closing after `hold_for` frees it (as a failed session).
+            let s = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(hold_for);
+            drop(s);
+        });
+        std::thread::sleep(Duration::from_millis(150));
+
+        // Two clients fill the bounded queue and wait for the slot.
+        let queued: Vec<_> = (0..2)
+            .map(|i| std::thread::spawn(move || healthy_query(addr, &[1, 2], 60 + i)))
+            .collect();
+        std::thread::sleep(Duration::from_millis(250));
+
+        // The probe: with the slot held and the queue full, this
+        // connection must be turned away promptly.
+        let probe = std::thread::spawn(move || {
+            let start = Instant::now();
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut buf = [0u8; 16];
+            let n = s.read(&mut buf).unwrap_or(0);
+            (n, start.elapsed())
+        });
+
+        let (n, refused_in) = probe.join().unwrap();
+        assert_eq!(n, 0, "{engine:?}: refusal is a clean close");
+        assert!(
+            refused_in < Duration::from_millis(600),
+            "{engine:?}: refusal must not wait for the slot-holder \
+             (took {refused_in:?}, slot held for {hold_for:?})"
+        );
+        for (i, h) in queued.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), 50, "{engine:?}: queued client {i}");
+        }
+        staller.join().unwrap();
+        handle.shutdown();
+        let stats = server_thread.join().unwrap();
+
+        assert_eq!(stats.sessions, 2, "{engine:?}: both queued clients served");
+        assert_eq!(stats.refused, 1, "{engine:?}: the probe");
+        assert_eq!(stats.failed, 1, "{engine:?}: the staller's dead session");
+        assert_eq!(stats.queued, 2, "{engine:?}: both clients waited in queue");
+    }
+}
