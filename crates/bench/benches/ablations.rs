@@ -114,6 +114,7 @@ fn ablation_server_fold(c: &mut Criterion) {
         modulus: key.n().clone(),
         total: n as u64,
         batch_size: n as u32,
+        trace: None,
     }
     .encode()
     .unwrap();

@@ -217,7 +217,6 @@ fn main() {
     let json = render_json(
         key_bits,
         threads,
-        host,
         &rows,
         &encrypt_metrics.chunk_seconds.snapshot(),
         &pool_metrics.fill_seconds.snapshot(),
@@ -255,33 +254,34 @@ fn histogram_json(h: &HistogramSnapshot) -> JsonValue {
 }
 
 /// The results file, serialized through the workspace's one JSON writer
-/// (`pps_obs::JsonValue` — the workspace deliberately carries no serde).
+/// (`pps_obs::JsonValue` — the workspace deliberately carries no serde)
+/// and opened with the shared `BENCH_*.json` envelope.
 fn render_json(
     key_bits: usize,
     threads: usize,
-    host: usize,
     rows: &[Row],
     chunks: &HistogramSnapshot,
     fills: &HistogramSnapshot,
     loopback: &JsonValue,
 ) -> String {
-    JsonValue::object()
-        .field("bench", "client_encrypt")
-        .field("key_bits", key_bits)
-        .field("threads", threads)
-        .field("host_parallelism", host)
-        .field(
-            "note",
-            "parallel speedups are meaningful only when host_parallelism >= 2; \
-             on a single-core host the parallel engine falls back to the sequential path",
-        )
-        .field("rows", JsonValue::array(rows.iter().map(row_json)))
-        .field(
-            "histograms",
-            JsonValue::object()
-                .field("encrypt_chunk_seconds", histogram_json(chunks))
-                .field("pool_fill_seconds", histogram_json(fills)),
-        )
-        .field("loopback_report", loopback.clone())
-        .render_pretty()
+    pps_bench::report::envelope(
+        "client_encrypt",
+        JsonValue::object()
+            .field("key_bits", key_bits)
+            .field("threads", threads)
+            .field(
+                "note",
+                "parallel speedups are meaningful only when host_parallelism >= 2; \
+                 on a single-core host the parallel engine falls back to the sequential path",
+            ),
+    )
+    .field("rows", JsonValue::array(rows.iter().map(row_json)))
+    .field(
+        "histograms",
+        JsonValue::object()
+            .field("encrypt_chunk_seconds", histogram_json(chunks))
+            .field("pool_fill_seconds", histogram_json(fills)),
+    )
+    .field("loopback_report", loopback.clone())
+    .render_pretty()
 }

@@ -261,14 +261,14 @@ fn row_json(r: &Row) -> JsonValue {
 /// The results file, serialized through the workspace's one JSON writer
 /// (`pps_obs::JsonValue` — the workspace deliberately carries no serde).
 fn render_json(key_bits: usize, rows: &[Row]) -> String {
-    JsonValue::object()
-        .field("bench", "fold_precompute")
-        .field("key_bits", key_bits)
-        .field(
+    pps_bench::report::envelope(
+        "fold_precompute",
+        JsonValue::object().field("key_bits", key_bits).field(
             "note",
             "every fold is oracle-checked against the plaintext selected sum; \
              plan_build_secs amortizes across all queries a database serves",
-        )
-        .field("rows", JsonValue::array(rows.iter().map(row_json)))
-        .render_pretty()
+        ),
+    )
+    .field("rows", JsonValue::array(rows.iter().map(row_json)))
+    .render_pretty()
 }

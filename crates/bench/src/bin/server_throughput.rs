@@ -221,6 +221,7 @@ fn main() {
         modulus: client.keypair().public.n().clone(),
         total: selection.len() as u64,
         batch_size: selection.len() as u32,
+        trace: None,
     }
     .encode()
     .expect("hello");
@@ -291,38 +292,36 @@ fn render_json(
     workers: Option<usize>,
     rows: &[EngineRow],
 ) -> String {
-    JsonValue::object()
-        .field("bench", "server_throughput")
-        .field("sessions", sessions)
-        .field("concurrency", concurrency)
-        .field("key_bits", key_bits)
-        .field(
-            "workers",
-            workers.map_or_else(|| "auto".to_string(), |w| w.to_string()),
-        )
-        .field(
-            "host_parallelism",
-            std::thread::available_parallelism().map_or(1, |p| p.get()),
-        )
-        .field(
-            "note",
-            "matched load, loopback; every session's product is byte-checked against \
-             a decrypted oracle reply; latency is client-side connect-to-product under load",
-        )
-        .field(
-            "engines",
-            JsonValue::array(rows.iter().map(|r| {
-                JsonValue::object()
-                    .field("engine", r.engine)
-                    .field("wall_secs", r.wall_secs)
-                    .field("sessions_per_sec", r.sessions_per_sec)
-                    .field("p50_ms", r.p50_ms)
-                    .field("p95_ms", r.p95_ms)
-                    .field("p99_ms", r.p99_ms)
-                    .field("peak_active", r.stats.peak_active)
-                    .field("queued", r.stats.queued)
-                    .field("sessions_completed", r.stats.sessions)
-            })),
-        )
-        .render_pretty()
+    pps_bench::report::envelope(
+        "server_throughput",
+        JsonValue::object()
+            .field("sessions", sessions)
+            .field("concurrency", concurrency)
+            .field("key_bits", key_bits)
+            .field(
+                "workers",
+                workers.map_or_else(|| "auto".to_string(), |w| w.to_string()),
+            )
+            .field(
+                "note",
+                "matched load, loopback; every session's product is byte-checked against \
+                 a decrypted oracle reply; latency is client-side connect-to-product under load",
+            ),
+    )
+    .field(
+        "engines",
+        JsonValue::array(rows.iter().map(|r| {
+            JsonValue::object()
+                .field("engine", r.engine)
+                .field("wall_secs", r.wall_secs)
+                .field("sessions_per_sec", r.sessions_per_sec)
+                .field("p50_ms", r.p50_ms)
+                .field("p95_ms", r.p95_ms)
+                .field("p99_ms", r.p99_ms)
+                .field("peak_active", r.stats.peak_active)
+                .field("queued", r.stats.queued)
+                .field("sessions_completed", r.stats.sessions)
+        })),
+    )
+    .render_pretty()
 }

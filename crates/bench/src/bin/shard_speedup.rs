@@ -200,7 +200,7 @@ fn main() {
         );
     }
 
-    let json = render_json(key_bits, n, select.len(), host, baseline, &rows);
+    let json = render_json(key_bits, n, select.len(), baseline, &rows);
     std::fs::write(&out_path, &json).expect("write results");
     println!("\nwrote {out_path}");
 }
@@ -312,34 +312,28 @@ fn row_json(r: &Row, baseline: f64) -> JsonValue {
 
 /// The results file, serialized through the workspace's one JSON writer
 /// (`pps_obs::JsonValue` — the workspace deliberately carries no serde).
-fn render_json(
-    key_bits: usize,
-    n: usize,
-    selected: usize,
-    host: usize,
-    baseline: f64,
-    rows: &[Row],
-) -> String {
-    JsonValue::object()
-        .field("bench", "shard_speedup")
-        .field("key_bits", key_bits)
-        .field("n", n)
-        .field("selected", selected)
-        .field("host_parallelism", host)
-        .field("paper_k3_speedup", PAPER_K3_SPEEDUP)
-        .field("runs_per_k", RUNS_PER_K)
-        .field(
-            "note",
-            "server_compute_speedup divides the k=1 worker's median total \
-             homomorphic fold time by the slowest worker's fold time in the \
-             median run at k — the critical path, since shard legs run \
-             concurrently; every run is oracle-checked before it is recorded. \
-             Rows with degraded_host=true ran with host_parallelism < k and \
-             are not comparable to the paper's multi-core numbers",
-        )
-        .field(
-            "rows",
-            JsonValue::array(rows.iter().map(|r| row_json(r, baseline))),
-        )
-        .render_pretty()
+fn render_json(key_bits: usize, n: usize, selected: usize, baseline: f64, rows: &[Row]) -> String {
+    pps_bench::report::envelope(
+        "shard_speedup",
+        JsonValue::object()
+            .field("key_bits", key_bits)
+            .field("n", n)
+            .field("selected", selected)
+            .field("paper_k3_speedup", PAPER_K3_SPEEDUP)
+            .field("runs_per_k", RUNS_PER_K)
+            .field(
+                "note",
+                "server_compute_speedup divides the k=1 worker's median total \
+                 homomorphic fold time by the slowest worker's fold time in the \
+                 median run at k — the critical path, since shard legs run \
+                 concurrently; every run is oracle-checked before it is recorded. \
+                 Rows with degraded_host=true ran with host_parallelism < k and \
+                 are not comparable to the paper's multi-core numbers",
+            ),
+    )
+    .field(
+        "rows",
+        JsonValue::array(rows.iter().map(|r| row_json(r, baseline))),
+    )
+    .render_pretty()
 }

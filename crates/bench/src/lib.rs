@@ -14,4 +14,5 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod report;
 pub mod table;

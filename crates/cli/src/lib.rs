@@ -22,16 +22,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::net::ToSocketAddrs;
 use std::path::Path;
 use std::time::Duration;
 
 use pps_crypto::{PaillierKeypair, PaillierSecretKey};
-use pps_obs::{MetricsServer, Registry};
+use pps_obs::{names, JsonValue, MetricsServer, Registry, TraceBuffer, TraceContext, Tracer};
 use pps_protocol::{
-    run_multiclient, run_multidb, run_multidb_blinded, run_sharded_query, run_tcp_query_observed,
-    run_tcp_query_with_retry, Admission, Database, FoldStrategy, Partition, QueryObs,
-    ResumptionConfig, RunReport, Selection, ServeEngine, ServerObs, SessionEvent, SessionLimits,
-    ShardQueryConfig, SumClient, TcpQueryConfig, TcpServer,
+    fetch_trace, run_multiclient, run_multidb, run_multidb_blinded, run_sharded_query,
+    run_sharded_query_traced, run_tcp_query_observed, run_tcp_query_with_retry, Admission,
+    Database, FoldStrategy, Partition, QueryObs, ResumptionConfig, RunReport, Selection,
+    ServeEngine, ServerObs, SessionEvent, SessionLimits, ShardQueryConfig, SumClient,
+    TcpQueryConfig, TcpServer, TraceTimeline,
 };
 use pps_transport::{LinkProfile, RetryPolicy};
 use rand::rngs::StdRng;
@@ -108,6 +110,10 @@ pub enum Command {
         /// baselines outright, so every partial this worker returns is
         /// blinded.
         shard: bool,
+        /// Flag sessions whose wall time reaches this many milliseconds
+        /// as slow queries (counter + traced event with the phase
+        /// breakdown).
+        slow_query_ms: Option<u64>,
     },
     /// Issue one private selected-sum query.
     Query {
@@ -151,8 +157,28 @@ pub enum Command {
         /// Key size for the client's ephemeral key.
         key_bits: usize,
     },
+    /// Fetch one trace's records from a server's obs endpoint.
+    TraceDump {
+        /// The server's obs HTTP address (its `--metrics-addr`).
+        obs: String,
+        /// The trace id, as 1–32 hex digits.
+        id: String,
+        /// How to render the fetched records.
+        format: TraceDumpFormat,
+    },
     /// Print usage.
     Help,
+}
+
+/// How `pps trace dump` renders the fetched records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceDumpFormat {
+    /// The raw `GET /trace/<id>` body: one JSON record per line.
+    Jsonl,
+    /// A time-ordered human-readable table.
+    Pretty,
+    /// Chrome trace-event JSON (loadable in Perfetto).
+    Chrome,
 }
 
 /// How `pps query --trace` renders the per-phase timeline.
@@ -184,6 +210,10 @@ pub struct QueryOptions {
     /// Shard worker addresses, in partition order. Non-empty switches
     /// the query to the sharded fan-out engine (`--addr` is ignored).
     pub shards: Vec<String>,
+    /// The shards' obs HTTP addresses, in the same order as `shards`.
+    /// Required for a traced sharded query: the trace assembler fetches
+    /// each leg's server-side spans from here.
+    pub shard_obs: Vec<String>,
 }
 
 impl Default for QueryOptions {
@@ -198,6 +228,7 @@ impl Default for QueryOptions {
             retries: 0,
             trace: None,
             shards: Vec::new(),
+            shard_obs: Vec::new(),
         }
     }
 }
@@ -212,10 +243,13 @@ USAGE:
              [--max-concurrent K] [--admission queue|refuse] [--session-timeout SECS] [--shutdown-after SECS]
              [--engine threaded|event] [--workers W]
              [--metrics-addr HOST:PORT] [--resume-ttl SECS] [--resume-capacity K]
+             [--slow-query-ms MS]
   pps shard-serve  (same flags as serve; serves one horizontal partition
              as a shard worker; --fold defaults to precomputed)
   pps query  --addr ADDR | --shards A1,A2,... --select i,j,k [--key-bits B | --key FILE] [--batch SIZE]
              [--client-threads T|auto] [--retries N] [--trace json|pretty]
+             [--shard-obs O1,O2,...]
+  pps trace dump --obs HOST:PORT --id HEX [--format jsonl|pretty|chrome]
   pps multiclient --data FILE | --random N [--k K] [--key-bits B]
   pps multidb     --data FILE | --random N [--k K] [--blinded] [--key-bits B]
   pps keygen --bits B --out FILE
@@ -241,7 +275,16 @@ Query --retries N resumes from the server's checkpoint when one
 survives, and re-issues the whole query up to N extra times on
 transient transport failures otherwise, with exponential backoff.
 --trace records the paper's four-component phase decomposition of the
-query and prints it as JSON or as a timeline table.
+query and prints it as JSON or as a timeline table. With --shards it
+runs the query *distributed-traced*: a trace id is minted, carried to
+every worker inside the wire handshake, and stamped onto each worker's
+server-side spans; --shard-obs (one obs address per shard, in order)
+lets the client fetch those spans back and merge everything into one
+cross-process timeline. --slow-query-ms flags sessions whose wall time
+crosses the threshold (counter + traced slow_query event carrying the
+phase breakdown); pps trace dump fetches one trace's records from a
+server's obs endpoint (jsonl, pretty table, or Chrome trace-event JSON
+for Perfetto).
 Sharded queries: shard-serve runs a worker that answers only blinded
 partial sums (it rejects clients that skip the §11 shard handshake);
 query --shards fans one query out over the listed workers — --select
@@ -262,7 +305,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut it = args.iter();
     let sub = it.next().map(String::as_str).unwrap_or("help");
     let mut opts: Vec<(String, Option<String>)> = Vec::new();
-    let rest: Vec<&String> = it.collect();
+    let mut rest: Vec<&String> = it.collect();
+    // `trace` takes an action word before its flags (pps trace dump ...).
+    let action = if sub == "trace" && rest.first().is_some_and(|a| !a.starts_with("--")) {
+        Some(rest.remove(0).to_string())
+    } else {
+        None
+    };
     let mut i = 0;
     while i < rest.len() {
         let k = rest[i]
@@ -373,6 +422,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     })
                     .transpose()?,
                 shard: sub == "shard-serve",
+                slow_query_ms: get("slow-query-ms")
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|_| CliError::usage("bad --slow-query-ms"))
+                    })
+                    .transpose()?,
             })
         }
         "query" => {
@@ -433,9 +488,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     return Err(CliError::usage(format!("unknown trace format {other}")))
                 }
             };
-            if trace.is_some() && !shards.is_empty() {
+            let shard_obs: Vec<String> = get("shard-obs")
+                .map(|v| {
+                    v.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                })
+                .unwrap_or_default();
+            if !shard_obs.is_empty() && shard_obs.len() != shards.len() {
+                return Err(CliError::usage(format!(
+                    "--shard-obs lists {} addresses but --shards lists {}",
+                    shard_obs.len(),
+                    shards.len()
+                )));
+            }
+            if trace.is_some() && !shards.is_empty() && shard_obs.is_empty() {
                 return Err(CliError::usage(
-                    "--trace is not supported with --shards (per-leg spans land in the shard registry)",
+                    "a traced sharded query needs --shard-obs (one obs address per shard, \
+                     in shard order) to fetch the workers' spans",
                 ));
             }
             Ok(Command::Query {
@@ -452,6 +523,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .unwrap_or(0),
                     trace,
                     shards,
+                    shard_obs,
                 },
             })
         }
@@ -506,6 +578,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let out = get("out").ok_or_else(|| CliError::usage("keygen needs --out"))?;
             Ok(Command::Keygen { bits, out })
         }
+        "trace" => match action.as_deref() {
+            Some("dump") => {
+                let obs = get("obs").ok_or_else(|| CliError::usage("trace dump needs --obs"))?;
+                let id = get("id").ok_or_else(|| CliError::usage("trace dump needs --id"))?;
+                if TraceContext::parse_trace_id(&id).is_none() {
+                    return Err(CliError::usage(format!("bad --id {id:?}: expect hex")));
+                }
+                let format = match get("format").as_deref() {
+                    None | Some("jsonl") => TraceDumpFormat::Jsonl,
+                    Some("pretty") => TraceDumpFormat::Pretty,
+                    Some("chrome") => TraceDumpFormat::Chrome,
+                    Some(other) => {
+                        return Err(CliError::usage(format!("unknown dump format {other}")))
+                    }
+                };
+                Ok(Command::TraceDump { obs, id, format })
+            }
+            _ => Err(CliError::usage(format!(
+                "trace needs an action (dump)\n{USAGE}"
+            ))),
+        },
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::usage(format!("unknown command {other}\n{USAGE}"))),
     }
@@ -570,6 +663,9 @@ pub struct ServeOptions {
     /// unconditionally), so no partial ever leaves this server
     /// unblinded.
     pub shard_only: bool,
+    /// Flag sessions whose wall time reaches this threshold as slow
+    /// queries (counter + traced `slow_query` event).
+    pub slow_query_threshold: Option<Duration>,
 }
 
 /// Runs the concurrent server: accepts connections and serves one
@@ -614,12 +710,34 @@ pub fn run_server(
     if opts.shard_only {
         server = server.require_shard_handshake();
     }
+    if let Some(threshold) = opts.slow_query_threshold {
+        server = server.with_slow_query_threshold(threshold);
+    }
     let metrics = match opts.metrics_addr.as_deref() {
         Some(addr) => {
             let registry = std::sync::Arc::new(Registry::new());
-            server = server.with_observability(ServerObs::new(std::sync::Arc::clone(&registry)));
+            // Traced sessions record into the trace buffer, which the
+            // metrics endpoint serves back per trace id under
+            // GET /trace/<id>; its overflow counts are scrapeable.
+            let traces = std::sync::Arc::new(TraceBuffer::default().with_counters(
+                registry.counter(
+                    names::TRACE_TRACES_EVICTED_TOTAL,
+                    "whole traces evicted from the trace buffer to admit newer ones",
+                ),
+                registry.counter(
+                    names::TRACE_RECORDS_DROPPED_TOTAL,
+                    "trace records dropped because their trace hit the record cap",
+                ),
+            ));
+            let tracer = Tracer::new(
+                std::sync::Arc::clone(&traces) as std::sync::Arc<dyn pps_obs::Collector>
+            );
+            server = server.with_observability(ServerObs::with_tracer(
+                std::sync::Arc::clone(&registry),
+                tracer,
+            ));
             Some(
-                MetricsServer::start(addr, registry).map_err(|e| {
+                MetricsServer::start_with_traces(addr, registry, traces).map_err(|e| {
                     CliError::runtime(format!("cannot bind metrics on {addr}: {e}"))
                 })?,
             )
@@ -730,6 +848,10 @@ pub struct QueryOutcome {
     /// The phase decomposition, when [`QueryOptions::trace`] asked for
     /// one.
     pub report: Option<RunReport>,
+    /// The distributed trace id, when the query ran traced and sharded.
+    pub trace_id: Option<u128>,
+    /// The merged cross-process timeline of a traced sharded query.
+    pub timeline: Option<TraceTimeline>,
 }
 
 /// Runs one query against a listening server, re-issuing the whole
@@ -773,8 +895,38 @@ pub fn run_query(
             tcp: config,
             value_bound: None,
         };
-        let outcome = run_sharded_query(&opts.shards, &client, select, &config, None, rng)
+        let (outcome, report, trace_id, timeline) = if opts.trace.is_some() {
+            let obs_addrs: Vec<std::net::SocketAddr> = opts
+                .shard_obs
+                .iter()
+                .map(|a| {
+                    a.to_socket_addrs()
+                        .ok()
+                        .and_then(|mut it| it.next())
+                        .ok_or_else(|| CliError::runtime(format!("bad obs address {a}")))
+                })
+                .collect::<Result<_, _>>()?;
+            let traced = run_sharded_query_traced(
+                &opts.shards,
+                &obs_addrs,
+                &client,
+                select,
+                &config,
+                std::sync::Arc::new(Registry::new()),
+                rng,
+            )
             .map_err(|e| CliError::runtime(format!("query failed: {e}")))?;
+            (
+                traced.outcome,
+                Some(traced.report),
+                Some(traced.trace_id),
+                Some(traced.timeline),
+            )
+        } else {
+            let outcome = run_sharded_query(&opts.shards, &client, select, &config, None, rng)
+                .map_err(|e| CliError::runtime(format!("query failed: {e}")))?;
+            (outcome, None, None, None)
+        };
         let attempts = outcome.legs.iter().map(|l| l.attempts).max().unwrap_or(1);
         let bytes = outcome.legs.iter().fold((0, 0), |acc, l| {
             (
@@ -788,7 +940,9 @@ pub fn run_query(
             selected: outcome.selected,
             bytes,
             attempts,
-            report: None,
+            report,
+            trace_id,
+            timeline,
         });
     }
     let (outcome, report) = if opts.trace.is_some() {
@@ -811,7 +965,80 @@ pub fn run_query(
         ),
         attempts: outcome.retry.attempts,
         report,
+        trace_id: None,
+        timeline: None,
     })
+}
+
+/// Renders a traced query's output for one [`TraceFormat`]: the plain
+/// single-server report shape when there is no timeline, or the
+/// sharded `{report, trace_id, timeline}` object / report table plus
+/// cross-process timeline otherwise.
+fn render_traced_output(format: TraceFormat, outcome: &QueryOutcome) -> Option<String> {
+    let report = outcome.report.as_ref()?;
+    Some(match (format, &outcome.timeline) {
+        (TraceFormat::Json, Some(timeline)) => JsonValue::object()
+            .field("report", report.to_json())
+            .field(
+                "trace_id",
+                TraceContext::new(outcome.trace_id.unwrap_or(0), 0).trace_id_hex(),
+            )
+            .field("timeline", timeline.to_json())
+            .render_pretty(),
+        (TraceFormat::Json, None) => report.to_json().render_pretty(),
+        (TraceFormat::Pretty, Some(timeline)) => {
+            format!("{}{}", render_trace(report), timeline.render_pretty())
+        }
+        (TraceFormat::Pretty, None) => render_trace(report),
+    })
+}
+
+/// Fetches one trace from a server's obs endpoint and renders it.
+///
+/// # Errors
+/// [`CliError`] on a bad address, an unreachable endpoint, or an
+/// unknown trace id.
+pub fn run_trace_dump(
+    obs: &str,
+    id: &str,
+    format: TraceDumpFormat,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let addr = obs
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .ok_or_else(|| CliError::runtime(format!("bad obs address {obs}")))?;
+    let trace_id = TraceContext::parse_trace_id(id)
+        .ok_or_else(|| CliError::usage(format!("bad trace id {id:?}")))?;
+    let records = fetch_trace(addr, trace_id)
+        .map_err(|e| CliError::runtime(format!("trace fetch failed: {e}")))?;
+    if records.is_empty() {
+        return Err(CliError::runtime(format!(
+            "trace {id} not found on {obs} (unknown, evicted, or never traced)"
+        )));
+    }
+    match format {
+        TraceDumpFormat::Jsonl => {
+            for record in &records {
+                let json = match record {
+                    pps_obs::Record::Span(s) => s.to_json(),
+                    pps_obs::Record::Event(e) => e.to_json(),
+                };
+                let _ = writeln!(out, "{}", json.render());
+            }
+        }
+        TraceDumpFormat::Pretty => {
+            // A single server's view: every record on one process track.
+            let timeline = TraceTimeline::assemble(trace_id, records, Vec::new());
+            let _ = out.write_all(timeline.render_pretty().as_bytes());
+        }
+        TraceDumpFormat::Chrome => {
+            let timeline = TraceTimeline::assemble(trace_id, records, Vec::new());
+            let _ = out.write_all(timeline.to_chrome_trace().render_pretty().as_bytes());
+        }
+    }
+    Ok(())
 }
 
 /// Renders a traced query's phase decomposition as an aligned table
@@ -1025,6 +1252,7 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
             resume_ttl,
             resume_capacity,
             shard,
+            slow_query_ms,
         } => {
             let values = resolve_values(data, random)?;
             let limits = session_timeout.map(|secs| {
@@ -1058,6 +1286,7 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
                 metrics_addr,
                 resumption,
                 shard_only: shard,
+                slow_query_threshold: slow_query_ms.map(Duration::from_millis),
             };
             run_server(values, &listen, fold, &opts, out)
         }
@@ -1082,17 +1311,12 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
             let mut rng = StdRng::from_entropy();
             run_multidb_sim(values, k, blinded, key_bits, &mut rng, out)
         }
+        Command::TraceDump { obs, id, format } => run_trace_dump(&obs, &id, format, out),
         Command::Query { addr, select, opts } => {
             let mut rng = StdRng::from_entropy();
             let outcome = run_query(&addr, &select, &opts, &mut rng)?;
-            match (opts.trace, &outcome.report) {
-                (Some(TraceFormat::Json), Some(report)) => {
-                    let _ = out.write_all(report.to_json().render_pretty().as_bytes());
-                }
-                (Some(TraceFormat::Pretty), Some(report)) => {
-                    let _ = out.write_all(render_trace(report).as_bytes());
-                }
-                _ => {}
+            if let Some(text) = opts.trace.and_then(|f| render_traced_output(f, &outcome)) {
+                let _ = out.write_all(text.as_bytes());
             }
             let _ = writeln!(
                 out,
@@ -1144,6 +1368,7 @@ mod tests {
                 resume_ttl: None,
                 resume_capacity: None,
                 shard: false,
+                slow_query_ms: None,
             }
         );
         match parse_args(&args("serve --random 8 --fold parallel")).unwrap() {
@@ -1377,10 +1602,76 @@ mod tests {
             parse_args(&args("query --select 0")).is_err(),
             "needs --addr or --shards"
         );
+    }
+
+    #[test]
+    fn parse_traced_sharded_query() {
+        // A traced sharded query pairs each shard with its obs address.
+        match parse_args(&args(
+            "query --shards a:1,b:2 --shard-obs a:91,b:92 --select 0 --trace json",
+        ))
+        .unwrap()
+        {
+            Command::Query { opts, .. } => {
+                assert_eq!(opts.trace, Some(TraceFormat::Json));
+                assert_eq!(opts.shards, vec!["a:1", "b:2"]);
+                assert_eq!(opts.shard_obs, vec!["a:91", "b:92"]);
+            }
+            other => panic!("{other:?}"),
+        }
         assert!(
             parse_args(&args("query --shards a:1 --select 0 --trace json")).is_err(),
-            "--trace conflicts with --shards"
+            "traced sharded query needs --shard-obs"
         );
+        assert!(
+            parse_args(&args(
+                "query --shards a:1,b:2 --shard-obs a:91 --select 0 --trace json"
+            ))
+            .is_err(),
+            "--shard-obs must pair up with --shards"
+        );
+        // Untraced sharded queries don't need obs addresses.
+        assert!(parse_args(&args("query --shards a:1 --select 0")).is_ok());
+    }
+
+    #[test]
+    fn parse_slow_query_flag() {
+        match parse_args(&args("serve --random 8 --slow-query-ms 250")).unwrap() {
+            Command::Serve { slow_query_ms, .. } => assert_eq!(slow_query_ms, Some(250)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("serve --random 8 --slow-query-ms x")).is_err());
+    }
+
+    #[test]
+    fn parse_trace_dump() {
+        match parse_args(&args("trace dump --obs 127.0.0.1:9100 --id abc123")).unwrap() {
+            Command::TraceDump { obs, id, format } => {
+                assert_eq!(obs, "127.0.0.1:9100");
+                assert_eq!(id, "abc123");
+                assert_eq!(format, TraceDumpFormat::Jsonl);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("trace dump --obs a:1 --id ff --format chrome")).unwrap() {
+            Command::TraceDump { format, .. } => assert_eq!(format, TraceDumpFormat::Chrome),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("trace dump --obs a:1 --id ff --format pretty")).unwrap() {
+            Command::TraceDump { format, .. } => assert_eq!(format, TraceDumpFormat::Pretty),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("trace")).is_err(), "needs an action");
+        assert!(
+            parse_args(&args("trace dump --obs a:1")).is_err(),
+            "needs id"
+        );
+        assert!(
+            parse_args(&args("trace dump --id ff")).is_err(),
+            "needs obs"
+        );
+        assert!(parse_args(&args("trace dump --obs a:1 --id zz")).is_err());
+        assert!(parse_args(&args("trace dump --obs a:1 --id ff --format yaml")).is_err());
     }
 
     #[test]

@@ -204,6 +204,7 @@ mod tests {
             batch: None,
             start_ns: start,
             end_ns: start + 1,
+            trace: None,
         }
     }
 
@@ -216,6 +217,7 @@ mod tests {
             session: None,
             at_ns: 1,
             detail: String::new(),
+            trace: None,
         });
         ring.record_span(span("b", 2));
         assert_eq!(ring.dropped(), 1, "'a' was evicted");
@@ -237,6 +239,7 @@ mod tests {
             session: Some(1),
             at_ns: 9,
             detail: "d".into(),
+            trace: None,
         });
         let text = String::from_utf8(collector.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();

@@ -1,0 +1,111 @@
+//! Distributed trace context: the identity a query carries across
+//! process boundaries.
+//!
+//! A [`TraceContext`] names one end-to-end operation (a query) with a
+//! 128-bit `trace_id` and points at the span that caused the work on
+//! the far side with a 64-bit `parent_span_id`. The client generates
+//! the context, the protocol layer carries it inside the handshake
+//! messages (`Hello` / `ShardHello` / `Resume` — see PROTOCOL.md §9.4),
+//! and every [`SpanRecord`](crate::SpanRecord) /
+//! [`EventRecord`](crate::EventRecord) either side emits while serving
+//! that query is stamped with it. A collector keyed by `trace_id` (the
+//! [`TraceBuffer`](crate::TraceBuffer)) can then hand a remote caller
+//! exactly the spans belonging to its query and nothing else.
+//!
+//! The context is deliberately tiny and `Copy`: 24 bytes on the wire,
+//! no allocation, no global state.
+
+/// The on-wire width of an encoded context: `trace_id` (16 bytes,
+/// big-endian) followed by `parent_span_id` (8 bytes, big-endian).
+pub const TRACE_CONTEXT_WIRE_LEN: usize = 24;
+
+/// One query's distributed-tracing identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identifies the whole distributed operation. Non-zero by
+    /// convention (zero reads as "absent" in human output); generated
+    /// from the caller's RNG, never derived from data.
+    pub trace_id: u128,
+    /// The span on the *initiating* side under which the receiver's
+    /// work should be parented (e.g. the client's per-leg span id).
+    pub parent_span_id: u64,
+}
+
+impl TraceContext {
+    /// A context with the given ids.
+    pub fn new(trace_id: u128, parent_span_id: u64) -> Self {
+        TraceContext {
+            trace_id,
+            parent_span_id,
+        }
+    }
+
+    /// Encodes as exactly [`TRACE_CONTEXT_WIRE_LEN`] big-endian bytes.
+    pub fn to_wire_bytes(&self) -> [u8; TRACE_CONTEXT_WIRE_LEN] {
+        let mut out = [0u8; TRACE_CONTEXT_WIRE_LEN];
+        out[..16].copy_from_slice(&self.trace_id.to_be_bytes());
+        out[16..].copy_from_slice(&self.parent_span_id.to_be_bytes());
+        out
+    }
+
+    /// Decodes the exact [`TRACE_CONTEXT_WIRE_LEN`]-byte layout;
+    /// `None` on any other length.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Option<TraceContext> {
+        if bytes.len() != TRACE_CONTEXT_WIRE_LEN {
+            return None;
+        }
+        let trace_id = u128::from_be_bytes(bytes[..16].try_into().ok()?);
+        let parent_span_id = u64::from_be_bytes(bytes[16..].try_into().ok()?);
+        Some(TraceContext {
+            trace_id,
+            parent_span_id,
+        })
+    }
+
+    /// The trace id as 32 lowercase hex digits — the form used in
+    /// JSONL output and in the `/trace/<id>` URL.
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:032x}", self.trace_id)
+    }
+
+    /// Parses a trace id as produced by [`TraceContext::trace_id_hex`]
+    /// (leading zeros optional, case-insensitive).
+    pub fn parse_trace_id(hex: &str) -> Option<u128> {
+        if hex.is_empty() || hex.len() > 32 {
+            return None;
+        }
+        u128::from_str_radix(hex, 16).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        let ctx = TraceContext::new(0x0123_4567_89ab_cdef_0011_2233_4455_6677, 42);
+        let bytes = ctx.to_wire_bytes();
+        assert_eq!(bytes.len(), TRACE_CONTEXT_WIRE_LEN);
+        assert_eq!(TraceContext::from_wire_bytes(&bytes), Some(ctx));
+        assert_eq!(TraceContext::from_wire_bytes(&bytes[..23]), None);
+        assert_eq!(TraceContext::from_wire_bytes(&[0u8; 25]), None);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let ctx = TraceContext::new(0xdead_beef, 7);
+        let hex = ctx.trace_id_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.ends_with("deadbeef"));
+        assert_eq!(TraceContext::parse_trace_id(&hex), Some(0xdead_beef));
+        assert_eq!(TraceContext::parse_trace_id("DEADBEEF"), Some(0xdead_beef));
+        assert_eq!(TraceContext::parse_trace_id(""), None);
+        assert_eq!(TraceContext::parse_trace_id("xyz"), None);
+        assert_eq!(
+            TraceContext::parse_trace_id(&"f".repeat(33)),
+            None,
+            "over-long ids rejected"
+        );
+    }
+}

@@ -1,10 +1,14 @@
 //! A minimal std-only HTTP/1.1 server exposing a [`Registry`].
 //!
-//! Two routes, both read-only:
+//! Three routes, all read-only:
 //!
 //! * `GET /metrics` — Prometheus text exposition format 0.0.4
 //! * `GET /healthz` — JSON snapshot (uptime, counters, gauges,
 //!   histogram summaries)
+//! * `GET /trace/<id>` — one trace's records as JSONL, when the server
+//!   was started with a [`TraceBuffer`]
+//!   ([`MetricsServer::start_with_traces`]); 404 for unknown ids and
+//!   on servers without a buffer
 //!
 //! This is intentionally not a general web server: it parses only the
 //! request line, ignores headers and bodies, answers one request per
@@ -18,7 +22,9 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use crate::context::TraceContext;
 use crate::registry::Registry;
+use crate::trace_buffer::TraceBuffer;
 
 /// How long a handler waits for a request line before dropping the
 /// connection.
@@ -37,13 +43,31 @@ impl MetricsServer {
     /// Binds `addr` (e.g. `"127.0.0.1:9090"`, port 0 for ephemeral) and
     /// starts serving `registry` on a background accept thread.
     pub fn start(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> io::Result<Self> {
+        Self::start_inner(addr, registry, None)
+    }
+
+    /// Like [`MetricsServer::start`], additionally serving `traces`
+    /// under `GET /trace/<id>`.
+    pub fn start_with_traces(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        traces: Arc<TraceBuffer>,
+    ) -> io::Result<Self> {
+        Self::start_inner(addr, registry, Some(traces))
+    }
+
+    fn start_inner(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        traces: Option<Arc<TraceBuffer>>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
         let accept_thread = thread::Builder::new()
             .name("pps-metrics".into())
-            .spawn(move || accept_loop(listener, registry, accept_stop))
+            .spawn(move || accept_loop(listener, registry, traces, accept_stop))
             .expect("spawn metrics accept thread");
         Ok(MetricsServer {
             addr,
@@ -69,7 +93,12 @@ impl MetricsServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    traces: Option<Arc<TraceBuffer>>,
+    stop: Arc<AtomicBool>,
+) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -84,16 +113,21 @@ fn accept_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicB
             return;
         }
         let registry = Arc::clone(&registry);
+        let traces = traces.clone();
         // Detached: each handler writes one response and exits.
         let _ = thread::Builder::new()
             .name("pps-metrics-conn".into())
             .spawn(move || {
-                let _ = handle_connection(stream, &registry);
+                let _ = handle_connection(stream, &registry, traces.as_deref());
             });
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: &Registry) -> io::Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    traces: Option<&TraceBuffer>,
+) -> io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     stream.set_write_timeout(Some(READ_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -111,7 +145,7 @@ fn handle_connection(stream: TcpStream, registry: &Registry) -> io::Result<()> {
         header.clear();
     }
     let mut stream = reader.into_inner();
-    let (status, content_type, body) = route(method, path, registry);
+    let (status, content_type, body) = route(method, path, registry, traces);
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -121,7 +155,12 @@ fn handle_connection(stream: TcpStream, registry: &Registry) -> io::Result<()> {
     stream.flush()
 }
 
-fn route(method: &str, path: &str, registry: &Registry) -> (&'static str, &'static str, String) {
+fn route(
+    method: &str,
+    path: &str,
+    registry: &Registry,
+    traces: Option<&TraceBuffer>,
+) -> (&'static str, &'static str, String) {
     if method != "GET" {
         return (
             "405 Method Not Allowed",
@@ -131,6 +170,18 @@ fn route(method: &str, path: &str, registry: &Registry) -> (&'static str, &'stat
     }
     // Scrapers may append query strings; route on the path alone.
     let path = path.split('?').next().unwrap_or(path);
+    if let Some(id_hex) = path.strip_prefix("/trace/") {
+        let body =
+            TraceContext::parse_trace_id(id_hex).and_then(|id| traces.and_then(|t| t.to_jsonl(id)));
+        return match body {
+            Some(body) => ("200 OK", "application/jsonl", body),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown trace id\n".into(),
+            ),
+        };
+    }
     match path {
         "/metrics" => (
             "200 OK",
@@ -145,7 +196,7 @@ fn route(method: &str, path: &str, registry: &Registry) -> (&'static str, &'stat
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics or /healthz\n".into(),
+            "not found; try /metrics, /healthz, or /trace/<id>\n".into(),
         ),
     }
 }
@@ -224,6 +275,45 @@ mod tests {
         let (status, _) = get(server.addr(), "/metrics?ts=1").unwrap();
         assert!(status.contains("200"), "query strings ignored: {status}");
         server.stop();
+    }
+
+    #[test]
+    fn trace_endpoint_serves_jsonl_per_trace() {
+        use crate::collect::Collector;
+        use crate::span::{SpanRecord, Tracer};
+
+        let registry = Arc::new(Registry::new());
+        let traces = Arc::new(TraceBuffer::default());
+        let ctx = TraceContext::new(0xfeed, 3);
+        let tracer = Tracer::new(Arc::clone(&traces) as Arc<dyn Collector>).with_context(ctx);
+        tracer.span("fold").session(1).start().finish();
+        tracer.record_span(SpanRecord {
+            name: "session".into(),
+            phase: None,
+            session: Some(1),
+            batch: None,
+            start_ns: 0,
+            end_ns: 99,
+            trace: None, // stamped by the tracer's context
+        });
+        let server =
+            MetricsServer::start_with_traces("127.0.0.1:0", registry, Arc::clone(&traces)).unwrap();
+        let path = format!("/trace/{}", ctx.trace_id_hex());
+        let (status, body) = get(server.addr(), &path).unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.contains(&ctx.trace_id_hex()));
+        let (status, _) = get(server.addr(), "/trace/00000000000000000000000000000bad").unwrap();
+        assert!(status.contains("404"), "unknown id: {status}");
+        let (status, _) = get(server.addr(), "/trace/not-hex").unwrap();
+        assert!(status.contains("404"), "malformed id: {status}");
+        server.stop();
+
+        // A server without a buffer 404s the whole route.
+        let bare = MetricsServer::start("127.0.0.1:0", Arc::new(Registry::new())).unwrap();
+        let (status, _) = get(bare.addr(), &path).unwrap();
+        assert!(status.contains("404"), "no buffer: {status}");
+        bare.stop();
     }
 
     #[test]

@@ -1,10 +1,13 @@
-//! The workspace's single hand-rolled JSON serializer.
+//! The workspace's single hand-rolled JSON serializer *and parser*.
 //!
 //! The workspace deliberately carries no serde (every dependency is a
 //! vendored offline subset), so the places that need JSON — the JSONL
 //! span collector, the `/healthz` snapshot, `RunReport::to_json`, and
 //! the `BENCH_*.json` writers — all share this one escaping-correct
-//! writer instead of each hand-formatting strings.
+//! writer instead of each hand-formatting strings. The matching
+//! [`JsonValue::parse`] reader exists for the few places that consume
+//! JSON back (the distributed-trace assembler reading `/trace/<id>`
+//! JSONL, and the `bench_report` bin reading `BENCH_*.json`).
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -55,6 +58,74 @@ impl JsonValue {
     /// A duration rendered as fractional seconds.
     pub fn seconds(d: Duration) -> JsonValue {
         JsonValue::Float(d.as_secs_f64())
+    }
+
+    /// Parses one JSON document. Strict where it matters (rejects
+    /// trailing garbage, unterminated strings, bad escapes) and
+    /// deliberately small: numbers become [`JsonValue::UInt`] /
+    /// [`JsonValue::Int`] when they are integral and in range, floats
+    /// otherwise; objects keep duplicate keys in arrival order (use
+    /// [`JsonValue::get`], which returns the first).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// The value under `key`, when `self` is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as a `bool`, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v),
+            JsonValue::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64`, when it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// This value's items, when it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items.as_slice()),
+            _ => None,
+        }
     }
 
     /// Renders compactly (no whitespace beyond what strings contain).
@@ -143,6 +214,167 @@ impl JsonValue {
             other => other.render_into(out),
         }
     }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| JsonValue::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| "non-ascii \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        // Surrogates are not paired — the writer never
+                        // emits them (it escapes only control chars),
+                        // so map them to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so slicing
+                // on char boundaries is safe via str::chars).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?;
+                let c = rest.chars().next().expect("non-empty rest");
+                if (c as u32) < 0x20 {
+                    return Err(format!("raw control char at byte {pos}", pos = *pos));
+                }
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected value at byte {start}"));
+    }
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(JsonValue::UInt(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(JsonValue::Int(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Float)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
 }
 
 fn render_float(v: f64, out: &mut String) {
@@ -297,5 +529,74 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn field_on_array_panics() {
         let _ = JsonValue::array([1u64]).field("k", 1u64);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let v = JsonValue::object()
+            .field("name", "x\n\"quoted\"")
+            .field("n", 42u64)
+            .field("neg", -7i64)
+            .field("f", 1.5f64)
+            .field("flag", true)
+            .field("nothing", JsonValue::Null)
+            .field("items", JsonValue::array([1u64, 2, 3]))
+            .field("nested", JsonValue::object().field("ok", false));
+        let parsed = JsonValue::parse(&v.render()).expect("parse compact");
+        assert_eq!(parsed, v);
+        let parsed_pretty = JsonValue::parse(&v.render_pretty()).expect("parse pretty");
+        assert_eq!(parsed_pretty, v);
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let v = JsonValue::parse(r#"{"a":1,"b":"s","c":[2,3],"d":1.25}"#).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(JsonValue::as_str), Some("s"));
+        assert_eq!(
+            v.get("c").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("d").and_then(JsonValue::as_f64), Some(1.25));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("a").and_then(JsonValue::as_str), None);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = JsonValue::parse(r#""aA\n\t\\ é""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\n\t\\ é"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a":}"#,
+            "tru",
+            "1 2",
+            r#""unterminated"#,
+            r#"{"a":1}x"#,
+            "nul",
+            "[1,]x",
+            "-",
+            r#""bad \q escape""#,
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_large_integers_stay_exact() {
+        assert_eq!(
+            JsonValue::parse("18446744073709551615").unwrap(),
+            JsonValue::UInt(u64::MAX)
+        );
+        assert_eq!(
+            JsonValue::parse("-9223372036854775808").unwrap(),
+            JsonValue::Int(i64::MIN)
+        );
     }
 }

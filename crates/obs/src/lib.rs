@@ -52,16 +52,22 @@
 #![warn(missing_docs)]
 
 pub mod collect;
+pub mod context;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod names;
 pub mod registry;
 pub mod span;
+pub mod trace_buffer;
 
-pub use collect::{Collector, JsonLinesCollector, NullCollector, RingCollector, TeeCollector};
+pub use collect::{
+    Collector, JsonLinesCollector, NullCollector, Record, RingCollector, TeeCollector,
+};
+pub use context::{TraceContext, TRACE_CONTEXT_WIRE_LEN};
 pub use http::MetricsServer;
 pub use json::{escape_json, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::Registry;
 pub use span::{EventRecord, Phase, SpanBuilder, SpanGuard, SpanRecord, Tracer};
+pub use trace_buffer::TraceBuffer;

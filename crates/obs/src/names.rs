@@ -92,3 +92,18 @@ pub const POOL_FILL_SECONDS: &str = "pps_pool_fill_seconds";
 
 /// Duration of one worker chunk inside a parallel encrypt.
 pub const ENCRYPT_CHUNK_SECONDS: &str = "pps_encrypt_chunk_seconds";
+
+/// Info-style gauge, always `1`, whose labels identify the build: the
+/// crate `version` and the protocol frame `magic` this binary speaks.
+/// Scrapes join on it to correlate metric changes with deploys.
+pub const BUILD_INFO: &str = "pps_build_info";
+
+/// Whole traces evicted from the server's
+/// [`TraceBuffer`](crate::TraceBuffer) (oldest-first) to admit newer
+/// traces.
+pub const TRACE_TRACES_EVICTED_TOTAL: &str = "pps_trace_traces_evicted_total";
+/// Records dropped because their trace hit the per-trace record cap.
+pub const TRACE_RECORDS_DROPPED_TOTAL: &str = "pps_trace_records_dropped_total";
+/// Sessions whose end-to-end duration crossed the configured
+/// slow-query threshold (see `with_slow_query_threshold`).
+pub const SLOW_QUERIES_TOTAL: &str = "pps_slow_queries_total";

@@ -20,9 +20,11 @@ use crate::span::Phase;
 
 /// One labelled (or unlabelled) time series inside a family.
 struct Series<T> {
-    /// `(key, value)`; the registry supports at most one label per
-    /// series, which covers every metric this workspace emits.
-    label: Option<(String, String)>,
+    /// `(key, value)` pairs in registration order; empty for an
+    /// unlabelled series. Most metrics carry zero or one label; the
+    /// multi-label case exists for info-style gauges
+    /// (`pps_build_info{version=...,magic=...}`).
+    labels: Vec<(String, String)>,
     metric: Arc<T>,
 }
 
@@ -61,16 +63,22 @@ impl Default for Registry {
     }
 }
 
-fn find_or_insert<T: Default>(series: &mut Vec<Series<T>>, label: Option<(&str, &str)>) -> Arc<T> {
-    if let Some(existing) = series
-        .iter()
-        .find(|s| s.label.as_ref().map(|(k, v)| (k.as_str(), v.as_str())) == label)
-    {
+fn find_or_insert<T: Default>(series: &mut Vec<Series<T>>, labels: &[(&str, &str)]) -> Arc<T> {
+    if let Some(existing) = series.iter().find(|s| {
+        s.labels.len() == labels.len()
+            && s.labels
+                .iter()
+                .zip(labels)
+                .all(|((k, v), (lk, lv))| k == lk && v == lv)
+    }) {
         return Arc::clone(&existing.metric);
     }
     let metric = Arc::new(T::default());
     series.push(Series {
-        label: label.map(|(k, v)| (k.to_string(), v.to_string())),
+        labels: labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
         metric: Arc::clone(&metric),
     });
     metric
@@ -89,7 +97,7 @@ impl Registry {
         &self,
         name: &str,
         help: &str,
-        label: Option<(&str, &str)>,
+        labels: &[(&str, &str)],
         wrap: F,
         unwrap: G,
     ) -> Arc<T>
@@ -105,14 +113,14 @@ impl Registry {
         });
         let type_name = family.kind.type_name();
         match unwrap(&mut family.kind) {
-            Some(series) => find_or_insert(series, label),
+            Some(series) => find_or_insert(series, labels),
             None => panic!("metric {name} already registered as a {type_name}"),
         }
     }
 
     /// Get-or-create an unlabelled counter.
     pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
-        self.counter_with(name, help, None)
+        self.counter_with(name, help, &[])
     }
 
     /// Get-or-create a counter with one `key="value"` label.
@@ -123,14 +131,14 @@ impl Registry {
         key: &str,
         value: &str,
     ) -> Arc<Counter> {
-        self.counter_with(name, help, Some((key, value)))
+        self.counter_with(name, help, &[(key, value)])
     }
 
-    fn counter_with(&self, name: &str, help: &str, label: Option<(&str, &str)>) -> Arc<Counter> {
+    fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         self.series(
             name,
             help,
-            label,
+            labels,
             || FamilyKind::Counter(Vec::new()),
             |kind| match kind {
                 FamilyKind::Counter(s) => Some(s),
@@ -141,10 +149,16 @@ impl Registry {
 
     /// Get-or-create an unlabelled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with_labels(name, help, &[])
+    }
+
+    /// Get-or-create a gauge with an arbitrary (low-cardinality!) label
+    /// set — the shape of info-style metrics like `pps_build_info`.
+    pub fn gauge_with_labels(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         self.series(
             name,
             help,
-            None,
+            labels,
             || FamilyKind::Gauge(Vec::new()),
             |kind| match kind {
                 FamilyKind::Gauge(s) => Some(s),
@@ -155,7 +169,7 @@ impl Registry {
 
     /// Get-or-create an unlabelled duration histogram.
     pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
-        self.histogram_with(name, help, None)
+        self.histogram_with(name, help, &[])
     }
 
     /// Get-or-create a duration histogram with one `key="value"` label.
@@ -166,19 +180,14 @@ impl Registry {
         key: &str,
         value: &str,
     ) -> Arc<Histogram> {
-        self.histogram_with(name, help, Some((key, value)))
+        self.histogram_with(name, help, &[(key, value)])
     }
 
-    fn histogram_with(
-        &self,
-        name: &str,
-        help: &str,
-        label: Option<(&str, &str)>,
-    ) -> Arc<Histogram> {
+    fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         self.series(
             name,
             help,
-            label,
+            labels,
             || FamilyKind::Histogram(Vec::new()),
             |kind| match kind {
                 FamilyKind::Histogram(s) => Some(s),
@@ -221,7 +230,7 @@ impl Registry {
                     for s in sorted(series) {
                         out.push_str(&format!(
                             "{name}{} {}\n",
-                            label_block(&s.label, None),
+                            label_block(&s.labels, None),
                             s.metric.get()
                         ));
                     }
@@ -230,7 +239,7 @@ impl Registry {
                     for s in sorted(series) {
                         out.push_str(&format!(
                             "{name}{} {}\n",
-                            label_block(&s.label, None),
+                            label_block(&s.labels, None),
                             s.metric.get()
                         ));
                     }
@@ -244,22 +253,22 @@ impl Registry {
                             }
                             out.push_str(&format!(
                                 "{name}_bucket{} {cumulative}\n",
-                                label_block(&s.label, Some(&le_seconds(upper_ns)))
+                                label_block(&s.labels, Some(&le_seconds(upper_ns)))
                             ));
                         }
                         out.push_str(&format!(
                             "{name}_bucket{} {}\n",
-                            label_block(&s.label, Some("+Inf")),
+                            label_block(&s.labels, Some("+Inf")),
                             snap.count
                         ));
                         out.push_str(&format!(
                             "{name}_sum{} {}\n",
-                            label_block(&s.label, None),
+                            label_block(&s.labels, None),
                             float(snap.sum_ns as f64 / 1e9)
                         ));
                         out.push_str(&format!(
                             "{name}_count{} {}\n",
-                            label_block(&s.label, None),
+                            label_block(&s.labels, None),
                             snap.count
                         ));
                     }
@@ -281,19 +290,19 @@ impl Registry {
             match &family.kind {
                 FamilyKind::Counter(series) => {
                     for s in sorted(series) {
-                        counters = counters.field(&series_key(name, &s.label), s.metric.get());
+                        counters = counters.field(&series_key(name, &s.labels), s.metric.get());
                     }
                 }
                 FamilyKind::Gauge(series) => {
                     for s in sorted(series) {
-                        gauges = gauges.field(&series_key(name, &s.label), s.metric.get());
+                        gauges = gauges.field(&series_key(name, &s.labels), s.metric.get());
                     }
                 }
                 FamilyKind::Histogram(series) => {
                     for s in sorted(series) {
                         let snap = s.metric.snapshot();
                         histograms = histograms.field(
-                            &series_key(name, &s.label),
+                            &series_key(name, &s.labels),
                             JsonValue::object()
                                 .field("count", snap.count)
                                 .field("sum_seconds", snap.sum_ns as f64 / 1e9)
@@ -314,17 +323,17 @@ impl Registry {
     }
 }
 
-/// Series sorted by label for deterministic output.
+/// Series sorted by labels for deterministic output.
 fn sorted<T>(series: &[Series<T>]) -> Vec<&Series<T>> {
     let mut refs: Vec<&Series<T>> = series.iter().collect();
-    refs.sort_by(|a, b| a.label.cmp(&b.label));
+    refs.sort_by(|a, b| a.labels.cmp(&b.labels));
     refs
 }
 
-/// `{key="value"}`, `{key="value",le="..."}`, `{le="..."}`, or empty.
-fn label_block(label: &Option<(String, String)>, le: Option<&str>) -> String {
+/// `{k1="v1",k2="v2",le="..."}` in registration order, or empty.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
     let mut parts = Vec::new();
-    if let Some((k, v)) = label {
+    for (k, v) in labels {
         parts.push(format!("{k}=\"{}\"", escape_label(v)));
     }
     if let Some(le) = le {
@@ -337,10 +346,12 @@ fn label_block(label: &Option<(String, String)>, le: Option<&str>) -> String {
     }
 }
 
-fn series_key(name: &str, label: &Option<(String, String)>) -> String {
-    match label {
-        Some((k, v)) => format!("{name}{{{k}=\"{v}\"}}"),
-        None => name.to_string(),
+fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        name.to_string()
+    } else {
+        let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{name}{{{}}}", pairs.join(","))
     }
 }
 
@@ -460,6 +471,30 @@ mod tests {
         assert!(json.contains(r#""pps_c_total":1"#));
         assert!(json.contains(r#""pps_g":2"#));
         assert!(json.contains(r#""pps_d_seconds":{"count":1"#));
+    }
+
+    #[test]
+    fn multi_label_gauges_render_all_pairs() {
+        let registry = Registry::new();
+        let g = registry.gauge_with_labels(
+            "pps_build_info",
+            "build identity",
+            &[("version", "0.1.0"), ("magic", "0x5054")],
+        );
+        g.set(1);
+        let again = registry.gauge_with_labels(
+            "pps_build_info",
+            "build identity",
+            &[("version", "0.1.0"), ("magic", "0x5054")],
+        );
+        assert_eq!(again.get(), 1, "same label set, same series");
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains(r#"pps_build_info{version="0.1.0",magic="0x5054"} 1"#),
+            "labels in registration order: {text}"
+        );
+        let health = registry.healthz_json().render();
+        assert!(health.contains(r#"pps_build_info{version=\"0.1.0\",magic=\"0x5054\"}"#));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::collect::Collector;
+use crate::context::TraceContext;
 
 /// The paper's runtime decomposition, plus the offline phase its §3.3
 /// preprocessing moves work into.
@@ -94,6 +95,9 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// End, in nanoseconds since the tracer's epoch.
     pub end_ns: u64,
+    /// Distributed trace identity, when the span belongs to a traced
+    /// query (PROTOCOL.md §9.4).
+    pub trace: Option<TraceContext>,
 }
 
 impl SpanRecord {
@@ -102,16 +106,25 @@ impl SpanRecord {
         Duration::from_nanos(self.end_ns.saturating_sub(self.start_ns))
     }
 
-    /// This record as a JSON object (one line of a JSONL trace).
+    /// This record as a JSON object (one line of a JSONL trace). The
+    /// `trace_id`/`parent_span_id` fields appear only on traced
+    /// records, so untraced output is byte-identical to earlier
+    /// revisions.
     pub fn to_json(&self) -> crate::json::JsonValue {
-        crate::json::JsonValue::object()
+        let v = crate::json::JsonValue::object()
             .field("kind", "span")
             .field("name", self.name.as_str())
             .field("phase", self.phase.map(Phase::label))
             .field("session", self.session)
             .field("batch", self.batch)
             .field("start_ns", self.start_ns)
-            .field("end_ns", self.end_ns)
+            .field("end_ns", self.end_ns);
+        match self.trace {
+            Some(ctx) => v
+                .field("trace_id", ctx.trace_id_hex())
+                .field("parent_span_id", ctx.parent_span_id),
+            None => v,
+        }
     }
 }
 
@@ -127,27 +140,43 @@ pub struct EventRecord {
     /// Free-form detail (error text, backoff duration…); empty when the
     /// name says it all.
     pub detail: String,
+    /// Distributed trace identity, when the event belongs to a traced
+    /// query (PROTOCOL.md §9.4).
+    pub trace: Option<TraceContext>,
 }
 
 impl EventRecord {
-    /// This record as a JSON object (one line of a JSONL trace).
+    /// This record as a JSON object (one line of a JSONL trace). As
+    /// with spans, the trace fields appear only on traced records.
     pub fn to_json(&self) -> crate::json::JsonValue {
-        crate::json::JsonValue::object()
+        let v = crate::json::JsonValue::object()
             .field("kind", "event")
             .field("name", self.name.as_str())
             .field("session", self.session)
             .field("at_ns", self.at_ns)
-            .field("detail", self.detail.as_str())
+            .field("detail", self.detail.as_str());
+        match self.trace {
+            Some(ctx) => v
+                .field("trace_id", ctx.trace_id_hex())
+                .field("parent_span_id", ctx.parent_span_id),
+            None => v,
+        }
     }
 }
 
 /// Stamps spans and events against one monotonic epoch and forwards them
 /// to a [`Collector`]. Cheap to clone; clones share the epoch, so their
 /// timestamps are mutually comparable.
+///
+/// A tracer may carry a [`TraceContext`]: every record it emits that
+/// does not already have one is stamped with it. Per-connection /
+/// per-query scopes derive a context-carrying clone with
+/// [`Tracer::with_context`]; the clone shares the epoch and collector.
 #[derive(Clone)]
 pub struct Tracer {
     epoch: Instant,
     collector: Arc<dyn Collector>,
+    context: Option<TraceContext>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -164,7 +193,25 @@ impl Tracer {
         Tracer {
             epoch: Instant::now(),
             collector,
+            context: None,
         }
+    }
+
+    /// A clone of this tracer that stamps `context` onto every record
+    /// it emits (records that already carry a context keep theirs).
+    /// Shares the epoch, so timestamps stay mutually comparable.
+    #[must_use]
+    pub fn with_context(&self, context: TraceContext) -> Tracer {
+        Tracer {
+            epoch: self.epoch,
+            collector: Arc::clone(&self.collector),
+            context: Some(context),
+        }
+    }
+
+    /// The context this tracer stamps, if any.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.context
     }
 
     /// A tracer that drops everything (zero-cost instrumentation
@@ -187,6 +234,7 @@ impl Tracer {
             phase: None,
             session: None,
             batch: None,
+            trace: None,
         }
     }
 
@@ -197,12 +245,17 @@ impl Tracer {
             session,
             at_ns: self.now_ns(),
             detail: detail.into(),
+            trace: self.context,
         });
     }
 
     /// Records a fully-formed span (for callers that measured the
-    /// interval themselves).
-    pub fn record_span(&self, record: SpanRecord) {
+    /// interval themselves). A record without a trace context inherits
+    /// this tracer's, when it has one.
+    pub fn record_span(&self, mut record: SpanRecord) {
+        if record.trace.is_none() {
+            record.trace = self.context;
+        }
         self.collector.record_span(record);
     }
 
@@ -225,6 +278,7 @@ impl Tracer {
             batch: None,
             start_ns: end_ns.saturating_sub(dur_ns),
             end_ns,
+            trace: None,
         });
     }
 }
@@ -236,9 +290,18 @@ pub struct SpanBuilder<'t> {
     phase: Option<Phase>,
     session: Option<u64>,
     batch: Option<u64>,
+    trace: Option<TraceContext>,
 }
 
 impl SpanBuilder<'_> {
+    /// Tags the span with an explicit trace context (overrides the
+    /// tracer's own, if any).
+    #[must_use]
+    pub fn trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Tags the span with a paper phase.
     #[must_use]
     pub fn phase(mut self, phase: Phase) -> Self {
@@ -269,6 +332,7 @@ impl SpanBuilder<'_> {
             phase: self.phase,
             session: self.session,
             batch: self.batch,
+            trace: self.trace,
             start_ns: self.tracer.now_ns(),
             finished: false,
         }
@@ -282,11 +346,19 @@ pub struct SpanGuard {
     phase: Option<Phase>,
     session: Option<u64>,
     batch: Option<u64>,
+    trace: Option<TraceContext>,
     start_ns: u64,
     finished: bool,
 }
 
 impl SpanGuard {
+    /// Attaches a trace context after the span started — for spans
+    /// opened before the first frame reveals the peer's context (the
+    /// server's per-session span).
+    pub fn set_trace(&mut self, trace: TraceContext) {
+        self.trace = Some(trace);
+    }
+
     /// Ends the span now, records it, and returns the record.
     pub fn finish(mut self) -> SpanRecord {
         self.finished = true;
@@ -303,6 +375,7 @@ impl SpanGuard {
             batch: self.batch,
             start_ns: self.start_ns,
             end_ns: self.tracer.now_ns(),
+            trace: self.trace.or(self.tracer.context),
         }
     }
 }
@@ -389,10 +462,12 @@ mod tests {
             batch: None,
             start_ns: 10,
             end_ns: 30,
+            trace: None,
         };
         assert_eq!(
             s.to_json().render(),
-            r#"{"kind":"span","name":"x","phase":"comm","session":2,"batch":null,"start_ns":10,"end_ns":30}"#
+            r#"{"kind":"span","name":"x","phase":"comm","session":2,"batch":null,"start_ns":10,"end_ns":30}"#,
+            "untraced output stays byte-identical"
         );
         assert_eq!(s.duration(), Duration::from_nanos(20));
         let e = EventRecord {
@@ -400,7 +475,53 @@ mod tests {
             session: None,
             at_ns: 5,
             detail: String::new(),
+            trace: None,
         };
         assert!(e.to_json().render().contains(r#""kind":"event""#));
+    }
+
+    #[test]
+    fn traced_records_carry_context_fields() {
+        let ctx = TraceContext::new(0xabc, 9);
+        let s = SpanRecord {
+            name: "x".into(),
+            phase: None,
+            session: None,
+            batch: None,
+            start_ns: 1,
+            end_ns: 2,
+            trace: Some(ctx),
+        };
+        let json = s.to_json().render();
+        assert!(json.contains(&format!(r#""trace_id":"{}""#, ctx.trace_id_hex())));
+        assert!(json.contains(r#""parent_span_id":9"#));
+    }
+
+    #[test]
+    fn tracer_context_stamps_records() {
+        let ring = Arc::new(RingCollector::new(8));
+        let ctx = TraceContext::new(7, 1);
+        let tracer = Tracer::new(ring.clone()).with_context(ctx);
+        assert_eq!(tracer.context(), Some(ctx));
+        tracer.span("s").start().finish();
+        tracer.event("e", None, "");
+        tracer.record_phase_total("t", Phase::Comm, None, Duration::from_micros(1));
+        let spans = ring.spans();
+        assert!(spans.iter().all(|s| s.trace == Some(ctx)));
+        assert_eq!(ring.events()[0].trace, Some(ctx));
+        // Explicit per-span context wins over the tracer's.
+        let other = TraceContext::new(8, 2);
+        let rec = tracer.span("o").trace(other).start().finish();
+        assert_eq!(rec.trace, Some(other));
+    }
+
+    #[test]
+    fn set_trace_attaches_late_context() {
+        let ring = Arc::new(RingCollector::new(8));
+        let tracer = Tracer::new(ring.clone());
+        let mut guard = tracer.span("session").start();
+        guard.set_trace(TraceContext::new(5, 0));
+        drop(guard);
+        assert_eq!(ring.spans()[0].trace, Some(TraceContext::new(5, 0)));
     }
 }

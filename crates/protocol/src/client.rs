@@ -142,6 +142,7 @@ impl SumClient {
             modulus: self.keypair.public.n().clone(),
             total: selection.len() as u64,
             batch_size: batch_size.min(u32::MAX as usize) as u32,
+            trace: None,
         };
         wire.send(hello.encode()?)?;
         self.stream_batches(wire, selection, batch_size, source, 0)

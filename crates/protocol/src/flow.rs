@@ -14,11 +14,12 @@
 use std::sync::Arc;
 
 use pps_bignum::MultiExpPlan;
+use pps_obs::TraceContext;
 use pps_transport::Frame;
 
 use crate::data::Database;
 use crate::error::ProtocolError;
-use crate::messages::{HelloAck, MsgType, Resume, ResumeAck, ShardHello};
+use crate::messages::{Hello, HelloAck, MsgType, Resume, ResumeAck, ShardHello};
 use crate::multidb::leg_blinding;
 use crate::resume::SessionTable;
 use crate::server::{FoldStrategy, ServerSession, ServerStats};
@@ -46,6 +47,7 @@ pub(crate) struct SessionFlow<'a> {
     require_shard: bool,
     ticket: Option<u64>,
     resumed: bool,
+    trace: Option<TraceContext>,
 }
 
 impl<'a> SessionFlow<'a> {
@@ -73,6 +75,7 @@ impl<'a> SessionFlow<'a> {
             require_shard,
             ticket: None,
             resumed: false,
+            trace: None,
         }
     }
 
@@ -85,6 +88,13 @@ impl<'a> SessionFlow<'a> {
     /// Whether any step granted a `Resume`.
     pub fn resumed(&self) -> bool {
         self.resumed
+    }
+
+    /// The distributed trace context the peer announced on its
+    /// handshake (`Hello`, `ShardHello`, or `Resume` trailer), if any —
+    /// the runtime stamps it onto this session's spans and events.
+    pub fn trace(&self) -> Option<TraceContext> {
+        self.trace
     }
 
     /// The session's accumulated statistics.
@@ -111,6 +121,7 @@ impl<'a> SessionFlow<'a> {
             // blinding (the same value — seeds are per-query)
             // supersedes this fresh session.
             let sh = ShardHello::decode(frame)?;
+            self.trace = sh.trace.or(self.trace);
             let m = pps_bignum::Uint::one().shl(sh.m_bits as usize);
             let r = leg_blinding(&sh.seeds_add, &sh.seeds_sub, &m)?;
             self.session.set_blinding(r)?;
@@ -143,6 +154,7 @@ impl<'a> SessionFlow<'a> {
                 return Err(ProtocolError::UnexpectedMessage("resume mid-session"));
             }
             let req = Resume::decode(frame)?;
+            self.trace = req.trace.or(self.trace);
             // `take` makes the grant exclusive; a checkpoint that fails
             // validation against this database is discarded, not
             // granted.
@@ -192,6 +204,15 @@ impl<'a> SessionFlow<'a> {
         }
         let fresh_hello =
             frame.msg_type == MsgType::Hello as u8 && self.session.is_awaiting_hello();
+        if fresh_hello {
+            // Peek the trace trailer before the session consumes the
+            // frame. The double decode is confined to the one Hello per
+            // session and costs microseconds against the session's
+            // crypto; a decode error surfaces from on_frame below.
+            if let Ok(hello) = Hello::decode(frame) {
+                self.trace = hello.trace.or(self.trace);
+            }
+        }
         let reply = self.session.on_frame(frame)?;
         if fresh_hello {
             let id = self.table.allocate();

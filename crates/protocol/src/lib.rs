@@ -87,6 +87,7 @@ mod server;
 mod shard;
 mod tcp_client;
 mod tcp_server;
+mod trace;
 
 pub use client::{ClientSendStats, IndexSource, SumClient};
 pub use cost::{measure_encrypt_secs, CostModel, JAVA_SLOWDOWN, PAPER_ENCRYPT_SECS};
@@ -118,4 +119,8 @@ pub use tcp_client::{
 pub use tcp_server::{
     Admission, AggregateStats, ServeEngine, SessionDeadline, SessionEvent, SessionLimits,
     ShutdownHandle, TcpServer, DEFAULT_QUEUE_CAPACITY, MAX_CONSECUTIVE_ACCEPT_ERRORS,
+};
+pub use trace::{
+    fetch_trace, parse_trace_jsonl, run_sharded_query_traced, TimelineEntry, TraceTimeline,
+    TracedShardQuery,
 };

@@ -8,9 +8,38 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pps_bignum::Uint;
 use pps_crypto::{Ciphertext, PaillierPublicKey};
+use pps_obs::{TraceContext, TRACE_CONTEXT_WIRE_LEN};
 use pps_transport::{Frame, TransportError};
 
 use crate::error::ProtocolError;
+
+/// Decodes the optional distributed-tracing trailer (PROTOCOL.md §9.4)
+/// that [`Hello`], [`Resume`], and [`ShardHello`] may carry: either the
+/// payload ends exactly where the base layout ends (no context — the
+/// v2 wire image, byte-identical to pre-tracing peers) or exactly
+/// [`TRACE_CONTEXT_WIRE_LEN`] bytes follow. Anything else is malformed.
+fn decode_trace_trailer(
+    p: &mut Bytes,
+    msg: &'static str,
+) -> Result<Option<TraceContext>, TransportError> {
+    match p.remaining() {
+        0 => Ok(None),
+        TRACE_CONTEXT_WIRE_LEN => {
+            let bytes = p.copy_to_bytes(TRACE_CONTEXT_WIRE_LEN);
+            Ok(TraceContext::from_wire_bytes(&bytes))
+        }
+        _ => Err(TransportError::Malformed(msg)),
+    }
+}
+
+/// Appends the trailer [`decode_trace_trailer`] reads. Encoding `None`
+/// appends nothing, keeping the frame byte-identical to the pre-tracing
+/// layout.
+fn encode_trace_trailer(buf: &mut BytesMut, trace: Option<TraceContext>) {
+    if let Some(ctx) = trace {
+        buf.put_slice(&ctx.to_wire_bytes());
+    }
+}
 
 /// Frame type discriminants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,10 +112,14 @@ pub struct Hello {
     pub total: u64,
     /// Number of indices per [`IndexBatch`].
     pub batch_size: u32,
+    /// Optional distributed-tracing context (PROTOCOL.md §9.4).
+    /// `None` encodes byte-identically to the pre-tracing layout.
+    pub trace: Option<TraceContext>,
 }
 
 impl Hello {
-    /// Encodes to a frame: `[modulus_len u16][modulus][total u64][batch u32]`.
+    /// Encodes to a frame:
+    /// `[modulus_len u16][modulus][total u64][batch u32][trace 24B?]`.
     ///
     /// # Errors
     /// [`TransportError::Malformed`] when the modulus is too wide for
@@ -100,18 +133,21 @@ impl Hello {
                 "hello modulus exceeds u16 length prefix",
             ));
         }
-        let mut buf = BytesMut::with_capacity(2 + m.len() + 12);
+        let mut buf = BytesMut::with_capacity(2 + m.len() + 12 + TRACE_CONTEXT_WIRE_LEN);
         buf.put_u16(m.len() as u16);
         buf.put_slice(&m);
         buf.put_u64(self.total);
         buf.put_u32(self.batch_size);
+        encode_trace_trailer(&mut buf, self.trace);
         Frame::new(MsgType::Hello as u8, buf.freeze())
     }
 
     /// Decodes from a frame payload.
     ///
     /// # Errors
-    /// [`TransportError::Malformed`] on truncation or trailing bytes.
+    /// [`TransportError::Malformed`] on truncation or trailing bytes
+    /// (anything after `batch_size` other than exactly one trace
+    /// trailer).
     pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
         expect_type(frame, MsgType::Hello)?;
         let mut p = frame.payload.clone();
@@ -125,13 +161,12 @@ impl Hello {
         let modulus = Uint::from_bytes_be(&p.copy_to_bytes(mlen));
         let total = p.get_u64();
         let batch_size = p.get_u32();
-        if p.has_remaining() {
-            return Err(TransportError::Malformed("hello trailing bytes"));
-        }
+        let trace = decode_trace_trailer(&mut p, "hello trailing bytes")?;
         Ok(Hello {
             modulus,
             total,
             batch_size,
+            trace,
         })
     }
 }
@@ -261,32 +296,41 @@ pub struct Resume {
     pub session_id: u64,
     /// The client's guess at the next batch sequence number.
     pub next_seq: u64,
+    /// Optional distributed-tracing context (PROTOCOL.md §9.4).
+    pub trace: Option<TraceContext>,
 }
 
 impl Resume {
-    /// Encodes as `[session_id u64][next_seq u64]`.
+    /// Encodes as `[session_id u64][next_seq u64][trace 24B?]`.
     ///
     /// # Errors
     /// None in practice.
     pub fn encode(&self) -> Result<Frame, TransportError> {
-        let mut buf = BytesMut::with_capacity(16);
+        let mut buf = BytesMut::with_capacity(16 + TRACE_CONTEXT_WIRE_LEN);
         buf.put_u64(self.session_id);
         buf.put_u64(self.next_seq);
+        encode_trace_trailer(&mut buf, self.trace);
         Frame::new(MsgType::Resume as u8, buf.freeze())
     }
 
     /// Decodes.
     ///
     /// # Errors
-    /// [`TransportError::Malformed`] on wrong length.
+    /// [`TransportError::Malformed`] on wrong length (16 bytes, or
+    /// 16 plus one trace trailer).
     pub fn decode(frame: &Frame) -> Result<Self, TransportError> {
         expect_type(frame, MsgType::Resume)?;
-        let b: [u8; 16] = frame.payload[..]
-            .try_into()
-            .map_err(|_| TransportError::Malformed("resume wrong length"))?;
+        let mut p = frame.payload.clone();
+        if p.remaining() < 16 {
+            return Err(TransportError::Malformed("resume wrong length"));
+        }
+        let session_id = p.get_u64();
+        let next_seq = p.get_u64();
+        let trace = decode_trace_trailer(&mut p, "resume wrong length")?;
         Ok(Resume {
-            session_id: u64::from_be_bytes(b[..8].try_into().unwrap()),
-            next_seq: u64::from_be_bytes(b[8..].try_into().unwrap()),
+            session_id,
+            next_seq,
+            trace,
         })
     }
 }
@@ -650,11 +694,14 @@ pub struct ShardHello {
     /// Seeds for pairs `(j, i)`, `j < i`, ascending in `j` — their
     /// derived blindings are *subtracted*. Length `i`.
     pub seeds_sub: Vec<Vec<u8>>,
+    /// Optional distributed-tracing context (PROTOCOL.md §9.4) shared
+    /// by every leg of the sharded query.
+    pub trace: Option<TraceContext>,
 }
 
 impl ShardHello {
     /// Encodes to a frame:
-    /// `[index u32][count u32][m_bits u32][n_add u16][n_sub u16][seed_len u16][seed]…`
+    /// `[index u32][count u32][m_bits u32][n_add u16][n_sub u16][seed_len u16][seed]…[trace 24B?]`
     /// with `seeds_add` first, then `seeds_sub`, all the same width.
     ///
     /// # Errors
@@ -686,7 +733,8 @@ impl ShardHello {
                 "shard hello seeds differ in width",
             ));
         }
-        let mut buf = BytesMut::with_capacity(18 + seed_len * (n_add + n_sub));
+        let mut buf =
+            BytesMut::with_capacity(18 + seed_len * (n_add + n_sub) + TRACE_CONTEXT_WIRE_LEN);
         buf.put_u32(self.shard_index);
         buf.put_u32(self.shard_count);
         buf.put_u32(self.m_bits);
@@ -696,6 +744,7 @@ impl ShardHello {
         for seed in self.seeds_add.iter().chain(&self.seeds_sub) {
             buf.put_slice(seed);
         }
+        encode_trace_trailer(&mut buf, self.trace);
         Frame::new(MsgType::ShardHello as u8, buf.freeze())
     }
 
@@ -737,7 +786,8 @@ impl ShardHello {
         if seed_len > MAX_SHARD_SEED_BYTES || (total_seeds > 0 && seed_len == 0) {
             return Err(TransportError::Malformed("shard hello bad seed width"));
         }
-        if p.remaining() != total_seeds * seed_len {
+        let seed_bytes = total_seeds * seed_len;
+        if p.remaining() < seed_bytes {
             return Err(TransportError::Malformed("shard hello length mismatch"));
         }
         let mut take = |count: usize| -> Vec<Vec<u8>> {
@@ -747,12 +797,14 @@ impl ShardHello {
         };
         let seeds_add = take(n_add);
         let seeds_sub = take(n_sub);
+        let trace = decode_trace_trailer(&mut p, "shard hello length mismatch")?;
         Ok(ShardHello {
             shard_index,
             shard_count,
             m_bits,
             seeds_add,
             seeds_sub,
+            trace,
         })
     }
 }
@@ -807,6 +859,7 @@ mod tests {
             modulus: kp.public.n().clone(),
             total: 100_000,
             batch_size: 100,
+            trace: None,
         };
         let f = h.encode().unwrap();
         assert_eq!(Hello::decode(&f).unwrap(), h);
@@ -819,6 +872,7 @@ mod tests {
             modulus: kp.public.n().clone(),
             total: 5,
             batch_size: 1,
+            trace: None,
         };
         let f = h.encode().unwrap();
         for cut in [0usize, 1, 5, f.payload.len() - 1] {
@@ -899,6 +953,7 @@ mod tests {
         let r = Resume {
             session_id: 7,
             next_seq: 1234,
+            trace: None,
         };
         assert_eq!(Resume::decode(&r.encode().unwrap()).unwrap(), r);
         for granted in [false, true] {
@@ -984,6 +1039,7 @@ mod tests {
             modulus: Uint::from_bytes_be(&vec![1u8; u16::MAX as usize + 1]),
             total: 1,
             batch_size: 1,
+            trace: None,
         };
         assert!(matches!(
             h.encode(),
@@ -1019,6 +1075,7 @@ mod tests {
             m_bits: 126,
             seeds_add: seeds(2, 0xaa),
             seeds_sub: seeds(1, 0x55),
+            trace: None,
         };
         let f = sh.encode().unwrap();
         assert_eq!(ShardHello::decode(&f).unwrap(), sh);
@@ -1029,6 +1086,7 @@ mod tests {
             m_bits: 126,
             seeds_add: Vec::new(),
             seeds_sub: Vec::new(),
+            trace: None,
         };
         let f = solo.encode().unwrap();
         assert_eq!(ShardHello::decode(&f).unwrap(), solo);
@@ -1042,6 +1100,7 @@ mod tests {
             m_bits: 126,
             seeds_add: seeds(1, 1),
             seeds_sub: seeds(1, 2),
+            trace: None,
         };
         let tamper = |f: &mut Vec<u8>, at: usize, v: u8| f[at] = v;
         let base = good.encode().unwrap().payload.to_vec();
@@ -1069,6 +1128,119 @@ mod tests {
         let mut lop = good;
         lop.seeds_sub[0].truncate(16);
         assert!(lop.encode().is_err());
+    }
+
+    #[test]
+    fn trace_trailer_round_trips_on_handshake_messages() {
+        let kp = key();
+        let ctx = TraceContext::new(0x1122_3344_5566_7788_99aa_bbcc_ddee_ff00, 17);
+        let h = Hello {
+            modulus: kp.public.n().clone(),
+            total: 64,
+            batch_size: 8,
+            trace: Some(ctx),
+        };
+        assert_eq!(Hello::decode(&h.encode().unwrap()).unwrap(), h);
+        let r = Resume {
+            session_id: 9,
+            next_seq: 3,
+            trace: Some(ctx),
+        };
+        assert_eq!(Resume::decode(&r.encode().unwrap()).unwrap(), r);
+        let sh = ShardHello {
+            shard_index: 0,
+            shard_count: 2,
+            m_bits: 126,
+            seeds_add: seeds(1, 0x11),
+            seeds_sub: Vec::new(),
+            trace: Some(ctx),
+        };
+        assert_eq!(ShardHello::decode(&sh.encode().unwrap()).unwrap(), sh);
+    }
+
+    #[test]
+    fn absent_trace_context_is_byte_identical_to_v2_layout() {
+        // The compatibility guarantee (PROTOCOL.md §9.4): encoding with
+        // `trace: None` must add zero bytes, so an untraced client is
+        // indistinguishable on the wire from a pre-tracing one, and the
+        // traced form is exactly the untraced bytes plus one 24-byte
+        // trailer.
+        let kp = key();
+        let ctx = TraceContext::new(5, 6);
+        let untraced = Hello {
+            modulus: kp.public.n().clone(),
+            total: 10,
+            batch_size: 2,
+            trace: None,
+        };
+        let traced = Hello {
+            trace: Some(ctx),
+            ..untraced.clone()
+        };
+        let u = untraced.encode().unwrap().payload;
+        let t = traced.encode().unwrap().payload;
+        assert_eq!(t.len(), u.len() + TRACE_CONTEXT_WIRE_LEN);
+        assert_eq!(&t[..u.len()], &u[..]);
+        assert_eq!(&t[u.len()..], &ctx.to_wire_bytes()[..]);
+
+        let untraced = Resume {
+            session_id: 1,
+            next_seq: 2,
+            trace: None,
+        };
+        let u = untraced.encode().unwrap().payload;
+        assert_eq!(u.len(), 16, "v2 resume layout unchanged");
+        let t = Resume {
+            trace: Some(ctx),
+            ..untraced
+        }
+        .encode()
+        .unwrap()
+        .payload;
+        assert_eq!(&t[..16], &u[..]);
+
+        let untraced = ShardHello {
+            shard_index: 0,
+            shard_count: 2,
+            m_bits: 126,
+            seeds_add: seeds(1, 9),
+            seeds_sub: Vec::new(),
+            trace: None,
+        };
+        let u = untraced.encode().unwrap().payload;
+        let t = ShardHello {
+            trace: Some(ctx),
+            ..untraced.clone()
+        }
+        .encode()
+        .unwrap()
+        .payload;
+        assert_eq!(t.len(), u.len() + TRACE_CONTEXT_WIRE_LEN);
+        assert_eq!(&t[..u.len()], &u[..]);
+    }
+
+    #[test]
+    fn partial_trace_trailer_rejected() {
+        let kp = key();
+        let h = Hello {
+            modulus: kp.public.n().clone(),
+            total: 10,
+            batch_size: 2,
+            trace: Some(TraceContext::new(1, 2)),
+        };
+        let full = h.encode().unwrap().payload.to_vec();
+        for cut in 1..TRACE_CONTEXT_WIRE_LEN {
+            let bad = Frame::new(MsgType::Hello as u8, full[..full.len() - cut].to_vec()).unwrap();
+            assert!(Hello::decode(&bad).is_err(), "cut={cut}");
+        }
+        let r = Resume {
+            session_id: 1,
+            next_seq: 2,
+            trace: Some(TraceContext::new(1, 2)),
+        };
+        let full = r.encode().unwrap().payload.to_vec();
+        let bad = Frame::new(MsgType::Resume as u8, full[..full.len() - 1].to_vec()).unwrap();
+        assert!(Resume::decode(&bad).is_err());
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub struct ServerObs {
     pub(crate) queue_wait_seconds: Arc<Histogram>,
     pub(crate) fold_seconds: Arc<Histogram>,
     pub(crate) server_compute: Arc<Histogram>,
+    pub(crate) slow_queries: Arc<Counter>,
 }
 
 impl ServerObs {
@@ -106,6 +107,17 @@ impl ServerObs {
     /// session spans/events through `tracer`.
     pub fn with_tracer(registry: Arc<Registry>, tracer: Tracer) -> Self {
         let wire = WireMetrics::from_registry(&registry);
+        // Info-style gauge: always 1, labels identify the build, so a
+        // scrape (and /healthz) can correlate metric changes with
+        // deploys and wire-compatibility with the frame magic.
+        let magic = format!("{:#06x}", pps_transport::FRAME_MAGIC);
+        registry
+            .gauge_with_labels(
+                names::BUILD_INFO,
+                "build identity: crate version and protocol frame magic",
+                &[("version", env!("CARGO_PKG_VERSION")), ("magic", &magic)],
+            )
+            .set(1);
         ServerObs {
             wire,
             fold_plan: FoldPlanObs::new(&registry),
@@ -167,6 +179,10 @@ impl ServerObs {
                 "server-side homomorphic fold time per batch",
             ),
             server_compute: registry.phase_histogram(Phase::ServerCompute),
+            slow_queries: registry.counter(
+                names::SLOW_QUERIES_TOTAL,
+                "sessions whose wall time crossed the slow-query threshold",
+            ),
             registry,
             tracer,
         }
@@ -348,6 +364,7 @@ mod tests {
             batch: None,
             start_ns: 0,
             end_ns: ns,
+            trace: None,
         }
     }
 

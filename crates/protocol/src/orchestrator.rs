@@ -149,8 +149,9 @@ struct Conn<'a> {
     done: bool,
     /// Terminal error, applied once no job is in flight.
     error: Option<ProtocolError>,
-    /// Records the session span on drop (at finalization).
-    _span: Option<SpanGuard>,
+    /// Records the session span on drop (at finalization), stamped with
+    /// the peer's trace context just before.
+    span: Option<SpanGuard>,
 }
 
 /// A connection parked in the bounded admission queue: accepted and
@@ -227,10 +228,19 @@ pub(crate) fn serve_event(
             obs: Option<&crate::obs::ServerObs>,
             on_event: &(dyn Fn(SessionEvent<'_>) + Sync),
             id: usize,
-            conn: Conn<'_>,
+            mut conn: Conn<'_>,
+            slow_query_threshold: Option<std::time::Duration>,
         ) {
             if let Some(obs) = obs {
                 obs.active.sub(1);
+            }
+            // Stamp the peer's announced trace context onto the session
+            // span before it records (the span drops with `conn`), so
+            // every exit path — completed, evicted, failed, drained —
+            // carries it.
+            let trace = conn.flow.as_ref().and_then(|f| f.trace());
+            if let (Some(span), Some(ctx)) = (conn.span.as_mut(), trace) {
+                span.set_trace(ctx);
             }
             match (&conn.error, conn.done) {
                 (None, true) => {
@@ -238,22 +248,35 @@ pub(crate) fn serve_event(
                         Some(flow) => flow.stats().clone(),
                         None => return, // unreachable: done implies flow home
                     };
+                    let wall = conn.started.elapsed();
                     agg.sessions += 1;
                     agg.folded += stats.folded;
                     agg.compute += stats.compute;
                     if let Some(obs) = obs {
                         obs.completed.inc();
-                        obs.session_seconds.record_duration(conn.started.elapsed());
+                        obs.session_seconds.record_duration(wall);
                         for batch in &stats.per_batch_compute {
                             obs.fold_seconds.record_duration(*batch);
                         }
+                        let tracer = match trace {
+                            Some(ctx) => obs.tracer().with_context(ctx),
+                            None => obs.tracer().clone(),
+                        };
                         obs.server_compute.record_duration(stats.compute);
-                        obs.tracer().record_phase_total(
+                        tracer.record_phase_total(
                             "server_compute",
                             pps_obs::Phase::ServerCompute,
                             Some(id as u64),
                             stats.compute,
                         );
+                        if slow_query_threshold.is_some_and(|t| wall >= t) {
+                            obs.slow_queries.inc();
+                            tracer.event(
+                                "slow_query",
+                                Some(id as u64),
+                                crate::tcp_server::slow_query_detail(wall, &stats),
+                            );
+                        }
                     }
                     on_event(SessionEvent::Finished {
                         session: id,
@@ -643,7 +666,14 @@ pub(crate) fn serve_event(
                 if complete || conn.error.is_some() {
                     progress = true;
                     let conn = conns.remove(&id).expect("present above");
-                    finalize(&mut agg, obs, on_event, id, conn);
+                    finalize(
+                        &mut agg,
+                        obs,
+                        on_event,
+                        id,
+                        conn,
+                        server.slow_query_threshold,
+                    );
                 }
             }
 
@@ -753,7 +783,7 @@ fn activate<'a>(
             read_closed: false,
             done: false,
             error: None,
-            _span: span,
+            span,
         },
     );
 }

@@ -200,6 +200,7 @@ mod tests {
                 modulus: kp.public.n().clone(),
                 total: 4,
                 batch_size: 2,
+                trace: None,
             }
             .encode()
             .unwrap(),

@@ -601,6 +601,7 @@ mod tests {
             modulus: kp.public.n().clone(),
             total,
             batch_size: batch,
+            trace: None,
         }
         .encode()
         .unwrap()

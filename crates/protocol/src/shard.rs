@@ -56,7 +56,9 @@ use crate::error::ProtocolError;
 use crate::messages::{ShardHello, SizeReply, SizeRequest};
 use crate::multidb::MIN_BLINDING_KEY_BITS;
 use crate::obs::ShardObs;
-use crate::tcp_client::{run_stream_query_raw, PresetQuery, RawQueryOutcome, TcpQueryConfig};
+use crate::tcp_client::{
+    run_stream_query_raw, LegTrace, PresetQuery, RawQueryOutcome, TcpQueryConfig,
+};
 
 /// Width in bytes of each pairwise blinding seed the engine generates.
 const SEED_BYTES: usize = 32;
@@ -139,6 +141,7 @@ fn run_leg<S, F>(
     mut plan: LegPlan<S, F>,
     client: &SumClient,
     config: &TcpQueryConfig,
+    tracer: Option<&pps_obs::Tracer>,
 ) -> Result<RawQueryOutcome, ProtocolError>
 where
     S: Read + Write,
@@ -148,6 +151,10 @@ where
         n: plan.rows,
         selection: Selection::from_indices(plan.rows, &plan.local)?,
     };
+    let leg_trace = tracer.map(|tracer| LegTrace {
+        tracer,
+        leg: plan.leg as u64,
+    });
     let mut first = Some(plan.wire);
     let inner = &mut plan.connect;
     let hello = &plan.hello;
@@ -163,7 +170,15 @@ where
         Ok(wire)
     };
     let mut rng = StdRng::from_seed(plan.rng_seed);
-    run_stream_query_raw(&mut connect, client, &[], config, &mut rng, Some(preset))
+    run_stream_query_raw(
+        &mut connect,
+        client,
+        &[],
+        config,
+        &mut rng,
+        Some(preset),
+        leg_trace.as_ref(),
+    )
 }
 
 /// Runs one private selected-sum query fanned out over `legs.len()`
@@ -235,6 +250,7 @@ where
                 m_bits: m_bits as u32,
                 seeds_add: seeds[i].clone(),
                 seeds_sub: (0..i).map(|j| seeds[j][i - j - 1].clone()).collect(),
+                trace: config.tcp.trace,
             }
             .encode()
             .map_err(ProtocolError::from)
@@ -348,7 +364,7 @@ where
                 scope.spawn(move || {
                     let span =
                         obs.map(|o| o.tracer().span("shard_leg").session(leg as u64).start());
-                    let r = run_leg(plan, client, tcp);
+                    let r = run_leg(plan, client, tcp, obs.map(|o| o.tracer()));
                     drop(span);
                     (leg, r)
                 })

@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pps_bignum::Uint;
-use pps_obs::{Collector, Phase, RingCollector, SpanRecord, TeeCollector, Tracer};
+use pps_obs::{Collector, Phase, RingCollector, SpanRecord, TeeCollector, TraceContext, Tracer};
 use pps_transport::{
     RetryPolicy, RetryStats, StreamWire, TcpWire, TimedWire, TrafficStats, TransportError, Wire,
 };
@@ -62,6 +62,11 @@ pub struct TcpQueryConfig {
     /// Retry policy applied by [`run_tcp_query_with_retry`] to the
     /// connect and to full-query re-issue.
     pub retry: RetryPolicy,
+    /// Distributed trace context announced to the server as a trailer
+    /// on `Hello`/`Resume` (and on `ShardHello` by the fan-out engine).
+    /// `None` — the default — leaves the wire byte-identical to an
+    /// untraced peer (PROTOCOL.md §9.4).
+    pub trace: Option<TraceContext>,
 }
 
 impl Default for TcpQueryConfig {
@@ -74,6 +79,7 @@ impl Default for TcpQueryConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             retry: RetryPolicy::default(),
+            trace: None,
         }
     }
 }
@@ -128,6 +134,47 @@ pub(crate) struct PresetQuery {
     pub(crate) selection: Selection,
 }
 
+/// Client-side span instrumentation for one shard leg: the tracer the
+/// leg's phase spans go through (usually context-stamped by the traced
+/// fan-out) and the leg index used as their session tag.
+pub(crate) struct LegTrace<'a> {
+    pub(crate) tracer: &'a Tracer,
+    pub(crate) leg: u64,
+}
+
+impl LegTrace<'_> {
+    /// Emits the leg's coarse three-phase decomposition for one
+    /// successful attempt: the batch-streaming wall
+    /// ([`Phase::ClientEncrypt`] — includes the writes it interleaves),
+    /// the wait for the product minus its decryption ([`Phase::Comm`]),
+    /// and the decryption itself ([`Phase::ClientDecrypt`]).
+    fn record_phases(&self, stream_start: u64, stream_end: u64, decrypt: Duration) {
+        let end = self.tracer.now_ns();
+        let dec_ns = u64::try_from(decrypt.as_nanos())
+            .unwrap_or(u64::MAX)
+            .min(end.saturating_sub(stream_end));
+        let span = |name: &str, phase, start_ns, end_ns| SpanRecord {
+            name: name.to_string(),
+            phase: Some(phase),
+            session: Some(self.leg),
+            batch: None,
+            start_ns,
+            end_ns,
+            trace: None, // stamped by the tracer's context
+        };
+        self.tracer.record_span(span(
+            "leg_encrypt_stream",
+            Phase::ClientEncrypt,
+            stream_start,
+            stream_end,
+        ));
+        self.tracer
+            .record_span(span("leg_wire_wait", Phase::Comm, stream_end, end - dec_ns));
+        self.tracer
+            .record_span(span("leg_decrypt", Phase::ClientDecrypt, end - dec_ns, end));
+    }
+}
+
 /// Whether a failure is worth retrying: transient transport weather
 /// (peer gone, deadline expired, OS-level socket error) yes; protocol,
 /// crypto, and configuration errors no.
@@ -173,12 +220,14 @@ fn resumable_attempt<S: Read + Write>(
     config: &TcpQueryConfig,
     rng: &mut dyn RngCore,
     state: &mut AttemptState,
+    leg: Option<&LegTrace<'_>>,
 ) -> Result<Uint, ProtocolError> {
     if let Some(sid) = state.session {
         wire.send(
             Resume {
                 session_id: sid,
                 next_seq: 0,
+                trace: config.trace,
             }
             .encode()?,
         )?;
@@ -192,6 +241,7 @@ fn resumable_attempt<S: Read + Write>(
             // Fresh randomness for the re-encrypted tail: the resumed
             // stream is as indistinguishable as a fresh query.
             let mut source = index_source(config, rng);
+            let stream_start = leg.map(|l| l.tracer.now_ns());
             client.stream_batches(
                 wire,
                 selection,
@@ -199,7 +249,11 @@ fn resumable_attempt<S: Read + Write>(
                 &mut source,
                 ack.next_seq,
             )?;
-            let (sum, _) = client.receive_result(wire)?;
+            let stream_end = leg.map(|l| l.tracer.now_ns());
+            let (sum, decrypt) = client.receive_result(wire)?;
+            if let (Some(l), Some(s), Some(e)) = (leg, stream_start, stream_end) {
+                l.record_phases(s, e, decrypt);
+            }
             return Ok(sum);
         }
         // Checkpoint gone (TTL, capacity, restart). The server is back
@@ -224,6 +278,7 @@ fn resumable_attempt<S: Read + Write>(
             modulus: client.keypair().public.n().clone(),
             total: selection.len() as u64,
             batch_size: config.batch_size.min(u32::MAX as usize) as u32,
+            trace: config.trace,
         }
         .encode()?,
     )?;
@@ -232,8 +287,13 @@ fn resumable_attempt<S: Read + Write>(
     // resume with.
     state.session = Some(HelloAck::decode(&wire.recv()?)?.session_id);
     let mut source = index_source(config, rng);
+    let stream_start = leg.map(|l| l.tracer.now_ns());
     client.stream_batches(wire, selection, config.batch_size, &mut source, 0)?;
-    let (sum, _) = client.receive_result(wire)?;
+    let stream_end = leg.map(|l| l.tracer.now_ns());
+    let (sum, decrypt) = client.receive_result(wire)?;
+    if let (Some(l), Some(s), Some(e)) = (leg, stream_start, stream_end) {
+        l.record_phases(s, e, decrypt);
+    }
     Ok(sum)
 }
 
@@ -261,7 +321,7 @@ where
     S: Read + Write,
     F: FnMut(u32) -> Result<StreamWire<S>, ProtocolError>,
 {
-    let raw = run_stream_query_raw(connect, client, select, config, rng, None)?;
+    let raw = run_stream_query_raw(connect, client, select, config, rng, None, None)?;
     let sum = raw
         .sum
         .to_u128()
@@ -289,6 +349,7 @@ pub(crate) fn run_stream_query_raw<S, F>(
     config: &TcpQueryConfig,
     rng: &mut dyn RngCore,
     preset: Option<PresetQuery>,
+    leg: Option<&LegTrace<'_>>,
 ) -> Result<RawQueryOutcome, ProtocolError>
 where
     S: Read + Write,
@@ -323,7 +384,7 @@ where
         retry.attempts += 1;
         let outcome = match connect(retry.attempts) {
             Ok(mut wire) => {
-                let r = resumable_attempt(&mut wire, client, select, config, rng, &mut state);
+                let r = resumable_attempt(&mut wire, client, select, config, rng, &mut state, leg);
                 attempt_payload_bytes.push(wire.stats().payload_bytes_sent);
                 r.map(|sum| (sum, wire.stats()))
             }
@@ -469,6 +530,7 @@ fn attempt_observed(
             batch: Some(batch as u64),
             start_ns: end_ns.saturating_sub(dur_ns),
             end_ns,
+            trace: None,
         });
     }
     obs.comm.record_duration(comm);

@@ -149,6 +149,19 @@ pub(crate) fn is_eviction(error: &ProtocolError) -> bool {
     matches!(error, ProtocolError::Transport(TransportError::TimedOut))
 }
 
+/// The per-phase breakdown attached to a `slow_query` event: wall time,
+/// fold compute, the remainder (wire wait + framing), and work volume.
+pub(crate) fn slow_query_detail(wall: Duration, stats: &crate::server::ServerStats) -> String {
+    let wait = wall.saturating_sub(stats.compute);
+    format!(
+        "wall_ms={:.3} compute_ms={:.3} wire_wait_ms={:.3} folded={}",
+        wall.as_secs_f64() * 1e3,
+        stats.compute.as_secs_f64() * 1e3,
+        wait.as_secs_f64() * 1e3,
+        stats.folded,
+    )
+}
+
 /// Per-session I/O limits enforced by the connection driver.
 ///
 /// `None` disables the corresponding deadline (the pre-hardening
@@ -421,6 +434,7 @@ pub struct TcpServer {
     pub(crate) workers: Option<usize>,
     pub(crate) queue_capacity: usize,
     pub(crate) fair_share: Option<usize>,
+    pub(crate) slow_query_threshold: Option<Duration>,
 }
 
 impl TcpServer {
@@ -451,6 +465,7 @@ impl TcpServer {
             workers: None,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             fair_share: None,
+            slow_query_threshold: None,
         })
     }
 
@@ -516,6 +531,18 @@ impl TcpServer {
     #[must_use]
     pub fn require_shard_handshake(mut self) -> Self {
         self.require_shard = true;
+        self
+    }
+
+    /// Flags sessions whose wall time (accept to completion, queue wait
+    /// included) reaches `threshold`: each one increments
+    /// `pps_slow_queries_total` and emits a `slow_query` event — carrying
+    /// the session's phase breakdown, stamped with the peer's trace
+    /// context when it announced one — through the observability
+    /// tracer. A no-op without [`TcpServer::with_observability`].
+    #[must_use]
+    pub fn with_slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_query_threshold = Some(threshold);
         self
     }
 
@@ -777,6 +804,7 @@ impl TcpServer {
                 let table = &self.resumption;
                 let require_shard = self.require_shard;
                 let max_concurrent = self.max_concurrent;
+                let slow_query_threshold = self.slow_query_threshold;
                 let obs = self.obs.as_ref();
                 let fault_hook = self.fault_hook.clone();
                 let shutdown = &self.shutdown;
@@ -858,7 +886,7 @@ impl TcpServer {
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         // Records on drop, so evicted/failed sessions
                         // get a span too.
-                        let _span =
+                        let mut span =
                             obs.map(|o| o.tracer().span("session").session(id as u64).start());
                         if let Some(hook) = &fault_hook {
                             hook(id);
@@ -868,10 +896,17 @@ impl TcpServer {
                             SessionFlow::new(db, fold, plan.cloned(), table, require_shard);
                         let result =
                             drive_connection(&mut flow, stream, limits, deadline, wire_metrics);
-                        (flow.resumed(), flow.stats().clone(), result)
+                        // Stamp the peer's announced trace context onto
+                        // the session span so the client-side assembler
+                        // can claim it by trace id.
+                        let trace = flow.trace();
+                        if let (Some(span), Some(ctx)) = (span.as_mut(), trace) {
+                            span.set_trace(ctx);
+                        }
+                        (flow.resumed(), flow.stats().clone(), result, trace)
                     }));
                     match outcome {
-                        Ok((resumed, stats, result)) => {
+                        Ok((resumed, stats, result, trace)) => {
                             if resumed {
                                 lock_recover(agg).resumed += 1;
                                 if let Some(obs) = obs {
@@ -881,6 +916,7 @@ impl TcpServer {
                             }
                             match result {
                                 Ok(()) => {
+                                    let wall = session_start.elapsed();
                                     let mut a = lock_recover(agg);
                                     a.sessions += 1;
                                     a.folded += stats.folded;
@@ -888,22 +924,36 @@ impl TcpServer {
                                     drop(a);
                                     if let Some(obs) = obs {
                                         obs.completed.inc();
-                                        obs.session_seconds
-                                            .record_duration(session_start.elapsed());
+                                        obs.session_seconds.record_duration(wall);
                                         for batch in &stats.per_batch_compute {
                                             obs.fold_seconds.record_duration(*batch);
                                         }
+                                        // Propagate the peer's trace
+                                        // context onto everything recorded
+                                        // for this session.
+                                        let tracer = match trace {
+                                            Some(ctx) => obs.tracer().with_context(ctx),
+                                            None => obs.tracer().clone(),
+                                        };
                                         // The phase histogram and the span
                                         // bridge see the same Duration, so a
                                         // scrape and a reconstructed
                                         // RunReport agree exactly.
                                         obs.server_compute.record_duration(stats.compute);
-                                        obs.tracer().record_phase_total(
+                                        tracer.record_phase_total(
                                             "server_compute",
                                             pps_obs::Phase::ServerCompute,
                                             Some(id as u64),
                                             stats.compute,
                                         );
+                                        if slow_query_threshold.is_some_and(|t| wall >= t) {
+                                            obs.slow_queries.inc();
+                                            tracer.event(
+                                                "slow_query",
+                                                Some(id as u64),
+                                                slow_query_detail(wall, &stats),
+                                            );
+                                        }
                                     }
                                     on_event(SessionEvent::Finished {
                                         session: id,

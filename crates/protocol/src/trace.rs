@@ -1,0 +1,700 @@
+//! Cross-process trace assembly: one causally ordered timeline from a
+//! traced sharded query (PROTOCOL.md §9.4).
+//!
+//! A traced query mints one [`TraceContext`], carries it to every shard
+//! worker inside the handshake messages, and records its own client-side
+//! spans through a context-stamped [`Tracer`]. Each worker's runtime
+//! stamps the context onto everything it records for that session, and
+//! its [`TraceBuffer`](pps_obs::TraceBuffer) serves those records back
+//! over `GET /trace/<id>`. [`run_sharded_query_traced`] drives the whole
+//! round trip: run the query, fetch each leg's server-side records, and
+//! merge everything into a [`TraceTimeline`].
+//!
+//! **Clock skew.** Every process timestamps against its own tracer
+//! epoch, so raw server timestamps are meaningless next to client ones.
+//! The assembler normalizes per leg by aligning the *midpoint* of the
+//! server's `session` span with the midpoint of the client's matching
+//! `shard_leg` span: the server session is causally enclosed by the
+//! client leg (the client opened the connection and read the last
+//! reply), so midpoint alignment centers the server work inside the
+//! observed envelope and is exact when request and response latencies
+//! are symmetric. Durations are never altered — only offsets.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pps_obs::{JsonValue, Record, Registry, RingCollector, TraceContext, Tracer};
+use rand::RngCore;
+
+use crate::client::SumClient;
+use crate::error::ProtocolError;
+use crate::obs::{PhaseTotals, ShardObs};
+use crate::report::{RunReport, Variant};
+use crate::shard::{run_sharded_query, ShardQueryConfig, ShardQueryOutcome};
+
+/// How many records the traced query's private client-side ring holds.
+const CLIENT_RING_CAPACITY: usize = 4096;
+
+/// How long [`run_sharded_query_traced`] keeps polling a leg's obs
+/// endpoint for the session's records. The server finalizes a session
+/// (and records its spans) moments *after* the client has its answer —
+/// the gap is one connection-close detection, so the poll is short.
+const FETCH_RETRIES: u32 = 100;
+const FETCH_RETRY_DELAY: Duration = Duration::from_millis(10);
+
+/// One record placed on the merged timeline: which process emitted it
+/// (0 = client, `i + 1` = shard leg `i`) and the record itself, with
+/// its timestamps already normalized onto the client's clock.
+#[derive(Clone, Debug)]
+pub struct TimelineEntry {
+    /// Emitting process: 0 for the client, `leg + 1` for a shard leg.
+    pub process: usize,
+    /// The span or event, timestamps in client-clock nanoseconds.
+    pub record: Record,
+}
+
+impl TimelineEntry {
+    /// Human label for the emitting process.
+    pub fn process_label(&self) -> String {
+        process_label(self.process)
+    }
+
+    fn start_ns(&self) -> u64 {
+        match &self.record {
+            Record::Span(s) => s.start_ns,
+            Record::Event(e) => e.at_ns,
+        }
+    }
+}
+
+fn process_label(process: usize) -> String {
+    if process == 0 {
+        "client".into()
+    } else {
+        format!("shard{}", process - 1)
+    }
+}
+
+/// The assembled cross-process timeline of one traced query.
+#[derive(Clone, Debug)]
+pub struct TraceTimeline {
+    /// The query's trace id.
+    pub trace_id: u128,
+    /// Total processes (client + legs), even if a leg recorded nothing.
+    pub processes: usize,
+    /// All records, ordered by normalized start time.
+    pub entries: Vec<TimelineEntry>,
+}
+
+impl TraceTimeline {
+    /// Merges the client's records with each leg's server-side records
+    /// into one timeline on the client's clock. `legs[i]` holds what
+    /// shard leg `i`'s server recorded for this trace (possibly empty
+    /// when the fetch failed); skew normalization is per leg, keyed on
+    /// the client's `shard_leg` span with `session == i` (see the
+    /// module docs). A leg with no alignment anchor is merged with its
+    /// raw timestamps.
+    pub fn assemble(trace_id: u128, client: Vec<Record>, legs: Vec<Vec<Record>>) -> Self {
+        let mut entries: Vec<TimelineEntry> = Vec::new();
+        for record in &client {
+            entries.push(TimelineEntry {
+                process: 0,
+                record: record.clone(),
+            });
+        }
+        let processes = legs.len() + 1;
+        for (i, leg) in legs.into_iter().enumerate() {
+            let offset = leg_clock_offset(&client, &leg, i as u64);
+            for mut record in leg {
+                shift_record(&mut record, offset);
+                entries.push(TimelineEntry {
+                    process: i + 1,
+                    record,
+                });
+            }
+        }
+        entries.sort_by_key(|e| (e.start_ns(), e.process));
+        TraceTimeline {
+            trace_id,
+            processes,
+            entries,
+        }
+    }
+
+    /// The spans on the timeline, in timeline order.
+    pub fn spans(&self) -> impl Iterator<Item = &pps_obs::SpanRecord> {
+        self.entries.iter().filter_map(|e| match &e.record {
+            Record::Span(s) => Some(s),
+            Record::Event(_) => None,
+        })
+    }
+
+    /// Distinct processes that actually contributed records.
+    pub fn processes_seen(&self) -> usize {
+        let mut seen = vec![false; self.processes];
+        for e in &self.entries {
+            if let Some(slot) = seen.get_mut(e.process) {
+                *slot = true;
+            }
+        }
+        seen.iter().filter(|s| **s).count()
+    }
+
+    /// The timeline as a JSON object: trace id, process labels, and one
+    /// entry per record (the record's own JSONL shape plus `process`).
+    pub fn to_json(&self) -> JsonValue {
+        let entries = self.entries.iter().map(|e| {
+            let record = match &e.record {
+                Record::Span(s) => s.to_json(),
+                Record::Event(ev) => ev.to_json(),
+            };
+            JsonValue::object()
+                .field("process", e.process as u64)
+                .field("process_label", e.process_label())
+                .field("record", record)
+        });
+        JsonValue::object()
+            .field(
+                "trace_id",
+                TraceContext::new(self.trace_id, 0).trace_id_hex(),
+            )
+            .field("processes", self.processes as u64)
+            .field("entries", JsonValue::array(entries))
+    }
+
+    /// A human-readable rendering: one line per record, time-ordered,
+    /// offsets relative to the earliest record.
+    pub fn render_pretty(&self) -> String {
+        let origin = self.entries.iter().map(TimelineEntry::start_ns).min();
+        let mut out = format!(
+            "trace {} — {} records across {} processes\n",
+            TraceContext::new(self.trace_id, 0).trace_id_hex(),
+            self.entries.len(),
+            self.processes_seen(),
+        );
+        let Some(origin) = origin else { return out };
+        for e in &self.entries {
+            let at_ms = (e.start_ns() - origin) as f64 / 1e6;
+            match &e.record {
+                Record::Span(s) => {
+                    let dur_ms = s.duration().as_secs_f64() * 1e3;
+                    let phase = s.phase.map(|p| p.label()).unwrap_or("-");
+                    out.push_str(&format!(
+                        "{:>10.3}ms  {:<8} span  {:<20} {:>10.3}ms  phase={}\n",
+                        at_ms,
+                        e.process_label(),
+                        s.name,
+                        dur_ms,
+                        phase,
+                    ));
+                }
+                Record::Event(ev) => {
+                    out.push_str(&format!(
+                        "{:>10.3}ms  {:<8} event {:<20} {}\n",
+                        at_ms,
+                        e.process_label(),
+                        ev.name,
+                        ev.detail,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// The timeline in Chrome trace-event format (the JSON object form
+    /// with a `traceEvents` array), loadable in Perfetto / `chrome:
+    /// //tracing`. Each process gets its own `pid` track with a
+    /// `process_name` metadata record; spans become complete (`X`)
+    /// events, events become instants (`i`), timestamps in microseconds.
+    pub fn to_chrome_trace(&self) -> JsonValue {
+        let mut events: Vec<JsonValue> = Vec::new();
+        for process in 0..self.processes {
+            events.push(
+                JsonValue::object()
+                    .field("ph", "M")
+                    .field("name", "process_name")
+                    .field("pid", process as u64)
+                    .field("tid", 0u64)
+                    .field(
+                        "args",
+                        JsonValue::object().field("name", process_label(process)),
+                    ),
+            );
+        }
+        for e in &self.entries {
+            let pid = e.process as u64;
+            events.push(match &e.record {
+                Record::Span(s) => {
+                    let mut args = JsonValue::object();
+                    if let Some(phase) = s.phase {
+                        args = args.field("phase", phase.label());
+                    }
+                    if let Some(batch) = s.batch {
+                        args = args.field("batch", batch);
+                    }
+                    JsonValue::object()
+                        .field("ph", "X")
+                        .field("name", s.name.as_str())
+                        .field("pid", pid)
+                        .field("tid", s.session.unwrap_or(0))
+                        .field("ts", s.start_ns as f64 / 1e3)
+                        .field("dur", s.duration().as_nanos() as f64 / 1e3)
+                        .field("args", args)
+                }
+                Record::Event(ev) => JsonValue::object()
+                    .field("ph", "i")
+                    .field("s", "t")
+                    .field("name", ev.name.as_str())
+                    .field("pid", pid)
+                    .field("tid", ev.session.unwrap_or(0))
+                    .field("ts", ev.at_ns as f64 / 1e3)
+                    .field(
+                        "args",
+                        JsonValue::object().field("detail", ev.detail.as_str()),
+                    ),
+            });
+        }
+        JsonValue::object()
+            .field("traceEvents", JsonValue::Array(events))
+            .field("displayTimeUnit", "ms")
+    }
+}
+
+/// Client-clock minus server-clock offset for leg `i`: aligns the
+/// midpoint of the server's `session` span with the midpoint of the
+/// client's `shard_leg` span for that leg. Zero when either anchor span
+/// is missing.
+fn leg_clock_offset(client: &[Record], leg: &[Record], leg_index: u64) -> i64 {
+    let client_mid = client.iter().find_map(|r| match r {
+        Record::Span(s) if s.name == "shard_leg" && s.session == Some(leg_index) => {
+            Some(midpoint_ns(s))
+        }
+        _ => None,
+    });
+    let server_mid = leg.iter().find_map(|r| match r {
+        Record::Span(s) if s.name == "session" => Some(midpoint_ns(s)),
+        _ => None,
+    });
+    match (client_mid, server_mid) {
+        (Some(c), Some(s)) => c - s,
+        _ => 0,
+    }
+}
+
+fn midpoint_ns(s: &pps_obs::SpanRecord) -> i64 {
+    (s.start_ns as i64) + ((s.end_ns.saturating_sub(s.start_ns)) as i64) / 2
+}
+
+fn shift_ns(t: u64, offset: i64) -> u64 {
+    (t as i64).saturating_add(offset).max(0) as u64
+}
+
+fn shift_record(record: &mut Record, offset: i64) {
+    match record {
+        Record::Span(s) => {
+            s.start_ns = shift_ns(s.start_ns, offset);
+            s.end_ns = shift_ns(s.end_ns, offset);
+        }
+        Record::Event(e) => e.at_ns = shift_ns(e.at_ns, offset),
+    }
+}
+
+/// Parses a `GET /trace/<id>` JSONL body back into records. Lines that
+/// are not well-formed span/event objects are skipped (a collector
+/// version skew must degrade a timeline, not fail the query).
+pub fn parse_trace_jsonl(body: &str) -> Vec<Record> {
+    body.lines().filter_map(record_from_line).collect()
+}
+
+fn record_from_line(line: &str) -> Option<Record> {
+    let v = JsonValue::parse(line).ok()?;
+    let trace = v.get("trace_id").and_then(|t| {
+        let id = TraceContext::parse_trace_id(t.as_str()?)?;
+        let parent = v.get("parent_span_id").and_then(JsonValue::as_u64)?;
+        Some(TraceContext::new(id, parent))
+    });
+    let name = v.get("name")?.as_str()?.to_string();
+    let session = v.get("session").and_then(JsonValue::as_u64);
+    match v.get("kind")?.as_str()? {
+        "span" => Some(Record::Span(pps_obs::SpanRecord {
+            name,
+            phase: v
+                .get("phase")
+                .and_then(JsonValue::as_str)
+                .and_then(pps_obs::Phase::from_label),
+            session,
+            batch: v.get("batch").and_then(JsonValue::as_u64),
+            start_ns: v.get("start_ns")?.as_u64()?,
+            end_ns: v.get("end_ns")?.as_u64()?,
+            trace,
+        })),
+        "event" => Some(Record::Event(pps_obs::EventRecord {
+            name,
+            session,
+            at_ns: v.get("at_ns")?.as_u64()?,
+            detail: v
+                .get("detail")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            trace,
+        })),
+        _ => None,
+    }
+}
+
+/// Fetches the records a server's [`pps_obs::TraceBuffer`] holds for `trace_id`
+/// through its obs HTTP endpoint. Returns an empty vec on 404 (unknown
+/// or evicted trace).
+///
+/// # Errors
+/// [`ProtocolError::Config`] when the endpoint is unreachable or
+/// answers with a non-200/404 status.
+pub fn fetch_trace(addr: SocketAddr, trace_id: u128) -> Result<Vec<Record>, ProtocolError> {
+    let path = format!("/trace/{}", TraceContext::new(trace_id, 0).trace_id_hex());
+    let (status, body) = pps_obs::http::get(addr, &path)
+        .map_err(|e| ProtocolError::Config(format!("trace fetch from {addr} failed: {e}")))?;
+    if status.contains("404") {
+        return Ok(Vec::new());
+    }
+    if !status.contains("200") {
+        return Err(ProtocolError::Config(format!(
+            "trace fetch from {addr}: unexpected status {status}"
+        )));
+    }
+    Ok(parse_trace_jsonl(&body))
+}
+
+/// Everything a traced sharded query produced.
+#[derive(Clone, Debug)]
+pub struct TracedShardQuery {
+    /// The ordinary query outcome: sum, sizes, per-leg reports.
+    pub outcome: ShardQueryOutcome,
+    /// The four-component breakdown reconstructed from the merged
+    /// timeline's phase-tagged spans (client phases summed over legs,
+    /// server compute summed over the legs' server-side records).
+    pub report: RunReport,
+    /// The minted trace id, shared by every record on the timeline.
+    pub trace_id: u128,
+    /// The merged cross-process timeline.
+    pub timeline: TraceTimeline,
+    /// Legs whose server-side records were actually fetched (a leg
+    /// whose obs endpoint never served the trace contributes only
+    /// client-side records to the timeline).
+    pub legs_fetched: usize,
+}
+
+/// Runs one sharded query end-to-end traced: mints a [`TraceContext`],
+/// propagates it to every worker on the wire, then assembles the full
+/// cross-process timeline by fetching each leg's server-side records
+/// from `obs_addrs[i]` (shard `i`'s obs HTTP endpoint, see
+/// `MetricsServer::start_with_traces`).
+///
+/// Client-side spans (per-leg encrypt/wire/decrypt phases and the
+/// `shard_leg` envelopes) are recorded into a private ring; shard-leg
+/// counters additionally land in `registry`.
+///
+/// # Errors
+/// As [`run_sharded_query`], plus [`ProtocolError::Config`] when
+/// `obs_addrs` does not pair up with `addrs`. A leg whose trace fetch
+/// fails does *not* fail the query — the timeline just lacks that leg's
+/// server-side records (see [`TracedShardQuery::legs_fetched`]).
+pub fn run_sharded_query_traced(
+    addrs: &[String],
+    obs_addrs: &[SocketAddr],
+    client: &SumClient,
+    select: &[usize],
+    config: &ShardQueryConfig,
+    registry: Arc<Registry>,
+    rng: &mut dyn RngCore,
+) -> Result<TracedShardQuery, ProtocolError> {
+    if obs_addrs.len() != addrs.len() {
+        return Err(ProtocolError::Config(format!(
+            "{} shard addresses but {} obs addresses",
+            addrs.len(),
+            obs_addrs.len()
+        )));
+    }
+    let mut id_bytes = [0u8; 16];
+    rng.fill_bytes(&mut id_bytes);
+    let trace_id = u128::from_be_bytes(id_bytes).max(1); // zero reads as "absent"
+    let ctx = TraceContext::new(trace_id, 0);
+
+    let ring = Arc::new(RingCollector::new(CLIENT_RING_CAPACITY));
+    let tracer = Tracer::new(Arc::clone(&ring) as Arc<dyn pps_obs::Collector>).with_context(ctx);
+    let obs = ShardObs::with_tracer(registry, tracer.clone());
+
+    let mut traced_config = config.clone();
+    traced_config.tcp.trace = Some(ctx);
+
+    let span = tracer.span("sharded_query").start();
+    let outcome = run_sharded_query(addrs, client, select, &traced_config, Some(&obs), rng);
+    drop(span);
+    let outcome = outcome?;
+
+    let client_records = ring.records();
+    let mut legs_fetched = 0usize;
+    let mut leg_records = Vec::with_capacity(obs_addrs.len());
+    for addr in obs_addrs {
+        let records = fetch_leg_records(*addr, trace_id);
+        if !records.is_empty() {
+            legs_fetched += 1;
+        }
+        leg_records.push(records);
+    }
+
+    let timeline = TraceTimeline::assemble(trace_id, client_records, leg_records);
+    let report = report_from_timeline(&timeline, &outcome, client);
+
+    Ok(TracedShardQuery {
+        outcome,
+        report,
+        trace_id,
+        timeline,
+        legs_fetched,
+    })
+}
+
+/// Polls one leg's obs endpoint until its server has finalized the
+/// session (the trace contains a `session` span) or the retry budget is
+/// spent. The server records its spans moments after the client has its
+/// answer — at connection teardown — so the first poll usually misses.
+fn fetch_leg_records(addr: SocketAddr, trace_id: u128) -> Vec<Record> {
+    let mut last = Vec::new();
+    for _ in 0..FETCH_RETRIES {
+        if let Ok(records) = fetch_trace(addr, trace_id) {
+            let finalized = records.iter().any(|r| match r {
+                Record::Span(s) => s.name == "session",
+                Record::Event(_) => false,
+            });
+            if finalized {
+                return records;
+            }
+            last = records;
+        }
+        std::thread::sleep(FETCH_RETRY_DELAY);
+    }
+    last
+}
+
+/// Reconstructs the paper's four-component [`RunReport`] from the
+/// merged timeline: phase-tagged spans sum into the decomposition
+/// (exactly the [`PhaseTotals`] bridge), traffic comes from the query
+/// outcome, and the `sharded_query` envelope span is the pipelined
+/// makespan.
+fn report_from_timeline(
+    timeline: &TraceTimeline,
+    outcome: &ShardQueryOutcome,
+    client: &SumClient,
+) -> RunReport {
+    let totals = PhaseTotals::from_spans(timeline.spans());
+    let makespan = timeline
+        .spans()
+        .find(|s| s.name == "sharded_query")
+        .map(pps_obs::SpanRecord::duration);
+    let mut report = RunReport {
+        variant: Variant::MultiDatabase {
+            k: outcome.legs.len(),
+        },
+        n: outcome.n,
+        selected: outcome.selected,
+        key_bits: client.keypair().public.key_bits(),
+        link: "tcp".into(),
+        client_offline: Duration::ZERO,
+        client_encrypt: Duration::ZERO,
+        server_compute: Duration::ZERO,
+        comm: Duration::ZERO,
+        client_decrypt: Duration::ZERO,
+        pipelined_total: makespan,
+        bytes_to_server: outcome
+            .legs
+            .iter()
+            .map(|l| l.traffic.payload_bytes_sent)
+            .sum(),
+        bytes_to_client: outcome
+            .legs
+            .iter()
+            .map(|l| l.traffic.payload_bytes_received)
+            .sum(),
+        messages: outcome
+            .legs
+            .iter()
+            .map(|l| l.traffic.messages_sent + l.traffic.messages_received)
+            .sum(),
+        result: outcome.sum,
+    };
+    totals.apply(&mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_obs::{EventRecord, Phase, SpanRecord};
+
+    fn span(name: &str, session: Option<u64>, start: u64, end: u64) -> Record {
+        Record::Span(SpanRecord {
+            name: name.into(),
+            phase: None,
+            session,
+            batch: None,
+            start_ns: start,
+            end_ns: end,
+            trace: Some(TraceContext::new(7, 0)),
+        })
+    }
+
+    #[test]
+    fn skew_normalization_centers_server_span_in_client_envelope() {
+        // Client saw leg 0 from 1000 to 3000 (midpoint 2000); the
+        // server's own clock put its session at 500_000..500_400
+        // (midpoint 500_200). Offset is 2000 - 500_200.
+        let client = vec![span("shard_leg", Some(0), 1000, 3000)];
+        let leg = vec![
+            span("session", Some(1), 500_000, 500_400),
+            Record::Event(EventRecord {
+                name: "slow_query".into(),
+                session: Some(1),
+                at_ns: 500_400,
+                detail: String::new(),
+                trace: Some(TraceContext::new(7, 0)),
+            }),
+        ];
+        let t = TraceTimeline::assemble(7, client, vec![leg]);
+        let session = t
+            .spans()
+            .find(|s| s.name == "session")
+            .expect("session span merged");
+        assert_eq!(session.start_ns, 1800);
+        assert_eq!(session.end_ns, 2200);
+        assert_eq!(
+            session.duration(),
+            Duration::from_nanos(400),
+            "durations survive normalization"
+        );
+        let event = t
+            .entries
+            .iter()
+            .find_map(|e| match &e.record {
+                Record::Event(ev) => Some(ev),
+                _ => None,
+            })
+            .expect("event merged");
+        assert_eq!(event.at_ns, 2200, "events shift by the same offset");
+        assert_eq!(t.processes_seen(), 2);
+    }
+
+    #[test]
+    fn missing_anchor_merges_unshifted() {
+        let client = vec![span("sharded_query", None, 0, 10)];
+        let leg = vec![span("fold", Some(1), 42, 52)];
+        let t = TraceTimeline::assemble(7, client, vec![leg]);
+        let fold = t.spans().find(|s| s.name == "fold").unwrap();
+        assert_eq!(fold.start_ns, 42);
+    }
+
+    #[test]
+    fn entries_are_time_ordered() {
+        let client = vec![span("b", None, 50, 60), span("a", None, 10, 90)];
+        let t = TraceTimeline::assemble(7, client, vec![]);
+        let names: Vec<&str> = t.spans().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parse() {
+        let records = vec![
+            Record::Span(SpanRecord {
+                name: "fold".into(),
+                phase: Some(Phase::ServerCompute),
+                session: Some(3),
+                batch: Some(1),
+                start_ns: 5,
+                end_ns: 9,
+                trace: Some(TraceContext::new(0xabc, 2)),
+            }),
+            Record::Event(EventRecord {
+                name: "slow_query".into(),
+                session: Some(3),
+                at_ns: 11,
+                detail: "wall_ms=1.0".into(),
+                trace: Some(TraceContext::new(0xabc, 2)),
+            }),
+        ];
+        let mut body = String::new();
+        for r in &records {
+            let json = match r {
+                Record::Span(s) => s.to_json(),
+                Record::Event(e) => e.to_json(),
+            };
+            body.push_str(&json.render());
+            body.push('\n');
+        }
+        body.push_str("not json\n"); // tolerated, skipped
+        let parsed = parse_trace_jsonl(&body);
+        assert_eq!(parsed.len(), 2);
+        match &parsed[0] {
+            Record::Span(s) => {
+                assert_eq!(s.name, "fold");
+                assert_eq!(s.phase, Some(Phase::ServerCompute));
+                assert_eq!(s.session, Some(3));
+                assert_eq!(s.batch, Some(1));
+                assert_eq!(s.start_ns, 5);
+                assert_eq!(s.end_ns, 9);
+                assert_eq!(s.trace, Some(TraceContext::new(0xabc, 2)));
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        match &parsed[1] {
+            Record::Event(e) => {
+                assert_eq!(e.name, "slow_query");
+                assert_eq!(e.detail, "wall_ms=1.0");
+                assert_eq!(e.trace, Some(TraceContext::new(0xabc, 2)));
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_one_track_per_process() {
+        let client = vec![span("sharded_query", None, 0, 100)];
+        let legs = vec![
+            vec![span("session", Some(1), 10, 20)],
+            vec![span("session", Some(2), 10, 20)],
+            vec![span("session", Some(3), 10, 20)],
+        ];
+        let t = TraceTimeline::assemble(9, client, legs);
+        let chrome = t.to_chrome_trace().render();
+        let parsed = JsonValue::parse(&chrome).expect("chrome export is valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        let mut pids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(JsonValue::as_u64))
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids, vec![0, 1, 2, 3], "client + 3 leg tracks");
+        let metadata = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M"))
+            .count();
+        assert_eq!(metadata, 4, "one process_name record per track");
+    }
+
+    #[test]
+    fn pretty_render_mentions_every_record() {
+        let client = vec![span("sharded_query", None, 0, 100)];
+        let leg = vec![span("session", Some(1), 10, 20)];
+        let t = TraceTimeline::assemble(9, client, vec![leg]);
+        let text = t.render_pretty();
+        assert!(text.contains("sharded_query"));
+        assert!(text.contains("session"));
+        assert!(text.contains("client"));
+        assert!(text.contains("shard0"));
+    }
+}

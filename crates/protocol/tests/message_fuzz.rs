@@ -73,7 +73,7 @@ proptest! {
     ) {
         let modulus = Uint::from_bytes_be(&modulus_bytes);
         prop_assume!(!modulus.is_zero());
-        let h = Hello { modulus, total, batch_size: batch };
+        let h = Hello { modulus, total, batch_size: batch, trace: None };
         let f = h.encode().unwrap();
         prop_assert_eq!(Hello::decode(&f).unwrap(), h);
     }
@@ -83,7 +83,7 @@ proptest! {
         total in any::<u64>(),
         cut in 0usize..20,
     ) {
-        let h = Hello { modulus: Uint::from_u64(12345), total, batch_size: 1 };
+        let h = Hello { modulus: Uint::from_u64(12345), total, batch_size: 1, trace: None };
         let f = h.encode().unwrap();
         prop_assume!(cut < f.payload.len());
         let bad = Frame::new(f.msg_type, f.payload.slice(..cut)).unwrap();

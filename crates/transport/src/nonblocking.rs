@@ -51,6 +51,9 @@ pub struct NonBlockingWire {
     wbuf: BytesMut,
     stats: TrafficStats,
     metrics: Option<WireMetrics>,
+    /// Distributed trace context attached to this connection — see
+    /// [`StreamWire::set_trace`](crate::StreamWire::set_trace).
+    trace: Option<pps_obs::TraceContext>,
 }
 
 impl std::fmt::Debug for NonBlockingWire {
@@ -79,6 +82,7 @@ impl NonBlockingWire {
             wbuf: BytesMut::new(),
             stats: TrafficStats::default(),
             metrics: None,
+            trace: None,
         })
     }
 
@@ -86,6 +90,17 @@ impl NonBlockingWire {
     /// [`StreamWire::set_metrics`](crate::StreamWire::set_metrics)).
     pub fn set_metrics(&mut self, metrics: WireMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches the distributed trace context this connection serves
+    /// (see [`StreamWire::set_trace`](crate::StreamWire::set_trace)).
+    pub fn set_trace(&mut self, trace: pps_obs::TraceContext) {
+        self.trace = Some(trace);
+    }
+
+    /// The trace context attached with [`NonBlockingWire::set_trace`].
+    pub fn trace(&self) -> Option<pps_obs::TraceContext> {
+        self.trace
     }
 
     /// Shared access to the underlying stream.

@@ -48,6 +48,9 @@ pub struct StreamWire<S> {
     /// Optional shared counters (frames, bytes, timeouts) — see
     /// [`StreamWire::set_metrics`].
     metrics: Option<WireMetrics>,
+    /// Distributed trace context attached to this connection — see
+    /// [`StreamWire::set_trace`].
+    trace: Option<pps_obs::TraceContext>,
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for StreamWire<S> {
@@ -75,6 +78,7 @@ impl<S> StreamWire<S> {
             stats: TrafficStats::default(),
             recv_deadline: None,
             metrics: None,
+            trace: None,
         }
     }
 
@@ -84,6 +88,21 @@ impl<S> StreamWire<S> {
     /// survive the wire; stats die with it.
     pub fn set_metrics(&mut self, metrics: WireMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches the distributed trace context this connection serves
+    /// (PROTOCOL.md §9.4). The transport itself never reads it — frames
+    /// are unchanged — it is a per-connection slot where the protocol
+    /// layer parks the context (the client before the handshake, the
+    /// server once the handshake reveals it) so instrumentation on
+    /// either side of the wire object can retrieve it uniformly.
+    pub fn set_trace(&mut self, trace: pps_obs::TraceContext) {
+        self.trace = Some(trace);
+    }
+
+    /// The trace context attached with [`StreamWire::set_trace`].
+    pub fn trace(&self) -> Option<pps_obs::TraceContext> {
+        self.trace
     }
 
     /// Shared access to the underlying stream.

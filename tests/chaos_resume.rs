@@ -46,6 +46,7 @@ fn config(policy: RetryPolicy) -> TcpQueryConfig {
         read_timeout: Some(Duration::from_secs(10)),
         write_timeout: Some(Duration::from_secs(10)),
         retry: policy,
+        ..TcpQueryConfig::default()
     }
 }
 

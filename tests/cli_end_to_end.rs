@@ -9,6 +9,7 @@ use pps_cli::{
     load_values, run_keygen, run_multiclient_sim, run_multidb_sim, run_query, run_server,
     QueryOptions, ServeOptions,
 };
+use pps_obs::JsonValue;
 use pps_protocol::FoldStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -185,6 +186,104 @@ fn sharded_query_round_trip() {
     assert_eq!(outcome.n, 30);
     assert_eq!(outcome.selected, 4);
     assert!(outcome.bytes.0 > 0 && outcome.bytes.1 > 0);
+}
+
+#[test]
+fn traced_sharded_query_emits_merged_timeline_json() {
+    // Three shard workers, each with a live obs endpoint, queried
+    // through the full CLI surface: `pps query --shards ... --shard-obs
+    // ... --trace json` must print one JSON document with the report,
+    // the minted trace id, and the merged cross-process timeline.
+    let mut shards = Vec::new();
+    let mut obs = Vec::new();
+    for i in 0..3u64 {
+        let addr = free_addr();
+        let obs_addr = free_addr();
+        let lo = i * 10 + 1;
+        spawn_server_opts(
+            (lo..lo + 10).collect(),
+            addr.clone(),
+            FoldStrategy::MultiExp,
+            ServeOptions {
+                shard_only: true,
+                metrics_addr: Some(obs_addr.clone()),
+                ..ServeOptions::default()
+            },
+        );
+        shards.push(addr);
+        obs.push(obs_addr);
+    }
+
+    let args: Vec<String> = [
+        "query",
+        "--shards",
+        &shards.join(","),
+        "--shard-obs",
+        &obs.join(","),
+        "--select",
+        "0,10,20,29",
+        "--key-bits",
+        "128",
+        "--batch",
+        "4",
+        "--trace",
+        "json",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut out = Vec::new();
+    pps_cli::run(&args, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+
+    // The JSON document is pretty-rendered, so its closing brace sits
+    // alone at the start of a line; the human summary follows it.
+    let json_end = text.rfind("\n}").expect("pretty JSON document") + 2;
+    let parsed = JsonValue::parse(&text[..json_end]).expect("valid JSON");
+    assert!(text[json_end..].contains("private sum of 4 selected rows"));
+
+    let trace_id = parsed
+        .get("trace_id")
+        .and_then(JsonValue::as_str)
+        .expect("trace_id field");
+    assert_eq!(trace_id.len(), 32, "128-bit lowercase hex id: {trace_id}");
+    assert!(trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+
+    let report = parsed.get("report").expect("report object");
+    let phases = report.get("phases").expect("phase decomposition");
+    assert!(phases.get("server_compute").is_some(), "phase fields");
+
+    let timeline = parsed.get("timeline").expect("timeline object");
+    assert_eq!(
+        timeline.get("processes").and_then(JsonValue::as_u64),
+        Some(4),
+        "client + 3 shard legs"
+    );
+    let entries = timeline
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .expect("entries array");
+    assert!(!entries.is_empty());
+    for entry in entries {
+        assert_eq!(
+            entry
+                .get("record")
+                .and_then(|r| r.get("trace_id")?.as_str()),
+            Some(trace_id),
+            "every timeline record shares the query's trace id"
+        );
+    }
+    let labels: std::collections::BTreeSet<&str> = entries
+        .iter()
+        .filter_map(|e| e.get("process_label").and_then(JsonValue::as_str))
+        .collect();
+    assert!(
+        labels.contains("client")
+            && labels.contains("shard0")
+            && labels.contains("shard1")
+            && labels.contains("shard2"),
+        "all four processes contributed records: {labels:?}"
+    );
 }
 
 #[test]

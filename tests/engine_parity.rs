@@ -16,6 +16,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use pps_obs::{names, Registry};
+use pps_protocol::ServerObs;
 use pps_protocol::{
     run_stream_query_with_resume, run_tcp_query_with_retry, Admission, Database, FoldStrategy,
     ProtocolError, ServeEngine, SessionEvent, SessionLimits, SumClient, TcpQueryConfig,
@@ -211,6 +213,7 @@ fn resume_after_disconnect_works_on_both_engines() {
                     base_delay: Duration::from_millis(50),
                     max_delay: Duration::from_millis(200),
                 },
+                ..TcpQueryConfig::default()
             };
             // Client write ops: 0 = SizeRequest, 1 = Hello, 2.. = batches;
             // killing at write 4 leaves at least one batch checkpointed.
@@ -306,4 +309,53 @@ fn full_queue_refuses_promptly_while_accept_loop_stays_live() {
         assert_eq!(stats.failed, 1, "{engine:?}: the staller's dead session");
         assert_eq!(stats.queued, 2, "{engine:?}: both clients waited in queue");
     }
+}
+
+/// The engines must also be indistinguishable to a metrics scrape: the
+/// same seeded client frame sequence yields identical wire frame and
+/// byte counters whether the session ran on `StreamWire` (threaded) or
+/// `NonBlockingWire` (event — the engine that wires metrics in through
+/// `NonBlockingWire::set_metrics`).
+#[test]
+fn wire_metrics_agree_across_engines() {
+    let mut scrapes = Vec::new();
+    for engine in ENGINES {
+        let registry = Arc::new(Registry::new());
+        let server = TcpServer::bind(db4(), "127.0.0.1:0", FoldStrategy::Incremental)
+            .unwrap()
+            .with_engine(engine)
+            .with_workers(2)
+            .with_observability(ServerObs::new(Arc::clone(&registry)));
+        let addr = server.local_addr().unwrap();
+
+        let sum = std::thread::scope(|scope| {
+            let server_thread = scope.spawn(|| server.serve(Some(1)));
+            let sum = healthy_query(addr, &[1, 3], 9);
+            server_thread.join().unwrap();
+            sum
+        });
+        assert_eq!(sum, 60, "{engine:?}");
+
+        // `Registry::counter` is find-or-insert, so these are the same
+        // atomics the server's wire layer incremented.
+        let read = |name| registry.counter(name, "").get();
+        scrapes.push([
+            read(names::WIRE_FRAMES_SENT_TOTAL),
+            read(names::WIRE_BYTES_SENT_TOTAL),
+            read(names::WIRE_FRAMES_RECEIVED_TOTAL),
+            read(names::WIRE_BYTES_RECEIVED_TOTAL),
+        ]);
+    }
+
+    let [threaded, event] = scrapes.as_slice() else {
+        unreachable!()
+    };
+    assert_eq!(
+        threaded, event,
+        "frame/byte counters must not reveal the engine"
+    );
+    assert!(
+        threaded.iter().all(|&c| c > 0),
+        "counters actually moved: {threaded:?}"
+    );
 }

@@ -24,6 +24,7 @@ fn hello_frame(client: &SumClient, total: u64) -> Frame {
         modulus: client.keypair().public.n().clone(),
         total,
         batch_size: 4,
+        trace: None,
     }
     .encode()
     .unwrap()
@@ -143,6 +144,7 @@ fn server_rejects_even_modulus() {
         modulus: Uint::one().shl(128),
         total: 4,
         batch_size: 4,
+        trace: None,
     }
     .encode()
     .unwrap();

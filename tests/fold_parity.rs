@@ -41,6 +41,7 @@ fn encode_query(bits: &[u64], batch: usize, rng: &mut StdRng) -> Vec<Frame> {
         modulus: kp.public.n().clone(),
         total: bits.len() as u64,
         batch_size: batch as u32,
+        trace: None,
     }
     .encode()
     .unwrap();

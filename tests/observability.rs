@@ -201,6 +201,15 @@ fn live_metrics_reconcile_with_span_bridged_reports() {
     assert!(sample(&body, "pps_fold_plan_bytes ").unwrap() > 0.0);
     assert!(sample(&body, "pps_wire_bytes_sent_total ").unwrap() > 0.0);
     assert!(sample(&body, "pps_wire_bytes_received_total ").unwrap() > 0.0);
+    // Build identity rides on every ServerObs-backed scrape: version
+    // from the workspace manifest, magic from the framing layer.
+    let build_info = format!(
+        "pps_build_info{{version=\"{}\",magic=\"{:#06x}\"}} 1",
+        env!("CARGO_PKG_VERSION"),
+        FRAME_MAGIC,
+    );
+    assert!(body.contains(&build_info), "{build_info} missing in scrape");
+    assert_eq!(sample(&body, "pps_slow_queries_total "), Some(0.0));
 
     // The acceptance criterion: the per-phase histograms scraped from
     // the live endpoint sum to the same four-component breakdown the

@@ -64,6 +64,7 @@ fn ten_thousand_sessions_multiplex_over_the_event_engine() {
         modulus: client.keypair().public.n().clone(),
         total: selection.len() as u64,
         batch_size: selection.len() as u32,
+        trace: None,
     }
     .encode()
     .unwrap();

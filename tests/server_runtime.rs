@@ -146,6 +146,7 @@ fn fold_with(
         modulus: kp.public.n().clone(),
         total: n as u64,
         batch_size: n as u32,
+        trace: None,
     }
     .encode()
     .unwrap();

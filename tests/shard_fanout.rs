@@ -63,6 +63,7 @@ fn config(policy: RetryPolicy) -> ShardQueryConfig {
             read_timeout: Some(Duration::from_secs(10)),
             write_timeout: Some(Duration::from_secs(10)),
             retry: policy,
+            ..TcpQueryConfig::default()
         },
         value_bound: Some(value(N - 1) + 1),
     }
@@ -378,6 +379,7 @@ fn shard_worker_rejects_plain_indices_even_after_handshake() {
             m_bits: 126,
             seeds_add: vec![vec![7u8; 32]],
             seeds_sub: vec![],
+            trace: None,
         }
         .encode()
         .unwrap(),
