@@ -157,6 +157,22 @@ pub enum Command {
         /// Key size for the client's ephemeral key.
         key_bits: usize,
     },
+    /// Run one deterministic simulation campaign and render its
+    /// invariant verdict (exit 1 on any violation).
+    SimRun {
+        /// Scenario name from the registry (`pps sim list`).
+        scenario: String,
+        /// Campaign seed; same (scenario, seed, engine) replays the
+        /// campaign bit-identically.
+        seed: u64,
+        /// Deterministic service-scheduling model.
+        engine: pps_sim::SimEngine,
+        /// Rescale the scenario's population to roughly this many
+        /// clients (None = the registry's full population).
+        population: Option<usize>,
+    },
+    /// List the simulation scenario registry.
+    SimList,
     /// Fetch one trace's records from a server's obs endpoint.
     TraceDump {
         /// The server's obs HTTP address (its `--metrics-addr`).
@@ -250,6 +266,9 @@ USAGE:
              [--client-threads T|auto] [--retries N] [--trace json|pretty]
              [--shard-obs O1,O2,...]
   pps trace dump --obs HOST:PORT --id HEX [--format jsonl|pretty|chrome]
+  pps sim run  --scenario NAME [--seed S] [--engine threaded|event]
+               [--population N]
+  pps sim list
   pps multiclient --data FILE | --random N [--k K] [--key-bits B]
   pps multidb     --data FILE | --random N [--k K] [--blinded] [--key-bits B]
   pps keygen --bits B --out FILE
@@ -295,6 +314,13 @@ multiclient / multidb reproduce the paper's §3.5 simulations in
 process: k cooperating clients (or k database partitions, optionally
 --blinded) over a modeled gigabit link, verified against the plaintext
 oracle.
+Simulation campaigns: pps sim run drives a named population-scale
+scenario (pps sim list) through the deterministic discrete-event
+harness — real protocol state machines over a simulated network with
+the paper's two link profiles — and checks the invariant oracle; the
+same --scenario/--seed/--engine triple replays any campaign
+bit-identically, and every reported violation carries that repro
+command. Exit status 1 when any invariant breaks.
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -306,12 +332,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let sub = it.next().map(String::as_str).unwrap_or("help");
     let mut opts: Vec<(String, Option<String>)> = Vec::new();
     let mut rest: Vec<&String> = it.collect();
-    // `trace` takes an action word before its flags (pps trace dump ...).
-    let action = if sub == "trace" && rest.first().is_some_and(|a| !a.starts_with("--")) {
-        Some(rest.remove(0).to_string())
-    } else {
-        None
-    };
+    // `trace` and `sim` take an action word before their flags
+    // (pps trace dump ..., pps sim run ...).
+    let action =
+        if (sub == "trace" || sub == "sim") && rest.first().is_some_and(|a| !a.starts_with("--")) {
+            Some(rest.remove(0).to_string())
+        } else {
+            None
+        };
     let mut i = 0;
     while i < rest.len() {
         let k = rest[i]
@@ -597,6 +625,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             _ => Err(CliError::usage(format!(
                 "trace needs an action (dump)\n{USAGE}"
+            ))),
+        },
+        "sim" => match action.as_deref() {
+            Some("run") => {
+                let scenario =
+                    get("scenario").ok_or_else(|| CliError::usage("sim run needs --scenario"))?;
+                let seed = get("seed")
+                    .map(|v| v.parse::<u64>().map_err(|_| CliError::usage("bad --seed")))
+                    .transpose()?
+                    .unwrap_or(0);
+                let engine = match get("engine").as_deref() {
+                    None => pps_sim::SimEngine::Threaded,
+                    Some(name) => pps_sim::SimEngine::parse(name).ok_or_else(|| {
+                        CliError::usage(format!("unknown engine {name} (threaded|event)"))
+                    })?,
+                };
+                let population = get("population")
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&p| p > 0)
+                            .ok_or_else(|| CliError::usage("bad --population"))
+                    })
+                    .transpose()?;
+                Ok(Command::SimRun {
+                    scenario,
+                    seed,
+                    engine,
+                    population,
+                })
+            }
+            Some("list") => Ok(Command::SimList),
+            _ => Err(CliError::usage(format!(
+                "sim needs an action (run, list)\n{USAGE}"
             ))),
         },
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -1311,6 +1373,40 @@ pub fn run(args: &[String], out: &mut (dyn std::io::Write + Send)) -> Result<(),
             let mut rng = StdRng::from_entropy();
             run_multidb_sim(values, k, blinded, key_bits, &mut rng, out)
         }
+        Command::SimRun {
+            scenario,
+            seed,
+            engine,
+            population,
+        } => {
+            let report = pps_sim::harness::run_named(&scenario, seed, engine, population)
+                .map_err(|e| CliError::usage(e.to_string()))?;
+            let _ = out.write_all(report.render().as_bytes());
+            if report.ok() {
+                Ok(())
+            } else {
+                Err(CliError {
+                    message: format!(
+                        "{} invariant violation(s); repro: {}",
+                        report.violations.len(),
+                        report.repro()
+                    ),
+                    code: 1,
+                })
+            }
+        }
+        Command::SimList => {
+            for s in pps_sim::Scenario::registry() {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>5} clients  {}",
+                    s.name,
+                    s.population.total() + s.shard_groups * pps_sim::run::SHARD_LEGS,
+                    s.about
+                );
+            }
+            Ok(())
+        }
         Command::TraceDump { obs, id, format } => run_trace_dump(&obs, &id, format, out),
         Command::Query { addr, select, opts } => {
             let mut rng = StdRng::from_entropy();
@@ -1672,6 +1768,42 @@ mod tests {
         );
         assert!(parse_args(&args("trace dump --obs a:1 --id zz")).is_err());
         assert!(parse_args(&args("trace dump --obs a:1 --id ff --format yaml")).is_err());
+    }
+
+    #[test]
+    fn parse_sim() {
+        match parse_args(&args("sim run --scenario mixed --seed 7 --engine event")).unwrap() {
+            Command::SimRun {
+                scenario,
+                seed,
+                engine,
+                population,
+            } => {
+                assert_eq!(scenario, "mixed");
+                assert_eq!(seed, 7);
+                assert_eq!(engine, pps_sim::SimEngine::Event);
+                assert_eq!(population, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("sim run --scenario clean_lan --population 16")).unwrap() {
+            Command::SimRun {
+                seed,
+                engine,
+                population,
+                ..
+            } => {
+                assert_eq!(seed, 0, "seed defaults to 0");
+                assert_eq!(engine, pps_sim::SimEngine::Threaded);
+                assert_eq!(population, Some(16));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_args(&args("sim list")).unwrap(), Command::SimList);
+        assert!(parse_args(&args("sim")).is_err(), "needs an action");
+        assert!(parse_args(&args("sim run")).is_err(), "needs --scenario");
+        assert!(parse_args(&args("sim run --scenario x --engine warp")).is_err());
+        assert!(parse_args(&args("sim run --scenario x --population 0")).is_err());
     }
 
     #[test]

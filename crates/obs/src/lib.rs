@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod collect;
 pub mod context;
 pub mod http;
@@ -61,6 +62,7 @@ pub mod registry;
 pub mod span;
 pub mod trace_buffer;
 
+pub use clock::{real_clock, Clock, RealClock, SharedClock, VirtualClock};
 pub use collect::{
     Collector, JsonLinesCollector, NullCollector, Record, RingCollector, TeeCollector,
 };

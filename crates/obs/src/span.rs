@@ -10,6 +10,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::clock::{real_clock, SharedClock};
 use crate::collect::Collector;
 use crate::context::TraceContext;
 
@@ -175,6 +176,7 @@ impl EventRecord {
 #[derive(Clone)]
 pub struct Tracer {
     epoch: Instant,
+    clock: SharedClock,
     collector: Arc<dyn Collector>,
     context: Option<TraceContext>,
 }
@@ -190,8 +192,17 @@ impl std::fmt::Debug for Tracer {
 impl Tracer {
     /// A tracer emitting into `collector`, with its epoch at "now".
     pub fn new(collector: Arc<dyn Collector>) -> Self {
+        Self::with_clock(collector, real_clock())
+    }
+
+    /// A tracer whose timestamps come from `clock` instead of the wall
+    /// clock — the deterministic simulator stamps spans in *virtual*
+    /// time this way, so a simulated 56 Kbps transfer shows its simulated
+    /// minutes, not the microseconds the host spent computing it.
+    pub fn with_clock(collector: Arc<dyn Collector>, clock: SharedClock) -> Self {
         Tracer {
-            epoch: Instant::now(),
+            epoch: clock.now(),
+            clock,
             collector,
             context: None,
         }
@@ -204,6 +215,7 @@ impl Tracer {
     pub fn with_context(&self, context: TraceContext) -> Tracer {
         Tracer {
             epoch: self.epoch,
+            clock: Arc::clone(&self.clock),
             collector: Arc::clone(&self.collector),
             context: Some(context),
         }
@@ -220,9 +232,11 @@ impl Tracer {
         Tracer::new(Arc::new(crate::collect::NullCollector))
     }
 
-    /// Nanoseconds elapsed since this tracer's epoch.
+    /// Nanoseconds elapsed since this tracer's epoch, measured on its
+    /// clock (wall time by default, virtual time under a simulator).
     pub fn now_ns(&self) -> u64 {
-        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        let elapsed = self.clock.now().duration_since(self.epoch);
+        u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
     }
 
     /// Starts building a span; call [`SpanBuilder::start`] to begin

@@ -27,7 +27,7 @@ use crate::server::{FoldStrategy, ServerSession, ServerStats};
 /// What one [`SessionFlow::on_frame`] step produced: zero or more reply
 /// frames (sent in order) and whether this step granted a resume.
 #[derive(Debug, Default)]
-pub(crate) struct FlowStep {
+pub struct FlowStep {
     /// Replies to write to the peer, in order.
     pub replies: Vec<Frame>,
     /// This step restored a checkpoint (fire `SessionEvent::Resumed`).
@@ -37,8 +37,10 @@ pub(crate) struct FlowStep {
 /// One connection's protocol state machine: a [`ServerSession`] plus the
 /// runtime concerns layered on top of it (resume tickets, checkpoint
 /// storage, shard gating). Pure message-in/messages-out — no I/O, no
-/// clocks — so any scheduler can drive it.
-pub(crate) struct SessionFlow<'a> {
+/// clocks — so any scheduler can drive it: the two TCP engines pump it
+/// from sockets, and the `pps-sim` discrete-event harness pumps it from
+/// simulated wires (which is why the type is public).
+pub struct SessionFlow<'a> {
     session: ServerSession<'a>,
     db: &'a Database,
     fold: FoldStrategy,
@@ -100,6 +102,13 @@ impl<'a> SessionFlow<'a> {
     /// The session's accumulated statistics.
     pub fn stats(&self) -> &ServerStats {
         self.session.stats()
+    }
+
+    /// Whether a §3.5 blinding is installed on the underlying session.
+    /// The simulation harness's invariant oracle uses this to check a
+    /// shard worker never reaches the reply step unblinded.
+    pub fn has_blinding(&self) -> bool {
+        self.session.has_blinding()
     }
 
     /// Feeds one frame through the full runtime dialect: shard

@@ -72,7 +72,7 @@ mod client;
 mod cost;
 mod data;
 mod error;
-mod flow;
+pub mod flow;
 pub mod messages;
 mod multiclient;
 mod multidb;
@@ -93,6 +93,7 @@ pub use client::{ClientSendStats, IndexSource, SumClient};
 pub use cost::{measure_encrypt_secs, CostModel, JAVA_SLOWDOWN, PAPER_ENCRYPT_SECS};
 pub use data::{check_message_space, Database, Selection};
 pub use error::ProtocolError;
+pub use flow::{FlowStep, SessionFlow};
 pub use multiclient::{run_multiclient, ClientLeg, MultiClientReport};
 pub use multidb::{
     leg_blinding, pair_blinding, run_multidb, run_multidb_blinded, server_blinding, Partition,

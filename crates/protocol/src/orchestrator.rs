@@ -176,7 +176,8 @@ pub(crate) fn serve_event(
     max_sessions: Option<usize>,
     on_event: &(dyn Fn(SessionEvent<'_>) + Sync),
 ) -> AggregateStats {
-    let start = Instant::now();
+    let clock = server.clock.clone();
+    let start = clock.now();
     let checkpoints_evicted_before = server.resumption.evicted();
     let plan = server.shared_plan();
     let obs = server.obs.as_ref();
@@ -191,7 +192,7 @@ pub(crate) fn serve_event(
         }
         let error = ProtocolError::Transport(TransportError::Io(e.to_string()));
         on_event(SessionEvent::AcceptError { error: &error });
-        agg.wall = start.elapsed();
+        agg.wall = clock.now().duration_since(start);
         return agg;
     }
 
@@ -327,7 +328,7 @@ pub(crate) fn serve_event(
             }
 
             // ---- Accept burst -------------------------------------
-            if !stop_accepting && accept_retry_at.is_none_or(|t| Instant::now() >= t) {
+            if !stop_accepting && accept_retry_at.is_none_or(|t| clock.now() >= t) {
                 accept_retry_at = None;
                 loop {
                     if max_sessions.is_some_and(|m| accepted >= m) {
@@ -370,12 +371,15 @@ pub(crate) fn serve_event(
                                     session: accepted,
                                     peer: Some(peer),
                                 });
-                                let now = Instant::now();
+                                let now = clock.now();
                                 queue.push_back(QueuedConn {
                                     id: accepted,
                                     stream,
                                     peer: Some(peer),
-                                    deadline: SessionDeadline::new(&server.limits),
+                                    deadline: SessionDeadline::with_clock(
+                                        &server.limits,
+                                        clock.clone(),
+                                    ),
                                     enqueued: now,
                                     started: now,
                                 });
@@ -389,7 +393,7 @@ pub(crate) fn serve_event(
                                 session: accepted,
                                 peer: Some(peer),
                             });
-                            let now = Instant::now();
+                            let now = clock.now();
                             activate(
                                 server,
                                 &plan,
@@ -400,7 +404,7 @@ pub(crate) fn serve_event(
                                 accepted,
                                 stream,
                                 Some(peer),
-                                SessionDeadline::new(&server.limits),
+                                SessionDeadline::with_clock(&server.limits, clock.clone()),
                                 now,
                             );
                         }
@@ -419,8 +423,7 @@ pub(crate) fn serve_event(
                             } else {
                                 // No sleeping on the reactor: note when
                                 // to try again and keep ticking.
-                                accept_retry_at =
-                                    Some(Instant::now() + accept_backoff(accept_errors));
+                                accept_retry_at = Some(clock.now() + accept_backoff(accept_errors));
                             }
                             break;
                         }
@@ -435,7 +438,8 @@ pub(crate) fn serve_event(
                 for q in queue.drain(..) {
                     if let Some(obs) = obs {
                         obs.queued.sub(1);
-                        obs.queue_wait_seconds.record_duration(q.enqueued.elapsed());
+                        obs.queue_wait_seconds
+                            .record_duration(clock.now().duration_since(q.enqueued));
                     }
                     agg.refused += 1;
                     if let Some(obs) = obs {
@@ -448,15 +452,13 @@ pub(crate) fn serve_event(
                 // (running since accept) expired while waiting.
                 let mut kept = VecDeque::with_capacity(queue.len());
                 for q in queue.drain(..) {
-                    let expired = q
-                        .deadline
-                        .expires_at()
-                        .is_some_and(|at| Instant::now() >= at);
+                    let expired = q.deadline.expires_at().is_some_and(|at| clock.now() >= at);
                     if expired {
                         progress = true;
                         if let Some(obs) = obs {
                             obs.queued.sub(1);
-                            obs.queue_wait_seconds.record_duration(q.enqueued.elapsed());
+                            obs.queue_wait_seconds
+                                .record_duration(clock.now().duration_since(q.enqueued));
                             obs.evicted.inc();
                         }
                         agg.evicted += 1;
@@ -476,7 +478,8 @@ pub(crate) fn serve_event(
                     progress = true;
                     if let Some(obs) = obs {
                         obs.queued.sub(1);
-                        obs.queue_wait_seconds.record_duration(q.enqueued.elapsed());
+                        obs.queue_wait_seconds
+                            .record_duration(clock.now().duration_since(q.enqueued));
                     }
                     activate(
                         server, &plan, obs, on_event, &mut agg, &mut conns, q.id, q.stream, q.peer,
@@ -497,7 +500,7 @@ pub(crate) fn serve_event(
                     match conn.wire.poll_recv() {
                         Ok(Some(frame)) => {
                             conn.inbox.push_back(frame);
-                            conn.last_activity = Instant::now();
+                            conn.last_activity = clock.now();
                             progress = true;
                         }
                         Ok(None) => break,
@@ -519,7 +522,7 @@ pub(crate) fn serve_event(
                 if conn.done || conn.error.is_some() {
                     continue;
                 }
-                let now = Instant::now();
+                let now = clock.now();
                 if conn.deadline.expires_at().is_some_and(|at| now >= at) {
                     conn.error = Some(ProtocolError::Transport(TransportError::TimedOut));
                     continue;
@@ -576,7 +579,7 @@ pub(crate) fn serve_event(
                 let flow = conn.flow.take().expect("checked above");
                 let frames: Vec<Frame> = conn.inbox.drain(..).collect();
                 conn.in_flight = true;
-                conn.last_activity = Instant::now();
+                conn.last_activity = clock.now();
                 progress = true;
                 let send = workers[idle].0.send(Job {
                     conn: *id,
@@ -682,7 +685,12 @@ pub(crate) fn serve_event(
                 break;
             }
             if !progress {
-                std::thread::sleep(IDLE_TICK);
+                // Under a virtual clock this advances simulated time and
+                // returns at once; yield so worker threads still run.
+                clock.sleep(IDLE_TICK);
+                if clock.is_virtual() {
+                    std::thread::yield_now();
+                }
             }
         }
 
@@ -697,7 +705,7 @@ pub(crate) fn serve_event(
     // Leave the listener as we found it for any later threaded serve.
     let _ = server.listener.set_nonblocking(false);
 
-    agg.wall = start.elapsed();
+    agg.wall = clock.now().duration_since(start);
     agg.peak_active = peak_active;
     agg.checkpoints_evicted = server.resumption.evicted() - checkpoints_evicted_before;
     if let Some(obs) = obs {
@@ -768,7 +776,7 @@ fn activate<'a>(
         &server.resumption,
         server.require_shard,
     );
-    let now = Instant::now();
+    let now = server.clock.now();
     conns.insert(
         id,
         Conn {

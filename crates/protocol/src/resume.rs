@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use pps_obs::{real_clock, SharedClock};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -65,19 +66,34 @@ pub struct SessionTable {
     inner: Mutex<Inner>,
     config: ResumptionConfig,
     evicted: AtomicU64,
+    clock: SharedClock,
 }
 
 impl SessionTable {
     /// Creates a table with the given bounds, seeding its ID generator
     /// from OS entropy.
     pub fn new(config: ResumptionConfig) -> Self {
+        Self::with_parts(config, StdRng::from_entropy(), real_clock())
+    }
+
+    /// Creates a table whose session IDs come from `seed` and whose TTL
+    /// clock is `clock`. **Simulation/test only**: seeded IDs are
+    /// guessable, which defeats the hijack resistance `new` provides —
+    /// but they make a whole campaign bit-reproducible, and a virtual
+    /// clock lets TTL expiry be driven instead of waited out.
+    pub fn deterministic(config: ResumptionConfig, seed: u64, clock: SharedClock) -> Self {
+        Self::with_parts(config, StdRng::seed_from_u64(seed), clock)
+    }
+
+    fn with_parts(config: ResumptionConfig, rng: StdRng, clock: SharedClock) -> Self {
         SessionTable {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
-                rng: StdRng::from_entropy(),
+                rng,
             }),
             config,
             evicted: AtomicU64::new(0),
+            clock,
         }
     }
 
@@ -90,7 +106,7 @@ impl SessionTable {
     /// Live checkpoint count (after pruning expired entries).
     pub fn len(&self) -> usize {
         let mut inner = self.lock();
-        let evicted = Self::prune(&mut inner, Instant::now());
+        let evicted = Self::prune(&mut inner, self.clock.now());
         self.evicted.fetch_add(evicted, Ordering::Relaxed);
         inner.map.len()
     }
@@ -115,7 +131,7 @@ impl SessionTable {
     /// Stores (or refreshes) the checkpoint for `id`, restarting its
     /// TTL. At capacity, the entry closest to expiry is evicted first.
     pub fn store(&self, id: u64, checkpoint: FoldCheckpoint) {
-        let now = Instant::now();
+        let now = self.clock.now();
         let mut inner = self.lock();
         let mut evicted = Self::prune(&mut inner, now);
         while inner.map.len() >= self.config.capacity && !inner.map.contains_key(&id) {
@@ -146,7 +162,7 @@ impl SessionTable {
     /// finds nothing until the first connection checkpoints again.
     pub fn take(&self, id: u64) -> Option<FoldCheckpoint> {
         let mut inner = self.lock();
-        let evicted = Self::prune(&mut inner, Instant::now());
+        let evicted = Self::prune(&mut inner, self.clock.now());
         let hit = inner.map.remove(&id).map(|e| e.checkpoint);
         drop(inner);
         self.evicted.fetch_add(evicted, Ordering::Relaxed);
@@ -289,6 +305,33 @@ mod tests {
         assert_eq!(table.len(), 1);
         assert_eq!(table.evicted(), 0);
         assert!(table.take(id).is_some());
+    }
+
+    #[test]
+    fn deterministic_table_replays_ids_and_expires_virtually() {
+        use pps_obs::VirtualClock;
+        use std::sync::Arc;
+
+        let config = ResumptionConfig {
+            capacity: 8,
+            ttl: Duration::from_secs(120),
+        };
+        let a = SessionTable::deterministic(config, 7, Arc::new(VirtualClock::new()));
+        let b = SessionTable::deterministic(config, 7, Arc::new(VirtualClock::new()));
+        let ids_a: Vec<u64> = (0..16).map(|_| a.allocate()).collect();
+        let ids_b: Vec<u64> = (0..16).map(|_| b.allocate()).collect();
+        assert_eq!(ids_a, ids_b, "same seed, same ID sequence");
+
+        // TTL expiry driven by the virtual clock — no wall waiting.
+        let clock = Arc::new(VirtualClock::new());
+        let table = SessionTable::deterministic(config, 9, clock.clone());
+        let id = table.allocate();
+        table.store(id, checkpoint());
+        clock.advance(Duration::from_secs(119));
+        assert_eq!(table.len(), 1, "one second short of the TTL");
+        clock.advance(Duration::from_secs(2));
+        assert!(table.take(id).is_none(), "expired in virtual time");
+        assert_eq!(table.evicted(), 1);
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub struct TcpQueryConfig {
     /// `None` — the default — leaves the wire byte-identical to an
     /// untraced peer (PROTOCOL.md §9.4).
     pub trace: Option<TraceContext>,
+    /// Time source for retry backoff sleeps. The real clock by default;
+    /// tests and the deterministic simulator inject a
+    /// [`VirtualClock`](pps_obs::VirtualClock) so backoff schedules are
+    /// asserted instead of waited out.
+    pub clock: pps_obs::SharedClock,
 }
 
 impl Default for TcpQueryConfig {
@@ -80,6 +85,7 @@ impl Default for TcpQueryConfig {
             write_timeout: Some(Duration::from_secs(30)),
             retry: RetryPolicy::default(),
             trace: None,
+            clock: pps_obs::real_clock(),
         }
     }
 }
@@ -408,7 +414,7 @@ where
                 }
                 let delay = config.retry.delay_for(retry.attempts - 1, rng);
                 retry.delays.push(delay);
-                std::thread::sleep(delay);
+                config.clock.sleep(delay);
             }
         }
     }
@@ -622,7 +628,7 @@ pub fn run_tcp_query_observed(
                 }
                 let delay = config.retry.delay_for(retry.attempts - 1, rng);
                 retry.delays.push(delay);
-                std::thread::sleep(delay);
+                config.clock.sleep(delay);
             }
         }
     }

@@ -209,14 +209,22 @@ impl SessionLimits {
 pub struct SessionDeadline {
     expires: Option<Instant>,
     read_timeout: Option<Duration>,
+    clock: pps_obs::SharedClock,
 }
 
 impl SessionDeadline {
     /// Starts the clock on a session governed by `limits`.
     pub fn new(limits: &SessionLimits) -> Self {
+        Self::with_clock(limits, pps_obs::real_clock())
+    }
+
+    /// [`SessionDeadline::new`] against an injected time source, so a
+    /// simulated session's budget expires in virtual time.
+    pub fn with_clock(limits: &SessionLimits, clock: pps_obs::SharedClock) -> Self {
         SessionDeadline {
-            expires: limits.session_deadline.map(|d| Instant::now() + d),
+            expires: limits.session_deadline.map(|d| clock.now() + d),
             read_timeout: limits.read_timeout,
+            clock,
         }
     }
 
@@ -236,7 +244,7 @@ impl SessionDeadline {
         match self.expires {
             None => Ok(self.read_timeout),
             Some(deadline) => {
-                let remaining = deadline.saturating_duration_since(Instant::now());
+                let remaining = deadline.saturating_duration_since(self.clock.now());
                 if remaining.is_zero() {
                     return Err(TransportError::TimedOut);
                 }
@@ -435,6 +443,7 @@ pub struct TcpServer {
     pub(crate) queue_capacity: usize,
     pub(crate) fair_share: Option<usize>,
     pub(crate) slow_query_threshold: Option<Duration>,
+    pub(crate) clock: pps_obs::SharedClock,
 }
 
 impl TcpServer {
@@ -466,7 +475,31 @@ impl TcpServer {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             fair_share: None,
             slow_query_threshold: None,
+            clock: pps_obs::real_clock(),
         })
+    }
+
+    /// Replaces the server's time source: session deadlines, admission
+    /// sweeps, and the event reactor's idle tick all read this clock.
+    /// The default is the real clock; the deterministic simulator
+    /// injects a [`VirtualClock`](pps_obs::VirtualClock) shared with
+    /// every other component of the scenario. Note the resumption
+    /// table keeps its own clock — pair this with
+    /// [`TcpServer::with_resumption_table`] to virtualize TTLs too.
+    #[must_use]
+    pub fn with_clock(mut self, clock: pps_obs::SharedClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Replaces the whole resumption table (rather than just its bounds
+    /// as [`TcpServer::with_resumption`] does), so a caller can install
+    /// a [`SessionTable::deterministic`] one with seeded IDs and a
+    /// virtual TTL clock.
+    #[must_use]
+    pub fn with_resumption_table(mut self, table: SessionTable) -> Self {
+        self.resumption = table;
+        self
     }
 
     /// Selects the runtime that drives accepted connections. The
@@ -812,7 +845,7 @@ impl TcpServer {
                 // waiting in the admission queue spends its own
                 // deadline, so a queued slow-loris cannot outlive the
                 // budget an admitted one gets.
-                let deadline = SessionDeadline::new(&self.limits);
+                let deadline = SessionDeadline::with_clock(&self.limits, self.clock.clone());
                 if let Some(obs) = obs {
                     obs.accepted.inc();
                     if wait_in_queue {
@@ -1035,7 +1068,7 @@ fn wait_for_slot(
         }
         if deadline
             .expires_at()
-            .is_some_and(|expires| Instant::now() >= expires)
+            .is_some_and(|expires| deadline.clock.now() >= expires)
         {
             g.queued -= 1;
             return QueueOutcome::Expired;
@@ -1049,7 +1082,12 @@ fn wait_for_slot(
         // if a notification is missed.
         let mut wait = Duration::from_millis(50);
         if let Some(expires) = deadline.expires_at() {
-            wait = wait.min(expires.saturating_duration_since(Instant::now()));
+            // Under a virtual clock the remaining budget never shrinks
+            // by itself, so keep the bounded 50 ms poll as the wait —
+            // the deadline check above re-reads virtual time each pass.
+            if !deadline.clock.is_virtual() {
+                wait = wait.min(expires.saturating_duration_since(deadline.clock.now()));
+            }
         }
         let (next, _) = gate
             .1

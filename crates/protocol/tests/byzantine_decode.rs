@@ -1,0 +1,219 @@
+//! Byzantine wire-mutation property tests: take *well-formed* encoded
+//! frames (`Hello`, `ShardHello`, `Resume`, `IndexBatch`) and mutate
+//! their wire image the way the simulator's byzantine actors do —
+//! truncation, length-field inflation, magic flips, trailer garbage,
+//! payload corruption. Every mutation must surface as a typed
+//! [`TransportError::Malformed`] / [`TransportError::FrameTooLarge`] /
+//! [`ProtocolError::InvalidInput`]-class error or an honest
+//! "need more bytes"; a panic anywhere in the decode path is the bug.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use pps_protocol::messages::{Hello, IndexBatch, Resume, ShardHello};
+use pps_protocol::SumClient;
+use pps_transport::{Frame, TransportError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn client() -> &'static SumClient {
+    use std::sync::OnceLock;
+    static CLIENT: OnceLock<SumClient> = OnceLock::new();
+    CLIENT.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xb1_7e5);
+        SumClient::generate(128, &mut rng).unwrap()
+    })
+}
+
+/// One wire image per message family under test, pre-encoded once.
+fn corpus() -> Vec<Bytes> {
+    let client = client();
+    let key = &client.keypair().public;
+    let mut rng = StdRng::seed_from_u64(0xc0_4b5);
+    let hello = Hello {
+        modulus: key.n().clone(),
+        total: 12,
+        batch_size: 4,
+        trace: None,
+    };
+    let batch = IndexBatch {
+        seq: 0,
+        ciphertexts: vec![
+            key.encrypt_u64(1, &mut rng).unwrap(),
+            key.encrypt_u64(0, &mut rng).unwrap(),
+        ],
+    };
+    let resume = Resume {
+        session_id: 0xDEAD_BEEF,
+        next_seq: 3,
+        trace: None,
+    };
+    let shard = ShardHello {
+        shard_index: 1,
+        shard_count: 3,
+        m_bits: 126,
+        seeds_add: vec![vec![7u8; 32]],
+        seeds_sub: vec![vec![9u8; 32]],
+        trace: None,
+    };
+    vec![
+        hello.encode().unwrap().encode(),
+        batch.encode(key).unwrap().encode(),
+        resume.encode().unwrap().encode(),
+        shard.encode().unwrap().encode(),
+    ]
+}
+
+/// Feeds `wire` to the incremental frame decoder and, for every frame
+/// that reassembles, runs all four message decoders over it. Returns
+/// how many complete frames came out. Panics = failure; typed errors
+/// and partial reads are all acceptable outcomes.
+fn drive_decoders(wire: &[u8]) -> usize {
+    let key = &client().keypair().public;
+    let mut buf = BytesMut::from(wire);
+    let mut frames = 0;
+    loop {
+        match Frame::decode(&mut buf) {
+            Ok(Some(frame)) => {
+                frames += 1;
+                let _ = Hello::decode(&frame);
+                let _ = ShardHello::decode(&frame);
+                let _ = Resume::decode(&frame);
+                let _ = IndexBatch::decode(&frame, key);
+            }
+            Ok(None) => return frames,
+            Err(_) => return frames,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Truncation at any point never yields a frame and never panics —
+    /// the decoder must ask for more bytes or reject, not read past the
+    /// buffer.
+    #[test]
+    fn truncation_never_yields_a_frame(which in 0usize..4, frac in 0.0f64..1.0) {
+        let wire = &corpus()[which];
+        let cut = ((wire.len() - 1) as f64 * frac) as usize;
+        prop_assert_eq!(drive_decoders(&wire[..cut]), 0);
+    }
+
+    /// Inflating the length field either reports `FrameTooLarge`
+    /// (inflated past the cap) or honestly waits for bytes that will
+    /// never come; it must not hand the payload-layer decoders a frame
+    /// with a lying length.
+    #[test]
+    fn length_inflation_is_contained(which in 0usize..4, len in 0u32..=u32::MAX) {
+        let mut wire = corpus()[which].to_vec();
+        wire[3..7].copy_from_slice(&len.to_be_bytes());
+        let mut buf = BytesMut::from(&wire[..]);
+        match Frame::decode(&mut buf) {
+            Err(TransportError::FrameTooLarge { .. }) | Err(TransportError::Malformed(_)) => {}
+            Ok(None) => prop_assert!(len as usize > wire.len() - 7,
+                "decoder stalled on a length it already has"),
+            Ok(Some(frame)) => prop_assert_eq!(frame.payload.len(), len as usize),
+            Err(e) => prop_assert!(false, "unexpected error class: {e:?}"),
+        }
+    }
+
+    /// Any corruption of the 2-byte magic is rejected as `Malformed`
+    /// before a single payload byte is trusted.
+    #[test]
+    fn magic_flip_is_malformed(which in 0usize..4, byte in 0usize..2, mask in 1u8..=255) {
+        let mut wire = corpus()[which].to_vec();
+        wire[byte] ^= mask;
+        let mut buf = BytesMut::from(&wire[..]);
+        prop_assert!(matches!(
+            Frame::decode(&mut buf),
+            Err(TransportError::Malformed(_))
+        ));
+    }
+
+    /// Trailer garbage after a valid frame never corrupts that frame:
+    /// it reassembles intact, and the garbage is handled on the *next*
+    /// decode call (error, partial, or a new frame — never a panic).
+    #[test]
+    fn trailer_garbage_does_not_corrupt_the_frame(
+        which in 0usize..4,
+        trailer in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let wire = &corpus()[which];
+        let mut buf = BytesMut::with_capacity(wire.len() + trailer.len());
+        buf.put_slice(wire);
+        buf.put_slice(&trailer);
+        let first = Frame::decode(&mut buf).unwrap().unwrap();
+        let mut clean = BytesMut::from(&wire[..]);
+        let reference = Frame::decode(&mut clean).unwrap().unwrap();
+        prop_assert_eq!(first.msg_type, reference.msg_type);
+        prop_assert_eq!(&first.payload, &reference.payload);
+        let _ = Frame::decode(&mut buf); // garbage: any Result, no panic
+    }
+
+    /// Arbitrary single-byte payload corruption of a well-formed frame
+    /// flows through every message decoder without panicking.
+    #[test]
+    fn payload_corruption_never_panics(
+        which in 0usize..4,
+        offset in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let mut wire = corpus()[which].to_vec();
+        let i = 7 + offset % (wire.len() - 7);
+        wire[i] ^= mask;
+        drive_decoders(&wire);
+    }
+}
+
+/// `ShardHello::encode` deliberately does not enforce geometry (the
+/// simulator's malformed-shard actor depends on that), so decode must:
+/// every geometry violation is a typed decode error, not a panic and
+/// not a silent acceptance.
+#[test]
+fn shard_hello_geometry_violations_are_rejected_on_decode() {
+    let bad = [
+        // index >= count
+        ShardHello {
+            shard_index: 7,
+            shard_count: 3,
+            m_bits: 64,
+            seeds_add: vec![],
+            seeds_sub: vec![],
+            trace: None,
+        },
+        // zero m_bits
+        ShardHello {
+            shard_index: 0,
+            shard_count: 2,
+            m_bits: 0,
+            seeds_add: vec![vec![1; 16]],
+            seeds_sub: vec![],
+            trace: None,
+        },
+        // wrong seeds_add arity for (index, count)
+        ShardHello {
+            shard_index: 0,
+            shard_count: 3,
+            m_bits: 64,
+            seeds_add: vec![vec![1; 16]],
+            seeds_sub: vec![],
+            trace: None,
+        },
+        // wrong seeds_sub arity
+        ShardHello {
+            shard_index: 2,
+            shard_count: 3,
+            m_bits: 64,
+            seeds_add: vec![],
+            seeds_sub: vec![vec![1; 16]],
+            trace: None,
+        },
+    ];
+    for (i, msg) in bad.iter().enumerate() {
+        let frame = msg.encode().unwrap();
+        assert!(
+            ShardHello::decode(&frame).is_err(),
+            "geometry violation {i} decoded successfully"
+        );
+    }
+}

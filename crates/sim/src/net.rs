@@ -1,0 +1,292 @@
+//! The simulated network: point-to-point byte pipes with the paper's
+//! link models, plus the failure modes the campaigns inject.
+//!
+//! Each connection is a pair of directed byte channels. A send computes
+//! its delivery time analytically from the connection's [`LinkProfile`]
+//! — `latency + (bytes + overhead) · 8 / bandwidth` — serialized behind
+//! whatever the sender already has in flight on that direction
+//! (`busy_until`), exactly the queueing a real NIC imposes. Optional
+//! seeded jitter perturbs propagation without ever reordering bytes
+//! *within* a connection (TCP semantics: a connection's byte stream is
+//! ordered or dead), while chunks on *different* connections overtake
+//! each other freely, which is where campaign-level reordering comes
+//! from. A seeded drop roll models loss that exhausts retransmission:
+//! the connection is reset, both peers observe a hangup.
+//!
+//! Partitions are windows during which a set of clients cannot reach
+//! the server: established connections are reset at partition start and
+//! connection attempts fail until the window closes.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use pps_transport::LinkProfile;
+
+/// Connection identifier, allocated sequentially by the runner.
+pub type ConnId = u64;
+
+/// Direction of a byte chunk on a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Client → server.
+    ToServer,
+    /// Server → client.
+    ToClient,
+}
+
+impl Dir {
+    /// Short label used in trace lines (`cs` / `sc`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Dir::ToServer => "cs",
+            Dir::ToClient => "sc",
+        }
+    }
+}
+
+/// Why the network reset a connection on its own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResetCause {
+    /// A seeded drop roll exhausted retransmission.
+    Drop,
+    /// The connection straddled a partition window.
+    Partition,
+}
+
+/// One live connection's link state.
+struct Link {
+    profile: LinkProfile,
+    /// Per-direction serialization horizon, ns since t0.
+    busy_until: [u64; 2],
+    /// Per-direction last delivery time — deliveries on one connection
+    /// never reorder (TCP), so each is clamped monotone.
+    last_delivery: [u64; 2],
+    open: bool,
+}
+
+/// The simulated network. Owns per-connection link state; the runner
+/// owns the event queue, so every mutation returns the delivery time
+/// for the runner to schedule.
+pub struct SimNet {
+    links: BTreeMap<ConnId, Link>,
+    next_conn: ConnId,
+    /// Deterministic jitter/drop stream (SplitMix64).
+    rng_state: u64,
+    /// Probability (×1e6) that one send resets the connection.
+    drop_per_million: u32,
+    /// Max extra propagation jitter, as a fraction (×1e6) of latency.
+    jitter_per_million: u32,
+    /// Total chunks delivered / dropped, for the report.
+    pub chunks_sent: u64,
+    /// Connections reset by drop rolls.
+    pub resets: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn as_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl SimNet {
+    /// A network with the given fault dials, seeded for reproducibility.
+    pub fn new(seed: u64, drop_per_million: u32, jitter_per_million: u32) -> Self {
+        SimNet {
+            links: BTreeMap::new(),
+            next_conn: 1,
+            rng_state: seed ^ 0xD1B5_4A32_D192_ED03,
+            drop_per_million,
+            jitter_per_million,
+            chunks_sent: 0,
+            resets: 0,
+        }
+    }
+
+    /// Opens a connection with `profile`; returns its id and the
+    /// one-way connect latency (the runner schedules the server-side
+    /// accept one latency later, and the client's first send slot one
+    /// round trip later).
+    pub fn connect(&mut self, profile: LinkProfile, now_ns: u64) -> (ConnId, u64) {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        let lat = as_ns(profile.latency);
+        self.links.insert(
+            id,
+            Link {
+                profile,
+                busy_until: [now_ns, now_ns],
+                last_delivery: [now_ns, now_ns],
+                open: true,
+            },
+        );
+        (id, lat)
+    }
+
+    /// Whether the connection still exists and is open.
+    pub fn is_open(&self, conn: ConnId) -> bool {
+        self.links.get(&conn).is_some_and(|l| l.open)
+    }
+
+    /// Computes the delivery time for `len` bytes on `conn` in `dir`,
+    /// advancing the link's serialization horizon. Returns `Ok(at_ns)`
+    /// to schedule the delivery, or `Err(cause)` when the network
+    /// resets the connection instead (seeded drop); the caller closes
+    /// both endpoints.
+    ///
+    /// # Errors
+    /// [`ResetCause::Drop`] when the seeded drop roll fires.
+    pub fn send(
+        &mut self,
+        conn: ConnId,
+        dir: Dir,
+        len: usize,
+        now_ns: u64,
+    ) -> Result<u64, ResetCause> {
+        let drop_roll = self.drop_per_million > 0
+            && (splitmix64(&mut self.rng_state) % 1_000_000) < u64::from(self.drop_per_million);
+        let jitter_roll = if self.jitter_per_million > 0 {
+            splitmix64(&mut self.rng_state) % u64::from(self.jitter_per_million)
+        } else {
+            0
+        };
+        let Some(link) = self.links.get_mut(&conn) else {
+            return Err(ResetCause::Drop);
+        };
+        if !link.open {
+            return Err(ResetCause::Drop);
+        }
+        if drop_roll {
+            link.open = false;
+            self.resets += 1;
+            return Err(ResetCause::Drop);
+        }
+        let d = dir as usize;
+        let start = now_ns.max(link.busy_until[d]);
+        let serialize = as_ns(
+            link.profile
+                .serialization_time(len + link.profile.per_message_overhead_bytes),
+        );
+        link.busy_until[d] = start.saturating_add(serialize);
+        let mut latency = as_ns(link.profile.latency);
+        if jitter_roll > 0 {
+            // Multiply before dividing: sub-millisecond latencies would
+            // otherwise truncate to zero jitter. Max product is
+            // ~1.5e8 ns × 1e6 ppm, well inside u64.
+            latency += latency * jitter_roll / 1_000_000;
+        }
+        let at = link.busy_until[d].saturating_add(latency);
+        // TCP ordering: a jittered chunk may not overtake its
+        // predecessor on the same connection+direction.
+        let at = at.max(link.last_delivery[d]);
+        link.last_delivery[d] = at;
+        self.chunks_sent += 1;
+        Ok(at)
+    }
+
+    /// Closes `conn`. Chunks already scheduled still arrive when
+    /// `abrupt` is false (kernel buffers drain after a clean FIN); an
+    /// abrupt close (RST, partition) voids them — the runner checks
+    /// [`SimNet::delivery_allowed`] at delivery time.
+    pub fn close(&mut self, conn: ConnId, abrupt: bool) {
+        if abrupt {
+            if let Some(l) = self.links.get_mut(&conn) {
+                l.open = false;
+            }
+        } else {
+            // Clean close: drop the link record only once both sides
+            // are done; keeping `open = true` until removal lets
+            // in-flight chunks land. The runner removes endpoints
+            // itself, so just forget the link.
+            self.links.remove(&conn);
+        }
+    }
+
+    /// Whether a chunk scheduled earlier may still be delivered.
+    pub fn delivery_allowed(&self, conn: ConnId) -> bool {
+        // Cleanly-closed links were removed: their in-flight chunks
+        // were already scheduled and should land, so unknown ids are
+        // allowed; abruptly-closed links are present and closed.
+        self.links.get(&conn).is_none_or(|l| l.open)
+    }
+
+    /// Resets `conn` for a partition: abrupt, in-flight chunks void.
+    pub fn partition_reset(&mut self, conn: ConnId) {
+        if let Some(l) = self.links.get_mut(&conn) {
+            if l.open {
+                l.open = false;
+                self.resets += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lan() -> LinkProfile {
+        LinkProfile::gigabit_lan()
+    }
+
+    #[test]
+    fn serialization_queues_behind_prior_sends() {
+        let mut net = SimNet::new(1, 0, 0);
+        let (c, _) = net.connect(lan(), 0);
+        let a = net.send(c, Dir::ToServer, 1000, 0).unwrap();
+        let b = net.send(c, Dir::ToServer, 1000, 0).unwrap();
+        assert!(b > a, "second chunk serializes behind the first");
+        // Opposite direction has its own horizon.
+        let r = net.send(c, Dir::ToClient, 1000, 0).unwrap();
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn same_connection_never_reorders() {
+        let mut net = SimNet::new(7, 0, 500_000);
+        let (c, _) = net.connect(lan(), 0);
+        let mut last = 0;
+        for _ in 0..64 {
+            let at = net.send(c, Dir::ToServer, 64, 0).unwrap();
+            assert!(at >= last, "delivery times are monotone per direction");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn drops_reset_the_connection() {
+        let mut net = SimNet::new(3, 1_000_000, 0);
+        let (c, _) = net.connect(lan(), 0);
+        assert_eq!(net.send(c, Dir::ToServer, 10, 0), Err(ResetCause::Drop));
+        assert!(!net.is_open(c));
+        assert!(!net.delivery_allowed(c));
+    }
+
+    #[test]
+    fn modem_is_slower_than_lan() {
+        let mut net = SimNet::new(1, 0, 0);
+        let (lan_conn, _) = net.connect(lan(), 0);
+        let (modem_conn, _) = net.connect(LinkProfile::modem_56k(), 0);
+        let a = net.send(lan_conn, Dir::ToServer, 4096, 0).unwrap();
+        let b = net.send(modem_conn, Dir::ToServer, 4096, 0).unwrap();
+        assert!(b > 100 * a, "56 Kbps dwarfs gigabit for the same bytes");
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let run = |seed| {
+            let mut net = SimNet::new(seed, 1000, 250_000);
+            let (c, _) = net.connect(lan(), 0);
+            (0..32)
+                .map(|i| net.send(c, Dir::ToServer, 100 + i, i as u64 * 10))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,283 @@
+//! The invariant oracle: accumulates observations during a campaign and
+//! renders a verdict when the event queue drains.
+//!
+//! Checked invariants:
+//!
+//! 1. **Correctness** — every honest-class client completes, and its
+//!    decrypted sum equals the plaintext selected sum.
+//! 2. **Containment** — no adversarial client ever obtains a sum.
+//! 3. **Slot hygiene** — admission slots and the `pps_sessions_active`
+//!    gauge return to zero once the population drains.
+//! 4. **Checkpoint hygiene** — after virtual time passes the resumption
+//!    TTL, no table still holds a checkpoint (nothing leaks past TTL).
+//! 5. **Blinding discipline** — a shard leg's session reaches
+//!    completion only with a blinding installed, and each group's
+//!    partials recombine (mod `M`) to the exact whole-table sum.
+//!
+//! Every violation carries the one-command repro string so a CI failure
+//! is immediately replayable.
+
+use pps_bignum::Uint;
+
+use crate::actor::Behavior;
+
+/// One invariant violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant broke (short slug, e.g. `wrong-sum`).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Per-client outcome fed to the oracle as the campaign runs.
+struct ClientOutcome {
+    behavior: Behavior,
+    expected: Option<u64>,
+    completed_sum: Option<u64>,
+    gave_up: bool,
+}
+
+/// Per-shard-group accumulation.
+struct GroupOutcome {
+    expected: u64,
+    partials: Vec<Option<Uint>>,
+    unblinded_completions: u32,
+}
+
+/// The campaign's invariant oracle.
+pub struct Oracle {
+    clients: Vec<ClientOutcome>,
+    groups: Vec<GroupOutcome>,
+    /// Blinding modulus `M = 2^m_bits` for shard recombination.
+    m: Uint,
+}
+
+impl Oracle {
+    /// An oracle for `n_clients` clients and `n_groups` shard groups of
+    /// `legs_per_group` legs, recombining mod `2^m_bits`.
+    pub fn new(n_groups: usize, legs_per_group: usize, group_expected: u64, m_bits: u32) -> Self {
+        Oracle {
+            clients: Vec::new(),
+            groups: (0..n_groups)
+                .map(|_| GroupOutcome {
+                    expected: group_expected,
+                    partials: vec![None; legs_per_group],
+                    unblinded_completions: 0,
+                })
+                .collect(),
+            m: Uint::one().shl(m_bits as usize),
+        }
+    }
+
+    /// Registers client `id` (ids must be registered in order, 0..n).
+    pub fn register(&mut self, behavior: Behavior, expected: Option<u64>) {
+        self.clients.push(ClientOutcome {
+            behavior,
+            expected,
+            completed_sum: None,
+            gave_up: false,
+        });
+    }
+
+    /// Client `id` decrypted a product (shard legs report through
+    /// [`Oracle::shard_partial`] instead).
+    pub fn completed(&mut self, id: usize, sum: u64) {
+        self.clients[id].completed_sum = Some(sum);
+    }
+
+    /// Client `id` exhausted its retries without completing.
+    pub fn gave_up(&mut self, id: usize) {
+        self.clients[id].gave_up = true;
+    }
+
+    /// Shard leg `(group, leg)` (client `id`) decrypted its blinded
+    /// partial.
+    pub fn shard_partial(&mut self, id: usize, group: usize, leg: usize, partial: Uint) {
+        self.clients[id].completed_sum = Some(0); // marks completion
+        self.groups[group].partials[leg] = Some(partial);
+    }
+
+    /// A shard-gated server session completed *without* a blinding —
+    /// the invariant the gate exists to prevent.
+    pub fn unblinded_completion(&mut self, group: usize) {
+        if let Some(g) = self.groups.get_mut(group) {
+            g.unblinded_completions += 1;
+        }
+    }
+
+    /// Renders the verdict. `sessions_active` is the drained gauge
+    /// value, `open_conns` the count of server connections never
+    /// closed, and `leaked_checkpoints` the total checkpoints still
+    /// stored after virtual time advanced past the TTL.
+    pub fn verdict(
+        &self,
+        sessions_active: i64,
+        open_conns: usize,
+        leaked_checkpoints: usize,
+    ) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (id, c) in self.clients.iter().enumerate() {
+            let label = c.behavior.label();
+            if c.behavior.is_adversarial() {
+                if c.completed_sum.is_some() {
+                    out.push(Violation {
+                        invariant: "adversarial-completion",
+                        detail: format!("client {id} ({label}) obtained a sum"),
+                    });
+                }
+                continue;
+            }
+            match (c.completed_sum, c.expected) {
+                (Some(got), Some(want)) if got != want => out.push(Violation {
+                    invariant: "wrong-sum",
+                    detail: format!("client {id} ({label}) decrypted {got}, expected {want}"),
+                }),
+                (None, _) => out.push(Violation {
+                    invariant: "honest-incomplete",
+                    detail: format!(
+                        "client {id} ({label}) never completed{}",
+                        if c.gave_up {
+                            " (retries exhausted)"
+                        } else {
+                            ""
+                        }
+                    ),
+                }),
+                _ => {}
+            }
+        }
+        if sessions_active != 0 {
+            out.push(Violation {
+                invariant: "sessions-active-leak",
+                detail: format!("pps_sessions_active = {sessions_active} after drain"),
+            });
+        }
+        if open_conns != 0 {
+            out.push(Violation {
+                invariant: "conn-leak",
+                detail: format!("{open_conns} server connection(s) never closed"),
+            });
+        }
+        if leaked_checkpoints != 0 {
+            out.push(Violation {
+                invariant: "checkpoint-ttl-leak",
+                detail: format!(
+                    "{leaked_checkpoints} checkpoint(s) survive past the resumption TTL"
+                ),
+            });
+        }
+        for (g, group) in self.groups.iter().enumerate() {
+            if group.unblinded_completions > 0 {
+                out.push(Violation {
+                    invariant: "unblinded-shard-completion",
+                    detail: format!(
+                        "shard group {g}: {} session(s) completed without a blinding",
+                        group.unblinded_completions
+                    ),
+                });
+            }
+            let mut acc = Uint::zero();
+            let mut missing = 0usize;
+            for p in &group.partials {
+                match p {
+                    Some(p) => {
+                        // Partials may exceed M by the unblinded sum;
+                        // reduce before the modular accumulation.
+                        let r = p.rem_of(&self.m).unwrap_or_else(|_| Uint::zero());
+                        acc = acc.mod_add(&r, &self.m).unwrap_or_else(|_| Uint::zero());
+                    }
+                    None => missing += 1,
+                }
+            }
+            if missing > 0 {
+                out.push(Violation {
+                    invariant: "shard-leg-incomplete",
+                    detail: format!("shard group {g}: {missing} leg(s) never delivered a partial"),
+                });
+            } else if acc.to_u64() != Some(group.expected) {
+                out.push(Violation {
+                    invariant: "shard-recombine-mismatch",
+                    detail: format!(
+                        "shard group {g}: recombined {:?}, expected {}",
+                        acc.to_u64(),
+                        group.expected
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// How many honest-class clients completed (for the report).
+    pub fn completions(&self) -> u64 {
+        self.clients
+            .iter()
+            .filter(|c| !c.behavior.is_adversarial() && c.completed_sum.is_some())
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_campaign_has_no_violations() {
+        let mut o = Oracle::new(0, 0, 0, 62);
+        o.register(Behavior::Honest, Some(42));
+        o.register(Behavior::Byzantine, None);
+        o.completed(0, 42);
+        assert!(o.verdict(0, 0, 0).is_empty());
+        assert_eq!(o.completions(), 1);
+    }
+
+    #[test]
+    fn wrong_sum_and_leaks_are_flagged() {
+        let mut o = Oracle::new(0, 0, 0, 62);
+        o.register(Behavior::Honest, Some(42));
+        o.completed(0, 41);
+        let v = o.verdict(2, 1, 3);
+        let slugs: Vec<_> = v.iter().map(|v| v.invariant).collect();
+        assert!(slugs.contains(&"wrong-sum"));
+        assert!(slugs.contains(&"sessions-active-leak"));
+        assert!(slugs.contains(&"conn-leak"));
+        assert!(slugs.contains(&"checkpoint-ttl-leak"));
+    }
+
+    #[test]
+    fn adversarial_completion_is_a_violation() {
+        let mut o = Oracle::new(0, 0, 0, 62);
+        o.register(Behavior::ReplayDup, None);
+        o.completed(0, 7);
+        assert_eq!(o.verdict(0, 0, 0)[0].invariant, "adversarial-completion");
+    }
+
+    #[test]
+    fn shard_partials_recombine_mod_m() {
+        // Two legs, M = 2^8: partials (sum0 + r, sum1 + M - r) ≡ total.
+        let mut o = Oracle::new(1, 2, 30, 8);
+        o.register(Behavior::ShardLeg { group: 0, leg: 0 }, None);
+        o.register(Behavior::ShardLeg { group: 0, leg: 1 }, None);
+        o.shard_partial(0, 0, 0, Uint::from_u64(10 + 200));
+        o.shard_partial(1, 0, 1, Uint::from_u64(20 + 56));
+        assert!(o.verdict(0, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn shard_mismatch_and_unblinded_are_flagged() {
+        let mut o = Oracle::new(1, 1, 30, 8);
+        o.register(Behavior::ShardLeg { group: 0, leg: 0 }, None);
+        o.shard_partial(0, 0, 0, Uint::from_u64(29));
+        o.unblinded_completion(0);
+        let slugs: Vec<_> = o.verdict(0, 0, 0).iter().map(|v| v.invariant).collect();
+        assert!(slugs.contains(&"shard-recombine-mismatch"));
+        assert!(slugs.contains(&"unblinded-shard-completion"));
+    }
+}

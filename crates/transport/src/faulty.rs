@@ -73,18 +73,34 @@ impl FaultSchedule {
         Self::default()
     }
 
-    /// Injects `fault` on the `op`-th read (0-based).
+    /// Injects `fault` on the `op`-th read (0-based; `op == 0` faults
+    /// the very first read, before any bytes move).
+    ///
+    /// If `op` is already scheduled the fault is placed on the next
+    /// free read index at or after `op`, so registration order is
+    /// preserved and no fault is silently dropped. (Earlier versions
+    /// overwrote the existing entry, losing the first registration.)
     #[must_use]
     pub fn on_read(mut self, op: u64, fault: Fault) -> Self {
-        self.read.insert(op, fault);
+        Self::insert_cascading(&mut self.read, op, fault);
         self
     }
 
-    /// Injects `fault` on the `op`-th write (0-based).
+    /// Injects `fault` on the `op`-th write (0-based). Collision
+    /// handling matches [`FaultSchedule::on_read`]: same-index
+    /// registrations cascade to the next free write index instead of
+    /// overwriting.
     #[must_use]
     pub fn on_write(mut self, op: u64, fault: Fault) -> Self {
-        self.write.insert(op, fault);
+        Self::insert_cascading(&mut self.write, op, fault);
         self
+    }
+
+    fn insert_cascading(map: &mut BTreeMap<u64, Fault>, mut op: u64, fault: Fault) {
+        while map.contains_key(&op) {
+            op = op.saturating_add(1);
+        }
+        map.insert(op, fault);
     }
 
     /// Derives a pseudo-random schedule from `seed`: over the first
@@ -361,6 +377,49 @@ mod tests {
         let mut wire = FaultyStream::wire(ScriptedStream::default(), schedule);
         assert_eq!(wire.send(f), Err(TransportError::Disconnected));
         assert_eq!(wire.get_ref().get_ref().written.len(), 3);
+    }
+
+    #[test]
+    fn fault_at_operation_zero_fires_before_any_bytes() {
+        // Regression: op index 0 must hit the very first operation on
+        // both the read and write sides — no off-by-one, no warm-up op.
+        let f = Frame::new(1, vec![4]).unwrap();
+        let schedule = FaultSchedule::new().on_read(0, Fault::Disconnect);
+        let mut wire = FaultyStream::wire(script_of(std::slice::from_ref(&f)), schedule);
+        assert_eq!(wire.recv(), Err(TransportError::Disconnected));
+
+        let schedule = FaultSchedule::new().on_write(0, Fault::Disconnect);
+        let mut wire = FaultyStream::wire(ScriptedStream::default(), schedule);
+        assert_eq!(wire.send(f), Err(TransportError::Disconnected));
+        assert!(
+            wire.get_ref().get_ref().written.is_empty(),
+            "fault at write op 0 must precede any accepted bytes"
+        );
+    }
+
+    #[test]
+    fn same_op_registrations_cascade_in_order() {
+        // Regression: two faults on one op index used to silently drop
+        // the first. Pinned resolution order: the collision cascades to
+        // the next free index, preserving registration order.
+        let colliding = FaultSchedule::new()
+            .on_read(1, Fault::Interrupt)
+            .on_read(1, Fault::Timeout);
+        let explicit = FaultSchedule::new()
+            .on_read(1, Fault::Interrupt)
+            .on_read(2, Fault::Timeout);
+        assert_eq!(colliding, explicit);
+
+        // Behavioral check: both faults fire, in registration order.
+        // Op 0 EINTRs (retried in place), op 1 — the cascaded slot —
+        // times out, and the frame arrives cleanly on the next recv.
+        let both_at_zero = FaultSchedule::new()
+            .on_read(0, Fault::Interrupt)
+            .on_read(0, Fault::Timeout);
+        let f = Frame::new(6, vec![1, 2, 3]).unwrap();
+        let mut wire = FaultyStream::wire(script_of(std::slice::from_ref(&f)), both_at_zero);
+        assert_eq!(wire.recv(), Err(TransportError::TimedOut));
+        assert_eq!(wire.recv().unwrap(), f);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
 use bytes::BytesMut;
+use pps_obs::{real_clock, SharedClock};
 
 use crate::error::TransportError;
 use crate::frame::Frame;
@@ -45,6 +46,9 @@ pub struct StreamWire<S> {
     /// peer trickling bytes mid-frame cannot dodge eviction by
     /// restarting the per-read socket timer with every byte.
     recv_deadline: Option<std::time::Instant>,
+    /// Time source the deadline is checked against — the real clock
+    /// unless a simulator injected a virtual one.
+    clock: SharedClock,
     /// Optional shared counters (frames, bytes, timeouts) — see
     /// [`StreamWire::set_metrics`].
     metrics: Option<WireMetrics>,
@@ -77,9 +81,18 @@ impl<S> StreamWire<S> {
             buf: BytesMut::new(),
             stats: TrafficStats::default(),
             recv_deadline: None,
+            clock: real_clock(),
             metrics: None,
             trace: None,
         }
+    }
+
+    /// Replaces the time source the receive deadline is checked against
+    /// (see [`StreamWire::set_recv_deadline`]). Deadline `Instant`s must
+    /// come from the same clock; the deterministic simulator injects a
+    /// virtual clock here so transport deadlines expire in virtual time.
+    pub fn set_clock(&mut self, clock: SharedClock) {
+        self.clock = clock;
     }
 
     /// Attaches shared [`WireMetrics`] counters: every frame sent or
@@ -150,6 +163,21 @@ impl StreamWire<TcpStream> {
         policy: &RetryPolicy,
         rng: &mut dyn rand::RngCore,
     ) -> Result<(Self, RetryStats), TransportError> {
+        Self::connect_with_retry_on(addr, policy, rng, &*real_clock())
+    }
+
+    /// [`StreamWire::connect_with_retry`] with the backoff slept on an
+    /// injected [`Clock`](pps_obs::Clock) — tests and simulators pass a
+    /// virtual clock so the schedule is asserted, not waited out.
+    ///
+    /// # Errors
+    /// The error of the final attempt when every attempt fails.
+    pub fn connect_with_retry_on(
+        addr: &str,
+        policy: &RetryPolicy,
+        rng: &mut dyn rand::RngCore,
+        clock: &dyn pps_obs::Clock,
+    ) -> Result<(Self, RetryStats), TransportError> {
         let mut stats = RetryStats::default();
         loop {
             stats.attempts += 1;
@@ -161,7 +189,7 @@ impl StreamWire<TcpStream> {
                     }
                     let delay = policy.delay_for(stats.attempts - 1, rng);
                     stats.delays.push(delay);
-                    std::thread::sleep(delay);
+                    clock.sleep(delay);
                 }
             }
         }
@@ -244,7 +272,7 @@ impl<S: Read + Write> Wire for StreamWire<S> {
                 return Ok(frame);
             }
             if let Some(deadline) = self.recv_deadline {
-                if std::time::Instant::now() >= deadline {
+                if self.clock.now() >= deadline {
                     return Err(self.note_error(TransportError::TimedOut));
                 }
             }

@@ -9,67 +9,25 @@
 //! index-vector bytes than a full re-issue, and the server's aggregate
 //! accounting (failed / resumed / panicked / evicted checkpoints) stays
 //! exact under fire.
+//!
+//! The database / selection / retry-config / faulty-query scaffolding
+//! lives in [`pps_sim::harness::chaos`], shared with the
+//! failure-injection suite and the simulator's own campaigns.
+//!
+//! [`FaultSchedule`]: pps_transport::FaultSchedule
 
-use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use pps_obs::Registry;
 use pps_protocol::{
-    run_stream_query_with_resume, run_tcp_query_with_retry, Database, FoldStrategy, ProtocolError,
-    ResumptionConfig, ServerObs, SessionEvent, SumClient, TcpQueryConfig, TcpQueryOutcome,
+    run_tcp_query_with_retry, FoldStrategy, ResumptionConfig, ServerObs, SessionEvent, SumClient,
     TcpServer,
 };
-use pps_transport::{Fault, FaultSchedule, FaultyStream, RetryPolicy, StreamWire, TransportError};
+use pps_sim::harness::chaos::{config, database, expected_sum, faulty_query, selection, BATCH};
+use pps_transport::{Fault, FaultSchedule, RetryPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-const N: usize = 48;
-const BATCH: usize = 4; // 12 batches per query
-
-fn database() -> Arc<Database> {
-    Arc::new(Database::new((0..N as u64).map(|i| i * 7 + 3).collect()).unwrap())
-}
-
-fn selection() -> Vec<usize> {
-    (0..N).step_by(3).collect()
-}
-
-fn expected_sum() -> u128 {
-    selection().iter().map(|&i| (i as u128) * 7 + 3).sum()
-}
-
-fn config(policy: RetryPolicy) -> TcpQueryConfig {
-    TcpQueryConfig {
-        batch_size: BATCH,
-        client_threads: 1,
-        read_timeout: Some(Duration::from_secs(10)),
-        write_timeout: Some(Duration::from_secs(10)),
-        retry: policy,
-        ..TcpQueryConfig::default()
-    }
-}
-
-/// Runs one query whose `attempt`-th connection gets `schedule(attempt)`
-/// injected under the framing layer.
-fn faulty_query(
-    addr: SocketAddr,
-    client: &SumClient,
-    cfg: &TcpQueryConfig,
-    rng: &mut StdRng,
-    schedule: impl Fn(u32) -> FaultSchedule,
-) -> Result<TcpQueryOutcome, ProtocolError> {
-    let read_timeout = cfg.read_timeout;
-    let mut connect = |attempt: u32| -> Result<StreamWire<FaultyStream<TcpStream>>, ProtocolError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| ProtocolError::Transport(TransportError::Io(e.to_string())))?;
-        stream
-            .set_read_timeout(read_timeout)
-            .map_err(|e| ProtocolError::Transport(TransportError::Io(e.to_string())))?;
-        Ok(FaultyStream::wire(stream, schedule(attempt)))
-    };
-    run_stream_query_with_resume(&mut connect, client, &selection(), cfg, rng)
-}
 
 /// The tentpole scenario: for several seeds, the first attempt's
 /// connection dies at a scripted write offset after at least one batch

@@ -3,32 +3,20 @@
 //! server must *reject* anomalous input — folding a non-group element
 //! into the product or accepting a desynchronized stream silently would
 //! be a correctness and security bug.
+//!
+//! The canonical database / client / frame fixtures live in
+//! [`pps_sim::harness::proto`], shared with the simulator's byzantine
+//! campaigns — `setup()` here is the same fixture those campaigns
+//! attack at population scale.
 
 use pps::prelude::*;
 use pps::protocol::messages::{Hello, IndexBatch, MsgType, PlainIndices};
 use pps::protocol::{ProtocolError, ServerSession};
 use pps::transport::{ChannelWire, Frame, LinkProfile, SimLink, TransportError, Wire};
 use pps_bignum::Uint;
+use pps_sim::harness::proto::{fixture as setup, hello_frame};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-fn setup() -> (Database, SumClient, StdRng) {
-    let mut rng = StdRng::seed_from_u64(66);
-    let db = Database::new(vec![10, 20, 30, 40]).unwrap();
-    let client = SumClient::generate(128, &mut rng).unwrap();
-    (db, client, rng)
-}
-
-fn hello_frame(client: &SumClient, total: u64) -> Frame {
-    Hello {
-        modulus: client.keypair().public.n().clone(),
-        total,
-        batch_size: 4,
-        trace: None,
-    }
-    .encode()
-    .unwrap()
-}
 
 #[test]
 fn server_rejects_zero_ciphertext() {

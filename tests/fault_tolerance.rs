@@ -148,17 +148,56 @@ fn desync_over_tcp_fails_cleanly_and_server_keeps_going() {
     );
 }
 
+/// A test clock that never burns wall time on backoff: each sleep is
+/// recorded instead of slept, and the *first* sleep doubles as a
+/// synchronization gate — it signals the server thread to bind and
+/// blocks until the listener is up. The first connect is therefore
+/// refused deterministically (nothing is bound until after it fails)
+/// and the retry succeeds deterministically, with no timing window on
+/// either side.
+#[derive(Debug)]
+struct GateClock {
+    go: std::sync::mpsc::Sender<()>,
+    ready: Mutex<Option<std::sync::mpsc::Receiver<()>>>,
+    slept: Mutex<Vec<Duration>>,
+}
+
+impl pps_obs::Clock for GateClock {
+    fn now(&self) -> std::time::Instant {
+        Instant::now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.slept.lock().unwrap().push(d);
+        let _ = self.go.send(());
+        if let Some(rx) = self.ready.lock().unwrap().take() {
+            let _ = rx.recv();
+        }
+    }
+}
+
 #[test]
 fn retry_recovers_from_first_connect_refusal_with_deterministic_backoff() {
-    // Nothing listens on the target port for the first ~300 ms, so the
-    // first attempt is refused at connect. The retry loop backs off
-    // (deterministically, given the seeded RNG) and succeeds once the
-    // server appears.
+    // Nothing listens on the target port until the client's first
+    // backoff sleep fires, so attempt 1 is always refused at connect.
+    // The retry loop backs off (deterministically, given the seeded
+    // RNG, and without real sleeps — the injected clock records the
+    // delays instead) and succeeds once the server appears.
     let addr = free_addr();
+    let (go_tx, go_rx) = std::sync::mpsc::channel();
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let clock = Arc::new(GateClock {
+        go: go_tx,
+        ready: Mutex::new(Some(ready_rx)),
+        slept: Mutex::new(Vec::new()),
+    });
 
     let server_thread = std::thread::spawn(move || {
-        std::thread::sleep(Duration::from_millis(300));
+        // Bind only once the first attempt has failed (its backoff
+        // sleep signals `go`), then release the client.
+        go_rx.recv().unwrap();
         let server = TcpServer::bind(db4(), &addr.to_string(), FoldStrategy::Incremental).unwrap();
+        ready_tx.send(()).unwrap();
         server.serve(Some(1))
     });
 
@@ -175,6 +214,7 @@ fn retry_recovers_from_first_connect_refusal_with_deterministic_backoff() {
 
     let config = TcpQueryConfig {
         retry: policy.clone(),
+        clock: Arc::clone(&clock) as _,
         ..TcpQueryConfig::default()
     };
     let out =
@@ -194,6 +234,12 @@ fn retry_recovers_from_first_connect_refusal_with_deterministic_backoff() {
             full / 2
         );
     }
+    assert_eq!(
+        *clock.slept.lock().unwrap(),
+        out.retry.delays,
+        "every reported delay went through the injected clock (and \
+         therefore cost the test no wall time)"
+    );
     let stats = server_thread.join().unwrap();
     assert_eq!(stats.sessions, 1);
 }
